@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation A7 — migration costs in a two-NxP system.
+ *
+ * The Section IV-C3 extension: with several NxPs distinguished by PTE
+ * ISA tags, a thread can also migrate device-to-device. Those calls
+ * bounce through the host kernel (suspend on the source device, wake the
+ * host, forward the descriptor, run, forward the return), so they cost
+ * roughly an NxP->host plus a host->NxP round trip. This bench measures
+ * all three edges of the triangle.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace flick;
+using namespace flick::bench;
+
+int
+main(int argc, char **argv)
+{
+    int calls = static_cast<int>(flagValue(argc, argv, "calls", 1000));
+
+    SystemConfig cfg;
+    cfg.enableSecondNxp();
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    prog.addNxpAsm("dev1_noop: li a0, 0\n ret\n", 1);
+    prog.addNxpAsm(R"(
+dev0_calls_dev1:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    sd s0, 0(sp)
+    mv s0, a0
+d01_loop:
+    beqz s0, d01_done
+    call dev1_noop
+    addi s0, s0, -1
+    j d01_loop
+d01_done:
+    li a0, 0
+    ld s0, 0(sp)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)",
+                   0);
+    Process &proc = sys.load(prog);
+
+    auto avg_us = [&](const char *fn, std::uint64_t n, Tick &out_total) {
+        Tick t0 = sys.now();
+        for (std::uint64_t i = 0; i < n; ++i)
+            sys.call(proc, fn);
+        out_total = sys.now() - t0;
+        return ticksToUs(out_total) / static_cast<double>(n);
+    };
+
+    // Warm up both devices (stacks, TLBs).
+    sys.call(proc, "nxp_noop");
+    sys.call(proc, "dev1_noop");
+    sys.call(proc, "dev0_calls_dev1", {1});
+
+    Tick t;
+    double h_d0 = avg_us("nxp_noop", calls, t);
+    double h_d1 = avg_us("dev1_noop", calls, t);
+
+    Tick t0 = sys.now();
+    sys.call(proc, "dev0_calls_dev1",
+             {static_cast<std::uint64_t>(calls)});
+    Tick total = sys.now() - t0;
+    Tick t1 = sys.now();
+    sys.call(proc, "dev0_calls_dev1", {0});
+    Tick outer = sys.now() - t1;
+    double d0_d1 = ticksToUs(total - outer) / calls;
+
+    printTable(
+        strfmt("Ablation A7: migration edges in a two-NxP system "
+               "(%d calls each)",
+               calls),
+        {"Edge", "Round trip", "Path"},
+        {
+            {"host -> NxP0 -> host", fmtUs(h_d0),
+             "NX fault + descriptor DMA"},
+            {"host -> NxP1 -> host", fmtUs(h_d1),
+             "NX fault + descriptor DMA (second device)"},
+            {"NxP0 -> NxP1 -> NxP0", fmtUs(d0_d1),
+             "fault + kernel forward on both legs"},
+        });
+    std::printf("\nDevice-to-device costs about one NxP->host plus one "
+                "host->NxP trip (%.1f + %.1f = %.1f us predicted): the "
+                "kernel is the router.\n",
+                h_d0, h_d1, h_d0 + h_d1);
+    return 0;
+}

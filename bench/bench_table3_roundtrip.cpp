@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table III — Flick thread migration round-trip overhead.
+ *
+ * The paper's microbenchmark: 10,000 host calls to an immediately
+ * returning NxP function (Host-NxP-Host), and an NxP loop calling an
+ * immediately returning host function with the outer round trip
+ * subtracted (NxP-Host-NxP). Also reproduces the Section V-A claim that
+ * the host page fault contributes only 0.7 us of the total.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+
+using namespace flick;
+using namespace flick::bench;
+
+namespace
+{
+
+/**
+ * Google-benchmark registrations (run with --gbench): simulated time is
+ * reported through the manual-time interface, so `Time` is microseconds
+ * of *simulated* round trip, not wall clock.
+ */
+void
+BM_HostNxpHost(benchmark::State &state)
+{
+    SystemConfig cfg;
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    Process &proc = sys.load(prog);
+    sys.call(proc, "nxp_noop");
+    for (auto _ : state) {
+        Tick t0 = sys.now();
+        sys.call(proc, "nxp_noop");
+        state.SetIterationTime(ticksToSec(sys.now() - t0));
+    }
+}
+BENCHMARK(BM_HostNxpHost)->UseManualTime()->Unit(
+    benchmark::kMicrosecond);
+
+void
+BM_NxpHostNxp(benchmark::State &state)
+{
+    SystemConfig cfg;
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    Process &proc = sys.load(prog);
+    sys.call(proc, "nxp_noop");
+    // Warm the NxP I-cache lines of the loop before calibrating the
+    // outer-trip cost that gets subtracted per iteration.
+    sys.call(proc, "nxp_calls_host", {1});
+    sys.call(proc, "nxp_calls_host", {0});
+    Tick t0 = sys.now();
+    sys.call(proc, "nxp_calls_host", {0});
+    Tick outer = sys.now() - t0;
+    for (auto _ : state) {
+        t0 = sys.now();
+        sys.call(proc, "nxp_calls_host", {1});
+        state.SetIterationTime(ticksToSec(sys.now() - t0 - outer));
+    }
+}
+BENCHMARK(BM_NxpHostNxp)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--gbench") {
+            int bargc = 1;
+            benchmark::Initialize(&bargc, argv);
+            benchmark::RunSpecifiedBenchmarks();
+            return 0;
+        }
+    }
+
+    int calls = static_cast<int>(flagValue(argc, argv, "calls", 10000));
+
+    SystemConfig cfg;
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    Process &proc = sys.load(prog);
+
+    double h2n = measureHostNxpHostUs(sys, proc, calls);
+    double n2h = measureNxpHostNxpUs(sys, proc, calls);
+
+    printTable(strfmt("Table III: Flick thread migration round trip "
+                      "overhead (%d calls)",
+                      calls),
+               {"Direction", "Measured", "Paper"},
+               {
+                   {"Host-NxP-Host", fmtUs(h2n), "18.3us"},
+                   {"NxP-Host-NxP", fmtUs(n2h), "16.9us"},
+               });
+
+    double fault_us = ticksToUs(cfg.timing.nxFaultService);
+    printTable(
+        "Breakdown: host-side page fault share (Section V-A: 0.7us)",
+        {"Component", "Measured", "Share"},
+        {
+            {"NX instruction page fault service", fmtUs(fault_us),
+             strfmt("%.1f%% of round trip", 100.0 * fault_us / h2n)},
+            {"Remaining migration path", fmtUs(h2n - fault_us), ""},
+        });
+    return 0;
+}

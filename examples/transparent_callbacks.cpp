@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Transparency demo: function pointers, nesting and recursion across
+ * the ISA boundary.
+ *
+ * The reason Flick triggers migration from page faults instead of
+ * compiler-inserted stubs (Section III-B): code can call *any* function
+ * through *any* pointer and the right thing happens. This example
+ * drives:
+ *
+ *   1. an NxP "map" kernel applying a function pointer to an array —
+ *      pointed first at an NxP function (no migration per element),
+ *      then at a host function (one round trip per element);
+ *   2. deep cross-ISA mutual recursion (factorial alternating cores
+ *      at every level);
+ *   3. a host function that calls an NxP function that calls back into
+ *      the host — nested bidirectional calls on one thread stack.
+ */
+
+#include <cstdio>
+
+#include "flick/system.hh"
+#include "workloads/microbench.hh"
+
+using namespace flick;
+
+namespace
+{
+
+const char *nxpMapKernel = R"(
+# map_nxp(array, count, fnptr): a[i] = fn(a[i]) for each element.
+map_nxp:
+    addi sp, sp, -32
+    sd ra, 24(sp)
+    sd s0, 16(sp)
+    sd s1, 8(sp)
+    sd s2, 0(sp)
+    mv s0, a0          # array
+    mv s1, a1          # count
+    mv s2, a2          # fn
+map_loop:
+    beqz s1, map_done
+    ld a0, 0(s0)
+    jalr s2            # may or may not migrate - the code cannot tell
+    sd a0, 0(s0)
+    addi s0, s0, 8
+    addi s1, s1, -1
+    j map_loop
+map_done:
+    ld s2, 0(sp)
+    ld s1, 8(sp)
+    ld s0, 16(sp)
+    ld ra, 24(sp)
+    addi sp, sp, 32
+    ret
+
+# An NxP-side transform.
+nxp_triple:
+    slli t0, a0, 1
+    add a0, a0, t0
+    ret
+)";
+
+const char *hostTransform = R"(
+# A host-side transform with the same signature.
+host_square:
+    mov rax, rdi
+    mul rax, rdi
+    ret
+)";
+
+} // namespace
+
+int
+main()
+{
+    FlickSystem sys;
+    Program prog;
+    workloads::addMicrobench(prog);
+    prog.addNxpAsm(nxpMapKernel);
+    prog.addHostAsm(hostTransform);
+    Process &proc = sys.load(prog);
+
+    // An array in NxP storage.
+    constexpr int n = 8;
+    VAddr array = sys.nxpMalloc(n * 8);
+    for (int i = 0; i < n; ++i)
+        sys.writeVa(proc, array + 8 * i, static_cast<std::uint64_t>(i));
+
+    // 1a. Function pointer at an NxP function: stays on the NxP.
+    std::uint64_t m0 = proc.task->migrations;
+    sys.call(proc, "map_nxp",
+             {array, n, proc.image.symbol("nxp_triple")});
+    std::printf("map with NxP fn pointer:  [");
+    for (int i = 0; i < n; ++i)
+        std::printf("%llu%s",
+                    (unsigned long long)sys.readVa(proc, array + 8 * i),
+                    i + 1 < n ? " " : "]");
+    std::printf("  (%llu migrations)\n",
+                (unsigned long long)(proc.task->migrations - m0));
+
+    // 1b. Same kernel, pointer at a host function: migrates per element.
+    m0 = proc.task->migrations;
+    sys.call(proc, "map_nxp",
+             {array, n, proc.image.symbol("host_square")});
+    std::printf("map with host fn pointer: [");
+    for (int i = 0; i < n; ++i)
+        std::printf("%llu%s",
+                    (unsigned long long)sys.readVa(proc, array + 8 * i),
+                    i + 1 < n ? " " : "]");
+    std::printf("  (%llu migrations)\n",
+                (unsigned long long)(proc.task->migrations - m0));
+
+    // 2. Mutual cross-ISA recursion.
+    std::uint64_t fact = sys.call(proc, "host_fact_nxp", {15});
+    std::printf("15! across 15 alternating-ISA frames = %llu\n",
+                (unsigned long long)fact);
+
+    // 3. Host -> NxP -> host nesting.
+    std::uint64_t v = sys.call(proc, "host_mul_via_nxp", {6, 7});
+    std::printf("host->nxp->host nested call: (6+7)*2 = %llu\n",
+                (unsigned long long)v);
+
+    std::printf("\ntotal migrations: %llu, simulated time: %.2f ms\n",
+                (unsigned long long)proc.task->migrations,
+                ticksToUs(sys.now()) / 1000.0);
+    return 0;
+}

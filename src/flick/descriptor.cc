@@ -1,0 +1,62 @@
+#include "flick/descriptor.hh"
+
+#include <cstring>
+
+namespace flick
+{
+
+namespace
+{
+
+void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::array<std::uint8_t, MigrationDescriptor::wireBytes>
+MigrationDescriptor::toWire() const
+{
+    std::array<std::uint8_t, wireBytes> w{};
+    put64(&w[0], (std::uint64_t(pid) << 32) |
+                     static_cast<std::uint32_t>(kind));
+    put64(&w[8], target);
+    put64(&w[16], cr3);
+    put64(&w[24], nxpSp);
+    put64(&w[32], retval);
+    put64(&w[40], nargs);
+    for (unsigned i = 0; i < maxArgs; ++i)
+        put64(&w[48 + 8 * i], args[i]);
+    return w;
+}
+
+MigrationDescriptor
+MigrationDescriptor::fromWire(const std::array<std::uint8_t, wireBytes> &w)
+{
+    MigrationDescriptor d;
+    std::uint64_t head = get64(&w[0]);
+    d.kind = static_cast<DescriptorKind>(head & 0xffffffffu);
+    d.pid = static_cast<std::uint32_t>(head >> 32);
+    d.target = get64(&w[8]);
+    d.cr3 = get64(&w[16]);
+    d.nxpSp = get64(&w[24]);
+    d.retval = get64(&w[32]);
+    d.nargs = static_cast<std::uint32_t>(get64(&w[40]));
+    for (unsigned i = 0; i < maxArgs; ++i)
+        d.args[i] = get64(&w[48 + 8 * i]);
+    return d;
+}
+
+} // namespace flick

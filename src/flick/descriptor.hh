@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Migration descriptors.
+ *
+ * The unit of Flick's thread migration: a fixed 128-byte record carrying
+ * the call target, the thread identity (PID, CR3), the NxP stack pointer
+ * and the ABI arguments or return value. Descriptors are written into
+ * kernel/device buffers in simulated memory and moved across PCIe by the
+ * DMA engine in a single burst (Section IV-B1).
+ */
+
+#ifndef FLICK_FLICK_DESCRIPTOR_HH
+#define FLICK_FLICK_DESCRIPTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "mem/sparse_memory.hh"
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+/** Direction/meaning of a descriptor. */
+enum class DescriptorKind : std::uint32_t
+{
+    invalid = 0,
+    hostToNxpCall = 1,   //!< Host calls an NxP function.
+    nxpToHostCall = 2,   //!< NxP calls a host function.
+    hostToNxpReturn = 3, //!< Host function finished; value back to NxP.
+    nxpToHostReturn = 4, //!< NxP function finished; value back to host.
+};
+
+/** A migration descriptor (128 bytes on the wire). */
+struct MigrationDescriptor
+{
+    static constexpr std::uint64_t wireBytes = 128;
+    static constexpr unsigned maxArgs = 6;
+
+    DescriptorKind kind = DescriptorKind::invalid;
+    std::uint32_t pid = 0;
+    VAddr target = 0;       //!< Function to call (call kinds).
+    Addr cr3 = 0;           //!< Page table base shared by both cores.
+    VAddr nxpSp = 0;        //!< Thread's NxP stack pointer.
+    std::uint64_t retval = 0; //!< Return value (return kinds).
+    std::uint32_t nargs = 0;
+    std::array<std::uint64_t, maxArgs> args{};
+
+    /** Serialize to the 128-byte wire format (little endian). */
+    std::array<std::uint8_t, wireBytes> toWire() const;
+
+    /** Deserialize from the wire format. */
+    static MigrationDescriptor fromWire(
+        const std::array<std::uint8_t, wireBytes> &wire);
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_DESCRIPTOR_HH

@@ -1,0 +1,87 @@
+#include "flick/heap.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+RegionHeap::RegionHeap(std::string name, VAddr base, std::uint64_t size)
+    : _name(std::move(name)), _base(base), _size(size)
+{
+    _free[base] = size;
+}
+
+VAddr
+RegionHeap::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    if (bytes == 0)
+        panic("RegionHeap %s: zero-size allocation", _name.c_str());
+    if (align < 16)
+        align = 16;
+    if ((align & (align - 1)) != 0)
+        panic("RegionHeap %s: bad alignment %#llx", _name.c_str(),
+              (unsigned long long)align);
+    bytes = roundUp(bytes, 16);
+
+    for (auto it = _free.begin(); it != _free.end(); ++it) {
+        VAddr start = it->first;
+        std::uint64_t len = it->second;
+        VAddr aligned = roundUp(start, align);
+        std::uint64_t skip = aligned - start;
+        if (skip >= len || len - skip < bytes)
+            continue;
+        _free.erase(it);
+        if (skip > 0)
+            _free[start] = skip;
+        std::uint64_t tail = len - skip - bytes;
+        if (tail > 0)
+            _free[aligned + bytes] = tail;
+        _allocated += bytes;
+        _live[aligned] = bytes;
+        return aligned;
+    }
+    fatal("RegionHeap %s exhausted: wanted %llu bytes, %llu of %llu in use",
+          _name.c_str(), (unsigned long long)bytes,
+          (unsigned long long)_allocated, (unsigned long long)_size);
+}
+
+void
+RegionHeap::free(VAddr addr)
+{
+    auto live = _live.find(addr);
+    if (live == _live.end())
+        panic("RegionHeap %s: free of unallocated %#llx", _name.c_str(),
+              (unsigned long long)addr);
+    std::uint64_t bytes = live->second;
+    _live.erase(live);
+    _allocated -= bytes;
+
+    auto next = _free.lower_bound(addr);
+    // Merge with successor.
+    if (next != _free.end() && next->first == addr + bytes) {
+        bytes += next->second;
+        next = _free.erase(next);
+    }
+    // Merge with predecessor.
+    if (next != _free.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            prev->second += bytes;
+            return;
+        }
+    }
+    _free[addr] = bytes;
+}
+
+} // namespace flick

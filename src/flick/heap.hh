@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-region heap allocators.
+ *
+ * Section III-D: "the system has separate memory allocators for each
+ * core's local memory" — one heap hands out virtual addresses backed by
+ * host DRAM, the other hands out addresses inside the NxP DRAM window.
+ * The linker points each ISA's allocation calls at its local allocator;
+ * annotations let code allocate explicitly from the other region (e.g.
+ * the host building a graph in NxP storage for near-data traversal).
+ */
+
+#ifndef FLICK_FLICK_HEAP_HH
+#define FLICK_FLICK_HEAP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+/**
+ * First-fit allocator over a virtual address range that is already
+ * mapped. Same policy as PhysAllocator but in VA space with arbitrary
+ * (16-byte default) granularity.
+ */
+class RegionHeap
+{
+  public:
+    RegionHeap(std::string name, VAddr base, std::uint64_t size);
+
+    /** Allocate @p bytes aligned to @p align (power of two, >= 16). */
+    VAddr allocate(std::uint64_t bytes, std::uint64_t align = 16);
+
+    /** Free a block previously returned by allocate(). */
+    void free(VAddr addr);
+
+    std::uint64_t allocatedBytes() const { return _allocated; }
+    std::uint64_t capacity() const { return _size; }
+    VAddr base() const { return _base; }
+
+    /** True if @p addr lies inside this heap's range. */
+    bool
+    contains(VAddr addr) const
+    {
+        return addr >= _base && addr < _base + _size;
+    }
+
+  private:
+    std::string _name;
+    VAddr _base;
+    std::uint64_t _size;
+    std::uint64_t _allocated = 0;
+    std::map<VAddr, std::uint64_t> _free;  //!< start -> length.
+    std::map<VAddr, std::uint64_t> _live;  //!< start -> length.
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_HEAP_HH

@@ -1,0 +1,82 @@
+#include "flick/native.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+std::uint64_t
+NativeContext::readVa(VAddr va, unsigned len)
+{
+    TranslationResult tr = _core.mmu().translate(va, AccessType::read);
+    if (tr.fault != Fault::none)
+        panic("native readVa fault at %#llx (%s)", (unsigned long long)va,
+              faultName(tr.fault));
+    std::uint64_t v = 0;
+    _core.mem().readInt(Requester::debug, tr.pa, len, v);
+    return v;
+}
+
+void
+NativeContext::writeVa(VAddr va, std::uint64_t value, unsigned len)
+{
+    TranslationResult tr = _core.mmu().translate(va, AccessType::write);
+    if (tr.fault != Fault::none)
+        panic("native writeVa fault at %#llx (%s)", (unsigned long long)va,
+              faultName(tr.fault));
+    _core.mem().writeInt(Requester::debug, tr.pa, value, len);
+}
+
+VAddr
+NativeRegistry::add(NativeFn fn)
+{
+    constexpr std::uint64_t slotBytes = 16;
+    constexpr std::uint64_t slotsPerPage = 4096 / slotBytes;
+    std::uint64_t &slot = fn.isa == IsaKind::hx64 ? _nextHostSlot
+                                                  : _nextNxpSlot;
+    if (slot >= slotsPerPage)
+        fatal("native gate page full (%llu functions)",
+              (unsigned long long)slotsPerPage);
+    VAddr base = fn.isa == IsaKind::hx64 ? layout::nativeGateHost
+                                         : layout::nativeGateNxp;
+    fn.va = base + slot * slotBytes;
+    ++slot;
+    if (fn.nargs > 6)
+        fatal("native function %s: %u args (max 6)", fn.name.c_str(),
+              fn.nargs);
+    _fns.push_back(std::move(fn));
+    return _fns.back().va;
+}
+
+const NativeFn *
+NativeRegistry::find(VAddr va) const
+{
+    for (const auto &fn : _fns) {
+        if (fn.va == va)
+            return &fn;
+    }
+    return nullptr;
+}
+
+Core::NativeHook
+NativeRegistry::makeHook(IsaKind isa) const
+{
+    return [this, isa](Core &core) -> Tick {
+        const NativeFn *fn = find(core.pc());
+        if (!fn)
+            panic("PC %#llx in native gate but no function bound",
+                  (unsigned long long)core.pc());
+        if (fn->isa != isa)
+            panic("native function %s executed on the wrong core",
+                  fn->name.c_str());
+        std::vector<std::uint64_t> args(fn->nargs);
+        for (unsigned i = 0; i < fn->nargs; ++i)
+            args[i] = core.arg(i);
+        NativeContext ctx(core);
+        std::uint64_t rv = fn->body(ctx, args);
+        core.finishHijackedCall(rv);
+        return fn->cost;
+    };
+}
+
+} // namespace flick

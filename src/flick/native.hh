@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Native-function bridge.
+ *
+ * Lets examples and tests implement functions as C++ callables instead of
+ * toy assembly while keeping the migration machinery honest: a native
+ * function is bound to an address in one of the two gate pages, whose NX
+ * bits make it look like host or NxP text. Calling it from the *other*
+ * ISA therefore migrates exactly like calling real code; once the PC
+ * reaches the gate on the correct core, the hook runs the C++ body and
+ * charges its declared cost.
+ */
+
+#ifndef FLICK_FLICK_NATIVE_HH
+#define FLICK_FLICK_NATIVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/core.hh"
+#include "loader/loader.hh"
+
+namespace flick
+{
+
+/** Services available to a native function body. */
+class NativeContext
+{
+  public:
+    explicit NativeContext(Core &core) : _core(core) {}
+
+    /** The core the function is executing on. */
+    Core &core() { return _core; }
+
+    /** Read @p len (1/2/4/8) bytes at virtual @p va (untimed). */
+    std::uint64_t readVa(VAddr va, unsigned len = 8);
+
+    /** Write @p len bytes at virtual @p va (untimed). */
+    void writeVa(VAddr va, std::uint64_t value, unsigned len = 8);
+
+  private:
+    Core &_core;
+};
+
+/** A registered native function. */
+struct NativeFn
+{
+    std::string name;
+    IsaKind isa;          //!< Which side the body "belongs" to.
+    VAddr va;             //!< Gate address the symbol resolves to.
+    unsigned nargs;
+    Tick cost;            //!< Simulated execution time charged per call.
+    std::function<std::uint64_t(NativeContext &,
+                                const std::vector<std::uint64_t> &)> body;
+};
+
+/**
+ * Registry of native functions; owns the gate address assignment.
+ */
+class NativeRegistry
+{
+  public:
+    /**
+     * Register a function; returns the gate VA its symbol resolves to.
+     * @param isa Host-ISA functions run on the host core, NxP-ISA ones
+     *        on the NxP core (cross-ISA calls migrate first).
+     */
+    VAddr add(NativeFn fn);
+
+    /** Find the function bound to gate address @p va, or nullptr. */
+    const NativeFn *find(VAddr va) const;
+
+    /** All registered functions (for linking their symbols). */
+    const std::vector<NativeFn> &functions() const { return _fns; }
+
+    /**
+     * The hook to install on a core: dispatches gate PCs for functions
+     * of @p isa, reads ABI arguments, runs the body, charges the cost
+     * and emulates the return.
+     */
+    Core::NativeHook makeHook(IsaKind isa) const;
+
+  private:
+    std::vector<NativeFn> _fns;
+    std::uint64_t _nextHostSlot = 0;
+    std::uint64_t _nextNxpSlot = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_NATIVE_HH

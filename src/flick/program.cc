@@ -1,0 +1,98 @@
+#include "flick/program.hh"
+
+#include "isa/hx64/assembler.hh"
+#include "isa/rv64/assembler.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+void
+Program::addData(const std::string &name, std::vector<std::uint8_t> bytes,
+                 bool nxp_local)
+{
+    Section s;
+    s.name = nxp_local ? (".data.nxp." + name) : (".data." + name);
+    s.isa = IsaKind::hx64; // irrelevant for data
+    s.executable = false;
+    s.writable = true;
+    s.nxpLocal = nxp_local;
+    s.align = 4096;
+    s.bytes = std::move(bytes);
+    s.symbols[name] = 0;
+    _dataSections.push_back(std::move(s));
+}
+
+void
+Program::addNativeHostFn(
+    std::string name, unsigned nargs,
+    std::function<std::uint64_t(NativeContext &,
+                                const std::vector<std::uint64_t> &)> body,
+    Tick cost)
+{
+    NativeFn fn;
+    fn.name = std::move(name);
+    fn.isa = IsaKind::hx64;
+    fn.nargs = nargs;
+    fn.cost = cost;
+    fn.body = std::move(body);
+    _natives.push_back(std::move(fn));
+}
+
+void
+Program::addNativeNxpFn(
+    std::string name, unsigned nargs,
+    std::function<std::uint64_t(NativeContext &,
+                                const std::vector<std::uint64_t> &)> body,
+    Tick cost)
+{
+    NativeFn fn;
+    fn.name = std::move(name);
+    fn.isa = IsaKind::rv64;
+    fn.nargs = nargs;
+    fn.cost = cost;
+    fn.body = std::move(body);
+    _natives.push_back(std::move(fn));
+}
+
+LinkedImage
+Program::link(NativeRegistry &registry) const
+{
+    MultiIsaLinker linker;
+
+    int host_units = 0;
+    int nxp_units = 0;
+    for (const AsmUnit &unit : _units) {
+        if (unit.isa == IsaKind::hx64) {
+            std::string name = ".text.hx64";
+            if (host_units > 0)
+                name += "." + std::to_string(host_units);
+            ++host_units;
+            linker.addSection(hx64Assemble(unit.source, name));
+        } else {
+            std::string name = ".text.rv64";
+            if (unit.nxpDevice > 0)
+                name += ".dev" + std::to_string(unit.nxpDevice);
+            if (nxp_units > 0)
+                name += "." + std::to_string(nxp_units);
+            ++nxp_units;
+            Section section = rv64Assemble(unit.source, name);
+            section.nxpDevice = unit.nxpDevice;
+            linker.addSection(section);
+        }
+    }
+    for (const Section &s : _dataSections)
+        linker.addSection(s);
+
+    for (const auto &[name, va] : _absolutes)
+        linker.defineAbsolute(name, va);
+
+    for (const NativeFn &fn : _natives) {
+        VAddr va = registry.add(fn);
+        linker.defineAbsolute(fn.name, va);
+    }
+
+    return linker.link();
+}
+
+} // namespace flick

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-ISA program builder.
+ *
+ * The developer-facing mirror of the paper's toolchain flow: add host and
+ * NxP assembly units (the "annotated source files" of Section IV-C1),
+ * data sections (optionally annotated NxP-local, Section III-D), and
+ * native C++ functions; link() produces the single multi-ISA executable
+ * image with every cross-ISA reference resolved.
+ */
+
+#ifndef FLICK_FLICK_PROGRAM_HH
+#define FLICK_FLICK_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "flick/native.hh"
+#include "loader/linker.hh"
+
+namespace flick
+{
+
+/**
+ * Collects the pieces of one multi-ISA executable.
+ */
+class Program
+{
+  public:
+    /** Add a host-ISA (HX64) assembly unit. */
+    void
+    addHostAsm(std::string source)
+    {
+        _units.push_back({IsaKind::hx64, std::move(source)});
+    }
+
+    /**
+     * Add an NxP-ISA (RV64) assembly unit.
+     * @param device Which NxP device the functions should run on.
+     */
+    void
+    addNxpAsm(std::string source, unsigned device = 0)
+    {
+        _units.push_back({IsaKind::rv64, std::move(source), device});
+    }
+
+    /**
+     * Add a data section defining symbol @p name at its start.
+     * @param nxp_local Place the bytes in NxP local DRAM (the annotated
+     *        .data.nxp placement of Section III-D).
+     */
+    void addData(const std::string &name, std::vector<std::uint8_t> bytes,
+                 bool nxp_local = false);
+
+    /** Define an absolute symbol visible to all units. */
+    void
+    defineAbsolute(std::string name, VAddr va)
+    {
+        _absolutes.emplace_back(std::move(name), va);
+    }
+
+    /**
+     * Register a native host function callable from either ISA under
+     * @p name (calls from NxP code migrate first, like any host call).
+     * @param cost Simulated execution time charged per call.
+     */
+    void addNativeHostFn(
+        std::string name, unsigned nargs,
+        std::function<std::uint64_t(NativeContext &,
+                                    const std::vector<std::uint64_t> &)>
+            body,
+        Tick cost = 0);
+
+    /** Register a native NxP function (runs on the NxP core). */
+    void addNativeNxpFn(
+        std::string name, unsigned nargs,
+        std::function<std::uint64_t(NativeContext &,
+                                    const std::vector<std::uint64_t> &)>
+            body,
+        Tick cost = 0);
+
+    /**
+     * Assemble and link everything.
+     * Native functions are bound to gate addresses in @p registry.
+     */
+    LinkedImage link(NativeRegistry &registry) const;
+
+  private:
+    struct AsmUnit
+    {
+        IsaKind isa;
+        std::string source;
+        unsigned nxpDevice = 0;
+    };
+
+    std::vector<AsmUnit> _units;
+    std::vector<Section> _dataSections;
+    std::vector<std::pair<std::string, VAddr>> _absolutes;
+    std::vector<NativeFn> _natives;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_PROGRAM_HH

@@ -1,0 +1,611 @@
+#include "flick/runtime.hh"
+
+#include "loader/loader.hh"
+
+namespace flick
+{
+
+const char *
+protocolStepName(ProtocolStep step)
+{
+    switch (step) {
+      case ProtocolStep::hostNxFault: return "hostNxFault";
+      case ProtocolStep::nxpStackAlloc: return "nxpStackAlloc";
+      case ProtocolStep::hostSendCall: return "hostSendCall";
+      case ProtocolStep::dmaToNxp: return "dmaToNxp";
+      case ProtocolStep::nxpPickup: return "nxpPickup";
+      case ProtocolStep::nxpCallStart: return "nxpCallStart";
+      case ProtocolStep::nxpFault: return "nxpFault";
+      case ProtocolStep::nxpSendCall: return "nxpSendCall";
+      case ProtocolStep::hostWake: return "hostWake";
+      case ProtocolStep::hostCallStart: return "hostCallStart";
+      case ProtocolStep::hostSendReturn: return "hostSendReturn";
+      case ProtocolStep::nxpResume: return "nxpResume";
+      case ProtocolStep::nxpSendReturn: return "nxpSendReturn";
+      case ProtocolStep::hostReturn: return "hostReturn";
+      case ProtocolStep::hostForward: return "hostForward";
+    }
+    return "?";
+}
+
+MigrationEngine::MigrationEngine(EventQueue &events, MemSystem &mem,
+                                 const TimingConfig &timing,
+                                 Kernel &kernel, IrqController &irq,
+                                 Core &host_core, Addr kernel_buf_pa)
+    : _events(events), _mem(mem), _timing(timing), _kernel(kernel),
+      _irq(irq), _hostCore(host_core), _kernelBufPa(kernel_buf_pa),
+      _stats("flick")
+{
+}
+
+void
+MigrationEngine::addNxpDevice(Core &core, NxpPlatform &platform,
+                              DmaEngine &dma, RegionHeap &stack_heap,
+                              Addr host_inbox_pa, unsigned irq_vector)
+{
+    if (_nxp.size() >= Task::maxNxpDevices)
+        fatal("too many NxP devices");
+    NxpSide s{&core, &platform, &dma, &stack_heap, host_inbox_pa,
+              irq_vector, 0};
+    _nxp.push_back(s);
+    unsigned device = static_cast<unsigned>(_nxp.size() - 1);
+    _irq.connect(irq_vector, [this, device] { hostIrq(device); });
+}
+
+MigrationEngine::NxpSide &
+MigrationEngine::side(unsigned device)
+{
+    if (device >= _nxp.size())
+        panic("no NxP device %u", device);
+    return _nxp[device];
+}
+
+void
+MigrationEngine::advance(Tick t)
+{
+    _events.runUntil(_events.now() + t, true);
+}
+
+Tick
+MigrationEngine::hostCycles(std::uint64_t n) const
+{
+    return _timing.hostClock().cycles(n);
+}
+
+Tick
+MigrationEngine::nxpCycles(unsigned device, std::uint64_t n) const
+{
+    (void)device; // both devices run the same core configuration
+    return _timing.nxpClock().cycles(n);
+}
+
+void
+MigrationEngine::hostIrq(unsigned device)
+{
+    // The device raised the DMA-complete MSI; the kernel's IRQ handler
+    // will find the task and wake it (charged on the receive path).
+    ++side(device).hostInboxPending;
+    _stats.inc("host_irqs");
+}
+
+void
+MigrationEngine::writeKernelBuffer(const MigrationDescriptor &d)
+{
+    auto w = d.toWire();
+    _mem.hostDram().write(_kernelBufPa, w.data(), w.size());
+}
+
+MigrationDescriptor
+MigrationEngine::readNxpInbox(unsigned device)
+{
+    std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
+    Addr off = side(device).platform->inboxLocalPa() -
+               _mem.platform().nxpDramLocalBase;
+    _mem.nxpDram(device).read(off, w.data(), w.size());
+    return MigrationDescriptor::fromWire(w);
+}
+
+void
+MigrationEngine::writeNxpOutbox(const MigrationDescriptor &d,
+                                unsigned device)
+{
+    auto w = d.toWire();
+    Addr off = side(device).platform->outboxLocalPa() -
+               _mem.platform().nxpDramLocalBase;
+    _mem.nxpDram(device).write(off, w.data(), w.size());
+}
+
+MigrationDescriptor
+MigrationEngine::readHostInbox(unsigned device)
+{
+    std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
+    _mem.hostDram().read(side(device).hostInboxPa, w.data(), w.size());
+    return MigrationDescriptor::fromWire(w);
+}
+
+std::uint64_t
+MigrationEngine::currentNxpSp(const Task &task, unsigned device) const
+{
+    for (auto it = _nxpCtxStack.rbegin(); it != _nxpCtxStack.rend(); ++it) {
+        if (it->device == device)
+            return it->sp & ~std::uint64_t(15);
+    }
+    return task.nxpStackTop[device] & ~std::uint64_t(15);
+}
+
+void
+MigrationEngine::ensureNxpStack(Task &task, unsigned device)
+{
+    if (task.nxpStackTop[device] != 0)
+        return;
+    VAddr stack_base = side(device).stackHeap->allocate(_nxpStackBytes, 16);
+    task.nxpStackTop[device] = stack_base + _nxpStackBytes;
+    task.nxpStackBytes = _nxpStackBytes;
+    advance(_timing.nxpStackAllocate);
+    _stats.inc("nxp_stacks_allocated");
+    journal(ProtocolStep::nxpStackAlloc, task.pid,
+            task.nxpStackTop[device]);
+}
+
+void
+MigrationEngine::sendCallToNxp(Task &task, const MigrationDescriptor &d,
+                               unsigned device)
+{
+    advance(_timing.descriptorPack);
+    writeKernelBuffer(d);
+
+    // Suspend TASK_KILLABLE, context switch away, then (and only then)
+    // let the scheduler trigger the descriptor DMA (Section IV-D).
+    _kernel.suspendForMigration(task, _hostCore.saveContext());
+    advance(_timing.suspendSwitch);
+    journal(d.kind == DescriptorKind::hostToNxpCall
+                ? ProtocolStep::hostSendCall
+                : ProtocolStep::hostSendReturn,
+            task.pid, d.kind == DescriptorKind::hostToNxpCall ? d.target
+                                                              : d.retval);
+    if (_extraRoundTrip && d.kind == DescriptorKind::hostToNxpCall)
+        advance(_extraRoundTrip);
+
+    if (!_kernel.takeMigrationTrigger(task))
+        panic("descriptor DMA requested without the migration flag set");
+    NxpSide &s = side(device);
+    NxpPlatform *platform = s.platform;
+    s.dma->copyHostToNxp(_kernelBufPa, platform->inboxLocalPa(),
+                         MigrationDescriptor::wireBytes,
+                         [platform] { platform->inboxArrived(); });
+    if (d.kind == DescriptorKind::hostToNxpCall)
+        journal(ProtocolStep::dmaToNxp, task.pid);
+}
+
+MigrationDescriptor
+MigrationEngine::receiveOnNxp(unsigned device)
+{
+    NxpSide &s = side(device);
+    // The NxP scheduler polls the DMA status register (Listing 2).
+    waitFor([&s] { return s.platform->pendingInbox() > 0; });
+    // Detection: one poll iteration plus the status register read.
+    advance(nxpCycles(device, _timing.nxpPollCycles) +
+            _timing.nxpToLocalMmio);
+    // Fetch and parse the descriptor from the local inbox.
+    advance(nxpCycles(device, _timing.nxpDescriptorCycles) +
+            _timing.nxpToNxpDram);
+    MigrationDescriptor d = readNxpInbox(device);
+    // ACK through the control register.
+    s.platform->consumeInbox();
+    advance(_timing.nxpToLocalMmio);
+    return d;
+}
+
+MigrationDescriptor
+MigrationEngine::receiveOnHost(Task &task, unsigned device)
+{
+    NxpSide &s = side(device);
+    waitFor([&s] { return s.hostInboxPending > 0; });
+    --s.hostInboxPending;
+    // IRQ handler: read the descriptor, find the task by PID, wake it.
+    MigrationDescriptor d = readHostInbox(device);
+    advance(_timing.irqWake);
+    Task *by_pid = _kernel.findTask(static_cast<int>(d.pid));
+    if (by_pid != &task)
+        panic("descriptor PID %u does not match the waiting task %d",
+              d.pid, task.pid);
+    _kernel.wake(task);
+    // Scheduler latency until the thread runs again, then the ioctl
+    // returns into the user-space migration handler.
+    advance(_timing.wakeupToRun);
+    _hostCore.restoreContext(_kernel.resume(task));
+    advance(_timing.ioctlExit);
+    return d;
+}
+
+void
+MigrationEngine::sendToHost(const MigrationDescriptor &d, unsigned device)
+{
+    NxpSide &s = side(device);
+    advance(nxpCycles(device, _timing.nxpDescriptorCycles) +
+            _timing.nxpToNxpDram);
+    writeNxpOutbox(d, device);
+    // Context switch to the NxP scheduler, ring the DMA doorbell.
+    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles) +
+            _timing.nxpToLocalMmio);
+    s.dma->copyNxpToHost(s.platform->outboxLocalPa(), s.hostInboxPa,
+                         MigrationDescriptor::wireBytes,
+                         static_cast<int>(s.irqVector));
+}
+
+std::uint64_t
+MigrationEngine::runHostFunction(Task &task, VAddr entry,
+                                 const std::vector<std::uint64_t> &args,
+                                 VAddr stack_top)
+{
+    if (task.state != TaskState::created &&
+        task.state != TaskState::running) {
+        panic("runHostFunction on task %d in state %d", task.pid,
+              static_cast<int>(task.state));
+    }
+    task.state = TaskState::running;
+    _hostCore.mmu().setCr3(task.cr3);
+    _hostCore.setStackPointer(stack_top & ~std::uint64_t(15));
+    _hostCore.setupCall(entry, args);
+    return hostLoop(task);
+}
+
+std::uint64_t
+MigrationEngine::hostLoop(Task &task)
+{
+    for (;;) {
+        RunResult r = _hostCore.run();
+        advance(r.elapsed);
+
+        switch (r.stop) {
+          case Fault::trampoline:
+            return _hostCore.retVal();
+
+          case Fault::halt:
+            if (_depth != 0)
+                panic("program exit inside a nested cross-ISA call");
+            task.state = TaskState::done;
+            return _hostCore.retVal();
+
+          case Fault::nxFetch: {
+            FaultAction action =
+                _kernel.classifyFetchFault(r.stop, IsaKind::hx64);
+            if (action != FaultAction::migrateToNxp)
+                panic("host NX fault not classified as migration");
+
+            // The fault handler reads the PTE's software ISA tag
+            // (cached in the I-TLB by the faulting fetch) to tell NxP
+            // text from plain non-executable data and to pick the
+            // target device (Section IV-C3).
+            const TlbEntry *pte_entry =
+                _hostCore.mmu().itlb().peek(r.faultVa);
+            unsigned isa_tag =
+                pte_entry ? pte::isaTag(pte_entry->flags) : 0;
+            if (isa_tag < nxpIsaTag ||
+                isa_tag - nxpIsaTag >= _nxp.size()) {
+                fatal("guest jumped to NX page %#llx with ISA tag %u: "
+                      "not code for any NxP (likely a call through a "
+                      "data pointer)",
+                      (unsigned long long)r.faultVa, isa_tag);
+            }
+            std::uint64_t rv =
+                migrateCallToNxp(task, r.faultVa, isa_tag - nxpIsaTag);
+            _hostCore.finishHijackedCall(rv);
+            break;
+          }
+
+          default:
+            // A genuine guest fault (the kernel would deliver SIGSEGV /
+            // SIGILL): a user error, not a simulator bug.
+            fatal("guest fault on the host core: %s at %#llx "
+                  "(pc %#llx, pid %d)",
+                  faultName(r.stop), (unsigned long long)r.faultVa,
+                  (unsigned long long)_hostCore.pc(), task.pid);
+        }
+    }
+}
+
+std::uint64_t
+MigrationEngine::nxpLoop(Task &task, unsigned device)
+{
+    Core &core = *side(device).core;
+    for (;;) {
+        RunResult r = core.run();
+        advance(r.elapsed);
+
+        switch (r.stop) {
+          case Fault::trampoline:
+            return core.retVal();
+
+          case Fault::nonNxFetch:
+          case Fault::misalignedFetch: {
+            FaultAction action =
+                _kernel.classifyFetchFault(r.stop, IsaKind::rv64);
+            if (action != FaultAction::migrateToHost)
+                panic("NxP fetch fault not classified as migration");
+            std::uint64_t rv = dispatchNxpFault(task, r.faultVa, device);
+            core.finishHijackedCall(rv);
+            break;
+          }
+
+          default:
+            fatal("guest fault on the NxP core: %s at %#llx "
+                  "(pc %#llx, pid %d)",
+                  faultName(r.stop), (unsigned long long)r.faultVa,
+                  (unsigned long long)core.pc(), task.pid);
+        }
+    }
+}
+
+std::uint64_t
+MigrationEngine::dispatchNxpFault(Task &task, VAddr target,
+                                  unsigned device)
+{
+    // The kernel classifies the target by the ISA tag in its PTE. The
+    // upper table levels sit in the host's paging-structure caches, so
+    // this is charged as a single leaf read; the value is fetched with
+    // an untimed walk.
+    advance(_timing.hostToHostDram);
+    Addr table = task.cr3;
+    std::uint64_t entry = 0;
+    bool present = false;
+    for (int level = 3; level >= 0; --level) {
+        std::uint64_t raw = 0;
+        _mem.readInt(Requester::debug,
+                     table + 8ull * tableIndex(target, level), 8, raw);
+        if (!(raw & pte::present))
+            break;
+        if (level == 0 || (raw & pte::pageSize)) {
+            entry = raw;
+            present = true;
+            break;
+        }
+        table = pte::entryAddr(raw);
+    }
+    if (!present) {
+        fatal("guest on NxP %u jumped to unmapped address %#llx", device,
+              (unsigned long long)target);
+    }
+    unsigned tag = pte::isaTag(entry);
+    if (tag == 0)
+        return migrateCallToHost(task, target, device);
+    unsigned to = tag - nxpIsaTag;
+    if (to >= _nxp.size()) {
+        fatal("guest jumped to code tagged for missing NxP %u", to);
+    }
+    if (to == device) {
+        panic("NxP %u faulted on its own code at %#llx", device,
+              (unsigned long long)target);
+    }
+    return migrateNxpToNxp(task, target, device, to);
+}
+
+std::uint64_t
+MigrationEngine::runOnNxpAndReturn(Task &task, unsigned device)
+{
+    MigrationDescriptor call = receiveOnNxp(device);
+    journal(ProtocolStep::nxpPickup, task.pid, call.target);
+    if (call.kind != DescriptorKind::hostToNxpCall)
+        panic("NxP expected a call descriptor, got kind %u",
+              static_cast<unsigned>(call.kind));
+
+    // Context switch into the thread using the descriptor's stack
+    // pointer.
+    Core &core = *side(device).core;
+    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles));
+    core.mmu().setCr3(call.cr3);
+    core.setStackPointer(call.nxpSp);
+    std::vector<std::uint64_t> args(call.args.begin(),
+                                    call.args.begin() + call.nargs);
+    core.setupCall(call.target, args);
+    journal(ProtocolStep::nxpCallStart, task.pid, call.target);
+
+    std::uint64_t rv = nxpLoop(task, device);
+
+    // --- Return migration: NxP -> host ---------------------------------
+    MigrationDescriptor ret;
+    ret.kind = DescriptorKind::nxpToHostReturn;
+    ret.pid = static_cast<std::uint32_t>(task.pid);
+    ret.retval = rv;
+    sendToHost(ret, device);
+    journal(ProtocolStep::nxpSendReturn, task.pid, rv);
+
+    MigrationDescriptor back = receiveOnHost(task, device);
+    journal(ProtocolStep::hostReturn, task.pid, back.retval);
+    if (back.kind != DescriptorKind::nxpToHostReturn)
+        panic("host expected a return descriptor, got kind %u",
+              static_cast<unsigned>(back.kind));
+    return back.retval;
+}
+
+std::uint64_t
+MigrationEngine::migrateCallToNxp(Task &task, VAddr target,
+                                  unsigned device)
+{
+    ++_depth;
+    _stats.inc("host_to_nxp_calls");
+    Tick t0 = _events.now();
+
+    // --- Host side: Listing 1 -------------------------------------------
+    // Kernel NX fault service: decode, save the faulting address in the
+    // task_struct, hijack the return address to the migration handler,
+    // then trap-exit into the hijacked user-space handler.
+    task.savedFaultAddr = target;
+    journal(ProtocolStep::hostNxFault, task.pid, target);
+    advance(_timing.nxFaultService);
+    advance(_timing.faultTrapExit);
+
+    // First migration to this device: allocate the thread's NxP stack
+    // (Listing 1 lines 3-4).
+    ensureNxpStack(task, device);
+
+    // User-space handler gathers its (hijacked) arguments.
+    advance(hostCycles(_timing.hostHandlerCycles));
+
+    // ioctl(): package target, args, CR3, PID, NxP SP into a descriptor.
+    advance(_timing.ioctlEntry);
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::hostToNxpCall;
+    d.pid = static_cast<std::uint32_t>(task.pid);
+    d.target = target;
+    d.cr3 = task.cr3;
+    d.nxpSp = currentNxpSp(task, device);
+    d.nargs = MigrationDescriptor::maxArgs;
+    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+        d.args[i] = _hostCore.arg(i);
+    sendCallToNxp(task, d, device);
+
+    // --- NxP side: Listing 2, then the return migration -----------------
+    std::uint64_t rv = runOnNxpAndReturn(task, device);
+
+    ++task.migrations;
+    _stats.inc("host_nxp_host_roundtrips");
+    _stats.inc("host_nxp_host_ticks", _events.now() - t0);
+    --_depth;
+    return rv;
+}
+
+std::uint64_t
+MigrationEngine::migrateCallToHost(Task &task, VAddr target,
+                                   unsigned device)
+{
+    ++_depth;
+    _stats.inc("nxp_to_host_calls");
+    Tick t0 = _events.now();
+    journal(ProtocolStep::nxpFault, task.pid, target);
+
+    Core &core = *side(device).core;
+
+    // --- NxP side: the fault lands in the NxP migration handler ---------
+    // Build the NxP->host call descriptor from the faulting call's
+    // argument registers (Listing 2 lines 3-4).
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::nxpToHostCall;
+    d.pid = static_cast<std::uint32_t>(task.pid);
+    d.target = target;
+    d.cr3 = task.cr3;
+    d.nargs = MigrationDescriptor::maxArgs;
+    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+        d.args[i] = core.arg(i);
+
+    // Save the thread's NxP context (the context switch to the NxP
+    // scheduler) and ship the descriptor.
+    _nxpCtxStack.push_back(
+        {device, core.saveContext(), core.stackPointer()});
+    if (_extraRoundTrip)
+        advance(_extraRoundTrip);
+    sendToHost(d, device);
+    journal(ProtocolStep::nxpSendCall, task.pid, target);
+
+    // --- Host side: wake inside the ioctl, call the target ---------------
+    MigrationDescriptor call = receiveOnHost(task, device);
+    journal(ProtocolStep::hostWake, task.pid, call.target);
+    if (call.kind != DescriptorKind::nxpToHostCall)
+        panic("host expected a call descriptor, got kind %u",
+              static_cast<unsigned>(call.kind));
+    std::vector<std::uint64_t> args(call.args.begin(),
+                                    call.args.begin() + call.nargs);
+    _hostCore.setupCall(call.target, args);
+    journal(ProtocolStep::hostCallStart, task.pid, call.target);
+
+    std::uint64_t rv = hostLoop(task);
+
+    // --- Return migration: host -> NxP -----------------------------------
+    advance(hostCycles(_timing.hostHandlerCycles));
+    advance(_timing.ioctlEntry);
+    MigrationDescriptor ret;
+    ret.kind = DescriptorKind::hostToNxpReturn;
+    ret.pid = static_cast<std::uint32_t>(task.pid);
+    ret.retval = rv;
+    ret.nxpSp = currentNxpSp(task, device);
+    sendCallToNxp(task, ret, device);
+
+    MigrationDescriptor back = receiveOnNxp(device);
+    if (back.kind != DescriptorKind::hostToNxpReturn)
+        panic("NxP expected a return descriptor, got kind %u",
+              static_cast<unsigned>(back.kind));
+
+    // Context switch the thread back in and resume it where it faulted.
+    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles));
+    if (_nxpCtxStack.empty() || _nxpCtxStack.back().device != device)
+        panic("host->NxP return with mismatched saved NxP context");
+    core.restoreContext(_nxpCtxStack.back().context);
+    _nxpCtxStack.pop_back();
+    journal(ProtocolStep::nxpResume, task.pid, core.pc());
+
+    ++task.migrations;
+    _stats.inc("nxp_host_nxp_roundtrips");
+    _stats.inc("nxp_host_nxp_ticks", _events.now() - t0);
+    --_depth;
+    return back.retval;
+}
+
+std::uint64_t
+MigrationEngine::migrateNxpToNxp(Task &task, VAddr target, unsigned from,
+                                 unsigned to)
+{
+    ++_depth;
+    _stats.inc("nxp_to_nxp_calls");
+    journal(ProtocolStep::nxpFault, task.pid, target);
+
+    Core &from_core = *side(from).core;
+
+    // --- Source device: same exit path as an NxP->host call -------------
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::nxpToHostCall;
+    d.pid = static_cast<std::uint32_t>(task.pid);
+    d.target = target;
+    d.cr3 = task.cr3;
+    d.nargs = MigrationDescriptor::maxArgs;
+    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+        d.args[i] = from_core.arg(i);
+    _nxpCtxStack.push_back(
+        {from, from_core.saveContext(), from_core.stackPointer()});
+    if (_extraRoundTrip)
+        advance(_extraRoundTrip);
+    sendToHost(d, from);
+    journal(ProtocolStep::nxpSendCall, task.pid, target);
+
+    // --- Host kernel: wake, see the target belongs to another NxP, and
+    // forward the call descriptor there (device-to-device migrations
+    // bounce through the host kernel).
+    MigrationDescriptor call = receiveOnHost(task, from);
+    journal(ProtocolStep::hostWake, task.pid, call.target);
+    journal(ProtocolStep::hostForward, task.pid, call.target);
+    ensureNxpStack(task, to);
+    advance(_timing.ioctlEntry);
+    MigrationDescriptor fwd = call;
+    fwd.kind = DescriptorKind::hostToNxpCall;
+    fwd.cr3 = task.cr3;
+    fwd.nxpSp = currentNxpSp(task, to);
+    sendCallToNxp(task, fwd, to);
+
+    std::uint64_t rv = runOnNxpAndReturn(task, to);
+
+    // --- Forward the return value back to the source device -------------
+    advance(_timing.ioctlEntry);
+    MigrationDescriptor ret;
+    ret.kind = DescriptorKind::hostToNxpReturn;
+    ret.pid = static_cast<std::uint32_t>(task.pid);
+    ret.retval = rv;
+    ret.nxpSp = currentNxpSp(task, from);
+    sendCallToNxp(task, ret, from);
+
+    MigrationDescriptor back = receiveOnNxp(from);
+    if (back.kind != DescriptorKind::hostToNxpReturn)
+        panic("NxP expected a forwarded return, got kind %u",
+              static_cast<unsigned>(back.kind));
+    advance(nxpCycles(from, _timing.nxpCtxSwitchCycles));
+    if (_nxpCtxStack.empty() || _nxpCtxStack.back().device != from)
+        panic("NxP->NxP return with mismatched saved context");
+    from_core.restoreContext(_nxpCtxStack.back().context);
+    _nxpCtxStack.pop_back();
+    journal(ProtocolStep::nxpResume, task.pid, from_core.pc());
+
+    ++task.migrations;
+    _stats.inc("nxp_to_nxp_roundtrips");
+    --_depth;
+    return back.retval;
+}
+
+} // namespace flick

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The Flick migration engine.
+ *
+ * Implements the protocol of Section IV-B — the host migration handler
+ * (Listing 1), the NxP scheduler and migration handler (Listing 2), the
+ * kernel ioctl/suspend/wake path and the descriptor DMA — as a set of
+ * mutually recursive execution loops:
+ *
+ *   hostLoop(): runs the host core; an NX instruction fault means the
+ *       thread called an NxP function (the PTE's ISA tag says which
+ *       device), so the engine performs a call migration (descriptor +
+ *       DMA + suspend), lets nxpLoop() run the function on that NxP
+ *       core, and completes the hijacked call with the returned value.
+ *   nxpLoop(device): runs one NxP core; an inverted-NX or misaligned-
+ *       fetch fault means the thread called host code (tag 0) or
+ *       another NxP's code (tag != this device), triggering the reverse
+ *       or device-to-device migration.
+ *
+ * The recursion depth mirrors the nesting depth of cross-ISA calls,
+ * which is exactly the reentrancy property the paper's handlers provide.
+ * All application instructions execute in the interpreters; the handler
+ * and kernel costs are charged from TimingConfig, and descriptor bytes
+ * really travel through the simulated DMA engines and memories.
+ *
+ * Multi-NxP support follows the paper's Section IV-C3 suggestion:
+ * additional PTE bits (the ISA tag) distinguish the NxP ISAs; device-to-
+ * device migrations bounce through the host kernel, which forwards the
+ * descriptor to the target device.
+ */
+
+#ifndef FLICK_FLICK_RUNTIME_HH
+#define FLICK_FLICK_RUNTIME_HH
+
+#include <vector>
+
+#include "flick/descriptor.hh"
+#include "flick/heap.hh"
+#include "flick/nxp_platform.hh"
+#include "isa/core.hh"
+#include "mem/dma.hh"
+#include "mem/irq.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/timing_config.hh"
+
+namespace flick
+{
+
+/**
+ * Saved NxP execution state for one nesting level (the thread's context
+ * as that device's scheduler would hold it on the thread's NxP stack).
+ */
+struct NxpSavedLevel
+{
+    unsigned device;
+    std::vector<std::uint64_t> context;
+    std::uint64_t sp;
+};
+
+/**
+ * One step of the migration protocol, for the journal.
+ *
+ * The steps map onto Figure 2's (a)..(g) walkthrough; tests assert the
+ * ordering and tools print the trace.
+ */
+enum class ProtocolStep
+{
+    hostNxFault,      //!< (a) host fetched NxP text: NX page fault.
+    nxpStackAlloc,    //!< first migration: NxP stack allocated.
+    hostSendCall,     //!< (a) call descriptor packaged + thread suspended.
+    dmaToNxp,         //!< descriptor DMA fired (after the suspend).
+    nxpPickup,        //!< (b) NxP scheduler picked the descriptor up.
+    nxpCallStart,     //!< (b) target function entered on the NxP.
+    nxpFault,         //!< (c) NxP fetched host text: fault.
+    nxpSendCall,      //!< (c) NxP-to-host call descriptor sent.
+    hostWake,         //!< (d) host woken by the DMA interrupt.
+    hostCallStart,    //!< (d) target host function entered.
+    hostSendReturn,   //!< (e) host-to-NxP return descriptor sent.
+    nxpResume,        //!< (f) NxP resumed the original function.
+    nxpSendReturn,    //!< (f) NxP-to-host return descriptor sent.
+    hostReturn,       //!< (g) host resumed with the return value.
+    hostForward,      //!< kernel forwarded a device-to-device call.
+};
+
+/** Printable step name. */
+const char *protocolStepName(ProtocolStep step);
+
+/** One journal record. */
+struct ProtocolEvent
+{
+    Tick when;
+    ProtocolStep step;
+    int pid;
+    VAddr addr; //!< Target/fault address where meaningful.
+};
+
+/**
+ * Drives threads across the ISA boundary.
+ */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(EventQueue &events, MemSystem &mem,
+                    const TimingConfig &timing, Kernel &kernel,
+                    IrqController &irq, Core &host_core,
+                    Addr kernel_buf_pa);
+
+    /**
+     * Register one NxP device (in device-id order, starting at 0).
+     *
+     * @param host_inbox_pa Host DRAM slot this device's NxP-to-host
+     *        descriptors DMA into.
+     * @param irq_vector Host interrupt vector the device raises.
+     */
+    void addNxpDevice(Core &core, NxpPlatform &platform, DmaEngine &dma,
+                      RegionHeap &stack_heap, Addr host_inbox_pa,
+                      unsigned irq_vector);
+
+    /**
+     * Start @p task at @p entry on the host core and run it (migrating
+     * as needed) until the entry function returns or the program exits.
+     *
+     * @param stack_top Initial host stack pointer.
+     * @return The entry function's return value.
+     */
+    std::uint64_t runHostFunction(Task &task, VAddr entry,
+                                  const std::vector<std::uint64_t> &args,
+                                  VAddr stack_top);
+
+    /**
+     * Inject extra latency per migration round trip, emulating the
+     * prior-work systems of Table II / Figure 5's dashed lines.
+     */
+    void setExtraRoundTripLatency(Tick t) { _extraRoundTrip = t; }
+
+    /** Bytes of NxP stack allocated per thread on first migration. */
+    void setNxpStackBytes(std::uint64_t b) { _nxpStackBytes = b; }
+
+    /** Start recording protocol steps (clears any previous journal). */
+    void
+    enableJournal(bool on = true)
+    {
+        _journalOn = on;
+        _journal.clear();
+    }
+
+    /** The recorded protocol steps since enableJournal(). */
+    const std::vector<ProtocolEvent> &journal() const { return _journal; }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    /** Everything belonging to one NxP device. */
+    struct NxpSide
+    {
+        Core *core;
+        NxpPlatform *platform;
+        DmaEngine *dma;
+        RegionHeap *stackHeap;
+        Addr hostInboxPa;
+        unsigned irqVector;
+        unsigned hostInboxPending = 0;
+    };
+
+    std::uint64_t hostLoop(Task &task);
+    std::uint64_t nxpLoop(Task &task, unsigned device);
+
+    /** Full host->NxP call + NxP->host return migration. */
+    std::uint64_t migrateCallToNxp(Task &task, VAddr target,
+                                   unsigned device);
+
+    /** Full NxP->host call + host->NxP return migration. */
+    std::uint64_t migrateCallToHost(Task &task, VAddr target,
+                                    unsigned device);
+
+    /**
+     * Device-to-device migration: NxP @p from called code belonging to
+     * NxP @p to; the kernel forwards the call and, later, the return.
+     */
+    std::uint64_t migrateNxpToNxp(Task &task, VAddr target, unsigned from,
+                                  unsigned to);
+
+    /** Dispatch an NxP fetch fault by the target page's ISA tag. */
+    std::uint64_t dispatchNxpFault(Task &task, VAddr target,
+                                   unsigned device);
+
+    /** Ensure the thread has an NxP stack on @p device (Listing 1). */
+    void ensureNxpStack(Task &task, unsigned device);
+
+    /** Package and send a host->NxP descriptor (suspends the thread). */
+    void sendCallToNxp(Task &task, const MigrationDescriptor &d,
+                       unsigned device);
+
+    /** NxP-side pickup: wait, poll, fetch, ACK, context-switch in. */
+    MigrationDescriptor receiveOnNxp(unsigned device);
+
+    /** Host-side: wait for the IRQ-delivered descriptor and wake. */
+    MigrationDescriptor receiveOnHost(Task &task, unsigned device);
+
+    /** NxP-side: stage a descriptor and DMA it to the host. */
+    void sendToHost(const MigrationDescriptor &d, unsigned device);
+
+    /** Receive + run the target function on @p device, send the return
+     *  back, and complete the host side of the round trip. */
+    std::uint64_t runOnNxpAndReturn(Task &task, unsigned device);
+
+    /** Advance simulated time, running any events that come due. */
+    void advance(Tick t);
+
+    template <typename Pred>
+    void
+    waitFor(Pred pred)
+    {
+        while (!pred()) {
+            if (!_events.step())
+                panic("migration engine deadlock: waiting on an empty "
+                      "event queue");
+        }
+    }
+
+    Tick hostCycles(std::uint64_t n) const;
+    Tick nxpCycles(unsigned device, std::uint64_t n) const;
+
+    void writeKernelBuffer(const MigrationDescriptor &d);
+    MigrationDescriptor readNxpInbox(unsigned device);
+    void writeNxpOutbox(const MigrationDescriptor &d, unsigned device);
+    MigrationDescriptor readHostInbox(unsigned device);
+
+    /** Current NxP stack pointer for a (possibly nested) call. */
+    std::uint64_t currentNxpSp(const Task &task, unsigned device) const;
+
+    /** Append to the journal when enabled. */
+    void
+    journal(ProtocolStep step, int pid, VAddr addr = 0)
+    {
+        if (_journalOn)
+            _journal.push_back({_events.now(), step, pid, addr});
+    }
+
+    /** The IRQ handler for @p device's DMA-complete vector. */
+    void hostIrq(unsigned device);
+
+    NxpSide &side(unsigned device);
+
+    EventQueue &_events;
+    MemSystem &_mem;
+    const TimingConfig &_timing;
+    Kernel &_kernel;
+    IrqController &_irq;
+    Core &_hostCore;
+    Addr _kernelBufPa;
+    std::vector<NxpSide> _nxp;
+
+    Tick _extraRoundTrip = 0;
+    std::uint64_t _nxpStackBytes = 64 * 1024;
+    unsigned _depth = 0;
+    std::vector<NxpSavedLevel> _nxpCtxStack;
+    bool _journalOn = false;
+    std::vector<ProtocolEvent> _journal;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_RUNTIME_HH

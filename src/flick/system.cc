@@ -1,0 +1,319 @@
+#include "flick/system.hh"
+
+#include <ostream>
+
+#include "isa/hx64/disasm.hh"
+#include "isa/rv64/disasm.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+namespace
+{
+
+CoreParams
+hostCoreParams(const TimingConfig &t)
+{
+    CoreParams p;
+    p.name = "host";
+    p.requester = Requester::hostCore;
+    p.freqHz = t.hostFreqHz;
+    p.itlbEntries = t.hostTlbEntries;
+    p.dtlbEntries = t.hostTlbEntries;
+    p.walkOverhead = t.hostMmuWalkOverhead;
+    p.mmuPolicy.faultOnNxFetch = true;
+    p.modelIcache = false;
+    return p;
+}
+
+CoreParams
+nxpCoreParams(const TimingConfig &t, unsigned device = 0)
+{
+    CoreParams p;
+    p.name = device == 0 ? "nxp" : "nxp2";
+    p.requester = device == 0 ? Requester::nxpCore : Requester::nxp2Core;
+    p.freqHz = t.nxpFreqHz;
+    p.itlbEntries = t.nxpItlbEntries;
+    p.dtlbEntries = t.nxpDtlbEntries;
+    p.walkOverhead = t.nxpMmuWalkOverhead;
+    p.mmuPolicy.faultOnNonNxFetch = true;
+    p.mmuPolicy.requiredIsaTag = nxpIsaTag + device;
+    p.modelIcache = true;
+    p.icacheLines = t.nxpIcacheLines;
+    p.icacheLineBytes = t.nxpIcacheLineBytes;
+    return p;
+}
+
+} // namespace
+
+FlickSystem::FlickSystem(SystemConfig config)
+    : _config(std::move(config)),
+      _mem(_config.timing, _config.platform),
+      _irq(_events, _config.timing),
+      _dma(_events, _mem, &_irq),
+      _platformCtrl(_mem),
+      _hostAlloc("host_dram", 0x100000,
+                 _config.platform.hostDramBytes - 0x100000),
+      _nxpAlloc("nxp_dram", _platformCtrl.reservedLocalEnd(),
+                _config.platform.nxpDramLocalBase +
+                    _config.platform.nxpDramBytes -
+                    _platformCtrl.reservedLocalEnd()),
+      _ptm(_mem, _hostAlloc),
+      _hostCore(hostCoreParams(_config.timing), _mem),
+      _nxpCore(nxpCoreParams(_config.timing), _mem),
+      _loader(_mem, _ptm, _hostAlloc, _nxpAlloc),
+      _kernelBufPa(_hostAlloc.allocate(4096)),
+      _hostInboxPa(_kernelBufPa + 2048),
+      _nxpWindowHeap(
+          "nxp_window",
+          layout::nxpWindowBase + (_platformCtrl.reservedLocalEnd() -
+                                   _config.platform.nxpDramLocalBase),
+          _config.platform.nxpDramBytes -
+              (_platformCtrl.reservedLocalEnd() -
+               _config.platform.nxpDramLocalBase))
+{
+    _platformCtrl.setNxpMmu(&_nxpCore.mmu());
+
+    _engine = std::make_unique<MigrationEngine>(_events, _mem,
+                                                _config.timing, _kernel,
+                                                _irq, _hostCore,
+                                                _kernelBufPa);
+    _engine->addNxpDevice(_nxpCore, _platformCtrl, _dma, _nxpWindowHeap,
+                          _hostInboxPa, 0);
+
+    if (_config.platform.nxpDeviceCount > 1) {
+        _nxp2Core = std::make_unique<Rv64Core>(
+            nxpCoreParams(_config.timing, 1), _mem);
+        _platformCtrl2 = std::make_unique<NxpPlatform>(_mem, 1);
+        _platformCtrl2->setNxpMmu(&_nxp2Core->mmu());
+        _dma2 = std::make_unique<DmaEngine>(_events, _mem, &_irq, 1);
+        std::uint64_t reserved = _platformCtrl.reservedLocalEnd() -
+                                 _config.platform.nxpDramLocalBase;
+        _nxpWindowHeap2 = std::make_unique<RegionHeap>(
+            "nxp2_window", layout::nxpWindowBase2 + reserved,
+            _config.platform.nxp2DramBytes - reserved);
+        _hostInbox2Pa = _kernelBufPa + 2048 + 256;
+        _engine->addNxpDevice(*_nxp2Core, *_platformCtrl2, *_dma2,
+                              *_nxpWindowHeap2, _hostInbox2Pa, 1);
+    }
+    _engine->setNxpStackBytes(_config.nxpStackBytes);
+
+    // Native-function gates.
+    _hostCore.setNativeRange(layout::nativeGateHost,
+                             layout::nativeGateHost + 4096,
+                             _natives.makeHook(IsaKind::hx64));
+    _nxpCore.setNativeRange(layout::nativeGateNxp,
+                            layout::nativeGateNxp + 4096,
+                            _natives.makeHook(IsaKind::rv64));
+
+    // Driver bring-up: compute the BAR remap offset and write it into the
+    // NxP TLB control register through BAR1, as the host driver does at
+    // boot (Section IV-A).
+    _mem.writeInt(Requester::hostCore,
+                  _config.platform.bar1Base() + NxpPlatform::regBarRemap,
+                  _config.platform.barRemapOffset(), 8);
+    if (_config.platform.nxpDeviceCount > 1) {
+        _mem.writeInt(Requester::hostCore,
+                      _config.platform.bar3Base() +
+                          NxpPlatform::regBarRemap,
+                      _config.platform.barRemapOffset2(), 8);
+    }
+}
+
+Rv64Core &
+FlickSystem::nxpCore(unsigned device)
+{
+    if (device == 0)
+        return _nxpCore;
+    if (device == 1 && _nxp2Core)
+        return *_nxp2Core;
+    fatal("no NxP device %u", device);
+}
+
+NxpPlatform &
+FlickSystem::nxpPlatform(unsigned device)
+{
+    if (device == 0)
+        return _platformCtrl;
+    if (device == 1 && _platformCtrl2)
+        return *_platformCtrl2;
+    fatal("no NxP device %u", device);
+}
+
+Process &
+FlickSystem::load(const Program &program)
+{
+    LinkedImage image = program.link(_natives);
+    auto proc = std::make_unique<Process>();
+    proc->image = _loader.load(image, _config.loadOptions);
+    proc->task = &_kernel.createTask(proc->image.cr3);
+    proc->hostHeap = std::make_unique<RegionHeap>(
+        "host_heap", proc->image.hostHeapBase, proc->image.hostHeapBytes);
+    _processes.push_back(std::move(proc));
+    return *_processes.back();
+}
+
+std::uint64_t
+FlickSystem::call(Process &process, const std::string &symbol,
+                  std::vector<std::uint64_t> args)
+{
+    return callVa(process, process.image.symbol(symbol), std::move(args));
+}
+
+std::uint64_t
+FlickSystem::callVa(Process &process, VAddr va,
+                    std::vector<std::uint64_t> args)
+{
+    return _engine->runHostFunction(*process.task, va, args,
+                                    process.image.hostStackTop - 64);
+}
+
+VAddr
+FlickSystem::nxpMalloc(std::uint64_t bytes, std::uint64_t align,
+                       unsigned device)
+{
+    if (device == 0)
+        return _nxpWindowHeap.allocate(bytes, align);
+    if (device == 1 && _nxpWindowHeap2)
+        return _nxpWindowHeap2->allocate(bytes, align);
+    fatal("no NxP device %u", device);
+}
+
+VAddr
+FlickSystem::hostMalloc(Process &process, std::uint64_t bytes,
+                        std::uint64_t align)
+{
+    return process.hostHeap->allocate(bytes, align);
+}
+
+Addr
+FlickSystem::translateDebug(const Process &process, VAddr va) const
+{
+    auto tr = _ptm.translate(process.image.cr3, va);
+    if (!tr)
+        fatal("debug access to unmapped VA %#llx", (unsigned long long)va);
+    return tr->pa;
+}
+
+std::uint64_t
+FlickSystem::readVa(const Process &process, VAddr va, unsigned len)
+{
+    std::uint64_t v = 0;
+    _mem.readInt(Requester::debug, translateDebug(process, va), len, v);
+    return v;
+}
+
+void
+FlickSystem::writeVa(Process &process, VAddr va, std::uint64_t value,
+                     unsigned len)
+{
+    _mem.writeInt(Requester::debug, translateDebug(process, va), value,
+                  len);
+}
+
+void
+FlickSystem::writeBlock(Process &process, VAddr va, const void *data,
+                        std::uint64_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        std::uint64_t in_page = 4096 - (va & 4095);
+        std::uint64_t take = std::min(len, in_page);
+        _mem.write(Requester::debug, translateDebug(process, va), p, take);
+        va += take;
+        p += take;
+        len -= take;
+    }
+}
+
+void
+FlickSystem::readBlock(const Process &process, VAddr va, void *data,
+                       std::uint64_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    while (len > 0) {
+        std::uint64_t in_page = 4096 - (va & 4095);
+        std::uint64_t take = std::min(len, in_page);
+        _mem.read(Requester::debug, translateDebug(process, va), p, take);
+        va += take;
+        p += take;
+        len -= take;
+    }
+}
+
+void
+FlickSystem::enableInstructionTrace(std::ostream *os)
+{
+    if (!os) {
+        _hostCore.setTraceHook(nullptr);
+        _nxpCore.setTraceHook(nullptr);
+        return;
+    }
+
+    // Instruction bytes are fetched through the untimed debug path so
+    // tracing does not perturb TLB or cache statistics.
+    auto fetch = [this](Addr cr3, VAddr pc, std::uint8_t *buf,
+                        unsigned len) -> unsigned {
+        unsigned got = 0;
+        while (got < len) {
+            auto tr = _ptm.translate(cr3, pc + got);
+            if (!tr)
+                break;
+            unsigned in_page = static_cast<unsigned>(
+                4096 - ((pc + got) & 4095));
+            unsigned take = std::min(len - got, in_page);
+            _mem.read(Requester::debug, tr->pa, buf + got, take);
+            got += take;
+        }
+        return got;
+    };
+
+    _hostCore.setTraceHook([this, os, fetch](VAddr pc) {
+        std::uint8_t buf[10] = {};
+        unsigned got = fetch(_hostCore.mmu().cr3(), pc, buf, sizeof buf);
+        Hx64Disasm d = hx64Disassemble(buf, got, pc);
+        *os << strfmt("%12llu  host %#12llx: %s\n",
+                      (unsigned long long)_events.now(),
+                      (unsigned long long)pc, d.text.c_str());
+    });
+    _nxpCore.setTraceHook([this, os, fetch](VAddr pc) {
+        std::uint8_t buf[4] = {};
+        fetch(_nxpCore.mmu().cr3(), pc, buf, 4);
+        std::uint32_t insn = 0;
+        for (int i = 0; i < 4; ++i)
+            insn |= std::uint32_t(buf[i]) << (8 * i);
+        *os << strfmt("%12llu  nxp  %#12llx: %s\n",
+                      (unsigned long long)_events.now(),
+                      (unsigned long long)pc,
+                      rv64Disassemble(insn, pc).c_str());
+    });
+}
+
+void
+FlickSystem::dumpStats(std::ostream &os)
+{
+    _mem.stats().dump(os);
+    _kernel.stats().dump(os);
+    _dma.stats().dump(os);
+    _irq.stats().dump(os);
+    _platformCtrl.stats().dump(os);
+    _engine->stats().dump(os);
+    _hostCore.stats().dump(os);
+    _nxpCore.stats().dump(os);
+    _hostCore.mmu().itlb().stats().dump(os);
+    _hostCore.mmu().dtlb().stats().dump(os);
+    _nxpCore.mmu().itlb().stats().dump(os);
+    _nxpCore.mmu().dtlb().stats().dump(os);
+    _nxpCore.mmu().walker().stats().dump(os);
+    if (_nxpCore.icache())
+        _nxpCore.icache()->stats().dump(os);
+    if (_nxp2Core) {
+        _nxp2Core->stats().dump(os);
+        _platformCtrl2->stats().dump(os);
+        _dma2->stats().dump(os);
+        _nxp2Core->mmu().walker().stats().dump(os);
+    }
+}
+
+} // namespace flick

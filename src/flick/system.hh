@@ -1,0 +1,196 @@
+/**
+ * @file
+ * FlickSystem: the public facade of the simulated platform.
+ *
+ * Owns and wires every component — memories, cores, MMUs, DMA engine,
+ * interrupt controller, kernel, loader and migration engine — and exposes
+ * the workflow a user of the paper's system would have:
+ *
+ *     flick::FlickSystem sys;                    // boot the platform
+ *     flick::Program prog;                       // write multi-ISA code
+ *     prog.addHostAsm(...); prog.addNxpAsm(...);
+ *     auto &proc = sys.load(prog);               // link + load + NX bits
+ *     std::uint64_t r = sys.call(proc, "main", {arg0});
+ *
+ * Threads start on the host and migrate transparently whenever they call
+ * across the ISA boundary.
+ */
+
+#ifndef FLICK_FLICK_SYSTEM_HH
+#define FLICK_FLICK_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "flick/heap.hh"
+#include "flick/native.hh"
+#include "flick/nxp_platform.hh"
+#include "flick/program.hh"
+#include "flick/runtime.hh"
+#include "isa/hx64/core.hh"
+#include "isa/rv64/core.hh"
+#include "loader/loader.hh"
+#include "mem/dma.hh"
+#include "mem/irq.hh"
+#include "mem/mem_system.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/timing_config.hh"
+#include "vm/page_table.hh"
+#include "vm/phys_allocator.hh"
+
+namespace flick
+{
+
+/** All configuration of a FlickSystem, defaulting to the paper's setup. */
+struct SystemConfig
+{
+    TimingConfig timing;
+    PlatformConfig platform;
+    LoadOptions loadOptions;
+    /** NxP stack allocated per thread on first migration. */
+    std::uint64_t nxpStackBytes = 64 * 1024;
+
+    /** Convenience: configure a second NxP device (Section IV-C3). */
+    void
+    enableSecondNxp()
+    {
+        platform.nxpDeviceCount = 2;
+    }
+};
+
+/** A loaded multi-ISA process with its main thread. */
+struct Process
+{
+    LoadedProgram image;
+    Task *task = nullptr;
+    std::unique_ptr<RegionHeap> hostHeap;
+};
+
+/**
+ * The simulated heterogeneous-ISA machine.
+ */
+class FlickSystem
+{
+  public:
+    explicit FlickSystem(SystemConfig config = {});
+
+    FlickSystem(const FlickSystem &) = delete;
+    FlickSystem &operator=(const FlickSystem &) = delete;
+
+    /** Link @p program and load it into a new address space. */
+    Process &load(const Program &program);
+
+    /**
+     * Call @p symbol on @p process's main thread, starting on the host
+     * core; the thread migrates transparently at ISA boundaries.
+     */
+    std::uint64_t call(Process &process, const std::string &symbol,
+                       std::vector<std::uint64_t> args = {});
+
+    /** Call a function by address. */
+    std::uint64_t callVa(Process &process, VAddr va,
+                         std::vector<std::uint64_t> args = {});
+
+    /** Current simulated time. */
+    Tick now() const { return _events.now(); }
+
+    /** Let simulated time pass (e.g. host work between migrations). */
+    void advanceTime(Tick t) { _events.runUntil(now() + t, true); }
+
+    /** Allocate from an NxP device's local DRAM heap; returns a virtual
+     *  address valid in every process (the unified NxP windows). */
+    VAddr nxpMalloc(std::uint64_t bytes, std::uint64_t align = 16,
+                    unsigned device = 0);
+
+    /** Allocate from @p process's host-memory heap. */
+    VAddr hostMalloc(Process &process, std::uint64_t bytes,
+                     std::uint64_t align = 16);
+
+    // --- Untimed harness access to process memory ----------------------
+
+    /** Read @p len (1..8) bytes at @p va in @p process (untimed). */
+    std::uint64_t readVa(const Process &process, VAddr va,
+                         unsigned len = 8);
+
+    /** Write @p len bytes at @p va in @p process (untimed). */
+    void writeVa(Process &process, VAddr va, std::uint64_t value,
+                 unsigned len = 8);
+
+    /** Bulk write (workload setup; untimed like the paper's data load). */
+    void writeBlock(Process &process, VAddr va, const void *data,
+                    std::uint64_t len);
+
+    /** Bulk read. */
+    void readBlock(const Process &process, VAddr va, void *data,
+                   std::uint64_t len);
+
+    // --- Knobs and introspection ---------------------------------------
+
+    /** Emulate a prior-work system: extra latency per migration. */
+    void
+    setExtraRoundTripLatency(Tick t)
+    {
+        _engine->setExtraRoundTripLatency(t);
+    }
+
+    /**
+     * Stream a disassembled instruction trace of both cores to @p os
+     * (pass nullptr to disable). Expensive; for debugging.
+     */
+    void enableInstructionTrace(std::ostream *os);
+
+    /** Dump every component's statistics. */
+    void dumpStats(std::ostream &os);
+
+    const SystemConfig &config() const { return _config; }
+    MemSystem &mem() { return _mem; }
+    Kernel &kernel() { return _kernel; }
+    MigrationEngine &engine() { return *_engine; }
+    Hx64Core &hostCore() { return _hostCore; }
+    Rv64Core &nxpCore(unsigned device = 0);
+    NxpPlatform &nxpPlatform(unsigned device = 0);
+    /** Number of NxP devices in the platform. */
+    unsigned nxpDeviceCount() const
+    {
+        return _config.platform.nxpDeviceCount;
+    }
+    PageTableManager &pageTables() { return _ptm; }
+    NativeRegistry &natives() { return _natives; }
+    EventQueue &events() { return _events; }
+    RegionHeap &nxpHeap() { return _nxpWindowHeap; }
+
+  private:
+    Addr translateDebug(const Process &process, VAddr va) const;
+
+    SystemConfig _config;
+    EventQueue _events;
+    MemSystem _mem;
+    IrqController _irq;
+    DmaEngine _dma;
+    NxpPlatform _platformCtrl;
+    PhysAllocator _hostAlloc;
+    PhysAllocator _nxpAlloc;
+    PageTableManager _ptm;
+    Hx64Core _hostCore;
+    Rv64Core _nxpCore;
+    Kernel _kernel;
+    ProgramLoader _loader;
+    NativeRegistry _natives;
+    Addr _kernelBufPa;
+    Addr _hostInboxPa;
+    RegionHeap _nxpWindowHeap;
+    // Second NxP device (present when platform.nxpDeviceCount > 1).
+    std::unique_ptr<Rv64Core> _nxp2Core;
+    std::unique_ptr<NxpPlatform> _platformCtrl2;
+    std::unique_ptr<DmaEngine> _dma2;
+    std::unique_ptr<RegionHeap> _nxpWindowHeap2;
+    Addr _hostInbox2Pa = 0;
+    std::unique_ptr<MigrationEngine> _engine;
+    std::vector<std::unique_ptr<Process>> _processes;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_SYSTEM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared assembler front-end utilities: line lexing and literal parsing.
+ *
+ * Both assemblers consume the same line grammar:
+ *
+ *     [label:] [mnemonic [operand {, operand}]] [# comment]
+ *
+ * and differ only in mnemonics and operand syntax.
+ */
+
+#ifndef FLICK_ISA_ASM_COMMON_HH
+#define FLICK_ISA_ASM_COMMON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flick
+{
+
+/** One lexed assembly line. */
+struct AsmLine
+{
+    int lineNo = 0;
+    std::vector<std::string> labels; //!< Labels defined on this line.
+    std::string op;                  //!< Mnemonic or directive (lowercased).
+    std::vector<std::string> operands;
+};
+
+/**
+ * Lex an assembly source string into lines.
+ *
+ * Strips '#' and '//' comments, splits leading "label:" definitions
+ * (several may stack on one line), lowercases mnemonics, and splits
+ * operands on top-level commas (brackets/parentheses protected).
+ */
+std::vector<AsmLine> lexAsm(const std::string &source);
+
+/**
+ * Parse an integer literal: decimal, 0x hex, optional leading '-'.
+ * @return nullopt when @p text is not a literal (e.g. a symbol name).
+ */
+std::optional<std::int64_t> parseIntLiteral(const std::string &text);
+
+/** True if @p text is a plausible symbol name ([A-Za-z_.][A-Za-z0-9_.$]*). */
+bool isSymbolName(const std::string &text);
+
+} // namespace flick
+
+#endif // FLICK_ISA_ASM_COMMON_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Base class for the two interpreter cores.
+ *
+ * A Core executes instructions synchronously, accumulating simulated time
+ * (cycles plus memory latencies) into a slice counter, and stops on any
+ * fault, on its halt instruction, or when its PC reaches the runtime
+ * trampoline. The migration runtimes drive cores through run() and the
+ * ABI-neutral argument/return accessors.
+ */
+
+#ifndef FLICK_ISA_CORE_HH
+#define FLICK_ISA_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/icache.hh"
+#include "isa/isa.hh"
+#include "mem/mem_system.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+#include "vm/fault.hh"
+#include "vm/mmu.hh"
+
+namespace flick
+{
+
+/** Why and where a run() slice stopped. */
+struct RunResult
+{
+    Fault stop = Fault::none;   //!< trampoline/halt/fetch fault/etc.
+    VAddr faultVa = 0;          //!< Faulting VA (PC for fetch faults).
+    Tick elapsed = 0;           //!< Simulated time consumed by the slice.
+    std::uint64_t instructions = 0; //!< Instructions retired in the slice.
+};
+
+/** Construction parameters for a core. */
+struct CoreParams
+{
+    std::string name;
+    Requester requester = Requester::hostCore;
+    std::uint64_t freqHz = 1'000'000'000ull;
+    unsigned itlbEntries = 64;
+    unsigned dtlbEntries = 64;
+    Tick walkOverhead = 0;
+    MmuPolicy mmuPolicy;
+    /** Model an I-cache and charge line fills on misses (the NxP). */
+    bool modelIcache = false;
+    std::uint32_t icacheLines = 256;
+    std::uint32_t icacheLineBytes = 64;
+};
+
+/**
+ * An in-order, IPC=1 interpreter core with its own MMU.
+ */
+class Core
+{
+  public:
+    Core(const CoreParams &params, MemSystem &mem);
+    virtual ~Core() = default;
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** ISA implemented by this core. */
+    virtual IsaKind isa() const = 0;
+
+    const std::string &name() const { return _name; }
+
+    VAddr pc() const { return _pc; }
+    void setPc(VAddr pc) { _pc = pc; }
+
+    /**
+     * Execute until a stop condition or @p max_instructions.
+     *
+     * On a fetch fault the PC is left at the faulting address and all
+     * registers are intact — in particular the argument registers of a
+     * just-initiated call, which is what lets the migration handler pick
+     * up the callee's arguments (Section IV-B1).
+     */
+    RunResult run(std::uint64_t max_instructions = ~0ull);
+
+    // --- ABI-neutral accessors used by the migration runtimes ---------
+
+    /** Number of register-passed arguments in this ISA's ABI. */
+    virtual unsigned maxArgRegs() const = 0;
+
+    /** Read argument register @p i. */
+    virtual std::uint64_t arg(unsigned i) const = 0;
+
+    /** Write argument register @p i. */
+    virtual void setArg(unsigned i, std::uint64_t v) = 0;
+
+    /** Read the ABI return-value register. */
+    virtual std::uint64_t retVal() const = 0;
+
+    /** Write the ABI return-value register. */
+    virtual void setRetVal(std::uint64_t v) = 0;
+
+    virtual std::uint64_t stackPointer() const = 0;
+    virtual void setStackPointer(std::uint64_t sp) = 0;
+
+    /**
+     * Set up a call: PC := @p target, arguments := @p args, and the
+     * return path arranged so that the callee's `ret` lands on the
+     * runtime trampoline. May adjust the stack (HX64 pushes).
+     */
+    virtual void setupCall(VAddr target,
+                           const std::vector<std::uint64_t> &args) = 0;
+
+    /**
+     * Complete a hijacked call: deliver @p retval and emulate the
+     * callee's return so execution resumes at the original call site
+     * (Section IV-B1's "just like a normal return").
+     */
+    virtual void finishHijackedCall(std::uint64_t retval) = 0;
+
+    /** Snapshot all architectural state (context switch out). */
+    virtual std::vector<std::uint64_t> saveContext() const = 0;
+
+    /** Restore architectural state (context switch in). */
+    virtual void restoreContext(const std::vector<std::uint64_t> &ctx) = 0;
+
+    // --- Infrastructure ------------------------------------------------
+
+    /**
+     * Handler invoked when the PC enters the native-function gate.
+     * It performs the call on the simulator side (reading arguments from
+     * and delivering the return value to this core) and returns the
+     * simulated time to charge.
+     */
+    using NativeHook = std::function<Tick(Core &)>;
+
+    /** Install the native-gate PC range and its handler. */
+    void
+    setNativeRange(VAddr lo, VAddr hi, NativeHook hook)
+    {
+        _nativeLo = lo;
+        _nativeHi = hi;
+        _nativeHook = std::move(hook);
+    }
+
+    /** Callback invoked with the PC before each instruction executes. */
+    using TraceHook = std::function<void(VAddr pc)>;
+
+    /** Install (or clear, with nullptr) the instruction trace hook. */
+    void setTraceHook(TraceHook hook) { _traceHook = std::move(hook); }
+
+    Mmu &mmu() { return _mmu; }
+    ClockDomain clock() const { return _clock; }
+    MemSystem &mem() { return _mem; }
+    StatGroup &stats() { return _stats; }
+    ICache *icache() { return _icache.get(); }
+
+    /** Instructions retired over the core's lifetime. */
+    std::uint64_t totalInstructions() const { return _totalInstructions; }
+
+  protected:
+    /**
+     * Execute one instruction at _pc.
+     *
+     * Adds time to _slice; on a fault sets _faultVa and returns the
+     * fault without changing _pc (fetch faults) or after setting
+     * _faultVa to the data address (data faults).
+     */
+    virtual Fault step() = 0;
+
+    /** Charge @p n core cycles to the current slice. */
+    void chargeCycles(std::uint64_t n) { _slice += _clock.cycles(n); }
+
+    /** Charge raw ticks to the current slice. */
+    void chargeTicks(Tick t) { _slice += t; }
+
+    /**
+     * Translate a fetch address and charge I-cache / walk costs.
+     * On success the physical address is returned through @p pa.
+     */
+    Fault fetchTranslate(VAddr va, Addr &pa);
+
+    /** Read instruction bytes at physical @p pa (no extra charge). */
+    void fetchBytes(Addr pa, void *buf, unsigned len);
+
+    /** Timed data read; sign- or zero-extends into @p out. */
+    Fault dataRead(VAddr va, unsigned len, bool sign_extend,
+                   std::uint64_t &out);
+
+    /** Timed data write. */
+    Fault dataWrite(VAddr va, unsigned len, std::uint64_t value);
+
+    void setFaultVa(VAddr va) { _faultVa = va; }
+
+    VAddr _pc = 0;
+
+  private:
+    std::string _name;
+    MemSystem &_mem;
+    Requester _requester;
+    ClockDomain _clock;
+    Mmu _mmu;
+    std::unique_ptr<ICache> _icache;
+    Tick _slice = 0;
+    VAddr _faultVa = 0;
+    std::uint64_t _totalInstructions = 0;
+    VAddr _nativeLo = 0;
+    VAddr _nativeHi = 0;
+    NativeHook _nativeHook;
+    TraceHook _traceHook;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_ISA_CORE_HH

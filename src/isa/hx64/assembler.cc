@@ -1,0 +1,425 @@
+#include "isa/hx64/assembler.hh"
+
+#include <unordered_map>
+
+#include "isa/asm_common.hh"
+#include "isa/hx64/insn.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace hx64;
+
+namespace
+{
+
+int
+regNum(const std::string &name)
+{
+    static const std::unordered_map<std::string, int> names = {
+        {"rax", 0}, {"rcx", 1}, {"rdx", 2}, {"rbx", 3},
+        {"rsp", 4}, {"rbp", 5}, {"rsi", 6}, {"rdi", 7},
+        {"r8", 8}, {"r9", 9}, {"r10", 10}, {"r11", 11},
+        {"r12", 12}, {"r13", 13}, {"r14", 14}, {"r15", 15},
+    };
+    auto it = names.find(name);
+    return it == names.end() ? -1 : it->second;
+}
+
+struct Emitter
+{
+    Section section;
+    int lineNo = 0;
+
+    [[noreturn]] void
+    error(const char *msg, const std::string &detail = "") const
+    {
+        fatal("hx64 asm line %d: %s%s%s", lineNo, msg,
+              detail.empty() ? "" : ": ", detail.c_str());
+    }
+
+    std::uint64_t offset() const { return section.bytes.size(); }
+
+    void emit8(std::uint8_t b) { section.bytes.push_back(b); }
+
+    void
+    emit32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            emit8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    emit64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            emit8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    unsigned
+    reg(const std::string &s) const
+    {
+        int r = regNum(s);
+        if (r < 0)
+            error("bad register", s);
+        return static_cast<unsigned>(r);
+    }
+
+    /** Parse "[reg]", "[reg+disp]", "[reg-disp]". */
+    std::pair<unsigned, std::int64_t>
+    memOp(const std::string &s) const
+    {
+        if (s.size() < 3 || s.front() != '[' || s.back() != ']')
+            error("expected [reg+disp] operand", s);
+        std::string inner = s.substr(1, s.size() - 2);
+        std::size_t split = inner.find_first_of("+-");
+        std::string base = inner.substr(0, split);
+        // Trim trailing spaces of base.
+        while (!base.empty() && (base.back() == ' ' || base.back() == '\t'))
+            base.pop_back();
+        std::int64_t disp = 0;
+        if (split != std::string::npos) {
+            std::string dtext = inner.substr(split);
+            // Remove spaces.
+            std::string cleaned;
+            for (char c : dtext)
+                if (c != ' ' && c != '\t')
+                    cleaned += c;
+            if (cleaned.size() > 1 && cleaned[0] == '+')
+                cleaned = cleaned.substr(1);
+            auto v = parseIntLiteral(cleaned);
+            if (!v)
+                error("bad displacement", s);
+            disp = *v;
+        }
+        if (disp < INT32_MIN || disp > INT32_MAX)
+            error("displacement out of 32-bit range", s);
+        return {reg(base), disp};
+    }
+
+    void
+    addReloc(const std::string &symbol, RelocType type,
+             std::uint64_t at_offset)
+    {
+        if (!isSymbolName(symbol))
+            error("bad symbol name", symbol);
+        section.relocations.push_back({at_offset, symbol, type, 0});
+    }
+};
+
+const std::unordered_map<std::string, std::pair<Opcode, Opcode>> aluOps = {
+    // mnemonic -> {register form, immediate form (opHalt = none)}
+    {"add", {opAdd, opAddI}},  {"sub", {opSub, opSubI}},
+    {"and", {opAnd, opAndI}},  {"or", {opOr, opOrI}},
+    {"xor", {opXor, opXorI}},  {"mul", {opMul, opHalt}},
+    {"udiv", {opUdiv, opHalt}}, {"urem", {opUrem, opHalt}},
+};
+
+const std::unordered_map<std::string, std::pair<Opcode, Opcode>> shiftOps = {
+    {"shl", {opShl, opShlI}}, {"shr", {opShr, opShrI}},
+    {"sar", {opSar, opSarI}},
+};
+
+const std::unordered_map<std::string, Opcode> loadOps = {
+    {"ld", opLd64}, {"ld8", opLd8}, {"ld16", opLd16}, {"ld32", opLd32},
+    {"lds8", opLds8}, {"lds16", opLds16}, {"lds32", opLds32},
+};
+
+const std::unordered_map<std::string, Opcode> storeOps = {
+    {"st", opSt64}, {"st8", opSt8}, {"st16", opSt16}, {"st32", opSt32},
+};
+
+const std::unordered_map<std::string, Cond> condOps = {
+    {"je", ccEq}, {"jne", ccNe}, {"jl", ccLt}, {"jge", ccGe},
+    {"jle", ccLe}, {"jg", ccGt}, {"jb", ccB}, {"jae", ccAe},
+    {"jbe", ccBe}, {"ja", ccA},
+};
+
+} // namespace
+
+Section
+hx64Assemble(const std::string &source, const std::string &section_name)
+{
+    Emitter em;
+    em.section.name = section_name;
+    em.section.isa = IsaKind::hx64;
+    em.section.executable = true;
+    em.section.align = 4096;
+
+    for (const AsmLine &line : lexAsm(source)) {
+        em.lineNo = line.lineNo;
+        if (!line.labels.empty() && (em.offset() & 1)) {
+            // Keep labels at even addresses: RISC-V's JALR clears bit 0
+            // of its target, so an NxP call to an odd host-function
+            // address would land one byte short. Real x86 toolchains
+            // align function entries for the same reason Flick needs it
+            // here; a single nop is fallthrough-safe.
+            em.emit8(opNop);
+        }
+        for (const std::string &label : line.labels) {
+            if (em.section.symbols.count(label))
+                em.error("duplicate label", label);
+            em.section.symbols[label] = em.offset();
+        }
+        if (line.op.empty())
+            continue;
+
+        const std::string &op = line.op;
+        const auto &ops = line.operands;
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n)
+                em.error("wrong operand count", op);
+        };
+
+        if (op == ".global" || op == ".globl" || op == ".text")
+            continue;
+        if (op == ".align") {
+            need(1);
+            auto v = parseIntLiteral(ops[0]);
+            if (!v)
+                em.error("bad alignment");
+            std::uint64_t align = 1ull << *v;
+            while (em.offset() % align)
+                em.emit8(opNop);
+            continue;
+        }
+        if (op == ".quad") {
+            for (const auto &o : ops) {
+                if (auto v = parseIntLiteral(o)) {
+                    em.emit64(static_cast<std::uint64_t>(*v));
+                } else {
+                    em.addReloc(o, RelocType::abs64, em.offset());
+                    em.emit64(0);
+                }
+            }
+            continue;
+        }
+        if (op == ".space") {
+            need(1);
+            auto v = parseIntLiteral(ops[0]);
+            if (!v || *v < 0)
+                em.error("bad .space size");
+            em.section.bytes.insert(em.section.bytes.end(),
+                                    static_cast<std::size_t>(*v), 0);
+            continue;
+        }
+
+        if (op == "halt") { em.emit8(opHalt); continue; }
+        if (op == "nop") { em.emit8(opNop); continue; }
+        if (op == "ret") { em.emit8(opRet); continue; }
+
+        if (op == "mov") {
+            need(2);
+            unsigned dst = em.reg(ops[0]);
+            if (regNum(ops[1]) >= 0) {
+                em.emit8(opMovRR);
+                em.emit8(static_cast<std::uint8_t>((dst << 4) |
+                                                   em.reg(ops[1])));
+            } else if (auto v = parseIntLiteral(ops[1])) {
+                if (*v >= INT32_MIN && *v <= INT32_MAX) {
+                    em.emit8(opMovI32);
+                    em.emit8(static_cast<std::uint8_t>(dst));
+                    em.emit32(static_cast<std::uint32_t>(*v));
+                } else {
+                    em.emit8(opMovI64);
+                    em.emit8(static_cast<std::uint8_t>(dst));
+                    em.emit64(static_cast<std::uint64_t>(*v));
+                }
+            } else {
+                // mov dst, symbol: 64-bit absolute address.
+                em.emit8(opMovI64);
+                em.emit8(static_cast<std::uint8_t>(dst));
+                em.addReloc(ops[1], RelocType::abs64, em.offset());
+                em.emit64(0);
+            }
+            continue;
+        }
+
+        if (auto it = aluOps.find(op); it != aluOps.end()) {
+            need(2);
+            unsigned dst = em.reg(ops[0]);
+            if (regNum(ops[1]) >= 0) {
+                em.emit8(it->second.first);
+                em.emit8(static_cast<std::uint8_t>((dst << 4) |
+                                                   em.reg(ops[1])));
+            } else if (auto v = parseIntLiteral(ops[1])) {
+                if (it->second.second == opHalt)
+                    em.error("no immediate form for", op);
+                if (*v < INT32_MIN || *v > INT32_MAX)
+                    em.error("immediate out of 32-bit range", ops[1]);
+                em.emit8(it->second.second);
+                em.emit8(static_cast<std::uint8_t>(dst));
+                em.emit32(static_cast<std::uint32_t>(*v));
+            } else {
+                em.error("bad operand", ops[1]);
+            }
+            continue;
+        }
+
+        if (auto it = shiftOps.find(op); it != shiftOps.end()) {
+            need(2);
+            unsigned dst = em.reg(ops[0]);
+            if (regNum(ops[1]) >= 0) {
+                em.emit8(it->second.first);
+                em.emit8(static_cast<std::uint8_t>((dst << 4) |
+                                                   em.reg(ops[1])));
+            } else if (auto v = parseIntLiteral(ops[1])) {
+                if (*v < 0 || *v > 63)
+                    em.error("shift amount out of range", ops[1]);
+                em.emit8(it->second.second);
+                em.emit8(static_cast<std::uint8_t>(dst));
+                em.emit8(static_cast<std::uint8_t>(*v));
+            } else {
+                em.error("bad operand", ops[1]);
+            }
+            continue;
+        }
+
+        if (auto it = loadOps.find(op); it != loadOps.end()) {
+            need(2);
+            unsigned dst = em.reg(ops[0]);
+            auto [base, disp] = em.memOp(ops[1]);
+            em.emit8(it->second);
+            em.emit8(static_cast<std::uint8_t>((dst << 4) | base));
+            em.emit32(static_cast<std::uint32_t>(disp));
+            continue;
+        }
+
+        if (auto it = storeOps.find(op); it != storeOps.end()) {
+            need(2);
+            auto [base, disp] = em.memOp(ops[0]);
+            unsigned src = em.reg(ops[1]);
+            em.emit8(it->second);
+            em.emit8(static_cast<std::uint8_t>((base << 4) | src));
+            em.emit32(static_cast<std::uint32_t>(disp));
+            continue;
+        }
+
+        if (op == "cmp") {
+            need(2);
+            unsigned a = em.reg(ops[0]);
+            if (regNum(ops[1]) >= 0) {
+                em.emit8(opCmpRR);
+                em.emit8(static_cast<std::uint8_t>((a << 4) |
+                                                   em.reg(ops[1])));
+            } else if (auto v = parseIntLiteral(ops[1])) {
+                if (*v < INT32_MIN || *v > INT32_MAX)
+                    em.error("immediate out of 32-bit range", ops[1]);
+                em.emit8(opCmpI);
+                em.emit8(static_cast<std::uint8_t>(a));
+                em.emit32(static_cast<std::uint32_t>(*v));
+            } else {
+                em.error("bad operand", ops[1]);
+            }
+            continue;
+        }
+
+        if (op == "jmp") {
+            need(1);
+            if (regNum(ops[0]) >= 0) {
+                em.emit8(opJmpR);
+                em.emit8(static_cast<std::uint8_t>(em.reg(ops[0])));
+            } else {
+                em.emit8(opJmp);
+                em.addReloc(ops[0], RelocType::rel32, em.offset());
+                em.emit32(0);
+            }
+            continue;
+        }
+
+        if (auto it = condOps.find(op); it != condOps.end()) {
+            need(1);
+            em.emit8(opJcc);
+            em.emit8(static_cast<std::uint8_t>(it->second));
+            em.addReloc(ops[0], RelocType::rel32, em.offset());
+            em.emit32(0);
+            continue;
+        }
+
+        if (op == "call") {
+            need(1);
+            if (regNum(ops[0]) >= 0) {
+                em.emit8(opCallR);
+                em.emit8(static_cast<std::uint8_t>(em.reg(ops[0])));
+            } else {
+                em.emit8(opCall);
+                em.addReloc(ops[0], RelocType::rel32, em.offset());
+                em.emit32(0);
+            }
+            continue;
+        }
+        if (op == "callr") {
+            need(1);
+            em.emit8(opCallR);
+            em.emit8(static_cast<std::uint8_t>(em.reg(ops[0])));
+            continue;
+        }
+
+        if (op == "push" || op == "pop") {
+            need(1);
+            em.emit8(op == "push" ? opPush : opPop);
+            em.emit8(static_cast<std::uint8_t>(em.reg(ops[0])));
+            continue;
+        }
+
+        if (op == "lea") {
+            need(2);
+            unsigned dst = em.reg(ops[0]);
+            auto [base, disp] = em.memOp(ops[1]);
+            em.emit8(opLea);
+            em.emit8(static_cast<std::uint8_t>((dst << 4) | base));
+            em.emit32(static_cast<std::uint32_t>(disp));
+            continue;
+        }
+
+        if (op == "syscall") {
+            need(1);
+            auto v = parseIntLiteral(ops[0]);
+            if (!v || *v < 0 || *v > 255)
+                em.error("bad syscall number");
+            em.emit8(opSyscall);
+            em.emit8(static_cast<std::uint8_t>(*v));
+            continue;
+        }
+
+        em.error("unknown mnemonic", op);
+    }
+
+    return std::move(em.section);
+}
+
+void
+hx64ApplyRelocation(std::vector<std::uint8_t> &bytes,
+                    const Relocation &reloc, VAddr section_base,
+                    VAddr sym_va)
+{
+    switch (reloc.type) {
+      case RelocType::abs64: {
+        std::uint64_t v = sym_va + reloc.addend;
+        for (int i = 0; i < 8; ++i)
+            bytes[reloc.offset + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+      case RelocType::rel32: {
+        // rel32 is relative to the end of the 4-byte field (the next
+        // instruction), as in x86.
+        std::int64_t delta =
+            static_cast<std::int64_t>(sym_va + reloc.addend) -
+            static_cast<std::int64_t>(section_base + reloc.offset + 4);
+        if (delta < INT32_MIN || delta > INT32_MAX)
+            fatal("hx64 reloc: rel32 target %s out of range (delta %lld)",
+                  reloc.symbol.c_str(), (long long)delta);
+        std::uint32_t v = static_cast<std::uint32_t>(delta);
+        for (int i = 0; i < 4; ++i)
+            bytes[reloc.offset + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+      default:
+        panic("hx64 relocation with non-hx64 type");
+    }
+}
+
+} // namespace flick

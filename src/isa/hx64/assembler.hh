@@ -1,0 +1,52 @@
+/**
+ * @file
+ * HX64 assembler.
+ *
+ * Syntax (Intel-flavoured, destination first):
+ *
+ *     func:                     # labels
+ *         push rbp
+ *         mov rbp, rsp
+ *         mov rax, 42           # immediate (auto 32/64-bit form)
+ *         mov rax, some_symbol  # 64-bit absolute relocation
+ *         ld rax, [rdi+8]       # 64-bit load; ld8/ld16/ld32 (+lds*) sized
+ *         st [rdi+8], rax       # 64-bit store; st8/st16/st32 sized
+ *         add rax, rbx          # reg or immediate second operand
+ *         cmp rax, 10
+ *         jl loop               # je jne jl jge jle jg jb jae jbe ja
+ *         call other_func       # rel32 relocation (any ISA's section)
+ *         callr rax             # indirect call through register
+ *         lea rax, [rbx+16]
+ *         ret
+ *         halt
+ *         syscall 0             # 0 = exit
+ *
+ * Every symbolic reference becomes a relocation resolved by the multi-ISA
+ * linker, so host code can name NxP functions directly (Section IV-C).
+ */
+
+#ifndef FLICK_ISA_HX64_ASSEMBLER_HH
+#define FLICK_ISA_HX64_ASSEMBLER_HH
+
+#include <string>
+
+#include "loader/objfile.hh"
+
+namespace flick
+{
+
+/**
+ * Assemble HX64 source into one section (default ".text.hx64").
+ * Errors in the source abort via fatal().
+ */
+Section hx64Assemble(const std::string &source,
+                     const std::string &section_name = ".text.hx64");
+
+/** Apply one relocation to HX64 section bytes (see rv64ApplyRelocation). */
+void hx64ApplyRelocation(std::vector<std::uint8_t> &bytes,
+                         const Relocation &reloc, VAddr section_base,
+                         VAddr sym_va);
+
+} // namespace flick
+
+#endif // FLICK_ISA_HX64_ASSEMBLER_HH

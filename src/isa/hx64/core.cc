@@ -1,0 +1,346 @@
+#include "isa/hx64/core.hh"
+
+#include "isa/hx64/insn.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace hx64;
+
+namespace
+{
+constexpr unsigned argRegs[6] = {rdi, rsi, rdx, rcx, r8, r9};
+} // namespace
+
+std::uint64_t
+Hx64Core::arg(unsigned i) const
+{
+    if (i >= 6)
+        panic("hx64 arg index %u", i);
+    return _regs[argRegs[i]];
+}
+
+void
+Hx64Core::setArg(unsigned i, std::uint64_t v)
+{
+    if (i >= 6)
+        panic("hx64 arg index %u", i);
+    _regs[argRegs[i]] = v;
+}
+
+std::uint64_t
+Hx64Core::debugReadVa(VAddr va)
+{
+    TranslationResult tr = mmu().translate(va, AccessType::read);
+    if (tr.fault != Fault::none)
+        panic("hx64 runtime stack read fault at %#llx (%s)",
+              (unsigned long long)va, faultName(tr.fault));
+    std::uint64_t v = 0;
+    mem().readInt(Requester::debug, tr.pa, 8, v);
+    return v;
+}
+
+void
+Hx64Core::debugWriteVa(VAddr va, std::uint64_t v)
+{
+    TranslationResult tr = mmu().translate(va, AccessType::write);
+    if (tr.fault != Fault::none)
+        panic("hx64 runtime stack write fault at %#llx (%s)",
+              (unsigned long long)va, faultName(tr.fault));
+    mem().writeInt(Requester::debug, tr.pa, v, 8);
+}
+
+void
+Hx64Core::setupCall(VAddr target, const std::vector<std::uint64_t> &args)
+{
+    if (args.size() > 6)
+        panic("hx64 setupCall with %zu args (max 6)", args.size());
+    for (unsigned i = 0; i < args.size(); ++i)
+        setArg(i, args[i]);
+    // Push the trampoline as the return address, like `call` would.
+    _regs[rsp] -= 8;
+    debugWriteVa(_regs[rsp], runtimeTrampoline);
+    setPc(target);
+}
+
+void
+Hx64Core::finishHijackedCall(std::uint64_t retval)
+{
+    // The hijacked call left its return address on the stack; popping it
+    // and delivering rax is exactly the callee's `ret` (Section IV-B1).
+    setRetVal(retval);
+    VAddr ret_addr = debugReadVa(_regs[rsp]);
+    _regs[rsp] += 8;
+    setPc(ret_addr);
+}
+
+std::vector<std::uint64_t>
+Hx64Core::saveContext() const
+{
+    std::vector<std::uint64_t> ctx(_regs.begin(), _regs.end());
+    ctx.push_back(pc());
+    ctx.push_back(_cmpA);
+    ctx.push_back(_cmpB);
+    return ctx;
+}
+
+void
+Hx64Core::restoreContext(const std::vector<std::uint64_t> &ctx)
+{
+    if (ctx.size() != 19)
+        panic("hx64 restoreContext with %zu words", ctx.size());
+    for (unsigned i = 0; i < 16; ++i)
+        _regs[i] = ctx[i];
+    setPc(ctx[16]);
+    _cmpA = ctx[17];
+    _cmpB = ctx[18];
+}
+
+bool
+Hx64Core::evalCond(std::uint8_t cc) const
+{
+    std::int64_t sa = static_cast<std::int64_t>(_cmpA);
+    std::int64_t sb = static_cast<std::int64_t>(_cmpB);
+    switch (cc) {
+      case ccEq: return _cmpA == _cmpB;
+      case ccNe: return _cmpA != _cmpB;
+      case ccLt: return sa < sb;
+      case ccGe: return sa >= sb;
+      case ccLe: return sa <= sb;
+      case ccGt: return sa > sb;
+      case ccB: return _cmpA < _cmpB;
+      case ccAe: return _cmpA >= _cmpB;
+      case ccBe: return _cmpA <= _cmpB;
+      case ccA: return _cmpA > _cmpB;
+    }
+    panic("hx64 bad condition code %u", cc);
+}
+
+Fault
+Hx64Core::step()
+{
+    VAddr pc_va = pc();
+    Addr pa = 0;
+    if (Fault f = fetchTranslate(pc_va, pa); f != Fault::none)
+        return f;
+
+    std::uint8_t opcode = 0;
+    fetchBytes(pa, &opcode, 1);
+    unsigned len = insnLength(opcode);
+    if (len == 0) {
+        setFaultVa(pc_va);
+        return Fault::illegalInstr;
+    }
+
+    // Variable-length instructions may cross a page boundary; the second
+    // page needs its own translation (and NX check).
+    std::uint8_t buf[10] = {opcode};
+    unsigned first_page_bytes = static_cast<unsigned>(
+        std::min<std::uint64_t>(len, 4096 - (pc_va & 4095)));
+    if (first_page_bytes > 1)
+        fetchBytes(pa + 1, buf + 1, first_page_bytes - 1);
+    if (first_page_bytes < len) {
+        Addr pa2 = 0;
+        if (Fault f = fetchTranslate(pc_va + first_page_bytes, pa2);
+            f != Fault::none) {
+            return f;
+        }
+        fetchBytes(pa2, buf + first_page_bytes, len - first_page_bytes);
+    }
+
+    chargeCycles(1);
+
+    auto imm8 = [&](unsigned at) { return buf[at]; };
+    auto imm32 = [&](unsigned at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(buf[at + i]) << (8 * i);
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    };
+    auto imm64 = [&](unsigned at) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(buf[at + i]) << (8 * i);
+        return v;
+    };
+    auto dstOf = [&] { return buf[1] >> 4; };
+    auto srcOf = [&] { return buf[1] & 0xf; };
+
+    VAddr next_pc = pc_va + len;
+
+    switch (opcode) {
+      case opHalt:
+        setFaultVa(pc_va);
+        return Fault::halt;
+      case opNop:
+        break;
+
+      case opMovRR:
+        _regs[dstOf()] = _regs[srcOf()];
+        break;
+      case opMovI64:
+        _regs[buf[1] & 0xf] = imm64(2);
+        break;
+      case opMovI32:
+        _regs[buf[1] & 0xf] = imm32(2);
+        break;
+
+      case opAdd: _regs[dstOf()] += _regs[srcOf()]; break;
+      case opSub: _regs[dstOf()] -= _regs[srcOf()]; break;
+      case opAnd: _regs[dstOf()] &= _regs[srcOf()]; break;
+      case opOr: _regs[dstOf()] |= _regs[srcOf()]; break;
+      case opXor: _regs[dstOf()] ^= _regs[srcOf()]; break;
+      case opShl: _regs[dstOf()] <<= (_regs[srcOf()] & 63); break;
+      case opShr: _regs[dstOf()] >>= (_regs[srcOf()] & 63); break;
+      case opSar:
+        _regs[dstOf()] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(_regs[dstOf()]) >>
+            (_regs[srcOf()] & 63));
+        break;
+      case opMul: _regs[dstOf()] *= _regs[srcOf()]; break;
+      case opUdiv: {
+        std::uint64_t d = _regs[srcOf()];
+        _regs[dstOf()] = d == 0 ? ~0ull : _regs[dstOf()] / d;
+        break;
+      }
+      case opUrem: {
+        std::uint64_t d = _regs[srcOf()];
+        _regs[dstOf()] = d == 0 ? _regs[dstOf()] : _regs[dstOf()] % d;
+        break;
+      }
+
+      case opAddI: _regs[buf[1] & 0xf] += imm32(2); break;
+      case opSubI: _regs[buf[1] & 0xf] -= imm32(2); break;
+      case opAndI: _regs[buf[1] & 0xf] &= imm32(2); break;
+      case opOrI: _regs[buf[1] & 0xf] |= imm32(2); break;
+      case opXorI: _regs[buf[1] & 0xf] ^= imm32(2); break;
+      case opShlI: _regs[buf[1] & 0xf] <<= (imm8(2) & 63); break;
+      case opShrI: _regs[buf[1] & 0xf] >>= (imm8(2) & 63); break;
+      case opSarI:
+        _regs[buf[1] & 0xf] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(_regs[buf[1] & 0xf]) >>
+            (imm8(2) & 63));
+        break;
+
+      case opLd8: case opLd16: case opLd32: case opLd64:
+      case opLds8: case opLds16: case opLds32: {
+        static const unsigned sizes[] = {1, 2, 4, 8, 1, 2, 4, 0};
+        bool sign = opcode >= opLds8;
+        unsigned size = sizes[(opcode - opLd8) & 7];
+        VAddr va = _regs[srcOf()] + imm32(2);
+        std::uint64_t v = 0;
+        if (Fault f = dataRead(va, size, sign, v); f != Fault::none)
+            return f;
+        _regs[dstOf()] = v;
+        break;
+      }
+
+      case opSt8: case opSt16: case opSt32: case opSt64: {
+        unsigned size = 1u << (opcode - opSt8);
+        VAddr va = _regs[dstOf()] + imm32(2);
+        if (Fault f = dataWrite(va, size, _regs[srcOf()]);
+            f != Fault::none) {
+            return f;
+        }
+        break;
+      }
+
+      case opCmpRR:
+        _cmpA = _regs[dstOf()];
+        _cmpB = _regs[srcOf()];
+        break;
+      case opCmpI:
+        _cmpA = _regs[buf[1] & 0xf];
+        _cmpB = imm32(2);
+        break;
+
+      case opJmp:
+        setPc(next_pc + imm32(1));
+        return Fault::none;
+      case opJcc:
+        setPc(evalCond(buf[1]) ? next_pc + imm32(2) : next_pc);
+        return Fault::none;
+
+      case opCall: {
+        _regs[rsp] -= 8;
+        if (Fault f = dataWrite(_regs[rsp], 8, next_pc);
+            f != Fault::none) {
+            _regs[rsp] += 8;
+            return f;
+        }
+        setPc(next_pc + imm32(1));
+        return Fault::none;
+      }
+      case opCallR: {
+        VAddr target = _regs[buf[1] & 0xf];
+        _regs[rsp] -= 8;
+        if (Fault f = dataWrite(_regs[rsp], 8, next_pc);
+            f != Fault::none) {
+            _regs[rsp] += 8;
+            return f;
+        }
+        setPc(target);
+        return Fault::none;
+      }
+      case opRet: {
+        std::uint64_t ret_addr = 0;
+        if (Fault f = dataRead(_regs[rsp], 8, false, ret_addr);
+            f != Fault::none) {
+            return f;
+        }
+        _regs[rsp] += 8;
+        setPc(ret_addr);
+        return Fault::none;
+      }
+      case opPush: {
+        _regs[rsp] -= 8;
+        if (Fault f = dataWrite(_regs[rsp], 8, _regs[buf[1] & 0xf]);
+            f != Fault::none) {
+            _regs[rsp] += 8;
+            return f;
+        }
+        break;
+      }
+      case opPop: {
+        std::uint64_t v = 0;
+        if (Fault f = dataRead(_regs[rsp], 8, false, v); f != Fault::none)
+            return f;
+        _regs[rsp] += 8;
+        _regs[buf[1] & 0xf] = v;
+        break;
+      }
+      case opJmpR:
+        setPc(_regs[buf[1] & 0xf]);
+        return Fault::none;
+
+      case opLea:
+        _regs[dstOf()] = _regs[srcOf()] + imm32(2);
+        break;
+
+      case opSyscall:
+        switch (imm8(1)) {
+          case 0:
+            setFaultVa(pc_va);
+            return Fault::halt;
+          case 1:
+            inform("hx64 syscall print: %llu",
+                   (unsigned long long)_regs[rdi]);
+            break;
+          default:
+            setFaultVa(pc_va);
+            return Fault::illegalInstr;
+        }
+        break;
+
+      default:
+        setFaultVa(pc_va);
+        return Fault::illegalInstr;
+    }
+
+    setPc(next_pc);
+    return Fault::none;
+}
+
+} // namespace flick

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The HX64 host interpreter core.
+ *
+ * Models one Xeon-class host core at 2.4 GHz: IPC=1, a large TLB backed by
+ * the hardware walker, instruction fetch considered cache-resident (no
+ * I-cache charge), data accesses charged by route (host DRAM vs PCIe BAR).
+ */
+
+#ifndef FLICK_ISA_HX64_CORE_HH
+#define FLICK_ISA_HX64_CORE_HH
+
+#include <array>
+
+#include "isa/core.hh"
+
+namespace flick
+{
+
+/**
+ * HX64 interpreter.
+ */
+class Hx64Core : public Core
+{
+  public:
+    Hx64Core(const CoreParams &params, MemSystem &mem) : Core(params, mem)
+    {
+        _regs.fill(0);
+    }
+
+    IsaKind isa() const override { return IsaKind::hx64; }
+
+    std::uint64_t reg(unsigned r) const { return _regs[r]; }
+    void setReg(unsigned r, std::uint64_t v) { _regs[r] = v; }
+
+    // SysV-flavoured ABI: rdi, rsi, rdx, rcx, r8, r9; return in rax.
+    unsigned maxArgRegs() const override { return 6; }
+    std::uint64_t arg(unsigned i) const override;
+    void setArg(unsigned i, std::uint64_t v) override;
+    std::uint64_t retVal() const override { return _regs[0]; }
+    void setRetVal(std::uint64_t v) override { _regs[0] = v; }
+    std::uint64_t stackPointer() const override { return _regs[4]; }
+    void setStackPointer(std::uint64_t sp) override { _regs[4] = sp; }
+
+    void setupCall(VAddr target,
+                   const std::vector<std::uint64_t> &args) override;
+    void finishHijackedCall(std::uint64_t retval) override;
+
+    std::vector<std::uint64_t> saveContext() const override;
+    void restoreContext(const std::vector<std::uint64_t> &ctx) override;
+
+  protected:
+    Fault step() override;
+
+  private:
+    /** Untimed stack access through the MMU (runtime bookkeeping). */
+    std::uint64_t debugReadVa(VAddr va);
+    void debugWriteVa(VAddr va, std::uint64_t v);
+
+    bool evalCond(std::uint8_t cc) const;
+
+    std::array<std::uint64_t, 16> _regs;
+    /** Lazy flags: the last compare's operands. */
+    std::uint64_t _cmpA = 0;
+    std::uint64_t _cmpB = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_ISA_HX64_CORE_HH

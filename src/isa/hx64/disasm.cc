@@ -1,0 +1,204 @@
+#include "isa/hx64/disasm.hh"
+
+#include "isa/hx64/insn.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace hx64;
+
+const char *
+hx64RegName(unsigned r)
+{
+    static const char *names[16] = {
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+        "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    };
+    return r < 16 ? names[r] : "??";
+}
+
+namespace
+{
+
+std::int64_t
+imm32At(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return static_cast<std::int32_t>(v);
+}
+
+std::uint64_t
+imm64At(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+const char *
+aluName(std::uint8_t opcode)
+{
+    switch (opcode) {
+      case opAdd: case opAddI: return "add";
+      case opSub: case opSubI: return "sub";
+      case opAnd: case opAndI: return "and";
+      case opOr: case opOrI: return "or";
+      case opXor: case opXorI: return "xor";
+      case opShl: case opShlI: return "shl";
+      case opShr: case opShrI: return "shr";
+      case opSar: case opSarI: return "sar";
+      case opMul: return "mul";
+      case opUdiv: return "udiv";
+      case opUrem: return "urem";
+    }
+    return nullptr;
+}
+
+const char *
+condName(std::uint8_t cc)
+{
+    static const char *names[] = {"je", "jne", "jl", "jge", "jle",
+                                  "jg", "jb", "jae", "jbe", "ja"};
+    return cc < 10 ? names[cc] : nullptr;
+}
+
+std::string
+memForm(const char *op, unsigned dst, unsigned base, std::int64_t disp,
+        bool load)
+{
+    if (load) {
+        return strfmt("%s %s, [%s%+lld]", op, hx64RegName(dst),
+                      hx64RegName(base), (long long)disp);
+    }
+    return strfmt("%s [%s%+lld], %s", op, hx64RegName(base),
+                  (long long)disp, hx64RegName(dst));
+}
+
+} // namespace
+
+Hx64Disasm
+hx64Disassemble(const std::uint8_t *bytes, unsigned avail, VAddr pc)
+{
+    if (avail == 0)
+        return {".byte ??", 1};
+    std::uint8_t opcode = bytes[0];
+    unsigned len = insnLength(opcode);
+    if (len == 0 || len > avail)
+        return {strfmt(".byte 0x%02x", opcode), 1};
+
+    auto dst = [&] { return unsigned(bytes[1] >> 4); };
+    auto src = [&] { return unsigned(bytes[1] & 0xf); };
+    auto reg1 = [&] { return unsigned(bytes[1] & 0xf); };
+    VAddr next = pc + len;
+
+    switch (opcode) {
+      case opHalt: return {"halt", len};
+      case opNop: return {"nop", len};
+      case opRet: return {"ret", len};
+
+      case opMovRR:
+        return {strfmt("mov %s, %s", hx64RegName(dst()),
+                       hx64RegName(src())),
+                len};
+      case opMovI64:
+        return {strfmt("mov %s, 0x%llx", hx64RegName(reg1()),
+                       (unsigned long long)imm64At(bytes + 2)),
+                len};
+      case opMovI32:
+        return {strfmt("mov %s, %lld", hx64RegName(reg1()),
+                       (long long)imm32At(bytes + 2)),
+                len};
+
+      case opAdd: case opSub: case opAnd: case opOr: case opXor:
+      case opShl: case opShr: case opSar: case opMul: case opUdiv:
+      case opUrem:
+        return {strfmt("%s %s, %s", aluName(opcode), hx64RegName(dst()),
+                       hx64RegName(src())),
+                len};
+
+      case opAddI: case opSubI: case opAndI: case opOrI: case opXorI:
+        return {strfmt("%s %s, %lld", aluName(opcode),
+                       hx64RegName(reg1()),
+                       (long long)imm32At(bytes + 2)),
+                len};
+      case opShlI: case opShrI: case opSarI:
+        return {strfmt("%s %s, %u", aluName(opcode), hx64RegName(reg1()),
+                       unsigned(bytes[2])),
+                len};
+
+      case opLd8: return {memForm("ld8", dst(), src(),
+                                  imm32At(bytes + 2), true), len};
+      case opLd16: return {memForm("ld16", dst(), src(),
+                                   imm32At(bytes + 2), true), len};
+      case opLd32: return {memForm("ld32", dst(), src(),
+                                   imm32At(bytes + 2), true), len};
+      case opLd64: return {memForm("ld", dst(), src(),
+                                   imm32At(bytes + 2), true), len};
+      case opLds8: return {memForm("lds8", dst(), src(),
+                                   imm32At(bytes + 2), true), len};
+      case opLds16: return {memForm("lds16", dst(), src(),
+                                    imm32At(bytes + 2), true), len};
+      case opLds32: return {memForm("lds32", dst(), src(),
+                                    imm32At(bytes + 2), true), len};
+
+      case opSt8: return {memForm("st8", src(), dst(),
+                                  imm32At(bytes + 2), false), len};
+      case opSt16: return {memForm("st16", src(), dst(),
+                                   imm32At(bytes + 2), false), len};
+      case opSt32: return {memForm("st32", src(), dst(),
+                                   imm32At(bytes + 2), false), len};
+      case opSt64: return {memForm("st", src(), dst(),
+                                   imm32At(bytes + 2), false), len};
+
+      case opCmpRR:
+        return {strfmt("cmp %s, %s", hx64RegName(dst()),
+                       hx64RegName(src())),
+                len};
+      case opCmpI:
+        return {strfmt("cmp %s, %lld", hx64RegName(reg1()),
+                       (long long)imm32At(bytes + 2)),
+                len};
+
+      case opJmp:
+        return {strfmt("jmp 0x%llx",
+                       (unsigned long long)(next + imm32At(bytes + 1))),
+                len};
+      case opJcc: {
+        const char *name = condName(bytes[1]);
+        if (!name)
+            return {strfmt(".byte 0x%02x", opcode), 1};
+        return {strfmt("%s 0x%llx", name,
+                       (unsigned long long)(next + imm32At(bytes + 2))),
+                len};
+      }
+
+      case opCall:
+        return {strfmt("call 0x%llx",
+                       (unsigned long long)(next + imm32At(bytes + 1))),
+                len};
+      case opCallR:
+        return {strfmt("callr %s", hx64RegName(reg1())), len};
+      case opJmpR:
+        return {strfmt("jmp %s", hx64RegName(reg1())), len};
+      case opPush:
+        return {strfmt("push %s", hx64RegName(reg1())), len};
+      case opPop:
+        return {strfmt("pop %s", hx64RegName(reg1())), len};
+
+      case opLea:
+        return {strfmt("lea %s, [%s%+lld]", hx64RegName(dst()),
+                       hx64RegName(src()),
+                       (long long)imm32At(bytes + 2)),
+                len};
+
+      case opSyscall:
+        return {strfmt("syscall %u", unsigned(bytes[1])), len};
+    }
+    return {strfmt(".byte 0x%02x", opcode), 1};
+}
+
+} // namespace flick

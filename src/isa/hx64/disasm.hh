@@ -1,0 +1,39 @@
+/**
+ * @file
+ * HX64 disassembler.
+ */
+
+#ifndef FLICK_ISA_HX64_DISASM_HH
+#define FLICK_ISA_HX64_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+/** Result of disassembling one HX64 instruction. */
+struct Hx64Disasm
+{
+    std::string text;   //!< Assembly text (".byte 0x.." if invalid).
+    unsigned length;    //!< Bytes consumed (1 for invalid opcodes).
+};
+
+/**
+ * Disassemble one variable-length HX64 instruction.
+ *
+ * @param bytes At least insnLength(bytes[0]) valid bytes.
+ * @param avail Number of valid bytes at @p bytes.
+ * @param pc Address of the instruction (for relative targets).
+ */
+Hx64Disasm hx64Disassemble(const std::uint8_t *bytes, unsigned avail,
+                           VAddr pc);
+
+/** Register name (rax, rsp, r12, ...). */
+const char *hx64RegName(unsigned r);
+
+} // namespace flick
+
+#endif // FLICK_ISA_HX64_DISASM_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * HX64 instruction encoding.
+ *
+ * HX64 is the x86-like host ISA of the simulated platform: 16 GPRs named
+ * after x86-64 registers, a SysV-flavoured ABI (args in rdi/rsi/rdx/rcx/
+ * r8/r9, return in rax, stack-pushed return addresses) and, crucially for
+ * Flick, variable-length instructions (1..10 bytes). Encodings are a
+ * simplified byte-oriented format rather than real x86 ModRM — the
+ * properties Flick relies on (see DESIGN.md) are preserved.
+ *
+ * Layout per instruction:
+ *   [opcode]                          1 byte
+ *   [regbyte = dst<<4 | src]          when two registers are needed
+ *   [imm8 / imm32 / imm64 / disp32]   little endian
+ */
+
+#ifndef FLICK_ISA_HX64_INSN_HH
+#define FLICK_ISA_HX64_INSN_HH
+
+#include <cstdint>
+
+namespace flick::hx64
+{
+
+enum Opcode : std::uint8_t
+{
+    opHalt = 0x00,   //!< 1B
+    opNop = 0x01,    //!< 1B
+
+    opMovRR = 0x10,  //!< 2B [rb]
+    opMovI64 = 0x11, //!< 10B [dst][imm64]
+    opMovI32 = 0x12, //!< 6B [dst][imm32 sign-extended]
+
+    // Register-register ALU: 2B [rb], dst = dst OP src.
+    opAdd = 0x20,
+    opSub = 0x21,
+    opAnd = 0x22,
+    opOr = 0x23,
+    opXor = 0x24,
+    opShl = 0x25,
+    opShr = 0x26,
+    opSar = 0x27,
+    opMul = 0x28,
+    opUdiv = 0x29,
+    opUrem = 0x2a,
+
+    // Register-immediate ALU: 6B [dst][imm32], dst = dst OP simm32.
+    opAddI = 0x30,
+    opSubI = 0x31,
+    opAndI = 0x32,
+    opOrI = 0x33,
+    opXorI = 0x34,
+    // Shift-immediate: 3B [dst][imm8].
+    opShlI = 0x35,
+    opShrI = 0x36,
+    opSarI = 0x37,
+
+    // Loads: 6B [rb][disp32], dst = mem[src+disp]. Zero-extending.
+    opLd8 = 0x40,
+    opLd16 = 0x41,
+    opLd32 = 0x42,
+    opLd64 = 0x43,
+    // Sign-extending loads.
+    opLds8 = 0x44,
+    opLds16 = 0x45,
+    opLds32 = 0x46,
+
+    // Stores: 6B [rb][disp32], mem[dst+disp] = src.
+    opSt8 = 0x48,
+    opSt16 = 0x49,
+    opSt32 = 0x4a,
+    opSt64 = 0x4b,
+
+    // Compares: record operands; conditions evaluate lazily.
+    opCmpRR = 0x50,  //!< 2B [rb]
+    opCmpI = 0x51,   //!< 6B [reg][imm32 sign-extended]
+
+    opJmp = 0x60,    //!< 5B [rel32], relative to next instruction
+    opJcc = 0x61,    //!< 6B [cc][rel32]
+
+    opCall = 0x70,   //!< 5B [rel32]; pushes return address
+    opCallR = 0x71,  //!< 2B [reg]; indirect call (function pointers)
+    opRet = 0x72,    //!< 1B; pops return address
+    opPush = 0x74,   //!< 2B [reg]
+    opPop = 0x75,    //!< 2B [reg]
+    opJmpR = 0x76,   //!< 2B [reg]
+
+    opLea = 0x80,    //!< 6B [rb][disp32], dst = src + disp
+
+    opSyscall = 0x90, //!< 2B [imm8]: 0 exit, 1 print-int(rdi)
+};
+
+/** Condition codes for opJcc. */
+enum Cond : std::uint8_t
+{
+    ccEq = 0,
+    ccNe = 1,
+    ccLt = 2,  //!< signed <
+    ccGe = 3,  //!< signed >=
+    ccLe = 4,  //!< signed <=
+    ccGt = 5,  //!< signed >
+    ccB = 6,   //!< unsigned <
+    ccAe = 7,  //!< unsigned >=
+    ccBe = 8,  //!< unsigned <=
+    ccA = 9,   //!< unsigned >
+};
+
+/** Register numbers (x86-64 order). */
+enum Reg : std::uint8_t
+{
+    rax = 0, rcx = 1, rdx = 2, rbx = 3,
+    rsp = 4, rbp = 5, rsi = 6, rdi = 7,
+    r8 = 8, r9 = 9, r10 = 10, r11 = 11,
+    r12 = 12, r13 = 13, r14 = 14, r15 = 15,
+};
+
+/**
+ * Instruction length from its opcode, or 0 for an invalid opcode.
+ * Variable length is what lets an NxP fetch of HX64 bytes misalign.
+ */
+constexpr unsigned
+insnLength(std::uint8_t opcode)
+{
+    switch (opcode) {
+      case opHalt: case opNop: case opRet:
+        return 1;
+      case opMovRR: case opAdd: case opSub: case opAnd: case opOr:
+      case opXor: case opShl: case opShr: case opSar: case opMul:
+      case opUdiv: case opUrem: case opCmpRR: case opCallR: case opPush:
+      case opPop: case opJmpR: case opSyscall:
+        return 2;
+      case opShlI: case opShrI: case opSarI:
+        return 3;
+      case opJmp: case opCall:
+        return 5;
+      case opMovI32: case opAddI: case opSubI: case opAndI: case opOrI:
+      case opXorI: case opLd8: case opLd16: case opLd32: case opLd64:
+      case opLds8: case opLds16: case opLds32: case opSt8: case opSt16:
+      case opSt32: case opSt64: case opCmpI: case opJcc: case opLea:
+        return 6;
+      case opMovI64:
+        return 10;
+      default:
+        return 0;
+    }
+}
+
+} // namespace flick::hx64
+
+#endif // FLICK_ISA_HX64_INSN_HH

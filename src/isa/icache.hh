@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simple direct-mapped instruction cache model.
+ *
+ * The NxP's text lives in host memory; without an I-cache every fetch
+ * would cross PCIe (Section III-D relies on the I-cache making that
+ * placement cheap). The model tracks tags only — instruction bytes are
+ * read from backing store — and reports hit/miss so the core can charge a
+ * line fill on misses.
+ */
+
+#ifndef FLICK_ISA_ICACHE_HH
+#define FLICK_ISA_ICACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/sparse_memory.hh"
+#include "sim/stats.hh"
+
+namespace flick
+{
+
+/**
+ * Direct-mapped tag array indexed by physical address.
+ */
+class ICache
+{
+  public:
+    ICache(std::string name, std::uint32_t lines, std::uint32_t line_bytes)
+        : _lines(lines), _lineBytes(line_bytes), _tags(lines, invalidTag),
+          _stats(std::move(name))
+    {}
+
+    /**
+     * Access the line holding @p pa.
+     * @return true on hit; on miss the line is filled (tag installed).
+     */
+    bool
+    access(Addr pa)
+    {
+        Addr line_addr = pa / _lineBytes;
+        std::uint32_t index = static_cast<std::uint32_t>(line_addr % _lines);
+        if (_tags[index] == line_addr) {
+            _stats.inc("hits");
+            return true;
+        }
+        _tags[index] = line_addr;
+        _stats.inc("misses");
+        return false;
+    }
+
+    /** Invalidate all lines. */
+    void
+    flush()
+    {
+        _tags.assign(_lines, invalidTag);
+        _stats.inc("flushes");
+    }
+
+    std::uint32_t lineBytes() const { return _lineBytes; }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    static constexpr Addr invalidTag = ~Addr(0);
+
+    std::uint32_t _lines;
+    std::uint32_t _lineBytes;
+    std::vector<Addr> _tags;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_ISA_ICACHE_HH

@@ -1,0 +1,501 @@
+#include "isa/rv64/assembler.hh"
+
+#include <unordered_map>
+
+#include "isa/asm_common.hh"
+#include "isa/rv64/encoding.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace rv64;
+
+namespace
+{
+
+/** Register name table. */
+int
+regNum(const std::string &name)
+{
+    static const std::unordered_map<std::string, int> names = [] {
+        std::unordered_map<std::string, int> m;
+        for (int i = 0; i < 32; ++i)
+            m["x" + std::to_string(i)] = i;
+        m["zero"] = 0; m["ra"] = 1; m["sp"] = 2; m["gp"] = 3; m["tp"] = 4;
+        m["t0"] = 5; m["t1"] = 6; m["t2"] = 7;
+        m["s0"] = 8; m["fp"] = 8; m["s1"] = 9;
+        for (int i = 0; i < 8; ++i)
+            m["a" + std::to_string(i)] = 10 + i;
+        for (int i = 2; i < 12; ++i)
+            m["s" + std::to_string(i)] = 16 + i;
+        for (int i = 3; i < 7; ++i)
+            m["t" + std::to_string(i)] = 25 + i;
+        return m;
+    }();
+    auto it = names.find(name);
+    return it == names.end() ? -1 : it->second;
+}
+
+/** Expansion of li rd, imm (value known at assembly time). */
+void
+liSequence(unsigned rd_, std::int64_t value, std::vector<std::uint32_t> &out)
+{
+    if (value >= -2048 && value <= 2047) {
+        out.push_back(encI(opImm, rd_, 0, regZero, value)); // addi
+        return;
+    }
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+        std::int64_t hi = (value + 0x800) >> 12;
+        std::int64_t lo = value - (hi << 12);
+        out.push_back(encU(opLui, rd_, hi));
+        if (lo != 0)
+            out.push_back(encI(opImm32, rd_, 0, rd_, lo)); // addiw
+        return;
+    }
+    // General 64-bit: build the upper part recursively, then shift in
+    // 12-bit chunks.
+    std::int64_t lo = (value << 52) >> 52; // sign-extended low 12
+    std::int64_t hi = (value - lo) >> 12;
+    liSequence(rd_, hi, out);
+    out.push_back(encI(opImm, rd_, 1, rd_, 12)); // slli rd, rd, 12
+    if (lo != 0)
+        out.push_back(encI(opImm, rd_, 0, rd_, lo)); // addi
+}
+
+struct Emitter
+{
+    Section section;
+    int lineNo = 0;
+
+    [[noreturn]] void
+    error(const char *msg, const std::string &detail = "") const
+    {
+        fatal("rv64 asm line %d: %s%s%s", lineNo, msg,
+              detail.empty() ? "" : ": ", detail.c_str());
+    }
+
+    std::uint64_t offset() const { return section.bytes.size(); }
+
+    void
+    emit32(std::uint32_t insn)
+    {
+        for (int i = 0; i < 4; ++i)
+            section.bytes.push_back(
+                static_cast<std::uint8_t>(insn >> (8 * i)));
+    }
+
+    void
+    emit64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            section.bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    unsigned
+    reg(const std::string &s) const
+    {
+        int r = regNum(s);
+        if (r < 0)
+            error("bad register", s);
+        return static_cast<unsigned>(r);
+    }
+
+    std::int64_t
+    intOp(const std::string &s) const
+    {
+        auto v = parseIntLiteral(s);
+        if (!v)
+            error("expected integer literal", s);
+        return *v;
+    }
+
+    /** Parse "off(reg)" / "(reg)"; returns {reg, offset}. */
+    std::pair<unsigned, std::int64_t>
+    memOp(const std::string &s) const
+    {
+        std::size_t open = s.find('(');
+        std::size_t close = s.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+            error("expected off(reg) operand", s);
+        }
+        std::string off = s.substr(0, open);
+        std::string base = s.substr(open + 1, close - open - 1);
+        std::int64_t disp = 0;
+        if (!off.empty()) {
+            auto v = parseIntLiteral(off);
+            if (!v)
+                error("bad displacement", off);
+            disp = *v;
+        }
+        if (disp < -2048 || disp > 2047)
+            error("displacement out of I/S range", s);
+        return {reg(base), disp};
+    }
+
+    void
+    addReloc(const std::string &symbol, RelocType type,
+             std::uint64_t at_offset)
+    {
+        if (!isSymbolName(symbol))
+            error("bad symbol name", symbol);
+        section.relocations.push_back({at_offset, symbol, type, 0});
+    }
+};
+
+/** Instruction classes for the mnemonic table. */
+struct RInfo { unsigned f3, f7; std::uint32_t opcode; };
+struct IInfo { unsigned f3; std::uint32_t opcode; bool shamt6; };
+struct LInfo { unsigned f3; };
+struct BInfo { unsigned f3; };
+
+const std::unordered_map<std::string, RInfo> rOps = {
+    {"add", {0, 0x00, opReg}},   {"sub", {0, 0x20, opReg}},
+    {"sll", {1, 0x00, opReg}},   {"slt", {2, 0x00, opReg}},
+    {"sltu", {3, 0x00, opReg}},  {"xor", {4, 0x00, opReg}},
+    {"srl", {5, 0x00, opReg}},   {"sra", {5, 0x20, opReg}},
+    {"or", {6, 0x00, opReg}},    {"and", {7, 0x00, opReg}},
+    {"mul", {0, 0x01, opReg}},   {"div", {4, 0x01, opReg}},
+    {"divu", {5, 0x01, opReg}},  {"rem", {6, 0x01, opReg}},
+    {"remu", {7, 0x01, opReg}},
+    {"addw", {0, 0x00, opReg32}}, {"subw", {0, 0x20, opReg32}},
+    {"sllw", {1, 0x00, opReg32}}, {"srlw", {5, 0x00, opReg32}},
+    {"sraw", {5, 0x20, opReg32}}, {"mulw", {0, 0x01, opReg32}},
+    {"divw", {4, 0x01, opReg32}}, {"divuw", {5, 0x01, opReg32}},
+    {"remw", {6, 0x01, opReg32}}, {"remuw", {7, 0x01, opReg32}},
+};
+
+const std::unordered_map<std::string, IInfo> iOps = {
+    {"addi", {0, opImm, false}},  {"slti", {2, opImm, false}},
+    {"sltiu", {3, opImm, false}}, {"xori", {4, opImm, false}},
+    {"ori", {6, opImm, false}},   {"andi", {7, opImm, false}},
+    {"addiw", {0, opImm32, false}},
+};
+
+/** Shift-immediate ops (separate: shamt encoding + funct7). */
+struct ShiftInfo { unsigned f3; std::uint32_t opcode; unsigned f7; };
+const std::unordered_map<std::string, ShiftInfo> shiftOps = {
+    {"slli", {1, opImm, 0x00}},   {"srli", {5, opImm, 0x00}},
+    {"srai", {5, opImm, 0x20}},   {"slliw", {1, opImm32, 0x00}},
+    {"srliw", {5, opImm32, 0x00}}, {"sraiw", {5, opImm32, 0x20}},
+};
+
+const std::unordered_map<std::string, LInfo> loadOps = {
+    {"lb", {0}}, {"lh", {1}}, {"lw", {2}}, {"ld", {3}},
+    {"lbu", {4}}, {"lhu", {5}}, {"lwu", {6}},
+};
+
+const std::unordered_map<std::string, LInfo> storeOps = {
+    {"sb", {0}}, {"sh", {1}}, {"sw", {2}}, {"sd", {3}},
+};
+
+const std::unordered_map<std::string, BInfo> branchOps = {
+    {"beq", {0}}, {"bne", {1}}, {"blt", {4}}, {"bge", {5}},
+    {"bltu", {6}}, {"bgeu", {7}},
+};
+
+} // namespace
+
+Section
+rv64Assemble(const std::string &source, const std::string &section_name)
+{
+    Emitter em;
+    em.section.name = section_name;
+    em.section.isa = IsaKind::rv64;
+    em.section.executable = true;
+    em.section.align = 4096;
+
+    for (const AsmLine &line : lexAsm(source)) {
+        em.lineNo = line.lineNo;
+        for (const std::string &label : line.labels) {
+            if (em.section.symbols.count(label))
+                em.error("duplicate label", label);
+            em.section.symbols[label] = em.offset();
+        }
+        if (line.op.empty())
+            continue;
+
+        const std::string &op = line.op;
+        const auto &ops = line.operands;
+        auto need = [&](std::size_t n) {
+            if (ops.size() != n)
+                em.error("wrong operand count", op);
+        };
+
+        // Directives.
+        if (op == ".global" || op == ".globl" || op == ".text") {
+            continue; // all symbols are global; single text section
+        }
+        if (op == ".align") {
+            need(1);
+            std::uint64_t align = 1ull << em.intOp(ops[0]);
+            while (em.offset() % align)
+                em.emit32(encI(opImm, 0, 0, 0, 0)); // nop padding
+            continue;
+        }
+        if (op == ".quad") {
+            for (const auto &o : ops) {
+                if (auto v = parseIntLiteral(o)) {
+                    em.emit64(static_cast<std::uint64_t>(*v));
+                } else {
+                    em.addReloc(o, RelocType::abs64, em.offset());
+                    em.emit64(0);
+                }
+            }
+            continue;
+        }
+        if (op == ".space") {
+            need(1);
+            std::int64_t n = em.intOp(ops[0]);
+            em.section.bytes.insert(em.section.bytes.end(),
+                                    static_cast<std::size_t>(n), 0);
+            continue;
+        }
+
+        // R-type.
+        if (auto it = rOps.find(op); it != rOps.end()) {
+            need(3);
+            em.emit32(encR(it->second.opcode, em.reg(ops[0]),
+                           it->second.f3, em.reg(ops[1]), em.reg(ops[2]),
+                           it->second.f7));
+            continue;
+        }
+        // I-type arithmetic.
+        if (auto it = iOps.find(op); it != iOps.end()) {
+            need(3);
+            std::int64_t imm = em.intOp(ops[2]);
+            if (imm < -2048 || imm > 2047)
+                em.error("immediate out of range", ops[2]);
+            em.emit32(encI(it->second.opcode, em.reg(ops[0]),
+                           it->second.f3, em.reg(ops[1]), imm));
+            continue;
+        }
+        // Shifts.
+        if (auto it = shiftOps.find(op); it != shiftOps.end()) {
+            need(3);
+            std::int64_t sh = em.intOp(ops[2]);
+            unsigned max_sh = it->second.opcode == opImm ? 63 : 31;
+            if (sh < 0 || sh > max_sh)
+                em.error("shift amount out of range", ops[2]);
+            em.emit32(encI(it->second.opcode, em.reg(ops[0]),
+                           it->second.f3, em.reg(ops[1]),
+                           sh | (std::int64_t(it->second.f7) << 5)));
+            continue;
+        }
+        // Loads.
+        if (auto it = loadOps.find(op); it != loadOps.end()) {
+            need(2);
+            auto [base, disp] = em.memOp(ops[1]);
+            em.emit32(encI(opLoad, em.reg(ops[0]), it->second.f3, base,
+                           disp));
+            continue;
+        }
+        // Stores.
+        if (auto it = storeOps.find(op); it != storeOps.end()) {
+            need(2);
+            auto [base, disp] = em.memOp(ops[1]);
+            em.emit32(encS(opStore, it->second.f3, base, em.reg(ops[0]),
+                           disp));
+            continue;
+        }
+        // Branches (target is always a symbol -> relocation).
+        if (auto it = branchOps.find(op); it != branchOps.end()) {
+            need(3);
+            em.addReloc(ops[2], RelocType::rvBranch12, em.offset());
+            em.emit32(encB(opBranch, it->second.f3, em.reg(ops[0]),
+                           em.reg(ops[1]), 0));
+            continue;
+        }
+
+        if (op == "beqz" || op == "bnez") {
+            need(2);
+            em.addReloc(ops[1], RelocType::rvBranch12, em.offset());
+            em.emit32(encB(opBranch, op == "beqz" ? 0u : 1u,
+                           em.reg(ops[0]), regZero, 0));
+            continue;
+        }
+        if (op == "lui" || op == "auipc") {
+            need(2);
+            std::int64_t imm = em.intOp(ops[1]);
+            em.emit32(encU(op == "lui" ? opLui : opAuipc, em.reg(ops[0]),
+                           imm));
+            continue;
+        }
+        if (op == "jal") {
+            // jal label | jal rd, label
+            unsigned rd_ = regRa;
+            std::string target;
+            if (ops.size() == 1) {
+                target = ops[0];
+            } else if (ops.size() == 2) {
+                rd_ = em.reg(ops[0]);
+                target = ops[1];
+            } else {
+                em.error("jal takes 1 or 2 operands");
+            }
+            em.addReloc(target, RelocType::rvJal20, em.offset());
+            em.emit32(encJ(opJal, rd_, 0));
+            continue;
+        }
+        if (op == "jalr") {
+            // jalr rs | jalr rd, off(rs)
+            if (ops.size() == 1) {
+                em.emit32(encI(opJalr, regRa, 0, em.reg(ops[0]), 0));
+            } else if (ops.size() == 2) {
+                auto [base, disp] = em.memOp(ops[1]);
+                em.emit32(encI(opJalr, em.reg(ops[0]), 0, base, disp));
+            } else {
+                em.error("jalr takes 1 or 2 operands");
+            }
+            continue;
+        }
+        if (op == "j") {
+            need(1);
+            em.addReloc(ops[0], RelocType::rvJal20, em.offset());
+            em.emit32(encJ(opJal, regZero, 0));
+            continue;
+        }
+        if (op == "call") {
+            // Always the AUIPC+JALR pair so any section is reachable.
+            need(1);
+            em.addReloc(ops[0], RelocType::rvAuipcPair, em.offset());
+            em.emit32(encU(opAuipc, regRa, 0));
+            em.emit32(encI(opJalr, regRa, 0, regRa, 0));
+            continue;
+        }
+        if (op == "la") {
+            need(2);
+            unsigned rd_ = em.reg(ops[0]);
+            em.addReloc(ops[1], RelocType::rvAuipcPair, em.offset());
+            em.emit32(encU(opAuipc, rd_, 0));
+            em.emit32(encI(opImm, rd_, 0, rd_, 0)); // addi rd, rd, lo
+            continue;
+        }
+        if (op == "li") {
+            need(2);
+            std::vector<std::uint32_t> seq;
+            liSequence(em.reg(ops[0]), em.intOp(ops[1]), seq);
+            for (std::uint32_t insn : seq)
+                em.emit32(insn);
+            continue;
+        }
+        if (op == "mv") {
+            need(2);
+            em.emit32(encI(opImm, em.reg(ops[0]), 0, em.reg(ops[1]), 0));
+            continue;
+        }
+        if (op == "not") {
+            need(2);
+            em.emit32(encI(opImm, em.reg(ops[0]), 4, em.reg(ops[1]), -1));
+            continue;
+        }
+        if (op == "neg") {
+            need(2);
+            em.emit32(encR(opReg, em.reg(ops[0]), 0, regZero,
+                           em.reg(ops[1]), 0x20));
+            continue;
+        }
+        if (op == "seqz") {
+            need(2);
+            em.emit32(encI(opImm, em.reg(ops[0]), 3, em.reg(ops[1]), 1));
+            continue;
+        }
+        if (op == "snez") {
+            need(2);
+            em.emit32(encR(opReg, em.reg(ops[0]), 3, regZero,
+                           em.reg(ops[1]), 0));
+            continue;
+        }
+        if (op == "ret") {
+            em.emit32(encI(opJalr, regZero, 0, regRa, 0));
+            continue;
+        }
+        if (op == "nop") {
+            em.emit32(encI(opImm, 0, 0, 0, 0));
+            continue;
+        }
+        if (op == "ecall") {
+            em.emit32(encI(opSystem, 0, 0, 0, 0));
+            continue;
+        }
+        if (op == "ebreak") {
+            em.emit32(encI(opSystem, 0, 0, 0, 1));
+            continue;
+        }
+
+        em.error("unknown mnemonic", op);
+    }
+
+    return std::move(em.section);
+}
+
+void
+rv64ApplyRelocation(std::vector<std::uint8_t> &bytes,
+                    const Relocation &reloc, VAddr section_base,
+                    VAddr sym_va)
+{
+    auto read32 = [&](std::uint64_t o) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(bytes[o + i]) << (8 * i);
+        return v;
+    };
+    auto write32 = [&](std::uint64_t o, std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            bytes[o + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+
+    VAddr site = section_base + reloc.offset;
+    std::int64_t delta = static_cast<std::int64_t>(sym_va + reloc.addend) -
+                         static_cast<std::int64_t>(site);
+
+    switch (reloc.type) {
+      case RelocType::abs64: {
+        std::uint64_t v = sym_va + reloc.addend;
+        for (int i = 0; i < 8; ++i)
+            bytes[reloc.offset + i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+      case RelocType::rvJal20: {
+        if (delta < -(1 << 20) || delta >= (1 << 20) || (delta & 1))
+            fatal("rv64 reloc: jal target %s out of range (delta %lld)",
+                  reloc.symbol.c_str(), (long long)delta);
+        std::uint32_t insn = read32(reloc.offset);
+        write32(reloc.offset,
+                (insn & 0xfffu) | (encJ(0, 0, delta) & ~0xfffu));
+        break;
+      }
+      case RelocType::rvBranch12: {
+        if (delta < -(1 << 12) || delta >= (1 << 12) || (delta & 1))
+            fatal("rv64 reloc: branch target %s out of range (delta %lld)",
+                  reloc.symbol.c_str(), (long long)delta);
+        std::uint32_t insn = read32(reloc.offset);
+        std::uint32_t keep = insn & 0x01fff07fu;
+        std::uint32_t imm = encB(0, 0, 0, 0, delta) & ~0x01fff07fu;
+        write32(reloc.offset, keep | imm);
+        break;
+      }
+      case RelocType::rvAuipcPair: {
+        std::int64_t hi = (delta + 0x800) >> 12;
+        std::int64_t lo = delta - (hi << 12);
+        if (hi < -(1 << 19) || hi >= (1 << 19))
+            fatal("rv64 reloc: auipc target %s out of range",
+                  reloc.symbol.c_str());
+        std::uint32_t auipc = read32(reloc.offset);
+        write32(reloc.offset,
+                (auipc & 0xfffu) |
+                    (static_cast<std::uint32_t>(hi & 0xfffff) << 12));
+        std::uint32_t itype = read32(reloc.offset + 4);
+        write32(reloc.offset + 4,
+                (itype & 0x000fffffu) |
+                    (static_cast<std::uint32_t>(lo & 0xfff) << 20));
+        break;
+      }
+      default:
+        panic("rv64 relocation with non-rv64 type");
+    }
+}
+
+} // namespace flick

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * RV64 assembler.
+ *
+ * Assembles standard RISC-V assembly (RV64IM subset plus the common
+ * pseudo-instructions li/la/call/j/ret/mv/nop/beqz/bnez/seqz/snez/neg/not)
+ * into a relocatable .text.rv64 section. Every symbolic reference becomes
+ * a relocation; the multi-ISA linker resolves them across sections and
+ * ISAs, so NxP code can name host functions directly (Section IV-C).
+ */
+
+#ifndef FLICK_ISA_RV64_ASSEMBLER_HH
+#define FLICK_ISA_RV64_ASSEMBLER_HH
+
+#include <string>
+
+#include "loader/objfile.hh"
+
+namespace flick
+{
+
+/**
+ * Assemble RV64 source into one section.
+ *
+ * @param source Assembly text.
+ * @param section_name Output section name (default ".text.rv64").
+ * Errors in the source are user errors and abort via fatal().
+ */
+Section rv64Assemble(const std::string &source,
+                     const std::string &section_name = ".text.rv64");
+
+/**
+ * Apply one relocation to RV64 section bytes.
+ *
+ * @param bytes Section contents.
+ * @param reloc The relocation (offset/type/addend).
+ * @param section_base Virtual address the section is linked at.
+ * @param sym_va Resolved virtual address of the symbol.
+ */
+void rv64ApplyRelocation(std::vector<std::uint8_t> &bytes,
+                         const Relocation &reloc, VAddr section_base,
+                         VAddr sym_va);
+
+} // namespace flick
+
+#endif // FLICK_ISA_RV64_ASSEMBLER_HH

@@ -1,0 +1,328 @@
+#include "isa/rv64/core.hh"
+
+#include "isa/rv64/encoding.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace rv64;
+
+void
+Rv64Core::setupCall(VAddr target, const std::vector<std::uint64_t> &args)
+{
+    if (args.size() > maxArgRegs())
+        panic("rv64 setupCall with %zu args (max 8)", args.size());
+    for (unsigned i = 0; i < args.size(); ++i)
+        setArg(i, args[i]);
+    setReg(regRa, runtimeTrampoline);
+    setPc(target);
+}
+
+void
+Rv64Core::finishHijackedCall(std::uint64_t retval)
+{
+    // The faulted call left the return address in ra; delivering the value
+    // in a0 and jumping to ra is exactly the callee's `ret`.
+    setRetVal(retval);
+    setPc(reg(regRa));
+}
+
+std::vector<std::uint64_t>
+Rv64Core::saveContext() const
+{
+    std::vector<std::uint64_t> ctx(_regs.begin(), _regs.end());
+    ctx.push_back(pc());
+    return ctx;
+}
+
+void
+Rv64Core::restoreContext(const std::vector<std::uint64_t> &ctx)
+{
+    if (ctx.size() != 33)
+        panic("rv64 restoreContext with %zu words", ctx.size());
+    for (unsigned i = 0; i < 32; ++i)
+        _regs[i] = ctx[i];
+    _regs[0] = 0;
+    setPc(ctx[32]);
+}
+
+Fault
+Rv64Core::step()
+{
+    VAddr pc_va = pc();
+    if (pc_va & 3) {
+        // The secondary NxP migration trigger: host text is variable
+        // length, so calls into it usually hit this before the NX check.
+        setFaultVa(pc_va);
+        return Fault::misalignedFetch;
+    }
+
+    Addr pa = 0;
+    if (Fault f = fetchTranslate(pc_va, pa); f != Fault::none)
+        return f;
+
+    std::uint32_t insn = 0;
+    fetchBytes(pa, &insn, 4);
+    chargeCycles(1);
+    return execute(insn);
+}
+
+Fault
+Rv64Core::execute(std::uint32_t insn)
+{
+    const VAddr next_pc = pc() + 4;
+    const std::uint32_t opcode = insn & 0x7f;
+
+    switch (opcode) {
+      case opLui:
+        setReg(rd(insn), static_cast<std::uint64_t>(immU(insn)));
+        break;
+
+      case opAuipc:
+        setReg(rd(insn), pc() + static_cast<std::uint64_t>(immU(insn)));
+        break;
+
+      case opJal: {
+        VAddr target = pc() + static_cast<std::uint64_t>(immJ(insn));
+        setReg(rd(insn), next_pc);
+        setPc(target);
+        return Fault::none;
+      }
+
+      case opJalr: {
+        VAddr target = (reg(rs1(insn)) +
+                        static_cast<std::uint64_t>(immI(insn))) & ~VAddr(1);
+        setReg(rd(insn), next_pc);
+        setPc(target);
+        return Fault::none;
+      }
+
+      case opBranch: {
+        std::uint64_t a = reg(rs1(insn));
+        std::uint64_t b = reg(rs2(insn));
+        bool taken = false;
+        switch (funct3(insn)) {
+          case 0: taken = a == b; break;                     // beq
+          case 1: taken = a != b; break;                     // bne
+          case 4: taken = std::int64_t(a) < std::int64_t(b); break;  // blt
+          case 5: taken = std::int64_t(a) >= std::int64_t(b); break; // bge
+          case 6: taken = a < b; break;                      // bltu
+          case 7: taken = a >= b; break;                     // bgeu
+          default:
+            setFaultVa(pc());
+            return Fault::illegalInstr;
+        }
+        setPc(taken ? pc() + static_cast<std::uint64_t>(immB(insn))
+                    : next_pc);
+        return Fault::none;
+      }
+
+      case opLoad: {
+        VAddr va = reg(rs1(insn)) + static_cast<std::uint64_t>(immI(insn));
+        std::uint64_t v = 0;
+        unsigned f3 = funct3(insn);
+        static const unsigned sizes[] = {1, 2, 4, 8, 1, 2, 4, 0};
+        unsigned len = sizes[f3];
+        if (len == 0) {
+            setFaultVa(pc());
+            return Fault::illegalInstr;
+        }
+        bool sign = f3 <= 3;
+        if (Fault f = dataRead(va, len, sign, v); f != Fault::none)
+            return f;
+        setReg(rd(insn), v);
+        break;
+      }
+
+      case opStore: {
+        VAddr va = reg(rs1(insn)) + static_cast<std::uint64_t>(immS(insn));
+        unsigned f3 = funct3(insn);
+        if (f3 > 3) {
+            setFaultVa(pc());
+            return Fault::illegalInstr;
+        }
+        unsigned len = 1u << f3;
+        if (Fault f = dataWrite(va, len, reg(rs2(insn))); f != Fault::none)
+            return f;
+        break;
+      }
+
+      case opImm: {
+        std::uint64_t a = reg(rs1(insn));
+        std::uint64_t imm = static_cast<std::uint64_t>(immI(insn));
+        std::uint64_t r = 0;
+        switch (funct3(insn)) {
+          case 0: r = a + imm; break;                             // addi
+          case 1: r = a << (insn >> 20 & 0x3f); break;            // slli
+          case 2: r = std::int64_t(a) < std::int64_t(imm); break; // slti
+          case 3: r = a < imm; break;                             // sltiu
+          case 4: r = a ^ imm; break;                             // xori
+          case 5:                                                 // srli/srai
+            if (funct7(insn) & 0x20)
+                r = static_cast<std::uint64_t>(std::int64_t(a) >>
+                                               (insn >> 20 & 0x3f));
+            else
+                r = a >> (insn >> 20 & 0x3f);
+            break;
+          case 6: r = a | imm; break;                             // ori
+          case 7: r = a & imm; break;                             // andi
+        }
+        setReg(rd(insn), r);
+        break;
+      }
+
+      case opImm32: {
+        std::uint32_t a = static_cast<std::uint32_t>(reg(rs1(insn)));
+        std::uint32_t imm = static_cast<std::uint32_t>(immI(insn));
+        std::uint32_t r = 0;
+        switch (funct3(insn)) {
+          case 0: r = a + imm; break;                             // addiw
+          case 1: r = a << (insn >> 20 & 0x1f); break;            // slliw
+          case 5:                                                 // srliw/sraiw
+            if (funct7(insn) & 0x20)
+                r = static_cast<std::uint32_t>(std::int32_t(a) >>
+                                               (insn >> 20 & 0x1f));
+            else
+                r = a >> (insn >> 20 & 0x1f);
+            break;
+          default:
+            setFaultVa(pc());
+            return Fault::illegalInstr;
+        }
+        setReg(rd(insn), static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(
+                                 static_cast<std::int32_t>(r))));
+        break;
+      }
+
+      case opReg: {
+        std::uint64_t a = reg(rs1(insn));
+        std::uint64_t b = reg(rs2(insn));
+        std::uint64_t r = 0;
+        unsigned f3 = funct3(insn);
+        unsigned f7 = funct7(insn);
+        if (f7 == 0x01) {
+            // M extension.
+            switch (f3) {
+              case 0: r = a * b; break;                           // mul
+              case 4:                                             // div
+                r = b == 0 ? ~0ull
+                           : static_cast<std::uint64_t>(
+                                 std::int64_t(a) / std::int64_t(b));
+                break;
+              case 5: r = b == 0 ? ~0ull : a / b; break;          // divu
+              case 6:                                             // rem
+                r = b == 0 ? a
+                           : static_cast<std::uint64_t>(
+                                 std::int64_t(a) % std::int64_t(b));
+                break;
+              case 7: r = b == 0 ? a : a % b; break;              // remu
+              default:
+                setFaultVa(pc());
+                return Fault::illegalInstr;
+            }
+        } else {
+            switch (f3) {
+              case 0: r = (f7 & 0x20) ? a - b : a + b; break;     // add/sub
+              case 1: r = a << (b & 0x3f); break;                 // sll
+              case 2: r = std::int64_t(a) < std::int64_t(b); break; // slt
+              case 3: r = a < b; break;                           // sltu
+              case 4: r = a ^ b; break;                           // xor
+              case 5:                                             // srl/sra
+                if (f7 & 0x20)
+                    r = static_cast<std::uint64_t>(std::int64_t(a) >>
+                                                   (b & 0x3f));
+                else
+                    r = a >> (b & 0x3f);
+                break;
+              case 6: r = a | b; break;                           // or
+              case 7: r = a & b; break;                           // and
+            }
+        }
+        setReg(rd(insn), r);
+        break;
+      }
+
+      case opReg32: {
+        std::uint32_t a = static_cast<std::uint32_t>(reg(rs1(insn)));
+        std::uint32_t b = static_cast<std::uint32_t>(reg(rs2(insn)));
+        std::uint32_t r = 0;
+        unsigned f3 = funct3(insn);
+        unsigned f7 = funct7(insn);
+        if (f7 == 0x01) {
+            switch (f3) {
+              case 0: r = a * b; break;                           // mulw
+              case 4:                                             // divw
+                r = b == 0 ? ~0u
+                           : static_cast<std::uint32_t>(
+                                 std::int32_t(a) / std::int32_t(b));
+                break;
+              case 5: r = b == 0 ? ~0u : a / b; break;            // divuw
+              case 6:                                             // remw
+                r = b == 0 ? a
+                           : static_cast<std::uint32_t>(
+                                 std::int32_t(a) % std::int32_t(b));
+                break;
+              case 7: r = b == 0 ? a : a % b; break;              // remuw
+              default:
+                setFaultVa(pc());
+                return Fault::illegalInstr;
+            }
+        } else {
+            switch (f3) {
+              case 0: r = (f7 & 0x20) ? a - b : a + b; break;     // addw/subw
+              case 1: r = a << (b & 0x1f); break;                 // sllw
+              case 5:                                             // srlw/sraw
+                if (f7 & 0x20)
+                    r = static_cast<std::uint32_t>(std::int32_t(a) >>
+                                                   (b & 0x1f));
+                else
+                    r = a >> (b & 0x1f);
+                break;
+              default:
+                setFaultVa(pc());
+                return Fault::illegalInstr;
+            }
+        }
+        setReg(rd(insn), static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(
+                                 static_cast<std::int32_t>(r))));
+        break;
+      }
+
+      case opSystem: {
+        std::uint32_t f12 = insn >> 20;
+        if (f12 == 0 && funct3(insn) == 0) {
+            // ECALL: a7 selects the debug service.
+            std::uint64_t nr = reg(regA7);
+            if (nr == 93) { // exit
+                setFaultVa(pc());
+                return Fault::halt;
+            }
+            if (nr == 1) { // debug: print integer in a0
+                inform("rv64 ecall print: %llu",
+                       (unsigned long long)reg(regA0));
+                break;
+            }
+            setFaultVa(pc());
+            return Fault::illegalInstr;
+        }
+        if (f12 == 1 && funct3(insn) == 0) { // EBREAK
+            setFaultVa(pc());
+            return Fault::halt;
+        }
+        setFaultVa(pc());
+        return Fault::illegalInstr;
+      }
+
+      default:
+        setFaultVa(pc());
+        return Fault::illegalInstr;
+    }
+
+    setPc(next_pc);
+    return Fault::none;
+}
+
+} // namespace flick

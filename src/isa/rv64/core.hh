@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The RV64 NxP interpreter core.
+ *
+ * Models the paper's in-order scalar RV64-I soft core at 200 MHz, with
+ * 16-entry one-cycle L1 TLBs backed by the programmable MMU walker, an
+ * I-cache (text lives in host memory, Section III-D) and an uncached data
+ * path (PCIe forbids coherent D-caching of host memory, Section IV-A).
+ */
+
+#ifndef FLICK_ISA_RV64_CORE_HH
+#define FLICK_ISA_RV64_CORE_HH
+
+#include <array>
+
+#include "isa/core.hh"
+
+namespace flick
+{
+
+/**
+ * RV64IM interpreter.
+ */
+class Rv64Core : public Core
+{
+  public:
+    Rv64Core(const CoreParams &params, MemSystem &mem) : Core(params, mem)
+    {
+        _regs.fill(0);
+    }
+
+    IsaKind isa() const override { return IsaKind::rv64; }
+
+    /** Read integer register @p r (x0 reads as zero). */
+    std::uint64_t reg(unsigned r) const { return r == 0 ? 0 : _regs[r]; }
+
+    /** Write integer register @p r (writes to x0 are dropped). */
+    void
+    setReg(unsigned r, std::uint64_t v)
+    {
+        if (r != 0)
+            _regs[r] = v;
+    }
+
+    // ABI: a0..a7 (x10..x17) carry arguments; a0 the return value.
+    unsigned maxArgRegs() const override { return 8; }
+    std::uint64_t arg(unsigned i) const override { return reg(10 + i); }
+    void setArg(unsigned i, std::uint64_t v) override { setReg(10 + i, v); }
+    std::uint64_t retVal() const override { return reg(10); }
+    void setRetVal(std::uint64_t v) override { setReg(10, v); }
+    std::uint64_t stackPointer() const override { return reg(2); }
+    void setStackPointer(std::uint64_t sp) override { setReg(2, sp); }
+
+    void setupCall(VAddr target,
+                   const std::vector<std::uint64_t> &args) override;
+    void finishHijackedCall(std::uint64_t retval) override;
+
+    std::vector<std::uint64_t> saveContext() const override;
+    void restoreContext(const std::vector<std::uint64_t> &ctx) override;
+
+  protected:
+    Fault step() override;
+
+  private:
+    Fault execute(std::uint32_t insn);
+
+    std::array<std::uint64_t, 32> _regs;
+};
+
+} // namespace flick
+
+#endif // FLICK_ISA_RV64_CORE_HH

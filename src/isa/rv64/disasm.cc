@@ -1,0 +1,203 @@
+#include "isa/rv64/disasm.hh"
+
+#include "isa/rv64/encoding.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+using namespace rv64;
+
+const char *
+rv64RegName(unsigned r)
+{
+    static const char *names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    return r < 32 ? names[r] : "??";
+}
+
+namespace
+{
+
+std::string
+rrr(const char *op, unsigned d, unsigned s1, unsigned s2)
+{
+    return strfmt("%s %s, %s, %s", op, rv64RegName(d), rv64RegName(s1),
+                  rv64RegName(s2));
+}
+
+std::string
+rri(const char *op, unsigned d, unsigned s1, std::int64_t imm)
+{
+    return strfmt("%s %s, %s, %lld", op, rv64RegName(d), rv64RegName(s1),
+                  (long long)imm);
+}
+
+const char *
+loadName(unsigned f3)
+{
+    static const char *names[8] = {"lb", "lh", "lw", "ld",
+                                   "lbu", "lhu", "lwu", nullptr};
+    return names[f3];
+}
+
+const char *
+storeName(unsigned f3)
+{
+    static const char *names[4] = {"sb", "sh", "sw", "sd"};
+    return f3 < 4 ? names[f3] : nullptr;
+}
+
+const char *
+branchName(unsigned f3)
+{
+    switch (f3) {
+      case 0: return "beq";
+      case 1: return "bne";
+      case 4: return "blt";
+      case 5: return "bge";
+      case 6: return "bltu";
+      case 7: return "bgeu";
+    }
+    return nullptr;
+}
+
+const char *
+opName(unsigned f3, unsigned f7, bool word)
+{
+    if (f7 == 0x01) {
+        static const char *m[8] = {"mul", nullptr, nullptr, nullptr,
+                                   "div", "divu", "rem", "remu"};
+        static const char *mw[8] = {"mulw", nullptr, nullptr, nullptr,
+                                    "divw", "divuw", "remw", "remuw"};
+        return word ? mw[f3] : m[f3];
+    }
+    bool alt = f7 == 0x20;
+    switch (f3) {
+      case 0: return alt ? (word ? "subw" : "sub") : (word ? "addw"
+                                                           : "add");
+      case 1: return word ? "sllw" : "sll";
+      case 2: return word ? nullptr : "slt";
+      case 3: return word ? nullptr : "sltu";
+      case 4: return word ? nullptr : "xor";
+      case 5: return alt ? (word ? "sraw" : "sra") : (word ? "srlw"
+                                                           : "srl");
+      case 6: return word ? nullptr : "or";
+      case 7: return word ? nullptr : "and";
+    }
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+rv64Disassemble(std::uint32_t insn, VAddr pc)
+{
+    const unsigned opcode = insn & 0x7f;
+    const unsigned d = rd(insn);
+    const unsigned s1 = rs1(insn);
+    const unsigned s2 = rs2(insn);
+    const unsigned f3 = funct3(insn);
+    const unsigned f7 = funct7(insn);
+
+    switch (opcode) {
+      case opLui:
+        return strfmt("lui %s, 0x%llx", rv64RegName(d),
+                      (unsigned long long)((immU(insn) >> 12) & 0xfffff));
+      case opAuipc:
+        return strfmt("auipc %s, 0x%llx", rv64RegName(d),
+                      (unsigned long long)((immU(insn) >> 12) & 0xfffff));
+      case opJal:
+        if (d == 0)
+            return strfmt("j 0x%llx",
+                          (unsigned long long)(pc + immJ(insn)));
+        return strfmt("jal %s, 0x%llx", rv64RegName(d),
+                      (unsigned long long)(pc + immJ(insn)));
+      case opJalr:
+        if (d == 0 && s1 == regRa && immI(insn) == 0)
+            return "ret";
+        return strfmt("jalr %s, %lld(%s)", rv64RegName(d),
+                      (long long)immI(insn), rv64RegName(s1));
+      case opBranch: {
+        const char *name = branchName(f3);
+        if (!name)
+            break;
+        return strfmt("%s %s, %s, 0x%llx", name, rv64RegName(s1),
+                      rv64RegName(s2),
+                      (unsigned long long)(pc + immB(insn)));
+      }
+      case opLoad: {
+        const char *name = loadName(f3);
+        if (!name)
+            break;
+        return strfmt("%s %s, %lld(%s)", name, rv64RegName(d),
+                      (long long)immI(insn), rv64RegName(s1));
+      }
+      case opStore: {
+        const char *name = storeName(f3);
+        if (!name)
+            break;
+        return strfmt("%s %s, %lld(%s)", name, rv64RegName(s2),
+                      (long long)immS(insn), rv64RegName(s1));
+      }
+      case opImm:
+        switch (f3) {
+          case 0:
+            if (insn == 0x00000013)
+                return "nop";
+            if (s1 == 0)
+                return strfmt("li %s, %lld", rv64RegName(d),
+                              (long long)immI(insn));
+            if (immI(insn) == 0)
+                return strfmt("mv %s, %s", rv64RegName(d),
+                              rv64RegName(s1));
+            return rri("addi", d, s1, immI(insn));
+          case 1: return rri("slli", d, s1, (insn >> 20) & 0x3f);
+          case 2: return rri("slti", d, s1, immI(insn));
+          case 3: return rri("sltiu", d, s1, immI(insn));
+          case 4: return rri("xori", d, s1, immI(insn));
+          case 5:
+            return rri((f7 & 0x20) ? "srai" : "srli", d, s1,
+                       (insn >> 20) & 0x3f);
+          case 6: return rri("ori", d, s1, immI(insn));
+          case 7: return rri("andi", d, s1, immI(insn));
+        }
+        break;
+      case opImm32:
+        switch (f3) {
+          case 0: return rri("addiw", d, s1, immI(insn));
+          case 1: return rri("slliw", d, s1, (insn >> 20) & 0x1f);
+          case 5:
+            return rri((f7 & 0x20) ? "sraiw" : "srliw", d, s1,
+                       (insn >> 20) & 0x1f);
+        }
+        break;
+      case opReg: {
+        const char *name = opName(f3, f7, false);
+        if (!name)
+            break;
+        return rrr(name, d, s1, s2);
+      }
+      case opReg32: {
+        const char *name = opName(f3, f7, true);
+        if (!name)
+            break;
+        return rrr(name, d, s1, s2);
+      }
+      case opSystem:
+        if (insn == 0x00000073)
+            return "ecall";
+        if (insn == 0x00100073)
+            return "ebreak";
+        break;
+      default:
+        break;
+    }
+    return strfmt(".word 0x%08x", insn);
+}
+
+} // namespace flick

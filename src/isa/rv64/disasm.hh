@@ -1,0 +1,34 @@
+/**
+ * @file
+ * RV64 disassembler.
+ *
+ * Produces standard RISC-V assembly text for the RV64IM subset the core
+ * implements; used by the tracing infrastructure and debugging tools.
+ */
+
+#ifndef FLICK_ISA_RV64_DISASM_HH
+#define FLICK_ISA_RV64_DISASM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+/**
+ * Disassemble one RV64 instruction.
+ *
+ * @param insn Raw 32-bit instruction word.
+ * @param pc Address of the instruction (for PC-relative targets).
+ * @return Assembly text, or ".word 0x..." for undecodable words.
+ */
+std::string rv64Disassemble(std::uint32_t insn, VAddr pc);
+
+/** ABI name of integer register @p r (a0, sp, t3, ...). */
+const char *rv64RegName(unsigned r);
+
+} // namespace flick
+
+#endif // FLICK_ISA_RV64_DISASM_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * RV64 instruction encoding and decoding helpers.
+ *
+ * These are genuine RISC-V encodings (RV64I plus the M extension for
+ * convenience); the paper's NxP is an RV64-I RoaLogic RV12. Field layouts
+ * follow the RISC-V unprivileged specification.
+ */
+
+#ifndef FLICK_ISA_RV64_ENCODING_HH
+#define FLICK_ISA_RV64_ENCODING_HH
+
+#include <cstdint>
+
+namespace flick::rv64
+{
+
+// Major opcodes.
+constexpr std::uint32_t opLui = 0x37;
+constexpr std::uint32_t opAuipc = 0x17;
+constexpr std::uint32_t opJal = 0x6f;
+constexpr std::uint32_t opJalr = 0x67;
+constexpr std::uint32_t opBranch = 0x63;
+constexpr std::uint32_t opLoad = 0x03;
+constexpr std::uint32_t opStore = 0x23;
+constexpr std::uint32_t opImm = 0x13;
+constexpr std::uint32_t opImm32 = 0x1b;
+constexpr std::uint32_t opReg = 0x33;
+constexpr std::uint32_t opReg32 = 0x3b;
+constexpr std::uint32_t opSystem = 0x73;
+
+// ABI register numbers.
+constexpr unsigned regZero = 0;
+constexpr unsigned regRa = 1;
+constexpr unsigned regSp = 2;
+constexpr unsigned regGp = 3;
+constexpr unsigned regTp = 4;
+constexpr unsigned regT0 = 5;
+constexpr unsigned regS0 = 8;
+constexpr unsigned regS1 = 9;
+constexpr unsigned regA0 = 10;
+constexpr unsigned regA7 = 17;
+constexpr unsigned regS2 = 18;
+constexpr unsigned regT3 = 28;
+
+/** Field extractors. */
+constexpr std::uint32_t
+bits(std::uint32_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+constexpr unsigned rd(std::uint32_t i) { return bits(i, 11, 7); }
+constexpr unsigned rs1(std::uint32_t i) { return bits(i, 19, 15); }
+constexpr unsigned rs2(std::uint32_t i) { return bits(i, 24, 20); }
+constexpr unsigned funct3(std::uint32_t i) { return bits(i, 14, 12); }
+constexpr unsigned funct7(std::uint32_t i) { return bits(i, 31, 25); }
+
+/** Sign extend the low @p b bits of @p v. */
+constexpr std::int64_t
+sext(std::uint64_t v, unsigned b)
+{
+    std::uint64_t m = 1ull << (b - 1);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+constexpr std::int64_t
+immI(std::uint32_t i)
+{
+    return sext(bits(i, 31, 20), 12);
+}
+
+constexpr std::int64_t
+immS(std::uint32_t i)
+{
+    return sext((bits(i, 31, 25) << 5) | bits(i, 11, 7), 12);
+}
+
+constexpr std::int64_t
+immB(std::uint32_t i)
+{
+    std::uint32_t v = (bits(i, 31, 31) << 12) | (bits(i, 7, 7) << 11) |
+                      (bits(i, 30, 25) << 5) | (bits(i, 11, 8) << 1);
+    return sext(v, 13);
+}
+
+constexpr std::int64_t
+immU(std::uint32_t i)
+{
+    return sext(bits(i, 31, 12) << 12, 32);
+}
+
+constexpr std::int64_t
+immJ(std::uint32_t i)
+{
+    std::uint32_t v = (bits(i, 31, 31) << 20) | (bits(i, 19, 12) << 12) |
+                      (bits(i, 20, 20) << 11) | (bits(i, 30, 21) << 1);
+    return sext(v, 21);
+}
+
+// --- Encoders (used by the assembler and tests) ----------------------
+
+constexpr std::uint32_t
+encR(std::uint32_t opcode, unsigned rd_, unsigned f3, unsigned rs1_,
+     unsigned rs2_, unsigned f7)
+{
+    return opcode | (rd_ << 7) | (f3 << 12) | (rs1_ << 15) | (rs2_ << 20) |
+           (f7 << 25);
+}
+
+constexpr std::uint32_t
+encI(std::uint32_t opcode, unsigned rd_, unsigned f3, unsigned rs1_,
+     std::int64_t imm)
+{
+    return opcode | (rd_ << 7) | (f3 << 12) | (rs1_ << 15) |
+           (static_cast<std::uint32_t>(imm & 0xfff) << 20);
+}
+
+constexpr std::uint32_t
+encS(std::uint32_t opcode, unsigned f3, unsigned rs1_, unsigned rs2_,
+     std::int64_t imm)
+{
+    std::uint32_t u = static_cast<std::uint32_t>(imm & 0xfff);
+    return opcode | ((u & 0x1f) << 7) | (f3 << 12) | (rs1_ << 15) |
+           (rs2_ << 20) | ((u >> 5) << 25);
+}
+
+constexpr std::uint32_t
+encB(std::uint32_t opcode, unsigned f3, unsigned rs1_, unsigned rs2_,
+     std::int64_t imm)
+{
+    std::uint32_t u = static_cast<std::uint32_t>(imm & 0x1fff);
+    return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xf) << 8) |
+           (f3 << 12) | (rs1_ << 15) | (rs2_ << 20) |
+           (((u >> 5) & 0x3f) << 25) | (((u >> 12) & 1) << 31);
+}
+
+constexpr std::uint32_t
+encU(std::uint32_t opcode, unsigned rd_, std::int64_t imm20)
+{
+    return opcode | (rd_ << 7) |
+           (static_cast<std::uint32_t>(imm20 & 0xfffff) << 12);
+}
+
+constexpr std::uint32_t
+encJ(std::uint32_t opcode, unsigned rd_, std::int64_t imm)
+{
+    std::uint32_t u = static_cast<std::uint32_t>(imm & 0x1fffff);
+    return opcode | (rd_ << 7) | (((u >> 12) & 0xff) << 12) |
+           (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 20) & 1) << 31);
+}
+
+} // namespace flick::rv64
+
+#endif // FLICK_ISA_RV64_ENCODING_HH

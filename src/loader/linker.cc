@@ -1,0 +1,107 @@
+#include "loader/linker.hh"
+
+#include "isa/hx64/assembler.hh"
+#include "isa/rv64/assembler.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+VAddr
+LinkedImage::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+void
+MultiIsaLinker::addObject(ObjectFile obj)
+{
+    for (auto &s : obj.sections)
+        _sections.push_back(std::move(s));
+}
+
+void
+MultiIsaLinker::addSection(Section section)
+{
+    _sections.push_back(std::move(section));
+}
+
+void
+MultiIsaLinker::defineAbsolute(const std::string &name, VAddr va)
+{
+    if (_absolutes.count(name))
+        fatal("absolute symbol '%s' defined twice", name.c_str());
+    _absolutes[name] = va;
+}
+
+LinkedImage
+MultiIsaLinker::link(VAddr text_base, VAddr data_base)
+{
+    LinkedImage image;
+    image.symbols = _absolutes;
+
+    // Place sections: executable ones from text_base, data from data_base,
+    // in the order they were added, each aligned to its alignment. The
+    // 4 KB text alignment keeps each ISA's code in distinct pages, which
+    // is what lets the loader mark them with different NX bits.
+    VAddr text_cursor = text_base;
+    VAddr data_cursor = data_base;
+    for (Section &s : _sections) {
+        std::uint64_t align = std::max<std::uint64_t>(s.align, 4096);
+        VAddr &cursor = s.executable ? text_cursor : data_cursor;
+        cursor = (cursor + align - 1) & ~(align - 1);
+
+        LinkedSection placed;
+        placed.name = s.name;
+        placed.isa = s.isa;
+        placed.executable = s.executable;
+        placed.writable = s.writable;
+        placed.nxpLocal = s.nxpLocal;
+        placed.nxpDevice = s.nxpDevice;
+        placed.base = cursor;
+        placed.bytes = s.bytes;
+        image.sections.push_back(std::move(placed));
+
+        // Global symbol table; duplicates across sections are link errors.
+        for (const auto &[name, offset] : s.symbols) {
+            if (image.symbols.count(name))
+                fatal("symbol '%s' defined in multiple sections",
+                      name.c_str());
+            image.symbols[name] = cursor + offset;
+        }
+
+        cursor += s.bytes.size();
+    }
+
+    // Resolve and apply relocations, dispatching on the section's ISA.
+    for (std::size_t i = 0; i < _sections.size(); ++i) {
+        const Section &src = _sections[i];
+        LinkedSection &placed = image.sections[i];
+        for (const Relocation &reloc : src.relocations) {
+            auto it = image.symbols.find(reloc.symbol);
+            if (it == image.symbols.end())
+                fatal("undefined symbol '%s' referenced from section %s",
+                      reloc.symbol.c_str(), src.name.c_str());
+            VAddr sym_va = it->second;
+            if (reloc.type == RelocType::abs64 || !placed.executable) {
+                // abs64 is ISA-agnostic (also the only type valid in
+                // data sections); both appliers encode it identically.
+                hx64ApplyRelocation(placed.bytes, reloc, placed.base,
+                                    sym_va);
+            } else if (placed.isa == IsaKind::hx64) {
+                hx64ApplyRelocation(placed.bytes, reloc, placed.base,
+                                    sym_va);
+            } else {
+                rv64ApplyRelocation(placed.bytes, reloc, placed.base,
+                                    sym_va);
+            }
+        }
+    }
+
+    return image;
+}
+
+} // namespace flick

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The multi-ISA linker.
+ *
+ * Reproduces Section IV-C2: sections from both ISAs are merged into one
+ * shared virtual address space (text sections kept separate and 4 KB
+ * aligned so each ISA's pages get their own page table entries), a global
+ * symbol table is built across all sections, and relocations are applied
+ * by dispatching to the relocation functions of the section's ISA — so
+ * host code refers directly to NxP functions and data, and vice versa.
+ */
+
+#ifndef FLICK_LOADER_LINKER_HH
+#define FLICK_LOADER_LINKER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loader/objfile.hh"
+
+namespace flick
+{
+
+/** A section placed at its final virtual address. */
+struct LinkedSection
+{
+    std::string name;
+    IsaKind isa;
+    bool executable;
+    bool writable;
+    bool nxpLocal;
+    unsigned nxpDevice;
+    VAddr base;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** A fully linked multi-ISA executable image. */
+struct LinkedImage
+{
+    std::vector<LinkedSection> sections;
+    /** Global symbol table: name -> virtual address. */
+    std::map<std::string, VAddr> symbols;
+
+    /** Address of @p name; fatal() if undefined. */
+    VAddr symbol(const std::string &name) const;
+};
+
+/**
+ * Links object files from both assemblers into one image.
+ */
+class MultiIsaLinker
+{
+  public:
+    /** Default base address of the first text section. */
+    static constexpr VAddr defaultTextBase = 0x400000;
+    /** Default base address of the first data section. */
+    static constexpr VAddr defaultDataBase = 0x10000000;
+
+    /** Add one object file's sections. */
+    void addObject(ObjectFile obj);
+
+    /** Add a single section. */
+    void addSection(Section section);
+
+    /**
+     * Define an absolute symbol (runtime-provided addresses such as the
+     * native-function gate entries or heap bases).
+     */
+    void defineAbsolute(const std::string &name, VAddr va);
+
+    /**
+     * Place sections, resolve symbols, apply relocations.
+     *
+     * Executable sections are laid out from @p text_base, the rest from
+     * @p data_base, each aligned to its section alignment (>= 4 KB so the
+     * loader can set per-ISA page permissions).
+     */
+    LinkedImage link(VAddr text_base = defaultTextBase,
+                     VAddr data_base = defaultDataBase);
+
+  private:
+    std::vector<Section> _sections;
+    std::map<std::string, VAddr> _absolutes;
+};
+
+} // namespace flick
+
+#endif // FLICK_LOADER_LINKER_HH

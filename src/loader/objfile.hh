@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-ISA object file model.
+ *
+ * Mirrors the paper's toolchain flow (Section IV-C): each ISA's assembler
+ * produces sections whose names carry the target ISA (.text.hx64,
+ * .text.rv64), and the multi-ISA linker later merges them into one virtual
+ * address space, dispatching relocation by section ISA.
+ */
+
+#ifndef FLICK_LOADER_OBJFILE_HH
+#define FLICK_LOADER_OBJFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "mem/sparse_memory.hh"
+
+namespace flick
+{
+
+/** An unresolved reference inside a section. */
+struct Relocation
+{
+    std::uint64_t offset; //!< Byte offset of the patch site.
+    std::string symbol;   //!< Referenced symbol name.
+    RelocType type;
+    std::int64_t addend = 0;
+};
+
+/** One section of code or data. */
+struct Section
+{
+    std::string name;      //!< e.g. ".text.rv64", ".data", ".data.nxp".
+    IsaKind isa;           //!< Target ISA (meaningful for text).
+    bool executable = false;
+    bool writable = false;
+    /**
+     * Placement region: text and plain data go to host memory; sections
+     * flagged nxpLocal (the paper's annotated .data.nxp) are placed in
+     * NxP local DRAM by the loader (Section III-D).
+     */
+    bool nxpLocal = false;
+    /** Which NxP device rv64 text targets (0 = first; Section IV-C3). */
+    unsigned nxpDevice = 0;
+    std::uint64_t align = 4096;
+    std::vector<std::uint8_t> bytes;
+    /** Defined symbols: name -> offset within this section. */
+    std::map<std::string, std::uint64_t> symbols;
+    std::vector<Relocation> relocations;
+};
+
+/** A relocatable object: the output of one assembler run. */
+struct ObjectFile
+{
+    std::vector<Section> sections;
+};
+
+} // namespace flick
+
+#endif // FLICK_LOADER_OBJFILE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Memory-mapped device interface.
+ */
+
+#ifndef FLICK_MEM_DEVICE_HH
+#define FLICK_MEM_DEVICE_HH
+
+#include <cstdint>
+
+#include "mem/sparse_memory.hh"
+
+namespace flick
+{
+
+/**
+ * A device exposing memory-mapped registers.
+ *
+ * Devices are mapped into the platform address map by MemSystem; accesses
+ * that route to a device window are delivered here with window-relative
+ * offsets. Register accesses are assumed naturally aligned and at most
+ * 8 bytes, as both cores issue only scalar loads/stores.
+ */
+class MmioDevice
+{
+  public:
+    virtual ~MmioDevice() = default;
+
+    /** Read @p len bytes from register @p offset. */
+    virtual std::uint64_t mmioRead(Addr offset, unsigned len) = 0;
+
+    /** Write @p len bytes to register @p offset. */
+    virtual void mmioWrite(Addr offset, std::uint64_t value,
+                           unsigned len) = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_MEM_DEVICE_HH

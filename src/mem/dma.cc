@@ -1,0 +1,91 @@
+#include "mem/dma.hh"
+
+#include <vector>
+
+#include "mem/irq.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+void
+DmaEngine::copyHostToNxp(Addr host_pa, Addr nxp_local_pa, std::uint64_t len,
+                         Callback done)
+{
+    enqueue({true, host_pa, nxp_local_pa, len, -1, std::move(done)});
+}
+
+void
+DmaEngine::copyNxpToHost(Addr nxp_local_pa, Addr host_pa, std::uint64_t len,
+                         int irq_vector, Callback done)
+{
+    enqueue({false, nxp_local_pa, host_pa, len, irq_vector,
+             std::move(done)});
+}
+
+void
+DmaEngine::enqueue(Transfer t)
+{
+    if (_busy) {
+        _stats.inc("queued");
+        _pending.push_back(std::move(t));
+        return;
+    }
+    start(std::move(t));
+}
+
+void
+DmaEngine::start(Transfer t)
+{
+    _busy = true;
+    _stats.inc("transfers");
+    _stats.inc("bytes", t.len);
+    Tick latency = _mem.timing().dmaTransfer(t.len);
+    _events.scheduleIn(latency, t.to_nxp ? "dmaToNxp" : "dmaToHost",
+                       [this, t = std::move(t)]() mutable {
+                           complete(std::move(t));
+                       });
+}
+
+void
+DmaEngine::complete(Transfer t)
+{
+    const PlatformConfig &p = _mem.platform();
+
+    // Move the bytes between backing stores. The engine addresses host
+    // memory with host physical addresses and local memory with NxP-local
+    // physical addresses, exactly like the FPGA bus master would.
+    std::vector<std::uint8_t> buf(t.len);
+    if (t.to_nxp) {
+        if (!p.inHostDram(t.src) || !p.inNxpLocalDram(t.dst))
+            panic("DMA host->NxP with bad addresses src=%#llx dst=%#llx",
+                  (unsigned long long)t.src, (unsigned long long)t.dst);
+        _mem.hostDram().read(t.src, buf.data(), t.len);
+        _mem.nxpDram(_device).write(t.dst - p.nxpDramLocalBase,
+                                    buf.data(), t.len);
+    } else {
+        if (!p.inNxpLocalDram(t.src) || !p.inHostDram(t.dst))
+            panic("DMA NxP->host with bad addresses src=%#llx dst=%#llx",
+                  (unsigned long long)t.src, (unsigned long long)t.dst);
+        _mem.nxpDram(_device).read(t.src - p.nxpDramLocalBase,
+                                   buf.data(), t.len);
+        _mem.hostDram().write(t.dst, buf.data(), t.len);
+    }
+
+    if (t.irq_vector >= 0) {
+        if (!_irq)
+            panic("DMA completion IRQ requested with no IRQ controller");
+        _irq->raise(static_cast<unsigned>(t.irq_vector));
+    }
+    if (t.done)
+        t.done();
+
+    _busy = false;
+    if (!_pending.empty()) {
+        Transfer next = std::move(_pending.front());
+        _pending.pop_front();
+        start(std::move(next));
+    }
+}
+
+} // namespace flick

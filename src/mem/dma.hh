@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PCIe burst DMA engine.
+ *
+ * Flick transfers migration descriptors in a single PCIe burst rather than
+ * word-by-word stores (Section IV-B); this engine models that: a transfer
+ * has a fixed setup cost plus a per-byte cost, bytes land at completion
+ * time, and completion may raise a host interrupt. Transfers issued while
+ * the engine is busy queue FIFO behind the current one.
+ */
+
+#ifndef FLICK_MEM_DMA_HH
+#define FLICK_MEM_DMA_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace flick
+{
+
+class IrqController;
+
+/**
+ * The FPGA-side DMA engine, bus master on both the PCIe link and the
+ * local memory interconnect.
+ */
+class DmaEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param nxp_device Which NxP device this engine belongs to; its
+     *        local addresses resolve into that device's DRAM.
+     */
+    DmaEngine(EventQueue &events, MemSystem &mem, IrqController *irq,
+              unsigned nxp_device = 0)
+        : _events(events), _mem(mem), _irq(irq), _device(nxp_device),
+          _stats(nxp_device == 0 ? "dma" : "dma2")
+    {}
+
+    /**
+     * Copy @p len bytes from host DRAM to NxP local DRAM.
+     *
+     * @param host_pa Source, host physical address space.
+     * @param nxp_local_pa Destination, NxP-local physical address space.
+     * @param done Runs at completion (after data is visible).
+     */
+    void copyHostToNxp(Addr host_pa, Addr nxp_local_pa, std::uint64_t len,
+                       Callback done = nullptr);
+
+    /**
+     * Copy @p len bytes from NxP local DRAM to host DRAM.
+     *
+     * @param irq_vector If non-negative, raise this host IRQ vector at
+     *        completion (the mechanism waking suspended threads).
+     */
+    void copyNxpToHost(Addr nxp_local_pa, Addr host_pa, std::uint64_t len,
+                       int irq_vector = -1, Callback done = nullptr);
+
+    /** True while a transfer is in flight. */
+    bool busy() const { return _busy; }
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    struct Transfer
+    {
+        bool to_nxp;
+        Addr src;
+        Addr dst;
+        std::uint64_t len;
+        int irq_vector;
+        Callback done;
+    };
+
+    void enqueue(Transfer t);
+    void start(Transfer t);
+    void complete(Transfer t);
+
+    EventQueue &_events;
+    MemSystem &_mem;
+    IrqController *_irq;
+    unsigned _device;
+    bool _busy = false;
+    std::deque<Transfer> _pending;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_MEM_DMA_HH

@@ -1,0 +1,20 @@
+#include "mem/irq.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+void
+IrqController::raise(unsigned vector)
+{
+    auto it = _handlers.find(vector);
+    if (it == _handlers.end())
+        panic("IRQ vector %u raised with no handler connected", vector);
+    _stats.inc("raised");
+    Handler &h = it->second;
+    _events.scheduleIn(_timing.irqDelivery, strfmt("irq%u", vector),
+                       [&h] { h(); });
+}
+
+} // namespace flick

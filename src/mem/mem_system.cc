@@ -1,0 +1,233 @@
+#include "mem/mem_system.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+const char *
+requesterName(Requester r)
+{
+    switch (r) {
+      case Requester::hostCore: return "hostCore";
+      case Requester::nxpCore: return "nxpCore";
+      case Requester::nxpMmu: return "nxpMmu";
+      case Requester::nxp2Core: return "nxp2Core";
+      case Requester::nxp2Mmu: return "nxp2Mmu";
+      case Requester::dma: return "dma";
+      case Requester::debug: return "debug";
+    }
+    return "?";
+}
+
+MemSystem::MemSystem(const TimingConfig &timing,
+                     const PlatformConfig &platform)
+    : _timing(timing),
+      _platform(platform),
+      _hostDram(platform.hostDramBytes),
+      _nxpDram(platform.nxpDramBytes),
+      _stats("mem")
+{
+    if (platform.nxpDeviceCount > 2)
+        fatal("at most two NxP devices are supported");
+    if (platform.nxpDeviceCount > 1)
+        _nxp2Dram = std::make_unique<SparseMemory>(platform.nxp2DramBytes);
+}
+
+SparseMemory &
+MemSystem::nxpDram(unsigned device)
+{
+    if (device == 0)
+        return _nxpDram;
+    if (device == 1 && _nxp2Dram)
+        return *_nxp2Dram;
+    panic("no NxP device %u", device);
+}
+
+MemSystem::Route
+MemSystem::resolve(Requester r, Addr pa, std::uint64_t len) const
+{
+    const PlatformConfig &p = _platform;
+    bool host_space = (r == Requester::hostCore || r == Requester::dma ||
+                       r == Requester::debug);
+    bool second_device = (r == Requester::nxp2Core ||
+                          r == Requester::nxp2Mmu);
+
+    if (host_space) {
+        if (p.inHostDram(pa)) {
+            return {Route::Kind::hostDram, pa,
+                    r == Requester::hostCore ? _timing.hostToHostDram
+                                             : Tick(0),
+                    "host_to_host_dram"};
+        }
+        if (p.inBar0(pa)) {
+            return {Route::Kind::nxpDram, pa - p.bar0Base,
+                    r == Requester::hostCore ? _timing.hostToNxpDram
+                                             : Tick(0),
+                    "host_to_nxp_dram"};
+        }
+        if (p.inBar1(pa)) {
+            return {Route::Kind::ctrlDev, pa - p.bar1Base(),
+                    r == Requester::hostCore ? _timing.hostToNxpMmio
+                                             : Tick(0),
+                    "host_to_nxp_mmio"};
+        }
+        if (p.inBar2(pa)) {
+            return {Route::Kind::nxp2Dram, pa - p.bar2Base,
+                    r == Requester::hostCore ? _timing.hostToNxpDram
+                                             : Tick(0),
+                    "host_to_nxp2_dram"};
+        }
+        if (p.inBar3(pa)) {
+            return {Route::Kind::ctrl2Dev, pa - p.bar3Base(),
+                    r == Requester::hostCore ? _timing.hostToNxpMmio
+                                             : Tick(0),
+                    "host_to_nxp2_mmio"};
+        }
+        panic("%s access to unmapped host PA %#llx (len %llu)",
+              requesterName(r), (unsigned long long)pa,
+              (unsigned long long)len);
+    }
+
+    // NxP-local address space (each device sees its own local DRAM and
+    // control window at the same device-local addresses).
+    if (p.inNxpLocalDram(pa)) {
+        if (second_device) {
+            return {Route::Kind::nxp2Dram, pa - p.nxpDramLocalBase,
+                    _timing.nxpToNxpDram, "nxp2_to_nxp2_dram"};
+        }
+        return {Route::Kind::nxpDram, pa - p.nxpDramLocalBase,
+                _timing.nxpToNxpDram, "nxp_to_nxp_dram"};
+    }
+    if (p.inNxpCtrl(pa)) {
+        if (second_device) {
+            return {Route::Kind::ctrl2Dev, pa - p.nxpCtrlLocalBase,
+                    _timing.nxpToLocalMmio, "nxp2_to_local_mmio"};
+        }
+        return {Route::Kind::ctrlDev, pa - p.nxpCtrlLocalBase,
+                _timing.nxpToLocalMmio, "nxp_to_local_mmio"};
+    }
+    if (p.inHostDram(pa)) {
+        return {Route::Kind::hostDram, pa, _timing.nxpToHostDram,
+                "nxp_to_host_dram"};
+    }
+    if (p.inBar2(pa) && !second_device) {
+        // Peer-to-peer: device 1 reaching device 2's BAR through the
+        // PCIe switch (two link crossings).
+        return {Route::Kind::nxp2Dram, pa - p.bar2Base,
+                _timing.nxpToHostDram + _timing.hostToNxpDram,
+                "nxp_peer_to_nxp2_dram"};
+    }
+    if (p.inBar0(pa) && second_device) {
+        return {Route::Kind::nxpDram, pa - p.bar0Base,
+                _timing.nxpToHostDram + _timing.hostToNxpDram,
+                "nxp2_peer_to_nxp_dram"};
+    }
+    if (p.inBar0(pa) || p.inBar1(pa)) {
+        panic("%s issued un-remapped BAR address %#llx: the NxP TLB must "
+              "remap BAR-range physical addresses to local addresses "
+              "before the request leaves the core",
+              requesterName(r), (unsigned long long)pa);
+    }
+    panic("%s access to unmapped NxP-side PA %#llx (len %llu)",
+          requesterName(r), (unsigned long long)pa,
+          (unsigned long long)len);
+}
+
+Tick
+MemSystem::read(Requester r, Addr pa, void *buf, std::uint64_t len)
+{
+    Route route = resolve(r, pa, len);
+    if (r != Requester::debug)
+        _stats.inc(std::string(route.stat) + "_reads");
+    switch (route.kind) {
+      case Route::Kind::hostDram:
+        _hostDram.read(route.offset, buf, len);
+        break;
+      case Route::Kind::nxpDram:
+        _nxpDram.read(route.offset, buf, len);
+        break;
+      case Route::Kind::nxp2Dram:
+        nxpDram(1).read(route.offset, buf, len);
+        break;
+      case Route::Kind::ctrlDev:
+      case Route::Kind::ctrl2Dev: {
+        MmioDevice *dev = route.kind == Route::Kind::ctrlDev ? _ctrlDev
+                                                             : _ctrl2Dev;
+        if (!dev)
+            panic("control window read with no device mapped");
+        if (len > 8)
+            panic("control window read of %llu bytes",
+                  (unsigned long long)len);
+        std::uint64_t v = dev->mmioRead(route.offset,
+                                        static_cast<unsigned>(len));
+        for (std::uint64_t i = 0; i < len; ++i)
+            static_cast<std::uint8_t *>(buf)[i] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        break;
+      }
+    }
+    return route.latency;
+}
+
+Tick
+MemSystem::write(Requester r, Addr pa, const void *buf, std::uint64_t len)
+{
+    Route route = resolve(r, pa, len);
+    if (r != Requester::debug)
+        _stats.inc(std::string(route.stat) + "_writes");
+    switch (route.kind) {
+      case Route::Kind::hostDram:
+        _hostDram.write(route.offset, buf, len);
+        break;
+      case Route::Kind::nxpDram:
+        _nxpDram.write(route.offset, buf, len);
+        break;
+      case Route::Kind::nxp2Dram:
+        nxpDram(1).write(route.offset, buf, len);
+        break;
+      case Route::Kind::ctrlDev:
+      case Route::Kind::ctrl2Dev: {
+        MmioDevice *dev = route.kind == Route::Kind::ctrlDev ? _ctrlDev
+                                                             : _ctrl2Dev;
+        if (!dev)
+            panic("control window write with no device mapped");
+        if (len > 8)
+            panic("control window write of %llu bytes",
+                  (unsigned long long)len);
+        std::uint64_t v = 0;
+        for (std::uint64_t i = 0; i < len; ++i)
+            v |= std::uint64_t(static_cast<const std::uint8_t *>(buf)[i])
+                 << (8 * i);
+        dev->mmioWrite(route.offset, v, static_cast<unsigned>(len));
+        break;
+      }
+    }
+    return route.latency;
+}
+
+Tick
+MemSystem::readInt(Requester r, Addr pa, unsigned len, std::uint64_t &out)
+{
+    std::uint8_t buf[8] = {};
+    if (len > 8)
+        panic("readInt of %u bytes", len);
+    Tick t = read(r, pa, buf, len);
+    out = 0;
+    for (unsigned i = 0; i < len; ++i)
+        out |= std::uint64_t(buf[i]) << (8 * i);
+    return t;
+}
+
+Tick
+MemSystem::writeInt(Requester r, Addr pa, std::uint64_t value, unsigned len)
+{
+    std::uint8_t buf[8];
+    if (len > 8)
+        panic("writeInt of %u bytes", len);
+    for (unsigned i = 0; i < len; ++i)
+        buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return write(r, pa, buf, len);
+}
+
+} // namespace flick

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Routed physical memory system.
+ *
+ * MemSystem owns the backing stores for host and NxP DRAM and routes every
+ * access by (requester, physical address) to the right store or device,
+ * returning the latency charged by the timing model. Host-side requesters
+ * use the host physical address space (DRAM low, BAR0/BAR1 windows); NxP-
+ * side requesters use the NxP-local space (host DRAM through the bridge at
+ * identical addresses, local DRAM at nxpDramLocalBase, control window).
+ *
+ * An NxP-side access to a BAR0-range address is a routing error: such
+ * addresses must be remapped to local addresses by the NxP TLB before the
+ * request leaves the core (Section IV-A). Catching them here turns remap
+ * bugs into immediate panics instead of silent wrong-latency accesses.
+ */
+
+#ifndef FLICK_MEM_MEM_SYSTEM_HH
+#define FLICK_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/device.hh"
+#include "mem/platform.hh"
+#include "mem/sparse_memory.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+#include "sim/timing_config.hh"
+
+namespace flick
+{
+
+/** Who is issuing a memory access; selects address space and latency. */
+enum class Requester
+{
+    hostCore, //!< Host CPU (user or kernel), host PA space.
+    nxpCore,  //!< NxP core data/instruction access, NxP-local PA space.
+    nxpMmu,   //!< NxP programmable MMU page-table walks, NxP-local space.
+    nxp2Core, //!< Second NxP device's core, its own local PA space.
+    nxp2Mmu,  //!< Second NxP device's programmable MMU.
+    dma,      //!< DMA engine; latency accounted by the engine itself.
+    debug,    //!< Harness/loader back door; zero latency, host PA space.
+};
+
+/** Name of a requester, for diagnostics. */
+const char *requesterName(Requester r);
+
+/**
+ * The platform's physical memory fabric.
+ */
+class MemSystem
+{
+  public:
+    MemSystem(const TimingConfig &timing, const PlatformConfig &platform);
+
+    const PlatformConfig &platform() const { return _platform; }
+    const TimingConfig &timing() const { return _timing; }
+
+    /**
+     * Map an NxP device's control window.
+     *
+     * Device @p nxp_device's window is visible at nxpCtrlLocalBase from
+     * that device's core and at BAR1/BAR3 from the host. The pointer is
+     * not owned.
+     */
+    void
+    mapControlDevice(MmioDevice *dev, unsigned nxp_device = 0)
+    {
+        (nxp_device == 0 ? _ctrlDev : _ctrl2Dev) = dev;
+    }
+
+    /**
+     * Perform a timed read.
+     *
+     * @return Latency of the access per the timing model.
+     */
+    Tick read(Requester r, Addr pa, void *buf, std::uint64_t len);
+
+    /** Perform a timed write. @return Latency of the access. */
+    Tick write(Requester r, Addr pa, const void *buf, std::uint64_t len);
+
+    /** Timed integer read of @p len (1/2/4/8) bytes, little endian. */
+    Tick readInt(Requester r, Addr pa, unsigned len, std::uint64_t &out);
+
+    /** Timed integer write of @p len (1/2/4/8) bytes, little endian. */
+    Tick writeInt(Requester r, Addr pa, std::uint64_t value, unsigned len);
+
+    /** Direct access to backing stores (loader/harness back door). */
+    SparseMemory &hostDram() { return _hostDram; }
+    SparseMemory &nxpDram(unsigned device = 0);
+
+    /** Per-route access counters. */
+    StatGroup &stats() { return _stats; }
+
+  private:
+    /** Resolution of one physical access. */
+    struct Route
+    {
+        enum class Kind { hostDram, nxpDram, nxp2Dram, ctrlDev,
+                          ctrl2Dev } kind;
+        Addr offset;  //!< Offset within the target store/window.
+        Tick latency; //!< Charge for this access.
+        const char *stat; //!< Stats key.
+    };
+
+    Route resolve(Requester r, Addr pa, std::uint64_t len) const;
+
+    const TimingConfig &_timing;
+    PlatformConfig _platform;
+    SparseMemory _hostDram;
+    SparseMemory _nxpDram;
+    std::unique_ptr<SparseMemory> _nxp2Dram;
+    MmioDevice *_ctrlDev = nullptr;
+    MmioDevice *_ctrl2Dev = nullptr;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,95 @@
+#include "os/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+Task &
+Kernel::createTask(Addr cr3)
+{
+    auto task = std::make_unique<Task>();
+    task->pid = _nextPid++;
+    task->cr3 = cr3;
+    _tasks.push_back(std::move(task));
+    _stats.inc("tasks_created");
+    return *_tasks.back();
+}
+
+Task *
+Kernel::findTask(int pid)
+{
+    for (auto &t : _tasks) {
+        if (t->pid == pid)
+            return t.get();
+    }
+    return nullptr;
+}
+
+FaultAction
+Kernel::classifyFetchFault(Fault fault, IsaKind core_isa)
+{
+    if (core_isa == IsaKind::hx64) {
+        // Host side: only the NX instruction fault means "call an NxP
+        // function"; everything else is a real fault.
+        if (fault == Fault::nxFetch) {
+            _stats.inc("nx_faults");
+            return FaultAction::migrateToNxp;
+        }
+    } else {
+        // NxP side: both the inverted-NX fetch fault and the misaligned
+        // instruction exception indicate host text (Section IV-B2).
+        if (fault == Fault::nonNxFetch || fault == Fault::misalignedFetch) {
+            _stats.inc("nxp_fetch_faults");
+            return FaultAction::migrateToHost;
+        }
+    }
+    _stats.inc("signal_faults");
+    return FaultAction::deliverSignal;
+}
+
+void
+Kernel::suspendForMigration(Task &task,
+                            std::vector<std::uint64_t> host_context)
+{
+    if (task.state != TaskState::running && task.state != TaskState::created)
+        panic("suspendForMigration of task %d in state %d", task.pid,
+              static_cast<int>(task.state));
+    task.hostContext = std::move(host_context);
+    task.migrationFlag = true;
+    task.state = TaskState::onNxp;
+    _stats.inc("suspensions");
+}
+
+bool
+Kernel::takeMigrationTrigger(Task &task)
+{
+    if (!task.migrationFlag)
+        return false;
+    task.migrationFlag = false;
+    _stats.inc("dma_triggers");
+    return true;
+}
+
+void
+Kernel::wake(Task &task)
+{
+    if (task.state != TaskState::onNxp)
+        panic("wake of task %d in state %d", task.pid,
+              static_cast<int>(task.state));
+    task.state = TaskState::runnable;
+    _stats.inc("wakeups");
+}
+
+std::vector<std::uint64_t>
+Kernel::resume(Task &task)
+{
+    if (task.state != TaskState::runnable)
+        panic("resume of task %d in state %d", task.pid,
+              static_cast<int>(task.state));
+    task.state = TaskState::running;
+    _stats.inc("resumes");
+    return std::move(task.hostContext);
+}
+
+} // namespace flick

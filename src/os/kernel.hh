@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The kernel model: task table, fault classification, suspend/wake.
+ *
+ * Stands in for the paper's < 2 kLoC of Linux modifications: the NX page
+ * fault hook, the migration ioctl driver, the TASK_KILLABLE suspension and
+ * the scheduler's migration-flag handling. Application code runs in the
+ * interpreters and faults architecturally; this layer decides what a fault
+ * means and keeps the books. Its costs are charged by the migration
+ * runtime from TimingConfig (see DESIGN.md's substitution table).
+ */
+
+#ifndef FLICK_OS_KERNEL_HH
+#define FLICK_OS_KERNEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "os/task.hh"
+#include "sim/stats.hh"
+#include "vm/fault.hh"
+
+namespace flick
+{
+
+/** What the fault handler decides to do with a fetch fault. */
+enum class FaultAction
+{
+    migrateToNxp,  //!< Host fetched NX-marked (NxP) text: Flick call.
+    migrateToHost, //!< NxP fetched host text: Flick call back.
+    deliverSignal, //!< Genuine fault: would SIGSEGV/SIGILL the task.
+};
+
+/**
+ * Task table and Flick's kernel-side decisions.
+ */
+class Kernel
+{
+  public:
+    Kernel() : _stats("kernel") {}
+
+    /** Create a task in @p cr3's address space. */
+    Task &createTask(Addr cr3);
+
+    /** Look up a task by PID (the IRQ wake path), or nullptr. */
+    Task *findTask(int pid);
+
+    /**
+     * Classify a fetch fault, as the modified page fault handler does.
+     *
+     * @param fault The architectural fault raised by the core.
+     * @param core_isa ISA of the faulting core.
+     */
+    FaultAction classifyFetchFault(Fault fault, IsaKind core_isa);
+
+    /**
+     * Suspend @p task TASK_KILLABLE for migration: save the host context,
+     * set the migration flag, and account the context switch. The caller
+     * (the ioctl path) must trigger the descriptor DMA only after this
+     * returns — the ordering the paper's scheduler flag enforces.
+     */
+    void suspendForMigration(Task &task,
+                             std::vector<std::uint64_t> host_context);
+
+    /**
+     * Consume the migration flag, as the scheduler does right after
+     * switching away; returns whether a DMA trigger is owed.
+     */
+    bool takeMigrationTrigger(Task &task);
+
+    /** IRQ wake path: mark @p task runnable. */
+    void wake(Task &task);
+
+    /** Scheduler picked the task back up; returns the saved context. */
+    std::vector<std::uint64_t> resume(Task &task);
+
+    StatGroup &stats() { return _stats; }
+
+  private:
+    int _nextPid = 1000;
+    std::vector<std::unique_ptr<Task>> _tasks;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_OS_KERNEL_HH

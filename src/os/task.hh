@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Task (thread) state.
+ *
+ * Mirrors the fields Flick adds to the Linux task_struct: the saved
+ * faulting address (the NxP function the thread tried to call), the NxP
+ * stack pointer whose NULL-ness signals a first migration (Listing 1),
+ * and the "migration" flag that tells the scheduler to fire the
+ * descriptor DMA only after the thread is context-switched away
+ * (Section IV-D).
+ */
+
+#ifndef FLICK_OS_TASK_HH
+#define FLICK_OS_TASK_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+/** Scheduling state of a task. */
+enum class TaskState
+{
+    created,   //!< Not yet started.
+    running,   //!< Executing on the host core.
+    onNxp,     //!< Migrated; suspended TASK_KILLABLE on the host.
+    runnable,  //!< Woken by an interrupt, waiting for the scheduler.
+    done,      //!< Exited.
+};
+
+/** One software thread. */
+struct Task
+{
+    int pid = 0;
+    Addr cr3 = 0;
+    TaskState state = TaskState::created;
+
+    /** Maximum NxP devices a thread can hold stacks on. */
+    static constexpr unsigned maxNxpDevices = 2;
+
+    /**
+     * Top of this thread's NxP-local stack on each device; 0 until the
+     * first migration there allocates it (Listing 1 lines 3-4).
+     */
+    std::array<VAddr, maxNxpDevices> nxpStackTop{};
+    std::uint64_t nxpStackBytes = 0;
+
+    /** Faulting address saved by the modified page fault handler. */
+    VAddr savedFaultAddr = 0;
+
+    /**
+     * Set before suspension so the scheduler triggers the descriptor DMA
+     * after the context switch (the race-condition fix of Section IV-D).
+     */
+    bool migrationFlag = false;
+
+    /** Host register context saved while suspended. */
+    std::vector<std::uint64_t> hostContext;
+
+    /** Completed thread-migration round trips. */
+    std::uint64_t migrations = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_OS_TASK_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status and error reporting for the simulator.
+ *
+ * Follows the gem5 convention: panic() is for internal simulator bugs and
+ * aborts; fatal() is for user/configuration errors and exits cleanly;
+ * warn() and inform() report conditions without stopping the simulation.
+ */
+
+#ifndef FLICK_SIM_LOGGING_HH
+#define FLICK_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace flick
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * Call when something happens that should never happen regardless of what
+ * the user does. Aborts so a debugger or core dump can capture state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Call when the simulation cannot continue due to a condition that is the
+ * user's fault (bad configuration, invalid arguments), not a simulator bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (warnings always print). */
+void setVerbose(bool verbose);
+
+/** Whether inform() output is enabled. */
+bool verbose();
+
+} // namespace flick
+
+#endif // FLICK_SIM_LOGGING_HH

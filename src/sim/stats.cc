@@ -1,0 +1,13 @@
+#include "sim/stats.hh"
+
+namespace flick
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : _counters)
+        os << _name << '.' << kv.first << ' ' << kv.second << '\n';
+}
+
+} // namespace flick

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lightweight named statistics.
+ *
+ * Every major component exposes a StatGroup of named counters; the
+ * FlickSystem aggregates them for reporting. Counters are plain 64-bit
+ * values with optional descriptions, kept simple on purpose — this is the
+ * reporting layer, not the timing model.
+ */
+
+#ifndef FLICK_SIM_STATS_HH
+#define FLICK_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace flick
+{
+
+/**
+ * A named collection of scalar statistics.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Group name used as a prefix when dumping. */
+    const std::string &name() const { return _name; }
+
+    /** Increment counter @p key by @p delta (creating it at zero). */
+    void
+    inc(const std::string &key, std::uint64_t delta = 1)
+    {
+        _counters[key] += delta;
+    }
+
+    /** Set counter @p key to an absolute value. */
+    void set(const std::string &key, std::uint64_t v) { _counters[key] = v; }
+
+    /** Value of counter @p key, or 0 if never touched. */
+    std::uint64_t
+    get(const std::string &key) const
+    {
+        auto it = _counters.find(key);
+        return it == _counters.end() ? 0 : it->second;
+    }
+
+    /** Reset all counters to zero (keys are retained). */
+    void
+    reset()
+    {
+        for (auto &kv : _counters)
+            kv.second = 0;
+    }
+
+    /** All counters, sorted by key. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return _counters;
+    }
+
+    /** Write "group.key value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, std::uint64_t> _counters;
+};
+
+} // namespace flick
+
+#endif // FLICK_SIM_STATS_HH

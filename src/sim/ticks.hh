@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * All simulated time in Flick is expressed in Ticks, where one Tick is one
+ * picosecond. Picosecond resolution lets us represent both the 2.4 GHz host
+ * clock (416.67 ps/cycle) and sub-nanosecond interconnect effects without
+ * rounding, while a 64-bit counter still covers ~213 days of simulated time.
+ */
+
+#ifndef FLICK_SIM_TICKS_HH
+#define FLICK_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace flick
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert picoseconds to Ticks (identity; for documentation value). */
+constexpr Tick
+ps(std::uint64_t n)
+{
+    return n;
+}
+
+/** Convert nanoseconds to Ticks. */
+constexpr Tick
+ns(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+/** Convert microseconds to Ticks. */
+constexpr Tick
+us(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+/** Convert milliseconds to Ticks. */
+constexpr Tick
+msec(std::uint64_t n)
+{
+    return n * 1000ull * 1000 * 1000;
+}
+
+/** Convert seconds to Ticks. */
+constexpr Tick
+sec(std::uint64_t n)
+{
+    return n * 1000ull * 1000 * 1000 * 1000;
+}
+
+/** Convert Ticks to (truncated) nanoseconds. */
+constexpr std::uint64_t
+ticksToNs(Tick t)
+{
+    return t / 1000;
+}
+
+/** Convert Ticks to microseconds as a double (for reporting). */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert Ticks to seconds as a double (for reporting). */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / 1e12;
+}
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * Converts between cycle counts and Ticks for one core or device. The
+ * period is stored in picoseconds; frequencies that do not divide 1 THz
+ * evenly (e.g. 2.4 GHz) accumulate sub-picosecond error only over billions
+ * of cycles, which is far below the fidelity of the latency model.
+ */
+class ClockDomain
+{
+  public:
+    /** Construct a clock domain from a frequency in hertz. */
+    constexpr explicit ClockDomain(std::uint64_t freq_hz)
+        : _freqHz(freq_hz),
+          _periodPs((1000ull * 1000 * 1000 * 1000 + freq_hz / 2) / freq_hz)
+    {}
+
+    /** Frequency of this domain in hertz. */
+    constexpr std::uint64_t freqHz() const { return _freqHz; }
+
+    /** Period of one cycle, in Ticks. */
+    constexpr Tick period() const { return _periodPs; }
+
+    /** Ticks taken by @p n cycles in this domain. */
+    constexpr Tick cycles(std::uint64_t n) const { return n * _periodPs; }
+
+    /** Cycles (rounded up) covered by @p t Ticks. */
+    constexpr std::uint64_t
+    ticksToCycles(Tick t) const
+    {
+        return (t + _periodPs - 1) / _periodPs;
+    }
+
+  private:
+    std::uint64_t _freqHz;
+    Tick _periodPs;
+};
+
+} // namespace flick
+
+#endif // FLICK_SIM_TICKS_HH

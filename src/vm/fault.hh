@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Architectural fault kinds shared by the MMUs and the interpreters.
+ */
+
+#ifndef FLICK_VM_FAULT_HH
+#define FLICK_VM_FAULT_HH
+
+namespace flick
+{
+
+/**
+ * Faults a core can raise while translating or fetching.
+ *
+ * nxFetch and nonNxFetch are the two migration triggers of Section III-B:
+ * the host faults when fetching from a page whose NX bit is set, while the
+ * NxP's fetch policy is inverted and faults on pages whose NX bit is clear.
+ * misalignedFetch is the secondary NxP trigger: variable-length host code
+ * rarely sits at 4-byte boundaries, so an NxP fetch of host text can raise
+ * RISC-V's misaligned-instruction-address exception first (Section IV-B2).
+ */
+enum class Fault
+{
+    none,
+    notPresent,      //!< No valid translation for the address.
+    protection,      //!< Write to a read-only page.
+    nxFetch,         //!< Instruction fetch from an NX page (host policy).
+    nonNxFetch,      //!< Instruction fetch from a non-NX page (NxP policy).
+    misalignedFetch, //!< PC not aligned to the ISA's instruction granule.
+    badAddress,      //!< Non-canonical virtual address.
+    illegalInstr,    //!< Undecodable instruction bytes.
+    halt,            //!< Core executed its halt/exit instruction.
+    trampoline,      //!< Control returned to the runtime trampoline.
+};
+
+/** Human-readable fault name. */
+constexpr const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::none: return "none";
+      case Fault::notPresent: return "notPresent";
+      case Fault::protection: return "protection";
+      case Fault::nxFetch: return "nxFetch";
+      case Fault::nonNxFetch: return "nonNxFetch";
+      case Fault::misalignedFetch: return "misalignedFetch";
+      case Fault::badAddress: return "badAddress";
+      case Fault::illegalInstr: return "illegalInstr";
+      case Fault::halt: return "halt";
+      case Fault::trampoline: return "trampoline";
+    }
+    return "?";
+}
+
+} // namespace flick
+
+#endif // FLICK_VM_FAULT_HH

@@ -1,0 +1,78 @@
+#include "vm/mmu.hh"
+
+namespace flick
+{
+
+Fault
+Mmu::permissionCheck(std::uint64_t entry, AccessType type) const
+{
+    if (type == AccessType::write && !(entry & pte::writable))
+        return Fault::protection;
+    if (type == AccessType::fetch) {
+        bool nx = (entry & pte::noExecute) != 0;
+        if (nx && _policy.faultOnNxFetch)
+            return Fault::nxFetch;
+        if (!nx && _policy.faultOnNonNxFetch)
+            return Fault::nonNxFetch;
+        if (nx && _policy.requiredIsaTag != 0 &&
+            pte::isaTag(entry) != _policy.requiredIsaTag) {
+            // Another NxP's code: migrate (the handler routes by tag).
+            return Fault::nonNxFetch;
+        }
+    }
+    return Fault::none;
+}
+
+TranslationResult
+Mmu::translate(VAddr va, AccessType type)
+{
+    TranslationResult result;
+
+    if (!isCanonical(va)) {
+        result.fault = Fault::badAddress;
+        return result;
+    }
+
+    // Programmable-MMU holes bypass the page tables entirely.
+    for (const Hole &h : _holes) {
+        if (va >= h.va && va < h.va + h.size) {
+            result.pa = h.pa + (va - h.va);
+            return result;
+        }
+    }
+
+    Tlb &tlb = (type == AccessType::fetch) ? _itlb : _dtlb;
+
+    if (const TlbEntry *e = tlb.lookup(va)) {
+        result.fault = permissionCheck(e->flags, type);
+        if (result.fault == Fault::none) {
+            result.entry = e->flags;
+            result.pa = tlb.applyRemap(e->pbase + (va - e->vbase));
+        }
+        return result;
+    }
+
+    WalkResult walk = _walker.walk(_cr3, va);
+    result.latency = walk.latency;
+    if (!walk.present) {
+        result.fault = Fault::notPresent;
+        return result;
+    }
+
+    // Cache the translation even when the permission check will fault:
+    // hardware TLBs hold the entry and re-raise the fault from it, so a
+    // thread calling across the ISA boundary repeatedly does not re-walk
+    // the page tables on every call. Software must shoot down the TLB
+    // after an mprotect() for new permissions to be observed.
+    tlb.insert(va & ~(walk.granule - 1), walk.pageBase, walk.granule,
+               walk.entry);
+
+    result.fault = permissionCheck(walk.entry, type);
+    if (result.fault != Fault::none)
+        return result;
+    result.entry = walk.entry;
+    result.pa = tlb.applyRemap(walk.pageBase + (va & (walk.granule - 1)));
+    return result;
+}
+
+} // namespace flick

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-core MMU front-end: TLBs + walker + fetch policy + holes.
+ *
+ * Each core owns one Mmu. The host Mmu uses the normal NX semantics (fetch
+ * from an NX page faults); the NxP Mmu inverts them (fetch from a non-NX
+ * page faults) — the pair of policies that makes every cross-ISA call trap
+ * exactly once, on the side that must migrate (Section III-B).
+ *
+ * The NxP Mmu additionally supports "holes": virtual ranges the
+ * programmable MMU translates directly without touching the page tables,
+ * used for debugging windows and scratchpad access (Section IV-A).
+ */
+
+#ifndef FLICK_VM_MMU_HH
+#define FLICK_VM_MMU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "vm/fault.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace flick
+{
+
+/** Kind of memory access being translated. */
+enum class AccessType { fetch, read, write };
+
+/** Result of a translation attempt. */
+struct TranslationResult
+{
+    Fault fault = Fault::none;
+    Addr pa = 0;          //!< Post-remap physical address (valid if !fault).
+    Tick latency = 0;     //!< Translation cost (walks; hits are free).
+    std::uint64_t entry = 0; //!< Leaf PTE bits (valid if walked/hit).
+};
+
+/**
+ * MMU configuration: fetch-permission policy.
+ */
+struct MmuPolicy
+{
+    /** Fault instruction fetches from pages with the NX bit set. */
+    bool faultOnNxFetch = false;
+    /** Fault instruction fetches from pages with the NX bit clear. */
+    bool faultOnNonNxFetch = false;
+    /**
+     * If nonzero, additionally fault fetches from NX pages whose
+     * software ISA tag differs: in multi-NxP systems each NxP runs only
+     * pages tagged with its own ISA id (Section IV-C3's extra PTE bits).
+     */
+    unsigned requiredIsaTag = 0;
+};
+
+/**
+ * Address translation front-end for one core.
+ */
+class Mmu
+{
+  public:
+    Mmu(const std::string &name, MemSystem &mem, Requester walk_requester,
+        Tick walk_overhead, unsigned itlb_entries, unsigned dtlb_entries,
+        MmuPolicy policy)
+        : _walker(name + ".walker", mem, walk_requester, walk_overhead),
+          _itlb(name + ".itlb", itlb_entries),
+          _dtlb(name + ".dtlb", dtlb_entries),
+          _policy(policy)
+    {}
+
+    /** Load a new page table base; flushes both TLBs (no ASIDs). */
+    void
+    setCr3(Addr cr3)
+    {
+        if (cr3 != _cr3) {
+            _cr3 = cr3;
+            flushTlbs();
+        }
+    }
+
+    Addr cr3() const { return _cr3; }
+
+    /** Invalidate both TLBs (TLB shootdown after mprotect). */
+    void
+    flushTlbs()
+    {
+        _itlb.flushAll();
+        _dtlb.flushAll();
+    }
+
+    /** Program the BAR remap window into both TLBs (host driver action). */
+    void
+    setBarRemap(Addr bar_base, std::uint64_t size, Addr offset)
+    {
+        _itlb.setBarRemap(bar_base, size, offset);
+        _dtlb.setBarRemap(bar_base, size, offset);
+    }
+
+    /**
+     * Open a programmable-MMU hole: [va, va+size) maps straight to
+     * [pa, pa+size) with full permissions and no page table walk.
+     */
+    void
+    addHole(VAddr va, std::uint64_t size, Addr pa)
+    {
+        _holes.push_back({va, size, pa});
+    }
+
+    void clearHoles() { _holes.clear(); }
+
+    /**
+     * Translate @p va for @p type.
+     *
+     * Walked translations are cached even when the permission check
+     * faults (the hardware behaviour): repeated cross-ISA calls fault
+     * straight from the TLB instead of re-walking. New permissions after
+     * an mprotect() require a flushTlbs() shootdown.
+     */
+    TranslationResult translate(VAddr va, AccessType type);
+
+    Tlb &itlb() { return _itlb; }
+    Tlb &dtlb() { return _dtlb; }
+    PageTableWalker &walker() { return _walker; }
+
+  private:
+    struct Hole
+    {
+        VAddr va;
+        std::uint64_t size;
+        Addr pa;
+    };
+
+    /** Check leaf flags against the access; Fault::none if allowed. */
+    Fault permissionCheck(std::uint64_t entry, AccessType type) const;
+
+    PageTableWalker _walker;
+    Tlb _itlb;
+    Tlb _dtlb;
+    MmuPolicy _policy;
+    Addr _cr3 = 0;
+    std::vector<Hole> _holes;
+};
+
+} // namespace flick
+
+#endif // FLICK_VM_MMU_HH

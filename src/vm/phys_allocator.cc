@@ -1,0 +1,103 @@
+#include "vm/phys_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+PhysAllocator::PhysAllocator(std::string name, Addr base, std::uint64_t size)
+    : _name(std::move(name)), _base(base), _size(size)
+{
+    if (base % 4096 != 0 || size % 4096 != 0)
+        panic("PhysAllocator %s: unaligned region %#llx+%#llx",
+              _name.c_str(), (unsigned long long)base,
+              (unsigned long long)size);
+    _free[base] = size;
+}
+
+Addr
+PhysAllocator::allocate(std::uint64_t bytes, std::uint64_t align)
+{
+    if (bytes == 0)
+        panic("PhysAllocator %s: zero-size allocation", _name.c_str());
+    if (align < 4096)
+        align = 4096;
+    if ((align & (align - 1)) != 0)
+        panic("PhysAllocator %s: alignment %#llx not a power of two",
+              _name.c_str(), (unsigned long long)align);
+    bytes = roundUp(bytes, 4096);
+
+    for (auto it = _free.begin(); it != _free.end(); ++it) {
+        Addr start = it->first;
+        std::uint64_t len = it->second;
+        Addr aligned = roundUp(start, align);
+        std::uint64_t skip = aligned - start;
+        if (skip >= len || len - skip < bytes)
+            continue;
+
+        // Carve [aligned, aligned+bytes) out of [start, start+len).
+        _free.erase(it);
+        if (skip > 0)
+            _free[start] = skip;
+        std::uint64_t tail = len - skip - bytes;
+        if (tail > 0)
+            _free[aligned + bytes] = tail;
+        _allocated += bytes;
+        return aligned;
+    }
+    fatal("PhysAllocator %s exhausted: wanted %llu bytes (align %#llx), "
+          "%llu of %llu allocated",
+          _name.c_str(), (unsigned long long)bytes,
+          (unsigned long long)align, (unsigned long long)_allocated,
+          (unsigned long long)_size);
+}
+
+void
+PhysAllocator::free(Addr addr, std::uint64_t bytes)
+{
+    bytes = roundUp(bytes, 4096);
+    if (addr < _base || addr + bytes > _base + _size)
+        panic("PhysAllocator %s: free outside region %#llx+%#llx",
+              _name.c_str(), (unsigned long long)addr,
+              (unsigned long long)bytes);
+
+    auto next = _free.lower_bound(addr);
+    if (next != _free.end() && addr + bytes > next->first)
+        panic("PhysAllocator %s: double free at %#llx", _name.c_str(),
+              (unsigned long long)addr);
+    if (next != _free.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second > addr)
+            panic("PhysAllocator %s: double free at %#llx", _name.c_str(),
+                  (unsigned long long)addr);
+    }
+
+    _allocated -= bytes;
+    // Merge with successor.
+    if (next != _free.end() && next->first == addr + bytes) {
+        bytes += next->second;
+        next = _free.erase(next);
+    }
+    // Merge with predecessor.
+    if (next != _free.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            prev->second += bytes;
+            return;
+        }
+    }
+    _free[addr] = bytes;
+}
+
+} // namespace flick

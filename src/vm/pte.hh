@@ -1,0 +1,106 @@
+/**
+ * @file
+ * x86-64 page table entry format.
+ *
+ * Flick keeps the host's architectural page table layout bit-for-bit: the
+ * NxP's programmable MMU walks these same structures (Section III-A), and
+ * the NX bit (bit 63) is the migration trigger (Section III-B). Ignored
+ * bits 52..58 are reserved here for distinguishing additional NxP ISAs in
+ * >2-ISA executables, as the paper suggests in Section IV-C.
+ */
+
+#ifndef FLICK_VM_PTE_HH
+#define FLICK_VM_PTE_HH
+
+#include <cstdint>
+
+#include "mem/sparse_memory.hh"
+
+namespace flick
+{
+
+/** A virtual address. */
+using VAddr = std::uint64_t;
+
+namespace pte
+{
+
+constexpr std::uint64_t present = 1ull << 0;
+constexpr std::uint64_t writable = 1ull << 1;
+constexpr std::uint64_t user = 1ull << 2;
+constexpr std::uint64_t accessed = 1ull << 5;
+constexpr std::uint64_t dirty = 1ull << 6;
+/** Page-size bit: set in a PDPTE/PDE to terminate the walk early. */
+constexpr std::uint64_t pageSize = 1ull << 7;
+/** First software-available ISA-tag bit (bits 52..58 are ignored). */
+constexpr std::uint64_t isaTagShift = 52;
+constexpr std::uint64_t isaTagMask = 0x7full << isaTagShift;
+/** No-execute bit. */
+constexpr std::uint64_t noExecute = 1ull << 63;
+
+/** Physical address field (bits 12..51). */
+constexpr std::uint64_t addrMask = 0x000ffffffffff000ull;
+
+/** Extract the physical frame base from an entry. */
+constexpr Addr
+entryAddr(std::uint64_t entry)
+{
+    return entry & addrMask;
+}
+
+/** Build an entry from a frame base and flag bits. */
+constexpr std::uint64_t
+makeEntry(Addr pa, std::uint64_t flags)
+{
+    return (pa & addrMask) | flags;
+}
+
+/** Extract the software ISA tag (0 = host ISA). */
+constexpr unsigned
+isaTag(std::uint64_t entry)
+{
+    return static_cast<unsigned>((entry & isaTagMask) >> isaTagShift);
+}
+
+/** Encode a software ISA tag into flag bits. */
+constexpr std::uint64_t
+makeIsaTag(unsigned tag)
+{
+    return (std::uint64_t(tag) << isaTagShift) & isaTagMask;
+}
+
+} // namespace pte
+
+/** Supported translation granules. */
+enum class PageSize : std::uint64_t
+{
+    size4K = 4096,
+    size2M = 2ull << 20,
+    size1G = 1ull << 30,
+};
+
+/** Size in bytes of a PageSize. */
+constexpr std::uint64_t
+pageBytes(PageSize s)
+{
+    return static_cast<std::uint64_t>(s);
+}
+
+/** Check whether @p va is canonical (bits 63..48 sign-extend bit 47). */
+constexpr bool
+isCanonical(VAddr va)
+{
+    std::uint64_t upper = va >> 47;
+    return upper == 0 || upper == 0x1ffff;
+}
+
+/** Page-table index of @p va at @p level (3 = PML4 .. 0 = PT). */
+constexpr unsigned
+tableIndex(VAddr va, int level)
+{
+    return static_cast<unsigned>((va >> (12 + 9 * level)) & 0x1ff);
+}
+
+} // namespace flick
+
+#endif // FLICK_VM_PTE_HH

@@ -1,0 +1,39 @@
+#include "vm/walker.hh"
+
+namespace flick
+{
+
+WalkResult
+PageTableWalker::walk(Addr cr3, VAddr va)
+{
+    WalkResult result;
+    result.latency = _overhead;
+    _stats.inc("walks");
+
+    Addr table = cr3;
+    for (int level = 3; level >= 0; --level) {
+        unsigned idx = tableIndex(va, level);
+        std::uint64_t entry = 0;
+        result.latency += _mem.readInt(_requester, table + 8ull * idx, 8,
+                                       entry);
+        ++result.levels;
+        _stats.inc("level_reads");
+
+        if (!(entry & pte::present)) {
+            _stats.inc("not_present");
+            return result;
+        }
+        bool leaf = (level == 0) || (entry & pte::pageSize);
+        if (leaf) {
+            result.present = true;
+            result.entry = entry;
+            result.granule = 4096ull << (9 * level);
+            result.pageBase = pte::entryAddr(entry) & ~(result.granule - 1);
+            return result;
+        }
+        table = pte::entryAddr(entry);
+    }
+    return result;
+}
+
+} // namespace flick

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prior-work migration-latency models (Table II).
+ *
+ * The paper compares Flick against published heterogeneous-ISA thread
+ * migration systems by their reported overheads. We reproduce the
+ * comparison the same way: each prior system is emulated by running the
+ * identical microbenchmark with the per-round-trip latency inflated to
+ * that system's published figure (Figure 5's 500 us / 1 ms dashed lines
+ * use the same knob).
+ */
+
+#ifndef FLICK_WORKLOADS_BASELINES_HH
+#define FLICK_WORKLOADS_BASELINES_HH
+
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace flick::workloads
+{
+
+/** One row of Table II. */
+struct PriorWork
+{
+    const char *name;
+    const char *fastCores;
+    const char *slowCores;
+    const char *interconnect;
+    Tick overhead; //!< Published migration round-trip overhead.
+};
+
+/** The prior-work rows of Table II. */
+inline std::vector<PriorWork>
+priorWorkTable()
+{
+    return {
+        {"ASPLOS'12 [11]", "MIPS @2GHz", "ARM @833MHz", "Not Considered",
+         us(600)},
+        {"EuroSys'15 [13]", "Xeon E5-2695 @2.4GHz", "Xeon Phi 3120A @1.1GHz",
+         "PCIe", us(700)},
+        {"ISCA'16 [6]", "Xeon E5-2640 @2.5GHz", "ARM Cortex R7 @750MHz",
+         "PCIe Gen3 x4", us(430)},
+        {"ARM Big-LITTLE [2]", "ARM Cortex A15 @1.8GHz", "ARM Cortex A7",
+         "Onchip Network", us(22)},
+    };
+}
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_BASELINES_HH

@@ -1,0 +1,157 @@
+#include "workloads/bfs.hh"
+
+namespace flick::workloads
+{
+
+namespace
+{
+
+const char *nxpBfs = R"(
+# bfs_nxp(rowOff, col, visited, queue, source, cb) -> discovered count
+bfs_nxp:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    mv s0, a0          # rowOff
+    mv s1, a1          # col
+    mv s2, a2          # visited
+    mv s3, a3          # queue
+    mv s4, a5          # cb
+    li s5, 0           # head
+    li s6, 0           # tail
+    li s7, 0           # count
+    # visit the source vertex
+    add t0, s2, a4
+    li t1, 1
+    sb t1, 0(t0)
+    sd a4, 0(s3)
+    addi s6, s6, 1
+bfs_loop:
+    bge s5, s6, bfs_done
+    slli t0, s5, 3
+    add t0, s3, t0
+    ld s8, 0(t0)       # v = queue[head]
+    addi s5, s5, 1
+    addi s7, s7, 1
+    beqz s4, bfs_nocb
+    mv a0, s8
+    jalr s4            # cb(v): migrates to the host and back
+bfs_nocb:
+    slli t0, s8, 3
+    add t0, s0, t0
+    ld s9, 0(t0)       # e = rowOff[v]
+    ld s10, 8(t0)      # end = rowOff[v+1]
+bfs_edges:
+    bge s9, s10, bfs_loop
+    slli t0, s9, 3
+    add t0, s1, t0
+    ld t2, 0(t0)       # w = col[e]
+    addi s9, s9, 1
+    add t0, s2, t2
+    lbu t3, 0(t0)
+    bnez t3, bfs_edges
+    li t3, 1
+    sb t3, 0(t0)       # visited[w] = 1
+    slli t0, s6, 3
+    add t0, s3, t0
+    sd t2, 0(t0)       # queue[tail++] = w
+    addi s6, s6, 1
+    j bfs_edges
+bfs_done:
+    mv a0, s7
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+const char *hostBfs = R"(
+# bfs_dummy(v): the per-vertex host task (immediately returns).
+bfs_dummy:
+    mov rax, 0
+    ret
+
+# bfs_host(rowOff, col, visited, queue, source, cb) -> discovered count
+# The baseline: the host traverses the NxP-resident graph over PCIe.
+bfs_host:
+    push rbx
+    push rbp
+    push r12
+    push r13
+    push r14
+    push r15
+    mov r10, 0         # head
+    mov r11, 0         # tail
+    mov r12, 0         # count
+    # visit the source vertex
+    mov rax, rdx
+    add rax, r8
+    mov rbx, 1
+    st8 [rax+0], rbx
+    st [rcx+0], r8
+    add r11, 1
+bfsh_loop:
+    cmp r10, r11
+    jge bfsh_done
+    mov rax, r10
+    shl rax, 3
+    add rax, rcx
+    ld r13, [rax+0]    # v = queue[head]
+    add r10, 1
+    add r12, 1
+    cmp r9, 0
+    je bfsh_nocb
+    push rdi
+    push r10
+    push r11
+    mov rdi, r13
+    callr r9           # cb(v): a local host call in the baseline
+    pop r11
+    pop r10
+    pop rdi
+bfsh_nocb:
+    mov rax, r13
+    shl rax, 3
+    add rax, rdi
+    ld r14, [rax+0]    # e = rowOff[v]
+    ld r15, [rax+8]    # end = rowOff[v+1]
+bfsh_edges:
+    cmp r14, r15
+    jge bfsh_loop
+    mov rax, r14
+    shl rax, 3
+    add rax, rsi
+    ld rbx, [rax+0]    # w = col[e]
+    add r14, 1
+    mov rax, rdx
+    add rax, rbx
+    ld8 rbp, [rax+0]
+    cmp rbp, 0
+    jne bfsh_edges
+    mov rbp, 1
+    st8 [rax+0], rbp   # visited[w] = 1
+    mov rax, r11
+    shl rax, 3
+    add rax, rcx
+    st [rax+0], rbx    # queue[tail++] = w
+    add r11, 1
+    jmp bfsh_edges
+bfsh_done:
+    mov rax, r12
+    pop r15
+    pop r14
+    pop r13
+    pop r12
+    pop rbp
+    pop rbx
+    ret
+)";
+
+} // namespace
+
+void
+addBfsKernels(Program &program)
+{
+    program.addNxpAsm(nxpBfs);
+    program.addHostAsm(hostBfs);
+}
+
+} // namespace flick::workloads

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * BFS kernels (Section V-C).
+ *
+ * The Graph500-style breadth-first search in both ISAs:
+ *
+ *   bfs_nxp(rowOff, col, visited, queue, source, cb)
+ *       NxP-side traversal over the graph in local DRAM; for every newly
+ *       discovered vertex it calls cb(v) through a function pointer —
+ *       when cb is the host-side bfs_dummy, the thread migrates to the
+ *       host and back per vertex, exactly the paper's setup. cb = 0
+ *       skips the callback.
+ *   bfs_host(rowOff, col, visited, queue, source, cb)
+ *       The no-migration baseline: the host traverses the same arrays
+ *       over PCIe and calls cb locally.
+ *   bfs_dummy(v)
+ *       The host function called per discovered vertex.
+ *
+ * Both return the number of vertices discovered, which tests compare
+ * against the reference C++ BFS.
+ */
+
+#ifndef FLICK_WORKLOADS_BFS_HH
+#define FLICK_WORKLOADS_BFS_HH
+
+#include "flick/program.hh"
+
+namespace flick::workloads
+{
+
+/** Add the BFS kernels to @p program. */
+void addBfsKernels(Program &program);
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_BFS_HH

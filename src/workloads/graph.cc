@@ -1,0 +1,133 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace flick::workloads
+{
+
+std::vector<GraphSpec>
+snapDatasets(std::uint64_t scale)
+{
+    if (scale == 0)
+        fatal("graph scale must be >= 1");
+    // Vertex/edge counts from Table IV.
+    std::vector<GraphSpec> specs = {
+        {"Epinions1", 76'000, 509'000, 11, 16.7},
+        {"Pokec", 1'633'000, 30'623'000, 12, 1024.0},
+        {"LiveJournal1", 4'848'000, 68'994'000, 13, 2252.8},
+    };
+    for (auto &s : specs) {
+        s.vertices = std::max<std::uint64_t>(s.vertices / scale, 16);
+        s.edges = std::max<std::uint64_t>(s.edges / scale, 64);
+        s.sizeMb /= static_cast<double>(scale);
+    }
+    return specs;
+}
+
+CsrGraph
+CsrGraph::generate(const GraphSpec &spec)
+{
+    const std::uint64_t v_count = spec.vertices;
+    // Each attachment creates two directed CSR entries (symmetric edge).
+    const std::uint64_t attachments = std::max<std::uint64_t>(
+        spec.edges / 2, v_count - 1);
+
+    Rng rng(spec.seed);
+
+    // Preferential attachment: every new vertex connects to endpoints
+    // sampled from the pool of previous endpoints, giving the power-law
+    // degree skew of social graphs, and connectivity from vertex 0.
+    std::vector<std::uint32_t> pool;
+    pool.reserve(attachments * 2);
+    pool.push_back(0);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+    arcs.reserve(attachments);
+
+    // Distribute attachments over vertices 1..V-1 (at least one each so
+    // the graph is connected).
+    for (std::uint64_t v = 1; v < v_count; ++v) {
+        std::uint64_t share =
+            attachments / (v_count - 1) +
+            (v <= attachments % (v_count - 1) ? 1 : 0);
+        for (std::uint64_t k = 0; k < share; ++k) {
+            std::uint32_t w = pool[rng.below(pool.size())];
+            if (w == v)
+                w = pool[rng.below(pool.size())];
+            arcs.emplace_back(static_cast<std::uint32_t>(v), w);
+            pool.push_back(static_cast<std::uint32_t>(v));
+            pool.push_back(w);
+        }
+    }
+
+    // Build symmetric CSR by counting sort on the source vertex.
+    CsrGraph g;
+    g._rowOff.assign(v_count + 1, 0);
+    for (auto [a, b] : arcs) {
+        ++g._rowOff[a + 1];
+        ++g._rowOff[b + 1];
+    }
+    for (std::uint64_t v = 0; v < v_count; ++v)
+        g._rowOff[v + 1] += g._rowOff[v];
+    g._col.resize(g._rowOff[v_count]);
+    std::vector<std::uint64_t> cursor(g._rowOff.begin(),
+                                      g._rowOff.end() - 1);
+    for (auto [a, b] : arcs) {
+        g._col[cursor[a]++] = b;
+        g._col[cursor[b]++] = a;
+    }
+    return g;
+}
+
+std::uint64_t
+CsrGraph::reachableFrom(std::uint64_t source) const
+{
+    std::vector<std::uint8_t> visited(vertices(), 0);
+    std::vector<std::uint64_t> queue;
+    queue.reserve(vertices());
+    visited[source] = 1;
+    queue.push_back(source);
+    std::uint64_t count = 0;
+    for (std::uint64_t head = 0; head < queue.size(); ++head) {
+        std::uint64_t v = queue[head];
+        ++count;
+        for (std::uint64_t e = _rowOff[v]; e < _rowOff[v + 1]; ++e) {
+            std::uint64_t w = _col[e];
+            if (!visited[w]) {
+                visited[w] = 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return count;
+}
+
+DeviceGraph
+uploadGraph(FlickSystem &sys, Process &process, const CsrGraph &graph)
+{
+    DeviceGraph d;
+    d.vertices = graph.vertices();
+    d.edges = graph.edges();
+    d.rowOff = sys.nxpMalloc((d.vertices + 1) * 8, 4096);
+    d.col = sys.nxpMalloc(std::max<std::uint64_t>(d.edges, 1) * 8, 4096);
+    d.visited = sys.nxpMalloc(d.vertices, 4096);
+    d.queue = sys.nxpMalloc(d.vertices * 8, 4096);
+
+    sys.writeBlock(process, d.rowOff, graph.rowOff().data(),
+                   (d.vertices + 1) * 8);
+    sys.writeBlock(process, d.col, graph.col().data(), d.edges * 8);
+    resetVisited(sys, process, d);
+    return d;
+}
+
+void
+resetVisited(FlickSystem &sys, Process &process, const DeviceGraph &g)
+{
+    std::vector<std::uint8_t> zeros(g.vertices, 0);
+    sys.writeBlock(process, g.visited, zeros.data(), zeros.size());
+}
+
+} // namespace flick::workloads

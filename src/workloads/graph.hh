@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic graph generation for the BFS application study (Section V-C).
+ *
+ * The paper uses three SNAP social-network datasets (Epinions1, Pokec,
+ * LiveJournal1). Those files are not available offline, so we generate
+ * synthetic graphs by preferential attachment matched to each dataset's
+ * vertex count, edge count, and power-law degree skew; Table IV's shape
+ * is driven by the vertex:edge ratio (migrations per unit of traversal
+ * work), which the generator preserves exactly. A scale divisor keeps
+ * interpreted runs tractable; scale=1 reproduces the full sizes.
+ */
+
+#ifndef FLICK_WORKLOADS_GRAPH_HH
+#define FLICK_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flick/system.hh"
+
+namespace flick::workloads
+{
+
+/** Parameters of one synthetic dataset. */
+struct GraphSpec
+{
+    std::string name;
+    std::uint64_t vertices;
+    std::uint64_t edges; //!< Target directed edge (CSR entry) count.
+    std::uint64_t seed = 1;
+    /** Reported size of the original dataset (for the table). */
+    double sizeMb = 0;
+};
+
+/**
+ * The paper's three datasets, divided by @p scale (vertices and edges).
+ */
+std::vector<GraphSpec> snapDatasets(std::uint64_t scale);
+
+/**
+ * A host-side CSR graph.
+ */
+class CsrGraph
+{
+  public:
+    /** Generate by preferential attachment (symmetric edges). */
+    static CsrGraph generate(const GraphSpec &spec);
+
+    std::uint64_t vertices() const { return _rowOff.size() - 1; }
+    std::uint64_t edges() const { return _col.size(); }
+
+    const std::vector<std::uint64_t> &rowOff() const { return _rowOff; }
+    const std::vector<std::uint64_t> &col() const { return _col; }
+
+    /** Reference BFS: number of vertices reachable from @p source. */
+    std::uint64_t reachableFrom(std::uint64_t source) const;
+
+  private:
+    std::vector<std::uint64_t> _rowOff;
+    std::vector<std::uint64_t> _col;
+};
+
+/** The graph and its working arrays resident in NxP DRAM. */
+struct DeviceGraph
+{
+    VAddr rowOff = 0;
+    VAddr col = 0;
+    VAddr visited = 0;
+    VAddr queue = 0;
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+};
+
+/** Copy @p graph into NxP DRAM (untimed setup, like the paper's load). */
+DeviceGraph uploadGraph(FlickSystem &sys, Process &process,
+                        const CsrGraph &graph);
+
+/** Clear the visited array between BFS iterations (untimed). */
+void resetVisited(FlickSystem &sys, Process &process, const DeviceGraph &g);
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_GRAPH_HH

@@ -1,0 +1,190 @@
+#include "workloads/kvstore.hh"
+
+#include "sim/logging.hh"
+
+namespace flick::workloads
+{
+
+namespace
+{
+
+const char *nxpKernels = R"(
+# kv_get_nxp(table, mask, key) -> value or 0
+kv_get_nxp:
+    li t5, 0x9e3779b97f4a7c15
+    mul t0, a2, t5
+    srli t0, t0, 32
+    and t0, t0, a1
+kvg_loop:
+    slli t1, t0, 4
+    add t1, a0, t1
+    ld t2, 0(t1)
+    beqz t2, kvg_miss
+    beq t2, a2, kvg_hit
+    addi t0, t0, 1
+    and t0, t0, a1
+    j kvg_loop
+kvg_hit:
+    ld a0, 8(t1)
+    ret
+kvg_miss:
+    li a0, 0
+    ret
+
+# kv_batch_nxp(table, mask, keys, n) -> sum of found values
+kv_batch_nxp:
+    li t5, 0x9e3779b97f4a7c15
+    li a4, 0
+kb_loop:
+    beqz a3, kb_done
+    ld t3, 0(a2)
+    mul t0, t3, t5
+    srli t0, t0, 32
+    and t0, t0, a1
+kb_probe:
+    slli t1, t0, 4
+    add t1, a0, t1
+    ld t2, 0(t1)
+    beqz t2, kb_next
+    beq t2, t3, kb_hit
+    addi t0, t0, 1
+    and t0, t0, a1
+    j kb_probe
+kb_hit:
+    ld t4, 8(t1)
+    add a4, a4, t4
+kb_next:
+    addi a2, a2, 8
+    addi a3, a3, -1
+    j kb_loop
+kb_done:
+    mv a0, a4
+    ret
+)";
+
+const char *hostKernels = R"(
+# kv_get_host(table, mask, key): the over-PCIe baseline probe.
+kv_get_host:
+    mov rax, 0x9e3779b97f4a7c15
+    mul rax, rdx
+    shr rax, 32
+    and rax, rsi
+kvh_loop:
+    mov rcx, rax
+    shl rcx, 4
+    add rcx, rdi
+    ld r8, [rcx+0]
+    cmp r8, 0
+    je kvh_miss
+    cmp r8, rdx
+    je kvh_hit
+    add rax, 1
+    and rax, rsi
+    jmp kvh_loop
+kvh_hit:
+    ld rax, [rcx+8]
+    ret
+kvh_miss:
+    mov rax, 0
+    ret
+
+# kv_batch_host(table, mask, keys, n)
+kv_batch_host:
+    push rbx
+    push rbp
+    mov rbx, 0
+    mov rbp, 0x9e3779b97f4a7c15
+kbh_loop:
+    cmp rcx, 0
+    je kbh_done
+    ld r8, [rdx+0]
+    mov rax, rbp
+    mul rax, r8
+    shr rax, 32
+    and rax, rsi
+kbh_probe:
+    mov r9, rax
+    shl r9, 4
+    add r9, rdi
+    ld r10, [r9+0]
+    cmp r10, 0
+    je kbh_next
+    cmp r10, r8
+    je kbh_hit
+    add rax, 1
+    and rax, rsi
+    jmp kbh_probe
+kbh_hit:
+    ld r10, [r9+8]
+    add rbx, r10
+kbh_next:
+    add rdx, 8
+    sub rcx, 1
+    jmp kbh_loop
+kbh_done:
+    mov rax, rbx
+    pop rbp
+    pop rbx
+    ret
+)";
+
+} // namespace
+
+void
+addKvKernels(Program &program)
+{
+    program.addNxpAsm(nxpKernels);
+    program.addHostAsm(hostKernels);
+}
+
+DeviceKvStore::DeviceKvStore(FlickSystem &sys, Process &process,
+                             std::uint64_t capacity)
+    : _sys(sys), _process(process)
+{
+    std::uint64_t cap = 16;
+    while (cap < capacity)
+        cap <<= 1;
+    _mask = cap - 1;
+    _table = sys.nxpMalloc(cap * 16, 4096);
+    // Zero the table (key 0 = empty slot).
+    std::vector<std::uint8_t> zeros(4096, 0);
+    for (std::uint64_t off = 0; off < cap * 16; off += zeros.size()) {
+        std::uint64_t take =
+            std::min<std::uint64_t>(zeros.size(), cap * 16 - off);
+        sys.writeBlock(process, _table + off, zeros.data(), take);
+    }
+}
+
+void
+DeviceKvStore::put(std::uint64_t key, std::uint64_t value)
+{
+    if (key == 0 || value == 0)
+        fatal("DeviceKvStore: keys and values must be nonzero");
+    if (_mirror.size() * 10 > (_mask + 1) * 7)
+        fatal("DeviceKvStore: load factor too high");
+    _mirror[key] = value;
+
+    // Same linear probing as the kernels.
+    std::uint64_t slot = hashSlot(key, _mask);
+    for (;;) {
+        VAddr entry = _table + slot * 16;
+        std::uint64_t existing = _sys.readVa(_process, entry);
+        if (existing == 0 || existing == key) {
+            _sys.writeVa(_process, entry, key);
+            _sys.writeVa(_process, entry + 8, value);
+            return;
+        }
+        slot = (slot + 1) & _mask;
+    }
+}
+
+std::optional<std::uint64_t>
+DeviceKvStore::expected(std::uint64_t key) const
+{
+    auto it = _mirror.find(key);
+    if (it == _mirror.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace flick::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Near-data key-value store (the paper's near-storage motivation).
+ *
+ * Biscuit-style near-data processing (cited as ISCA'16 [6] in Table II)
+ * serves point lookups from a store resident in device memory. Here the
+ * store is an open-addressing (linear probing) hash table in NxP DRAM;
+ * GET kernels exist for both ISAs, so a lookup can run on the NxP next
+ * to the table or on the host across PCIe. Batching GETs per migration
+ * produces the same amortization trade-off as Figure 5, but with a
+ * realistic data structure instead of a synthetic chase.
+ */
+
+#ifndef FLICK_WORKLOADS_KVSTORE_HH
+#define FLICK_WORKLOADS_KVSTORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flick/program.hh"
+#include "flick/system.hh"
+
+namespace flick::workloads
+{
+
+/**
+ * Adds the KV kernels to @p program:
+ *
+ *   kv_get_nxp(table, mask, key)          - one probe on the NxP.
+ *   kv_get_host(table, mask, key)         - one probe on the host.
+ *   kv_batch_nxp(table, mask, keys, n)    - n probes on the NxP,
+ *       reading keys from an array and summing the found values
+ *       (0 for misses); one migration serves the whole batch.
+ *   kv_batch_host(table, mask, keys, n)   - the host baseline.
+ *
+ * GET returns the value, or 0 when the key is absent (keys and values
+ * are nonzero by construction; slot key 0 means empty).
+ */
+void addKvKernels(Program &program);
+
+/**
+ * An open-addressing hash table resident in NxP DRAM.
+ */
+class DeviceKvStore
+{
+  public:
+    /**
+     * Build a table with @p capacity slots (rounded up to a power of
+     * two); each slot is {u64 key, u64 value}, key 0 = empty.
+     */
+    DeviceKvStore(FlickSystem &sys, Process &process,
+                  std::uint64_t capacity);
+
+    /** Insert (untimed setup; keys/values must be nonzero). */
+    void put(std::uint64_t key, std::uint64_t value);
+
+    /** Reference lookup on the host-side mirror. */
+    std::optional<std::uint64_t> expected(std::uint64_t key) const;
+
+    /** Virtual address of the table. */
+    VAddr table() const { return _table; }
+
+    /** Slot-index mask (capacity - 1). */
+    std::uint64_t mask() const { return _mask; }
+
+    std::uint64_t size() const { return _mirror.size(); }
+
+    /** The multiplicative hash the kernels use. */
+    static std::uint64_t
+    hashSlot(std::uint64_t key, std::uint64_t mask)
+    {
+        return (key * 0x9e3779b97f4a7c15ull >> 32) & mask;
+    }
+
+  private:
+    FlickSystem &_sys;
+    Process &_process;
+    VAddr _table;
+    std::uint64_t _mask;
+    std::unordered_map<std::uint64_t, std::uint64_t> _mirror;
+};
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_KVSTORE_HH

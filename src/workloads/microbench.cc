@@ -1,0 +1,134 @@
+#include "workloads/microbench.hh"
+
+namespace flick::workloads
+{
+
+namespace
+{
+
+const char *hostSource = R"(
+# --- host-side microbenchmark kernels (HX64) -------------------------
+
+host_noop:
+    mov rax, 0
+    ret
+
+host_add:
+    mov rax, rdi
+    add rax, rsi
+    ret
+
+# Host loop calling an NxP no-op n times: one Host-NxP-Host round trip
+# per iteration (the Table III microbenchmark).
+host_calls_nxp:
+    push rbx
+    mov rbx, rdi
+hcn_loop:
+    cmp rbx, 0
+    je hcn_done
+    call nxp_noop
+    sub rbx, 1
+    jmp hcn_loop
+hcn_done:
+    mov rax, 0
+    pop rbx
+    ret
+
+# Host function that itself calls an NxP function (nesting check).
+host_mul_via_nxp:
+    call nxp_add
+    shl rax, 1
+    ret
+
+# Cross-ISA mutual recursion: factorial alternating cores every level.
+host_fact_nxp:
+    cmp rdi, 1
+    jg hfn_rec
+    mov rax, 1
+    ret
+hfn_rec:
+    push rdi
+    sub rdi, 1
+    call nxp_fact_host
+    pop rdi
+    mul rax, rdi
+    ret
+)";
+
+const char *nxpSource = R"(
+# --- NxP-side microbenchmark kernels (RV64) --------------------------
+
+nxp_noop:
+    li a0, 0
+    ret
+
+nxp_add:
+    add a0, a0, a1
+    ret
+
+nxp_sum6:
+    add a0, a0, a1
+    add a0, a0, a2
+    add a0, a0, a3
+    add a0, a0, a4
+    add a0, a0, a5
+    ret
+
+# Pure NxP loop (no migrations) used to calibrate core timing.
+nxp_noop_loop:
+    mv t0, a0
+nnl_loop:
+    beqz t0, nnl_done
+    addi t0, t0, -1
+    j nnl_loop
+nnl_done:
+    ret
+
+# NxP loop calling a host no-op n times: one NxP-Host-NxP round trip per
+# iteration (the second row of Table III).
+nxp_calls_host:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    sd s0, 0(sp)
+    mv s0, a0
+nch_loop:
+    beqz s0, nch_done
+    call host_noop
+    addi s0, s0, -1
+    j nch_loop
+nch_done:
+    li a0, 0
+    ld s0, 0(sp)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+
+# Cross-ISA mutual recursion, NxP side.
+nxp_fact_host:
+    li t0, 1
+    blt t0, a0, nfh_rec
+    li a0, 1
+    ret
+nfh_rec:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    sd a0, 0(sp)
+    addi a0, a0, -1
+    call host_fact_nxp
+    ld t1, 0(sp)
+    mul a0, a0, t1
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)";
+
+} // namespace
+
+void
+addMicrobench(Program &program)
+{
+    program.addHostAsm(hostSource);
+    program.addNxpAsm(nxpSource);
+}
+
+} // namespace flick::workloads

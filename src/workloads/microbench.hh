@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Microbenchmark kernels (Section V-A).
+ *
+ * The thread-migration overhead microbenchmarks: an NxP function that
+ * immediately returns (Host-NxP-Host round trips), an NxP loop that calls
+ * an immediately-returning host function (NxP-Host-NxP round trips), and
+ * trivial add functions used by tests to check argument/return plumbing
+ * across the ABI bridge.
+ */
+
+#ifndef FLICK_WORKLOADS_MICROBENCH_HH
+#define FLICK_WORKLOADS_MICROBENCH_HH
+
+#include "flick/program.hh"
+
+namespace flick::workloads
+{
+
+/**
+ * Add the microbenchmark functions to @p program:
+ *
+ *   nxp_noop()                 - NxP function, immediately returns 0.
+ *   host_noop()                - host function, immediately returns 0.
+ *   nxp_noop_loop(n)           - NxP loop calling nothing, returns n.
+ *   nxp_calls_host(n)          - NxP loop calling host_noop() n times.
+ *   host_calls_nxp(n)          - host loop calling nxp_noop() n times.
+ *   nxp_add(a,b), host_add(a,b)- argument/return plumbing checks.
+ *   nxp_sum6(a..f)             - uses all six descriptor argument slots.
+ *   host_mul_via_nxp(a,b)      - host fn calling nxp_add (nesting check).
+ *   nxp_fact_host / host_fact_nxp - mutual cross-ISA recursion:
+ *       factorial alternating cores at every level.
+ */
+void addMicrobench(Program &program);
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_MICROBENCH_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The conventional offload-engine programming model (Section II-B).
+ *
+ * The baseline Flick argues against on programmability grounds: the host
+ * treats the NxP as a slave device, writing job descriptors (function id
+ * plus manually marshalled arguments) into a job queue in device memory,
+ * ringing a doorbell, and waiting for a completion word — either by
+ * busy-polling across PCIe (burning the host core) or by sleeping on an
+ * interrupt (paying the same kernel wake-up path as Flick).
+ *
+ * Functionally the job still runs on the NxP core through the same
+ * unified address space, so results are comparable; what differs is the
+ * control path: no page fault, no hijacked call, no transparent return —
+ * and no support for nested calls back into the host, function pointers,
+ * or re-entrancy. The ablation bench quantifies what Flick's transparency
+ * costs over this style.
+ */
+
+#ifndef FLICK_WORKLOADS_OFFLOAD_HH
+#define FLICK_WORKLOADS_OFFLOAD_HH
+
+#include "flick/system.hh"
+
+namespace flick::workloads
+{
+
+/** How the host waits for job completion. */
+enum class OffloadWait
+{
+    busyPoll,  //!< Spin on the completion word over PCIe.
+    interrupt, //!< Sleep; device raises an IRQ on completion.
+};
+
+/**
+ * An explicit offload-engine job queue on top of the simulated platform.
+ */
+class OffloadRunner
+{
+  public:
+    OffloadRunner(FlickSystem &sys, Process &process);
+
+    /**
+     * Run @p target (an NxP function) with @p args, offload style.
+     *
+     * The target must execute entirely on the NxP: any attempt to call
+     * host code faults fatally — the offload model has no mechanism for
+     * it (that asymmetry is the point of the comparison).
+     *
+     * @return The function's return value.
+     */
+    std::uint64_t call(VAddr target,
+                       const std::vector<std::uint64_t> &args,
+                       OffloadWait wait = OffloadWait::busyPoll);
+
+    /** Jobs executed. */
+    std::uint64_t jobs() const { return _jobs; }
+
+  private:
+    FlickSystem &_sys;
+    Process &_process;
+    VAddr _jobSlot;       //!< Descriptor slot in NxP DRAM.
+    VAddr _completion;    //!< Completion/result words in NxP DRAM.
+    VAddr _nxpStack;      //!< Dedicated NxP stack for offload jobs.
+    std::uint64_t _jobs = 0;
+};
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_OFFLOAD_HH

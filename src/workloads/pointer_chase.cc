@@ -1,0 +1,98 @@
+#include "workloads/pointer_chase.hh"
+
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace flick::workloads
+{
+
+namespace
+{
+
+const char *nxpChase = R"(
+# chase_nxp(node, count): follow count next-pointers, return final node.
+chase_nxp:
+cn_loop:
+    beqz a1, cn_done
+    ld a0, 0(a0)
+    addi a1, a1, -1
+    j cn_loop
+cn_done:
+    ret
+)";
+
+const char *hostChase = R"(
+# chase_host(node, count): the no-migration baseline over PCIe.
+chase_host:
+ch_loop:
+    cmp rsi, 0
+    je ch_done
+    ld rdi, [rdi+0]
+    sub rsi, 1
+    jmp ch_loop
+ch_done:
+    mov rax, rdi
+    ret
+)";
+
+} // namespace
+
+void
+addPointerChaseKernels(Program &program)
+{
+    program.addNxpAsm(nxpChase);
+    program.addHostAsm(hostChase);
+}
+
+PointerChaseList::PointerChaseList(FlickSystem &sys, Process &process,
+                                   std::uint64_t node_count,
+                                   std::uint64_t spread_bytes,
+                                   std::uint64_t seed)
+    : _count(node_count)
+{
+    if (node_count < 2)
+        fatal("pointer chase list needs at least 2 nodes");
+    std::uint64_t slots = spread_bytes / 8;
+    if (slots < node_count * 2)
+        fatal("pointer chase spread too small: %llu slots for %llu nodes",
+              (unsigned long long)slots, (unsigned long long)node_count);
+
+    VAddr region = sys.nxpMalloc(spread_bytes, 8);
+
+    // Pick node_count distinct 8-byte-aligned slots.
+    Rng rng(seed);
+    std::unordered_set<std::uint64_t> used;
+    std::vector<VAddr> nodes;
+    nodes.reserve(node_count);
+    while (nodes.size() < node_count) {
+        std::uint64_t slot = rng.below(slots);
+        if (used.insert(slot).second)
+            nodes.push_back(region + slot * 8);
+    }
+
+    // Fisher-Yates shuffle, then link into one cycle.
+    for (std::uint64_t i = node_count - 1; i > 0; --i) {
+        std::uint64_t j = rng.below(i + 1);
+        std::swap(nodes[i], nodes[j]);
+    }
+    for (std::uint64_t i = 0; i < node_count; ++i) {
+        VAddr next = nodes[(i + 1) % node_count];
+        sys.writeVa(process, nodes[i], next, 8);
+    }
+    _head = nodes[0];
+}
+
+VAddr
+PointerChaseList::expectedAfter(FlickSystem &sys, const Process &process,
+                                std::uint64_t hops) const
+{
+    VAddr node = _head;
+    for (std::uint64_t i = 0; i < hops; ++i)
+        node = sys.readVa(process, node, 8);
+    return node;
+}
+
+} // namespace flick::workloads

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pointer-chasing microbenchmark (Section V-B, Figure 5).
+ *
+ * Builds a linked list whose nodes are 8-byte-aligned and randomly spread
+ * across the NxP-side storage, plus the two traversal kernels: the NxP
+ * one (data is local, 267 ns per hop) and the host baseline (every hop
+ * crosses PCIe, 825 ns). Sweeping the number of nodes traversed per call
+ * varies the work amortizing each migration.
+ */
+
+#ifndef FLICK_WORKLOADS_POINTER_CHASE_HH
+#define FLICK_WORKLOADS_POINTER_CHASE_HH
+
+#include <cstdint>
+
+#include "flick/program.hh"
+#include "flick/system.hh"
+
+namespace flick::workloads
+{
+
+/**
+ * Adds the traversal kernels to @p program:
+ *
+ *   chase_nxp(node, count)  - NxP-side: follow `count` next-pointers,
+ *                             return the final node address.
+ *   chase_host(node, count) - host-side baseline, same semantics.
+ */
+void addPointerChaseKernels(Program &program);
+
+/**
+ * A randomly-permuted linked list living in NxP DRAM.
+ */
+class PointerChaseList
+{
+  public:
+    /**
+     * Allocate and initialize the list.
+     *
+     * @param node_count Number of nodes (one 8-byte next-pointer each).
+     * @param spread_bytes Region size the nodes are scattered across
+     *        (nodes are placed at random 8-byte-aligned offsets).
+     * @param seed Deterministic placement seed.
+     */
+    PointerChaseList(FlickSystem &sys, Process &process,
+                     std::uint64_t node_count, std::uint64_t spread_bytes,
+                     std::uint64_t seed);
+
+    /** Virtual address of the first node. */
+    VAddr head() const { return _head; }
+
+    /** Number of nodes in the cycle. */
+    std::uint64_t size() const { return _count; }
+
+    /**
+     * Verify (untimed) that following @p hops pointers from head() lands
+     * where the traversal kernel says it should.
+     */
+    VAddr expectedAfter(FlickSystem &sys, const Process &process,
+                        std::uint64_t hops) const;
+
+  private:
+    VAddr _head = 0;
+    std::uint64_t _count;
+};
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_POINTER_CHASE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for migration descriptors: wire-format round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flick/descriptor.hh"
+#include "sim/random.hh"
+
+namespace flick
+{
+namespace
+{
+
+TEST(Descriptor, WireSizeMatchesBurst)
+{
+    MigrationDescriptor d;
+    EXPECT_EQ(d.toWire().size(), MigrationDescriptor::wireBytes);
+    EXPECT_EQ(MigrationDescriptor::wireBytes, 128u);
+}
+
+TEST(Descriptor, RoundTripAllFields)
+{
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::nxpToHostCall;
+    d.pid = 4242;
+    d.target = 0x400123;
+    d.cr3 = 0x7f000;
+    d.nxpSp = 0x4000010000ull;
+    d.retval = 0xdeadbeef;
+    d.nargs = 6;
+    for (unsigned i = 0; i < 6; ++i)
+        d.args[i] = 0x1111111111111111ull * (i + 1);
+
+    MigrationDescriptor e = MigrationDescriptor::fromWire(d.toWire());
+    EXPECT_EQ(e.kind, d.kind);
+    EXPECT_EQ(e.pid, d.pid);
+    EXPECT_EQ(e.target, d.target);
+    EXPECT_EQ(e.cr3, d.cr3);
+    EXPECT_EQ(e.nxpSp, d.nxpSp);
+    EXPECT_EQ(e.retval, d.retval);
+    EXPECT_EQ(e.nargs, d.nargs);
+    EXPECT_EQ(e.args, d.args);
+}
+
+class DescriptorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DescriptorProperty, RandomRoundTrip)
+{
+    Rng rng(GetParam());
+    MigrationDescriptor d;
+    d.kind = static_cast<DescriptorKind>(1 + rng.below(4));
+    d.pid = static_cast<std::uint32_t>(rng.next());
+    d.target = rng.next();
+    d.cr3 = rng.next();
+    d.nxpSp = rng.next();
+    d.retval = rng.next();
+    d.nargs = static_cast<std::uint32_t>(rng.below(7));
+    for (auto &a : d.args)
+        a = rng.next();
+    MigrationDescriptor e = MigrationDescriptor::fromWire(d.toWire());
+    EXPECT_EQ(e.kind, d.kind);
+    EXPECT_EQ(e.pid, d.pid);
+    EXPECT_EQ(e.target, d.target);
+    EXPECT_EQ(e.cr3, d.cr3);
+    EXPECT_EQ(e.nxpSp, d.nxpSp);
+    EXPECT_EQ(e.retval, d.retval);
+    EXPECT_EQ(e.nargs, d.nargs);
+    EXPECT_EQ(e.args, d.args);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorProperty,
+                         ::testing::Range(1, 33));
+
+TEST(Descriptor, DefaultIsInvalid)
+{
+    MigrationDescriptor d;
+    EXPECT_EQ(d.kind, DescriptorKind::invalid);
+    auto w = d.toWire();
+    // An all-defaults descriptor serializes as zeroes.
+    for (std::uint8_t b : w)
+        EXPECT_EQ(b, 0u);
+}
+
+} // namespace
+} // namespace flick

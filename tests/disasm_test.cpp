@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Disassembler tests: spot checks against hand encodings and a
+ * round-trip property — assembling the disassembly of assembled code
+ * reproduces the original bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flick/system.hh"
+#include "isa/hx64/assembler.hh"
+#include "isa/hx64/disasm.hh"
+#include "isa/hx64/insn.hh"
+#include "isa/rv64/assembler.hh"
+#include "isa/rv64/disasm.hh"
+#include "isa/rv64/encoding.hh"
+#include "workloads/microbench.hh"
+
+namespace flick
+{
+namespace
+{
+
+using namespace rv64;
+
+TEST(Rv64Disasm, SpotChecks)
+{
+    EXPECT_EQ(rv64Disassemble(encI(opImm, 10, 0, 11, 5), 0),
+              "addi a0, a1, 5");
+    EXPECT_EQ(rv64Disassemble(encI(opImm, 0, 0, 0, 0), 0), "nop");
+    EXPECT_EQ(rv64Disassemble(encI(opImm, 10, 0, 0, -7), 0), "li a0, -7");
+    EXPECT_EQ(rv64Disassemble(encI(opImm, 12, 0, 13, 0), 0), "mv a2, a3");
+    EXPECT_EQ(rv64Disassemble(encR(opReg, 5, 0, 6, 7, 0x20), 0),
+              "sub t0, t1, t2");
+    EXPECT_EQ(rv64Disassemble(encR(opReg, 10, 0, 11, 12, 0x01), 0),
+              "mul a0, a1, a2");
+    EXPECT_EQ(rv64Disassemble(encI(opLoad, 10, 3, 2, 16), 0),
+              "ld a0, 16(sp)");
+    EXPECT_EQ(rv64Disassemble(encS(opStore, 3, 2, 1, -8), 0),
+              "sd ra, -8(sp)");
+    EXPECT_EQ(rv64Disassemble(encB(opBranch, 1, 10, 0, 16), 0x1000),
+              "bne a0, zero, 0x1010");
+    EXPECT_EQ(rv64Disassemble(encJ(opJal, 0, 32), 0x2000), "j 0x2020");
+    EXPECT_EQ(rv64Disassemble(encI(opJalr, 0, 0, 1, 0), 0), "ret");
+    EXPECT_EQ(rv64Disassemble(0x00000073, 0), "ecall");
+    EXPECT_EQ(rv64Disassemble(0xffffffff, 0), ".word 0xffffffff");
+}
+
+TEST(Rv64Disasm, RegisterNames)
+{
+    EXPECT_STREQ(rv64RegName(0), "zero");
+    EXPECT_STREQ(rv64RegName(1), "ra");
+    EXPECT_STREQ(rv64RegName(2), "sp");
+    EXPECT_STREQ(rv64RegName(10), "a0");
+    EXPECT_STREQ(rv64RegName(31), "t6");
+    EXPECT_STREQ(rv64RegName(99), "??");
+}
+
+TEST(Rv64Disasm, RoundTripProperty)
+{
+    // Assemble a representative program, disassemble every word at its
+    // linked address, re-assemble the disassembly: bytes must match.
+    const char *src = R"(
+f:
+    addi sp, sp, -32
+    sd ra, 24(sp)
+    sd s0, 16(sp)
+    mv s0, a0
+    li t0, 1
+    slli t1, a1, 3
+    add t2, s0, t1
+    ld a0, 0(t2)
+    mulw a2, a0, a1
+    sraiw a3, a2, 2
+    xor a0, a2, a3
+    sltu a4, a0, a1
+    or a0, a0, a4
+    ld s0, 16(sp)
+    ld ra, 24(sp)
+    addi sp, sp, 32
+    ret
+)";
+    Section s = rv64Assemble(src);
+    std::string redis;
+    for (std::size_t o = 0; o + 4 <= s.bytes.size(); o += 4) {
+        std::uint32_t insn = 0;
+        for (int i = 0; i < 4; ++i)
+            insn |= std::uint32_t(s.bytes[o + i]) << (8 * i);
+        redis += rv64Disassemble(insn, o) + "\n";
+    }
+    Section s2 = rv64Assemble(redis);
+    EXPECT_EQ(s.bytes, s2.bytes);
+}
+
+TEST(Hx64Disasm, SpotChecks)
+{
+    auto dis = [](std::initializer_list<std::uint8_t> bytes, VAddr pc) {
+        std::vector<std::uint8_t> v(bytes);
+        return hx64Disassemble(v.data(),
+                               static_cast<unsigned>(v.size()), pc)
+            .text;
+    };
+    using namespace hx64;
+    EXPECT_EQ(dis({opHalt}, 0), "halt");
+    EXPECT_EQ(dis({opRet}, 0), "ret");
+    EXPECT_EQ(dis({opMovRR, 0x37}, 0), "mov rbx, rdi");
+    EXPECT_EQ(dis({opMovI32, 0x00, 0x2a, 0, 0, 0}, 0), "mov rax, 42");
+    EXPECT_EQ(dis({opAdd, 0x01}, 0), "add rax, rcx");
+    EXPECT_EQ(dis({opLd64, 0x07, 8, 0, 0, 0}, 0), "ld rax, [rdi+8]");
+    EXPECT_EQ(dis({opSt64, 0x70, 8, 0, 0, 0}, 0), "st [rdi+8], rax");
+    EXPECT_EQ(dis({opPush, 0x03}, 0), "push rbx");
+    EXPECT_EQ(dis({opCallR, 0x00}, 0), "callr rax");
+    EXPECT_EQ(dis({opSyscall, 0x00}, 0), "syscall 0");
+    // call rel32 = +0x10 from the end of the 5-byte instruction.
+    EXPECT_EQ(dis({opCall, 0x10, 0, 0, 0}, 0x1000), "call 0x1015");
+    EXPECT_EQ(dis({opJcc, 0x01, 0x10, 0, 0, 0}, 0x1000), "jne 0x1016");
+    EXPECT_EQ(dis({0xee}, 0), ".byte 0xee");
+}
+
+TEST(Hx64Disasm, LengthsMatchEncoding)
+{
+    std::uint8_t buf[10] = {hx64::opMovI64, 0};
+    Hx64Disasm d = hx64Disassemble(buf, 10, 0);
+    EXPECT_EQ(d.length, 10u);
+    buf[0] = hx64::opNop;
+    EXPECT_EQ(hx64Disassemble(buf, 10, 0).length, 1u);
+    // Truncated buffer: cannot decode, consume one byte.
+    buf[0] = hx64::opMovI64;
+    EXPECT_EQ(hx64Disassemble(buf, 4, 0).length, 1u);
+}
+
+TEST(Hx64Disasm, RoundTripProperty)
+{
+    const char *src = R"(
+f:
+    push rbp
+    mov rbp, rsp
+    mov rax, 123456789
+    mov rbx, rax
+    add rax, rbx
+    sub rax, 7
+    and rax, 255
+    shl rax, 3
+    cmp rax, rbx
+    ld rcx, [rbp+16]
+    st [rbp+8], rcx
+    lea rdx, [rcx+32]
+    pop rbp
+    ret
+)";
+    Section s = hx64Assemble(src);
+    std::string redis;
+    std::size_t o = 0;
+    while (o < s.bytes.size()) {
+        Hx64Disasm d = hx64Disassemble(
+            s.bytes.data() + o,
+            static_cast<unsigned>(s.bytes.size() - o), o);
+        redis += d.text + "\n";
+        o += d.length;
+    }
+    Section s2 = hx64Assemble(redis);
+    EXPECT_EQ(s.bytes, s2.bytes);
+}
+
+TEST(InstructionTrace, StreamsBothCores)
+{
+    FlickSystem sys;
+    Program prog;
+    workloads::addMicrobench(prog);
+    Process &proc = sys.load(prog);
+
+    std::ostringstream trace;
+    sys.enableInstructionTrace(&trace);
+    sys.call(proc, "nxp_add", {1, 2});
+    sys.enableInstructionTrace(nullptr);
+
+    std::string text = trace.str();
+    EXPECT_NE(text.find("nxp"), std::string::npos);
+    EXPECT_NE(text.find("add a0, a0, a1"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+
+    // Disabling stops the stream.
+    std::size_t len = text.size();
+    sys.call(proc, "nxp_add", {3, 4});
+    EXPECT_EQ(trace.str().size(), len);
+}
+
+TEST(InstructionTrace, DoesNotPerturbTiming)
+{
+    SystemConfig cfg;
+    FlickSystem a(cfg), b(cfg);
+    Program pa, pb;
+    workloads::addMicrobench(pa);
+    workloads::addMicrobench(pb);
+    Process &proc_a = a.load(pa);
+    Process &proc_b = b.load(pb);
+
+    std::ostringstream sink;
+    b.enableInstructionTrace(&sink);
+    a.call(proc_a, "host_fact_nxp", {6});
+    b.call(proc_b, "host_fact_nxp", {6});
+    EXPECT_EQ(a.now(), b.now());
+}
+
+} // namespace
+} // namespace flick

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Failure-injection tests: buggy guest programs must die with clear
+ * user-level diagnostics (never simulator panics), and the ISA-tag
+ * mechanism must catch control transfers into non-code pages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flick/system.hh"
+#include "workloads/microbench.hh"
+
+namespace flick
+{
+namespace
+{
+
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void
+    boot(const char *host_asm = nullptr, const char *nxp_asm = nullptr)
+    {
+        sys = std::make_unique<FlickSystem>(config);
+        Program prog;
+        workloads::addMicrobench(prog);
+        if (host_asm)
+            prog.addHostAsm(host_asm);
+        if (nxp_asm)
+            prog.addNxpAsm(nxp_asm);
+        proc = &sys->load(prog);
+    }
+
+    SystemConfig config;
+    std::unique_ptr<FlickSystem> sys;
+    Process *proc = nullptr;
+};
+
+TEST_F(FaultInjection, HostWildReadIsGuestFault)
+{
+    boot(R"(
+bad_read:
+    mov rax, 0x123456789000
+    ld rax, [rax+0]
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "bad_read"),
+                 "guest fault on the host core: notPresent");
+}
+
+TEST_F(FaultInjection, HostWriteToTextIsGuestFault)
+{
+    boot(R"(
+bad_write:
+    mov rax, bad_write
+    mov rbx, 1
+    st [rax+0], rbx
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "bad_write"),
+                 "guest fault on the host core: protection");
+}
+
+TEST_F(FaultInjection, HostIllegalOpcodeIsGuestFault)
+{
+    // 0xee is not a valid HX64 opcode; execution lands straight on it.
+    boot(R"(
+bad_bytes:
+    .quad 0xeeeeeeeeeeeeeeee
+)");
+    EXPECT_DEATH(sys->call(*proc, "bad_bytes"),
+                 "guest fault on the host core: illegalInstr");
+}
+
+TEST_F(FaultInjection, NxpWildReadIsGuestFault)
+{
+    boot(nullptr, R"(
+nxp_bad_read:
+    li t0, 0x123456789000
+    ld a0, 0(t0)
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "nxp_bad_read"),
+                 "guest fault on the NxP core: notPresent");
+}
+
+TEST_F(FaultInjection, NxpIllegalInstructionIsGuestFault)
+{
+    boot(nullptr, R"(
+nxp_bad:
+    .quad 0xffffffffffffffff
+)");
+    EXPECT_DEATH(sys->call(*proc, "nxp_bad"),
+                 "guest fault on the NxP core: illegalInstr");
+}
+
+TEST_F(FaultInjection, CallThroughDataPointerCaughtByIsaTag)
+{
+    // The host calls a pointer into a (non-executable, tag-0) data page:
+    // the NX fault fires, but the ISA tag says "not NxP code", so the
+    // kernel reports it instead of shipping garbage to the NxP
+    // (Section IV-C3's tag mechanism).
+    Program prog;
+    workloads::addMicrobench(prog);
+    prog.addHostAsm("call_data: mov rax, blob\n callr rax\n ret\n");
+    prog.addData("blob", std::vector<std::uint8_t>(64, 0x13));
+    sys = std::make_unique<FlickSystem>(config);
+    proc = &sys->load(prog);
+    EXPECT_DEATH(sys->call(*proc, "call_data"),
+                 "ISA tag 0: not code for any NxP");
+}
+
+TEST_F(FaultInjection, StackOverflowIsGuestFault)
+{
+    // Unbounded host recursion runs off the mapped stack.
+    boot(R"(
+infinite:
+    push rbp
+    call infinite
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "infinite"),
+                 "guest fault on the host core: notPresent");
+}
+
+TEST_F(FaultInjection, GoodProgramsStillRunAfterDeathTests)
+{
+    boot();
+    EXPECT_EQ(sys->call(*proc, "nxp_add", {2, 2}), 4u);
+}
+
+} // namespace
+} // namespace flick

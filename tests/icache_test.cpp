@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the direct-mapped instruction cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/icache.hh"
+
+namespace flick
+{
+namespace
+{
+
+TEST(ICache, ColdMissThenHits)
+{
+    ICache c("ic", 16, 64);
+    EXPECT_FALSE(c.access(0x1000)); // cold
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004));
+    EXPECT_TRUE(c.access(0x103f)); // same 64B line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+    EXPECT_EQ(c.stats().get("misses"), 2u);
+    EXPECT_EQ(c.stats().get("hits"), 3u);
+}
+
+TEST(ICache, DirectMappedConflicts)
+{
+    ICache c("ic", 4, 64); // 4 lines -> addresses 256 bytes apart alias
+    EXPECT_FALSE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x0100)); // same index, different tag: evicts
+    EXPECT_FALSE(c.access(0x0000)); // conflict miss
+    // Different indices coexist.
+    EXPECT_FALSE(c.access(0x0040));
+    EXPECT_TRUE(c.access(0x0000));
+    EXPECT_TRUE(c.access(0x0040));
+}
+
+TEST(ICache, Flush)
+{
+    ICache c("ic", 8, 64);
+    c.access(0x2000);
+    EXPECT_TRUE(c.access(0x2000));
+    c.flush();
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_EQ(c.stats().get("flushes"), 1u);
+}
+
+TEST(ICache, LineGeometry)
+{
+    ICache c("ic", 2, 32);
+    EXPECT_EQ(c.lineBytes(), 32u);
+    EXPECT_FALSE(c.access(0x10));
+    EXPECT_TRUE(c.access(0x1f));  // inside the 32B line
+    EXPECT_FALSE(c.access(0x20)); // next line
+}
+
+TEST(ICache, LoopWorkingSetFits)
+{
+    // A 256-byte loop in a 16KB cache: after the first pass, no misses.
+    ICache c("ic", 256, 64);
+    for (int pass = 0; pass < 3; ++pass) {
+        unsigned misses = 0;
+        for (Addr pc = 0x4000; pc < 0x4100; pc += 4)
+            misses += !c.access(pc);
+        if (pass == 0)
+            EXPECT_EQ(misses, 4u); // 256B / 64B lines
+        else
+            EXPECT_EQ(misses, 0u);
+    }
+}
+
+} // namespace
+} // namespace flick

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the near-data key-value workload: kernel correctness against
+ * the host-side mirror, hits and misses, collision chains, batch sums,
+ * and the NxP-vs-host performance relationship.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "workloads/kvstore.hh"
+#include "workloads/microbench.hh"
+
+namespace flick
+{
+namespace
+{
+
+using namespace workloads;
+
+class KvTest : public ::testing::Test
+{
+  protected:
+    void
+    boot(std::uint64_t capacity = 1024)
+    {
+        sys = std::make_unique<FlickSystem>(config);
+        Program prog;
+        addMicrobench(prog);
+        addKvKernels(prog);
+        proc = &sys->load(prog);
+        kv = std::make_unique<DeviceKvStore>(*sys, *proc, capacity);
+    }
+
+    SystemConfig config;
+    std::unique_ptr<FlickSystem> sys;
+    Process *proc = nullptr;
+    std::unique_ptr<DeviceKvStore> kv;
+};
+
+TEST_F(KvTest, GetHitAndMissBothKernels)
+{
+    boot();
+    kv->put(42, 4242);
+    kv->put(1000, 777);
+    for (const char *fn : {"kv_get_nxp", "kv_get_host"}) {
+        EXPECT_EQ(sys->call(*proc, fn, {kv->table(), kv->mask(), 42}),
+                  4242u)
+            << fn;
+        EXPECT_EQ(sys->call(*proc, fn, {kv->table(), kv->mask(), 1000}),
+                  777u)
+            << fn;
+        EXPECT_EQ(sys->call(*proc, fn, {kv->table(), kv->mask(), 43}),
+                  0u)
+            << fn;
+    }
+}
+
+TEST_F(KvTest, RandomPopulationMatchesMirror)
+{
+    boot(4096);
+    Rng rng(404);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t k = 1 + (rng.next() >> 8);
+        std::uint64_t v = 1 + (rng.next() >> 32);
+        kv->put(k, v);
+        keys.push_back(k);
+    }
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t k = keys[rng.below(keys.size())];
+        std::uint64_t expect = *kv->expected(k);
+        ASSERT_EQ(sys->call(*proc, "kv_get_nxp",
+                            {kv->table(), kv->mask(), k}),
+                  expect);
+        // Random probable-misses agree too.
+        std::uint64_t miss = 1 + (rng.next() | (1ull << 63));
+        std::uint64_t mexp = kv->expected(miss).value_or(0);
+        ASSERT_EQ(sys->call(*proc, "kv_get_host",
+                            {kv->table(), kv->mask(), miss}),
+                  mexp);
+    }
+}
+
+TEST_F(KvTest, CollisionChainsProbeCorrectly)
+{
+    boot(64);
+    // Force collisions: find keys hashing to the same slot.
+    std::vector<std::uint64_t> colliders;
+    std::uint64_t want = DeviceKvStore::hashSlot(12345, kv->mask());
+    for (std::uint64_t k = 1; colliders.size() < 5; ++k) {
+        if (DeviceKvStore::hashSlot(k, kv->mask()) == want)
+            colliders.push_back(k);
+    }
+    for (std::size_t i = 0; i < colliders.size(); ++i)
+        kv->put(colliders[i], 100 + i);
+    for (std::size_t i = 0; i < colliders.size(); ++i) {
+        ASSERT_EQ(sys->call(*proc, "kv_get_nxp",
+                            {kv->table(), kv->mask(), colliders[i]}),
+                  100 + i);
+    }
+}
+
+TEST_F(KvTest, BatchSumsMatchMirror)
+{
+    boot(2048);
+    Rng rng(77);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t k = 1 + (rng.next() >> 8);
+        kv->put(k, 1 + rng.below(1000));
+        keys.push_back(k);
+    }
+    // A query batch: half hits, half misses.
+    std::vector<std::uint64_t> batch;
+    std::uint64_t expect_sum = 0;
+    for (int i = 0; i < 64; ++i) {
+        std::uint64_t k = (i % 2) ? keys[rng.below(keys.size())]
+                                  : (1 + (rng.next() | (1ull << 62)));
+        batch.push_back(k);
+        expect_sum += kv->expected(k).value_or(0);
+    }
+    VAddr keys_va = sys->nxpMalloc(batch.size() * 8);
+    sys->writeBlock(*proc, keys_va, batch.data(), batch.size() * 8);
+
+    EXPECT_EQ(sys->call(*proc, "kv_batch_nxp",
+                        {kv->table(), kv->mask(), keys_va, batch.size()}),
+              expect_sum);
+    EXPECT_EQ(sys->call(*proc, "kv_batch_host",
+                        {kv->table(), kv->mask(), keys_va, batch.size()}),
+              expect_sum);
+}
+
+TEST_F(KvTest, BatchedNxpGetsBeatHostAtScale)
+{
+    boot(8192);
+    Rng rng(99);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 4000; ++i) {
+        std::uint64_t k = 1 + (rng.next() >> 8);
+        kv->put(k, 1);
+        keys.push_back(k);
+    }
+    std::vector<std::uint64_t> batch;
+    for (int i = 0; i < 256; ++i)
+        batch.push_back(keys[rng.below(keys.size())]);
+    VAddr keys_va = sys->nxpMalloc(batch.size() * 8);
+    sys->writeBlock(*proc, keys_va, batch.data(), batch.size() * 8);
+    sys->call(*proc, "nxp_noop"); // stack setup
+
+    Tick t0 = sys->now();
+    sys->call(*proc, "kv_batch_nxp",
+              {kv->table(), kv->mask(), keys_va, batch.size()});
+    Tick nxp_time = sys->now() - t0;
+    t0 = sys->now();
+    sys->call(*proc, "kv_batch_host",
+              {kv->table(), kv->mask(), keys_va, batch.size()});
+    Tick host_time = sys->now() - t0;
+    // 256 probes amortize one migration easily (Figure 5's lesson on a
+    // real data structure).
+    EXPECT_LT(nxp_time, host_time);
+}
+
+TEST_F(KvTest, SmallBatchesFavorTheHost)
+{
+    boot(1024);
+    kv->put(5, 50);
+    VAddr keys_va = sys->nxpMalloc(8);
+    sys->writeVa(*proc, keys_va, 5);
+    sys->call(*proc, "nxp_noop");
+
+    Tick t0 = sys->now();
+    sys->call(*proc, "kv_batch_nxp",
+              {kv->table(), kv->mask(), keys_va, 1});
+    Tick nxp_time = sys->now() - t0;
+    t0 = sys->now();
+    sys->call(*proc, "kv_batch_host",
+              {kv->table(), kv->mask(), keys_va, 1});
+    Tick host_time = sys->now() - t0;
+    EXPECT_GT(nxp_time, host_time); // one GET cannot pay for 18 us
+}
+
+TEST_F(KvTest, RejectsBadInput)
+{
+    boot(64);
+    EXPECT_DEATH(kv->put(0, 1), "nonzero");
+    EXPECT_DEATH(kv->put(1, 0), "nonzero");
+}
+
+} // namespace
+} // namespace flick

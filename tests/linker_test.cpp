@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the multi-ISA linker: placement, symbol resolution,
+ * per-ISA relocation dispatch, cross-ISA references.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/hx64/assembler.hh"
+#include "isa/rv64/assembler.hh"
+#include "isa/rv64/encoding.hh"
+#include "loader/linker.hh"
+
+namespace flick
+{
+namespace
+{
+
+TEST(Linker, PlacesTextSectionsPageAligned)
+{
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("a: ret\n"));
+    linker.addSection(rv64Assemble("b: ret\n"));
+    LinkedImage img = linker.link();
+
+    ASSERT_EQ(img.sections.size(), 2u);
+    EXPECT_EQ(img.sections[0].base % 4096, 0u);
+    EXPECT_EQ(img.sections[1].base % 4096, 0u);
+    EXPECT_NE(img.sections[0].base, img.sections[1].base);
+    EXPECT_EQ(img.sections[0].base, MultiIsaLinker::defaultTextBase);
+    EXPECT_EQ(img.symbol("a"), img.sections[0].base);
+    EXPECT_EQ(img.symbol("b"), img.sections[1].base);
+}
+
+TEST(Linker, DataSectionsPlacedSeparately)
+{
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("f: ret\n"));
+    Section data;
+    data.name = ".data.blob";
+    data.isa = IsaKind::hx64;
+    data.writable = true;
+    data.bytes = {1, 2, 3, 4};
+    data.symbols["blob"] = 0;
+    linker.addSection(data);
+    LinkedImage img = linker.link();
+    EXPECT_GE(img.symbol("blob"), MultiIsaLinker::defaultDataBase);
+}
+
+TEST(Linker, CrossIsaCallRelocation)
+{
+    // Host code calls an NxP symbol: the rel32 must point into the
+    // RV64 section (it will fault at run time, which *is* the design).
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("f: call g\n ret\n"));
+    linker.addSection(rv64Assemble("g: ret\n"));
+    LinkedImage img = linker.link();
+
+    VAddr f = img.symbol("f");
+    VAddr g = img.symbol("g");
+    const auto &host = img.sections[0];
+    // call = opcode 0x70 at offset 0, rel32 at bytes 1..4, relative to
+    // the end of the field.
+    std::int32_t rel = 0;
+    for (int i = 0; i < 4; ++i)
+        rel |= std::int32_t(host.bytes[1 + i]) << (8 * i);
+    EXPECT_EQ(f + 1 + 4 + rel, g);
+}
+
+TEST(Linker, NxpToHostCallRelocation)
+{
+    MultiIsaLinker linker;
+    linker.addSection(rv64Assemble("f: call h\n ret\n"));
+    linker.addSection(hx64Assemble("h: ret\n"));
+    LinkedImage img = linker.link();
+
+    VAddr f = img.symbol("f");
+    VAddr h = img.symbol("h");
+    const auto &nxp = img.sections[0];
+    auto read32 = [&](std::size_t o) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(nxp.bytes[o + i]) << (8 * i);
+        return v;
+    };
+    // AUIPC+JALR pair at offset 0.
+    std::uint32_t auipc = read32(0);
+    std::uint32_t jalr = read32(4);
+    std::int64_t hi = rv64::immU(auipc);
+    std::int64_t lo = rv64::immI(jalr);
+    EXPECT_EQ(f + static_cast<std::uint64_t>(hi + lo), h);
+}
+
+TEST(Linker, AbsoluteSymbols)
+{
+    MultiIsaLinker linker;
+    linker.defineAbsolute("gate", 0x30000000);
+    linker.addSection(hx64Assemble("f: mov rax, gate\n ret\n"));
+    LinkedImage img = linker.link();
+    const auto &host = img.sections[0];
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(host.bytes[2 + i]) << (8 * i);
+    EXPECT_EQ(v, 0x30000000u);
+}
+
+TEST(Linker, Abs64InData)
+{
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("f: ret\n"));
+    Section data = rv64Assemble("table: .quad f, f\n", ".data.table");
+    data.executable = false;
+    linker.addSection(data);
+    LinkedImage img = linker.link();
+    VAddr f = img.symbol("f");
+    const auto &tbl = img.sections[1];
+    std::uint64_t v0 = 0, v1 = 0;
+    for (int i = 0; i < 8; ++i) {
+        v0 |= std::uint64_t(tbl.bytes[i]) << (8 * i);
+        v1 |= std::uint64_t(tbl.bytes[8 + i]) << (8 * i);
+    }
+    EXPECT_EQ(v0, f);
+    EXPECT_EQ(v1, f);
+}
+
+TEST(Linker, DuplicateSymbolIsFatal)
+{
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("f: ret\n"));
+    linker.addSection(rv64Assemble("f: ret\n"));
+    EXPECT_DEATH(linker.link(), "multiple sections");
+}
+
+TEST(Linker, UndefinedSymbolIsFatal)
+{
+    MultiIsaLinker linker;
+    linker.addSection(hx64Assemble("f: call missing\n ret\n"));
+    EXPECT_DEATH(linker.link(), "undefined symbol");
+}
+
+TEST(Linker, DuplicateAbsoluteIsFatal)
+{
+    MultiIsaLinker linker;
+    linker.defineAbsolute("x", 1);
+    EXPECT_DEATH(linker.defineAbsolute("x", 2), "defined twice");
+}
+
+TEST(Linker, ManySections)
+{
+    MultiIsaLinker linker;
+    for (int i = 0; i < 20; ++i) {
+        std::string n = "f" + std::to_string(i);
+        if (i % 2)
+            linker.addSection(rv64Assemble(n + ": ret\n"));
+        else
+            linker.addSection(hx64Assemble(n + ": ret\n"));
+    }
+    LinkedImage img = linker.link();
+    EXPECT_EQ(img.sections.size(), 20u);
+    // All bases distinct and page aligned.
+    for (std::size_t i = 0; i < img.sections.size(); ++i) {
+        EXPECT_EQ(img.sections[i].base % 4096, 0u);
+        for (std::size_t j = i + 1; j < img.sections.size(); ++j)
+            EXPECT_NE(img.sections[i].base, img.sections[j].base);
+    }
+}
+
+TEST(Linker, BranchWithinSectionResolved)
+{
+    MultiIsaLinker linker;
+    linker.addSection(rv64Assemble(R"(
+f:
+    beqz a0, done
+    addi a0, a0, -1
+done:
+    ret
+)"));
+    LinkedImage img = linker.link();
+    const auto &s = img.sections[0];
+    std::uint32_t branch = 0;
+    for (int i = 0; i < 4; ++i)
+        branch |= std::uint32_t(s.bytes[i]) << (8 * i);
+    EXPECT_EQ(rv64::immB(branch), 8); // beqz at 0 -> done at 8
+}
+
+TEST(LinkedImage, SymbolLookupFatalWhenMissing)
+{
+    LinkedImage img;
+    EXPECT_DEATH(img.symbol("nope"), "undefined symbol");
+}
+
+} // namespace
+} // namespace flick

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the memory fabric: sparse memory, routing, DMA, IRQ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dma.hh"
+#include "mem/irq.hh"
+#include "mem/mem_system.hh"
+#include "sim/random.hh"
+
+namespace flick
+{
+namespace
+{
+
+TEST(SparseMemory, ZeroOnFirstRead)
+{
+    SparseMemory m(1 << 20);
+    EXPECT_EQ(m.read64(0x1000), 0u);
+    EXPECT_EQ(m.allocatedChunks(), 0u);
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip)
+{
+    SparseMemory m(1 << 20);
+    m.write64(0x100, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read64(0x100), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read32(0x100), 0xcafef00du);
+    EXPECT_EQ(m.readInt(0x104, 4), 0xdeadbeefu);
+}
+
+TEST(SparseMemory, CrossChunkAccess)
+{
+    SparseMemory m(1 << 20);
+    std::uint8_t out[16] = {};
+    std::uint8_t in[16];
+    for (int i = 0; i < 16; ++i)
+        in[i] = static_cast<std::uint8_t>(i + 1);
+    // Straddle the 4 KB chunk boundary.
+    m.write(4096 - 8, in, 16);
+    m.read(4096 - 8, out, 16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i], in[i]);
+    EXPECT_EQ(m.allocatedChunks(), 2u);
+}
+
+TEST(SparseMemory, Fill)
+{
+    SparseMemory m(1 << 20);
+    m.fill(100, 0xab, 300);
+    EXPECT_EQ(m.readInt(100, 1), 0xabu);
+    EXPECT_EQ(m.readInt(399, 1), 0xabu);
+    EXPECT_EQ(m.readInt(400, 1), 0u);
+    // Zero-fill of untouched chunks allocates nothing.
+    SparseMemory z(1 << 20);
+    z.fill(0, 0, 1 << 20);
+    EXPECT_EQ(z.allocatedChunks(), 0u);
+}
+
+TEST(SparseMemory, IntRoundTripProperty)
+{
+    SparseMemory m(1 << 20);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        unsigned len = 1u << rng.below(4);
+        Addr off = rng.below((1 << 20) - 8);
+        std::uint64_t v = rng.next();
+        std::uint64_t mask =
+            len == 8 ? ~0ull : ((1ull << (8 * len)) - 1);
+        m.writeInt(off, v, len);
+        EXPECT_EQ(m.readInt(off, len), v & mask);
+    }
+}
+
+TEST(SparseMemoryDeath, OutOfRange)
+{
+    SparseMemory m(4096);
+    std::uint8_t b = 0;
+    EXPECT_DEATH(m.read(4096, &b, 1), "out of range");
+    EXPECT_DEATH(m.write(4090, &b, 8), "out of range");
+}
+
+class MemSystemTest : public ::testing::Test
+{
+  protected:
+    TimingConfig timing;
+    PlatformConfig platform;
+    MemSystem mem{timing, platform};
+};
+
+TEST_F(MemSystemTest, HostToHostDram)
+{
+    std::uint64_t v = 0;
+    Tick w = mem.writeInt(Requester::hostCore, 0x1000, 42, 8);
+    Tick r = mem.readInt(Requester::hostCore, 0x1000, 8, v);
+    EXPECT_EQ(v, 42u);
+    EXPECT_EQ(w, timing.hostToHostDram);
+    EXPECT_EQ(r, timing.hostToHostDram);
+}
+
+TEST_F(MemSystemTest, HostToNxpDramThroughBar)
+{
+    // A host write through BAR0 must land in NxP DRAM backing store.
+    Tick w = mem.writeInt(Requester::hostCore, platform.bar0Base + 0x10,
+                          0x77, 8);
+    EXPECT_EQ(w, timing.hostToNxpDram);
+    EXPECT_EQ(mem.nxpDram().read64(0x10), 0x77u);
+
+    // And the NxP sees the same bytes at its local address.
+    std::uint64_t v = 0;
+    Tick r = mem.readInt(Requester::nxpCore,
+                         platform.nxpDramLocalBase + 0x10, 8, v);
+    EXPECT_EQ(v, 0x77u);
+    EXPECT_EQ(r, timing.nxpToNxpDram);
+}
+
+TEST_F(MemSystemTest, NxpToHostDram)
+{
+    mem.hostDram().write64(0x2000, 0x1234);
+    std::uint64_t v = 0;
+    Tick r = mem.readInt(Requester::nxpCore, 0x2000, 8, v);
+    EXPECT_EQ(v, 0x1234u);
+    EXPECT_EQ(r, timing.nxpToHostDram);
+}
+
+TEST_F(MemSystemTest, DebugAccessesAreFree)
+{
+    Tick w = mem.writeInt(Requester::debug, 0x3000, 1, 8);
+    EXPECT_EQ(w, 0u);
+    std::uint64_t v = 0;
+    EXPECT_EQ(mem.readInt(Requester::debug, platform.bar0Base, 8, v), 0u);
+}
+
+TEST_F(MemSystemTest, RouteStatsCounted)
+{
+    std::uint64_t v;
+    mem.readInt(Requester::hostCore, 0, 8, v);
+    mem.readInt(Requester::nxpCore, platform.nxpDramLocalBase, 8, v);
+    EXPECT_EQ(mem.stats().get("host_to_host_dram_reads"), 1u);
+    EXPECT_EQ(mem.stats().get("nxp_to_nxp_dram_reads"), 1u);
+}
+
+TEST_F(MemSystemTest, UnremappedBarFromNxpPanics)
+{
+    // The BAR0 window overlaps the NxP's local-DRAM address range for
+    // most of its extent (that overlap is exactly why the TLB remap
+    // exists); its tail lies beyond local DRAM, where an un-remapped
+    // address is unambiguously a routing bug.
+    std::uint64_t v;
+    Addr tail = platform.bar0Base + platform.nxpDramBytes - 8;
+    ASSERT_FALSE(platform.inNxpLocalDram(tail));
+    EXPECT_DEATH(mem.readInt(Requester::nxpCore, tail, 8, v),
+                 "un-remapped BAR");
+}
+
+TEST_F(MemSystemTest, UnmappedAddressPanics)
+{
+    std::uint64_t v;
+    EXPECT_DEATH(
+        mem.readInt(Requester::hostCore, 0x90000000ull, 8, v),
+        "unmapped");
+}
+
+struct TestDevice : MmioDevice
+{
+    std::uint64_t value = 0xaa55;
+    Addr lastOffset = 0;
+
+    std::uint64_t
+    mmioRead(Addr offset, unsigned) override
+    {
+        lastOffset = offset;
+        return value;
+    }
+
+    void
+    mmioWrite(Addr offset, std::uint64_t v, unsigned) override
+    {
+        lastOffset = offset;
+        value = v;
+    }
+};
+
+TEST_F(MemSystemTest, ControlWindowBothViews)
+{
+    TestDevice dev;
+    mem.mapControlDevice(&dev);
+
+    // NxP-side view.
+    std::uint64_t v = 0;
+    Tick r = mem.readInt(Requester::nxpCore,
+                         platform.nxpCtrlLocalBase + 0x8, 8, v);
+    EXPECT_EQ(v, 0xaa55u);
+    EXPECT_EQ(dev.lastOffset, 0x8u);
+    EXPECT_EQ(r, timing.nxpToLocalMmio);
+
+    // Host-side view through BAR1 hits the same registers.
+    Tick w = mem.writeInt(Requester::hostCore, platform.bar1Base() + 0x8,
+                          0x99, 8);
+    EXPECT_EQ(dev.value, 0x99u);
+    EXPECT_EQ(w, timing.hostToNxpMmio);
+}
+
+TEST(PlatformConfig, RemapOffsetMatchesPaperExample)
+{
+    PlatformConfig p;
+    // Section IV-A's worked example computes offset 0x40000000.
+    EXPECT_EQ(p.barRemapOffset(), 0x40000000u);
+    EXPECT_TRUE(p.inBar0(p.bar0Base));
+    EXPECT_TRUE(p.inBar0(p.bar0Base + p.nxpDramBytes - 1));
+    EXPECT_FALSE(p.inBar0(p.bar0Base + p.nxpDramBytes));
+    EXPECT_TRUE(p.inBar1(p.bar1Base()));
+    EXPECT_TRUE(p.inNxpLocalDram(p.nxpDramLocalBase));
+    EXPECT_TRUE(p.inHostDram(0));
+    EXPECT_FALSE(p.inHostDram(p.hostDramBytes));
+}
+
+class DmaTest : public ::testing::Test
+{
+  protected:
+    TimingConfig timing;
+    PlatformConfig platform;
+    EventQueue events;
+    MemSystem mem{timing, platform};
+    IrqController irq{events, timing};
+    DmaEngine dma{events, mem, &irq};
+};
+
+TEST_F(DmaTest, HostToNxpMovesBytesAtCompletion)
+{
+    mem.hostDram().write64(0x1000, 0xfeed);
+    bool done = false;
+    dma.copyHostToNxp(0x1000, platform.nxpDramLocalBase + 0x40, 128,
+                      [&] { done = true; });
+    // Before completion nothing has landed.
+    EXPECT_EQ(mem.nxpDram().read64(0x40), 0u);
+    EXPECT_FALSE(done);
+    events.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(mem.nxpDram().read64(0x40), 0xfeedu);
+    EXPECT_EQ(events.now(), timing.dmaTransfer(128));
+}
+
+TEST_F(DmaTest, NxpToHostRaisesIrq)
+{
+    int irqs = 0;
+    irq.connect(0, [&] { ++irqs; });
+    mem.nxpDram().write64(0x80, 0xabc);
+    dma.copyNxpToHost(platform.nxpDramLocalBase + 0x80, 0x2000, 128, 0);
+    events.run();
+    EXPECT_EQ(irqs, 1);
+    EXPECT_EQ(mem.hostDram().read64(0x2000), 0xabcu);
+    // IRQ delivery happens after the transfer.
+    EXPECT_EQ(events.now(), timing.dmaTransfer(128) + timing.irqDelivery);
+}
+
+TEST_F(DmaTest, BusyTransfersQueueFifo)
+{
+    mem.hostDram().write64(0x1000, 1);
+    mem.hostDram().write64(0x1100, 2);
+    std::vector<int> order;
+    dma.copyHostToNxp(0x1000, platform.nxpDramLocalBase, 64,
+                      [&] { order.push_back(1); });
+    EXPECT_TRUE(dma.busy());
+    dma.copyHostToNxp(0x1100, platform.nxpDramLocalBase + 0x100, 64,
+                      [&] { order.push_back(2); });
+    events.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(dma.busy());
+    EXPECT_EQ(dma.stats().get("transfers"), 2u);
+    EXPECT_EQ(dma.stats().get("queued"), 1u);
+    EXPECT_EQ(dma.stats().get("bytes"), 128u);
+    // Second transfer starts only after the first completes.
+    EXPECT_EQ(events.now(), 2 * timing.dmaTransfer(64));
+}
+
+TEST_F(DmaTest, BadAddressesPanic)
+{
+    dma.copyHostToNxp(platform.bar0Base, platform.nxpDramLocalBase, 8);
+    EXPECT_DEATH(events.run(), "DMA host->NxP with bad addresses");
+}
+
+TEST(IrqTest, UnconnectedVectorPanics)
+{
+    TimingConfig timing;
+    EventQueue events;
+    IrqController irq(events, timing);
+    EXPECT_DEATH(irq.raise(3), "no handler");
+}
+
+TEST(IrqTest, DeliveryLatency)
+{
+    TimingConfig timing;
+    EventQueue events;
+    IrqController irq(events, timing);
+    Tick fired_at = 0;
+    irq.connect(1, [&] { fired_at = events.now(); });
+    irq.raise(1);
+    events.run();
+    EXPECT_EQ(fired_at, timing.irqDelivery);
+    EXPECT_EQ(irq.stats().get("raised"), 1u);
+}
+
+} // namespace
+} // namespace flick

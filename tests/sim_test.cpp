@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: ticks, event queue, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace flick
+{
+namespace
+{
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(ns(1), 1000u);
+    EXPECT_EQ(us(1), 1000u * 1000);
+    EXPECT_EQ(msec(1), 1000ull * 1000 * 1000);
+    EXPECT_EQ(sec(1), 1000ull * 1000 * 1000 * 1000);
+    EXPECT_EQ(ticksToNs(ns(123)), 123u);
+    EXPECT_DOUBLE_EQ(ticksToUs(us(5)), 5.0);
+    EXPECT_DOUBLE_EQ(ticksToSec(sec(2)), 2.0);
+}
+
+TEST(ClockDomain, PeriodAndCycles)
+{
+    ClockDomain nxp(200'000'000);
+    EXPECT_EQ(nxp.period(), 5000u); // 5 ns in ps
+    EXPECT_EQ(nxp.cycles(10), ns(50));
+    EXPECT_EQ(nxp.ticksToCycles(ns(50)), 10u);
+
+    ClockDomain host(2'400'000'000ull);
+    // 416.67 ps rounds to 417 ps.
+    EXPECT_EQ(host.period(), 417u);
+    EXPECT_EQ(host.freqHz(), 2'400'000'000ull);
+}
+
+TEST(ClockDomain, RoundsUpPartialCycles)
+{
+    ClockDomain clk(1'000'000'000); // 1 ns period
+    EXPECT_EQ(clk.ticksToCycles(1500), 2u);
+    EXPECT_EQ(clk.ticksToCycles(1000), 1u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(300, "c", [&] { order.push_back(3); });
+    q.schedule(100, "a", [&] { order.push_back(1); });
+    q.schedule(200, "b", [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(50, "e", [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, "outer", [&] {
+        q.scheduleIn(5, "inner", [&] { fired = 1; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueue, SameTickChainRunsAfterExisting)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, "a", [&] {
+        order.push_back(1);
+        q.scheduleIn(0, "chain", [&] { order.push_back(3); });
+    });
+    q.schedule(10, "b", [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, Deschedule)
+{
+    EventQueue q;
+    int fired = 0;
+    auto id = q.schedule(10, "x", [&] { fired = 1; });
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id)); // already cancelled
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    for (Tick t = 100; t <= 1000; t += 100)
+        q.schedule(t, "e", [&] { ++count; });
+    EXPECT_EQ(q.runUntil(500), 5u);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 500u);
+    EXPECT_EQ(q.pending(), 5u);
+}
+
+TEST(EventQueue, RunUntilAdvancesToLimit)
+{
+    EventQueue q;
+    q.runUntil(1234, true);
+    EXPECT_EQ(q.now(), 1234u);
+}
+
+TEST(EventQueue, NextEventTime)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTime(), maxTick);
+    auto id = q.schedule(77, "x", [] {});
+    q.schedule(99, "y", [] {});
+    EXPECT_EQ(q.nextEventTime(), 77u);
+    q.deschedule(id);
+    EXPECT_EQ(q.nextEventTime(), 99u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule(1, "x", [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(q.eventsRun(), 1u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Stats, IncSetGet)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.get("x"), 0u);
+    g.inc("x");
+    g.inc("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+    g.set("x", 2);
+    EXPECT_EQ(g.get("x"), 2u);
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.counters().size(), 1u);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup g("mem");
+    g.inc("reads", 3);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "mem.reads 3\n");
+}
+
+TEST(Logging, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strfmt("%#llx", 255ull), "0xff");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, "x", [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, "late", [] {}), "scheduled in the past");
+}
+
+} // namespace
+} // namespace flick

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Timing-model tests: the latency figures the paper reports must emerge
+ * from the simulation — raw access round trips (Section V), migration
+ * round trips in the Table III band, TLB-miss and huge-page effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/microbench.hh"
+#include "workloads/pointer_chase.hh"
+
+namespace flick
+{
+namespace
+{
+
+using namespace workloads;
+
+class TimingTest : public ::testing::Test
+{
+  protected:
+    void
+    boot()
+    {
+        sys = std::make_unique<FlickSystem>(config);
+        Program prog;
+        addMicrobench(prog);
+        addPointerChaseKernels(prog);
+        proc = &sys->load(prog);
+    }
+
+    /** Average round-trip time of n host->NxP no-op calls. */
+    double
+    avgRoundTripUs(int n)
+    {
+        Tick t0 = sys->now();
+        for (int i = 0; i < n; ++i)
+            sys->call(*proc, "nxp_noop");
+        return ticksToUs(sys->now() - t0) / n;
+    }
+
+    SystemConfig config;
+    std::unique_ptr<FlickSystem> sys;
+    Process *proc = nullptr;
+};
+
+TEST_F(TimingTest, RawAccessLatenciesMatchPaper)
+{
+    boot();
+    // Host -> NxP storage: ~825 ns; NxP -> local: ~267 ns (Section V).
+    EXPECT_EQ(config.timing.hostToNxpDram, ns(825));
+    EXPECT_EQ(config.timing.nxpToNxpDram, ns(267));
+    // And they are what the routed fabric actually charges.
+    std::uint64_t v;
+    Tick host = sys->mem().readInt(Requester::hostCore,
+                                   config.platform.bar0Base, 8, v);
+    Tick nxp = sys->mem().readInt(Requester::nxpCore,
+                                  config.platform.nxpDramLocalBase, 8, v);
+    EXPECT_EQ(host, ns(825));
+    EXPECT_EQ(nxp, ns(267));
+}
+
+TEST_F(TimingTest, HostNxpHostRoundTripInPaperBand)
+{
+    boot();
+    sys->call(*proc, "nxp_noop"); // exclude one-time stack allocation
+    double avg = avgRoundTripUs(100);
+    // Paper: 18.3 us. Accept a +-15% calibration band.
+    EXPECT_GT(avg, 15.5);
+    EXPECT_LT(avg, 21.0);
+}
+
+TEST_F(TimingTest, NxpHostNxpRoundTripInPaperBand)
+{
+    boot();
+    sys->call(*proc, "nxp_noop");
+    // Measure as the paper does: NxP loop calling a host no-op, minus
+    // the outer host->NxP round trip.
+    Tick t0 = sys->now();
+    sys->call(*proc, "nxp_calls_host", {1000});
+    Tick total = sys->now() - t0;
+    Tick t1 = sys->now();
+    sys->call(*proc, "nxp_calls_host", {0});
+    Tick outer = sys->now() - t1;
+    double avg = ticksToUs(total - outer) / 1000;
+    // Paper: 16.9 us.
+    EXPECT_GT(avg, 14.0);
+    EXPECT_LT(avg, 19.5);
+}
+
+TEST_F(TimingTest, NxpToHostCheaperThanHostToNxp)
+{
+    // The paper measures 16.9 us vs 18.3 us: the NxP-initiated round
+    // trip avoids the host page fault and ioctl entry.
+    boot();
+    sys->call(*proc, "nxp_noop");
+    double h2n = avgRoundTripUs(50);
+    Tick t0 = sys->now();
+    sys->call(*proc, "nxp_calls_host", {50});
+    Tick total = sys->now() - t0;
+    Tick t1 = sys->now();
+    sys->call(*proc, "nxp_calls_host", {0});
+    double n2h = ticksToUs(total - (sys->now() - t1)) / 50;
+    EXPECT_LT(n2h, h2n);
+}
+
+TEST_F(TimingTest, PageFaultShareIsSmall)
+{
+    boot();
+    // Section V-A: the host-side page fault costs only 0.7 us of the
+    // total ~18 us.
+    EXPECT_EQ(config.timing.nxFaultService, ns(700));
+    sys->call(*proc, "nxp_noop");
+    double rtt = avgRoundTripUs(20);
+    EXPECT_LT(0.7 / rtt, 0.06);
+}
+
+TEST_F(TimingTest, FirstMigrationPaysStackAllocation)
+{
+    boot();
+    Tick t0 = sys->now();
+    sys->call(*proc, "nxp_noop");
+    Tick first = sys->now() - t0;
+    t0 = sys->now();
+    sys->call(*proc, "nxp_noop");
+    Tick second = sys->now() - t0;
+    EXPECT_GE(first, second + config.timing.nxpStackAllocate);
+}
+
+TEST_F(TimingTest, NxpChasePerNodeNearLocalLatency)
+{
+    boot();
+    PointerChaseList list(*sys, *proc, 2048, 1 << 22, 21);
+    sys->call(*proc, "chase_nxp", {list.head(), 16}); // warm up
+    Tick t0 = sys->now();
+    sys->call(*proc, "chase_nxp", {list.head(), 2000});
+    double per_node =
+        static_cast<double>(sys->now() - t0 ) / 2000;
+    // 267 ns memory + 4 instructions at 5 ns, plus migration overhead
+    // amortized over 2000 nodes (~9 ns/node).
+    EXPECT_GT(per_node, double(ns(267)));
+    EXPECT_LT(per_node, double(ns(330)));
+}
+
+TEST_F(TimingTest, HostChasePerNodeNearPcieLatency)
+{
+    boot();
+    PointerChaseList list(*sys, *proc, 2048, 1 << 22, 22);
+    sys->call(*proc, "chase_host", {list.head(), 16});
+    Tick t0 = sys->now();
+    sys->call(*proc, "chase_host", {list.head(), 2000});
+    double per_node = static_cast<double>(sys->now() - t0) / 2000;
+    EXPECT_GT(per_node, double(ns(825)));
+    EXPECT_LT(per_node, double(ns(880)));
+}
+
+TEST_F(TimingTest, ChaseCrossoverNearPaperValue)
+{
+    // Figure 5a: Flick matches the host baseline at ~32 accesses per
+    // migration. Find our crossover and require the same region.
+    boot();
+    PointerChaseList list(*sys, *proc, 4096, 1 << 22, 23);
+    sys->call(*proc, "chase_nxp", {list.head(), 1});
+
+    auto time_call = [&](const char *fn, std::uint64_t n) {
+        Tick t0 = sys->now();
+        sys->call(*proc, fn, {list.head(), n});
+        return sys->now() - t0;
+    };
+
+    std::uint64_t crossover = 0;
+    for (std::uint64_t n = 4; n <= 256; n += 4) {
+        Tick flick = time_call("chase_nxp", n);
+        Tick base = time_call("chase_host", n);
+        if (flick <= base) {
+            crossover = n;
+            break;
+        }
+    }
+    ASSERT_NE(crossover, 0u) << "no crossover found";
+    EXPECT_GE(crossover, 16u);
+    EXPECT_LE(crossover, 48u);
+}
+
+TEST_F(TimingTest, HugePagesKeepNxpTlbMissesRare)
+{
+    // With the 4 GB window in 1 GB pages, four D-TLB entries cover all
+    // of NxP DRAM (Section V): a long random chase sees ~4 walks.
+    boot();
+    PointerChaseList list(*sys, *proc, 4096, 1 << 22, 24);
+    std::uint64_t walks0 =
+        sys->nxpCore().mmu().walker().stats().get("walks");
+    sys->call(*proc, "chase_nxp", {list.head(), 4000});
+    std::uint64_t walks =
+        sys->nxpCore().mmu().walker().stats().get("walks") - walks0;
+    EXPECT_LE(walks, 8u);
+}
+
+TEST_F(TimingTest, SmallPagesCauseTlbPressure)
+{
+    config.loadOptions.nxpWindowPageSize = PageSize::size4K;
+    boot();
+    PointerChaseList list(*sys, *proc, 4096, 1 << 22, 25);
+    std::uint64_t walks0 =
+        sys->nxpCore().mmu().walker().stats().get("walks");
+    Tick t0 = sys->now();
+    sys->call(*proc, "chase_nxp", {list.head(), 4000});
+    Tick small_pages = sys->now() - t0;
+    std::uint64_t walks =
+        sys->nxpCore().mmu().walker().stats().get("walks") - walks0;
+    // Random nodes across 4 MB = 1024 distinct 4 KB pages against a
+    // 16-entry TLB: nearly every hop walks.
+    EXPECT_GT(walks, 3000u);
+    // And it must be dramatically slower than the 1 GB-page setup.
+    EXPECT_GT(small_pages / 4000, ns(2000));
+}
+
+TEST_F(TimingTest, IcacheMakesNxpLoopsCheap)
+{
+    boot();
+    sys->call(*proc, "nxp_noop_loop", {10});
+    std::uint64_t misses0 = sys->nxpCore().icache()->stats().get("misses");
+    sys->call(*proc, "nxp_noop_loop", {100000});
+    std::uint64_t misses =
+        sys->nxpCore().icache()->stats().get("misses") - misses0;
+    // The loop body fits in a couple of lines: misses stay trivial even
+    // though the text lives in host memory (Section III-D).
+    EXPECT_LE(misses, 4u);
+}
+
+TEST_F(TimingTest, DmaBurstBeatsWordByWordPio)
+{
+    // Ablation A2: one 128-byte DMA burst vs 16 individual stores over
+    // PCIe (the descriptor-transfer design choice of Section IV-B1).
+    boot();
+    Tick burst = config.timing.dmaTransfer(128);
+    Tick pio = 16 * config.timing.hostToNxpMmio;
+    EXPECT_LT(burst, pio);
+}
+
+TEST_F(TimingTest, ExtraLatencyDominatesLikePriorWork)
+{
+    boot();
+    sys->call(*proc, "nxp_noop");
+    sys->setExtraRoundTripLatency(us(430));
+    double avg = avgRoundTripUs(10);
+    EXPECT_GT(avg, 430.0);
+    EXPECT_LT(avg, 460.0);
+}
+
+} // namespace
+} // namespace flick
