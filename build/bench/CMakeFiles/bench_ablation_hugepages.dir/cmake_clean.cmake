@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hugepages.dir/bench_ablation_hugepages.cpp.o"
+  "CMakeFiles/bench_ablation_hugepages.dir/bench_ablation_hugepages.cpp.o.d"
+  "bench_ablation_hugepages"
+  "bench_ablation_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kvstore.dir/bench_ablation_kvstore.cpp.o"
+  "CMakeFiles/bench_ablation_kvstore.dir/bench_ablation_kvstore.cpp.o.d"
+  "bench_ablation_kvstore"
+  "bench_ablation_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

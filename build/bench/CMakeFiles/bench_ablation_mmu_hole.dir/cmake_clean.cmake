@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mmu_hole.dir/bench_ablation_mmu_hole.cpp.o"
+  "CMakeFiles/bench_ablation_mmu_hole.dir/bench_ablation_mmu_hole.cpp.o.d"
+  "bench_ablation_mmu_hole"
+  "bench_ablation_mmu_hole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mmu_hole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multinxp.dir/bench_ablation_multinxp.cpp.o"
+  "CMakeFiles/bench_ablation_multinxp.dir/bench_ablation_multinxp.cpp.o.d"
+  "bench_ablation_multinxp"
+  "bench_ablation_multinxp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multinxp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

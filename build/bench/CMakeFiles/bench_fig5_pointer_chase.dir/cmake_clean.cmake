@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pointer_chase.dir/bench_fig5_pointer_chase.cpp.o"
+  "CMakeFiles/bench_fig5_pointer_chase.dir/bench_fig5_pointer_chase.cpp.o.d"
+  "bench_fig5_pointer_chase"
+  "bench_fig5_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_roundtrip.dir/bench_table3_roundtrip.cpp.o"
+  "CMakeFiles/bench_table3_roundtrip.dir/bench_table3_roundtrip.cpp.o.d"
+  "bench_table3_roundtrip"
+  "bench_table3_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

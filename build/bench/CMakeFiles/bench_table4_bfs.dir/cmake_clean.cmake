@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bfs.dir/bench_table4_bfs.cpp.o"
+  "CMakeFiles/bench_table4_bfs.dir/bench_table4_bfs.cpp.o.d"
+  "bench_table4_bfs"
+  "bench_table4_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_run.dir/flick_run.cpp.o"
+  "CMakeFiles/flick_run.dir/flick_run.cpp.o.d"
+  "flick_run"
+  "flick_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

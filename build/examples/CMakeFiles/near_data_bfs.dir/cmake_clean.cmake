@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_data_bfs.dir/near_data_bfs.cpp.o"
+  "CMakeFiles/near_data_bfs.dir/near_data_bfs.cpp.o.d"
+  "near_data_bfs"
+  "near_data_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_data_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

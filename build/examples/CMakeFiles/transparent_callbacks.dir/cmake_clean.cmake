@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_callbacks.dir/transparent_callbacks.cpp.o"
+  "CMakeFiles/transparent_callbacks.dir/transparent_callbacks.cpp.o.d"
+  "transparent_callbacks"
+  "transparent_callbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

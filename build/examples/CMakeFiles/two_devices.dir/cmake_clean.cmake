@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_devices.dir/two_devices.cpp.o"
+  "CMakeFiles/two_devices.dir/two_devices.cpp.o.d"
+  "two_devices"
+  "two_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

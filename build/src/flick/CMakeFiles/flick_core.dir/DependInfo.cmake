@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flick/descriptor.cc" "src/flick/CMakeFiles/flick_core.dir/descriptor.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/descriptor.cc.o.d"
+  "/root/repo/src/flick/heap.cc" "src/flick/CMakeFiles/flick_core.dir/heap.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/heap.cc.o.d"
+  "/root/repo/src/flick/native.cc" "src/flick/CMakeFiles/flick_core.dir/native.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/native.cc.o.d"
+  "/root/repo/src/flick/nxp_platform.cc" "src/flick/CMakeFiles/flick_core.dir/nxp_platform.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/nxp_platform.cc.o.d"
+  "/root/repo/src/flick/program.cc" "src/flick/CMakeFiles/flick_core.dir/program.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/program.cc.o.d"
+  "/root/repo/src/flick/runtime.cc" "src/flick/CMakeFiles/flick_core.dir/runtime.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/runtime.cc.o.d"
+  "/root/repo/src/flick/system.cc" "src/flick/CMakeFiles/flick_core.dir/system.cc.o" "gcc" "src/flick/CMakeFiles/flick_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loader/CMakeFiles/flick_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flick_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flick_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/flick_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flick_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

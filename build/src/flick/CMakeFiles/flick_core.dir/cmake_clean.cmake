@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_core.dir/descriptor.cc.o"
+  "CMakeFiles/flick_core.dir/descriptor.cc.o.d"
+  "CMakeFiles/flick_core.dir/heap.cc.o"
+  "CMakeFiles/flick_core.dir/heap.cc.o.d"
+  "CMakeFiles/flick_core.dir/native.cc.o"
+  "CMakeFiles/flick_core.dir/native.cc.o.d"
+  "CMakeFiles/flick_core.dir/nxp_platform.cc.o"
+  "CMakeFiles/flick_core.dir/nxp_platform.cc.o.d"
+  "CMakeFiles/flick_core.dir/program.cc.o"
+  "CMakeFiles/flick_core.dir/program.cc.o.d"
+  "CMakeFiles/flick_core.dir/runtime.cc.o"
+  "CMakeFiles/flick_core.dir/runtime.cc.o.d"
+  "CMakeFiles/flick_core.dir/system.cc.o"
+  "CMakeFiles/flick_core.dir/system.cc.o.d"
+  "libflick_core.a"
+  "libflick_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

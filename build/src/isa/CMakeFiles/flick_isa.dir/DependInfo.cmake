@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asm_common.cc" "src/isa/CMakeFiles/flick_isa.dir/asm_common.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/asm_common.cc.o.d"
+  "/root/repo/src/isa/core.cc" "src/isa/CMakeFiles/flick_isa.dir/core.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/core.cc.o.d"
+  "/root/repo/src/isa/hx64/assembler.cc" "src/isa/CMakeFiles/flick_isa.dir/hx64/assembler.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/hx64/assembler.cc.o.d"
+  "/root/repo/src/isa/hx64/core.cc" "src/isa/CMakeFiles/flick_isa.dir/hx64/core.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/hx64/core.cc.o.d"
+  "/root/repo/src/isa/hx64/disasm.cc" "src/isa/CMakeFiles/flick_isa.dir/hx64/disasm.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/hx64/disasm.cc.o.d"
+  "/root/repo/src/isa/rv64/assembler.cc" "src/isa/CMakeFiles/flick_isa.dir/rv64/assembler.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/rv64/assembler.cc.o.d"
+  "/root/repo/src/isa/rv64/core.cc" "src/isa/CMakeFiles/flick_isa.dir/rv64/core.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/rv64/core.cc.o.d"
+  "/root/repo/src/isa/rv64/disasm.cc" "src/isa/CMakeFiles/flick_isa.dir/rv64/disasm.cc.o" "gcc" "src/isa/CMakeFiles/flick_isa.dir/rv64/disasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/flick_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flick_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_isa.dir/asm_common.cc.o"
+  "CMakeFiles/flick_isa.dir/asm_common.cc.o.d"
+  "CMakeFiles/flick_isa.dir/core.cc.o"
+  "CMakeFiles/flick_isa.dir/core.cc.o.d"
+  "CMakeFiles/flick_isa.dir/hx64/assembler.cc.o"
+  "CMakeFiles/flick_isa.dir/hx64/assembler.cc.o.d"
+  "CMakeFiles/flick_isa.dir/hx64/core.cc.o"
+  "CMakeFiles/flick_isa.dir/hx64/core.cc.o.d"
+  "CMakeFiles/flick_isa.dir/hx64/disasm.cc.o"
+  "CMakeFiles/flick_isa.dir/hx64/disasm.cc.o.d"
+  "CMakeFiles/flick_isa.dir/rv64/assembler.cc.o"
+  "CMakeFiles/flick_isa.dir/rv64/assembler.cc.o.d"
+  "CMakeFiles/flick_isa.dir/rv64/core.cc.o"
+  "CMakeFiles/flick_isa.dir/rv64/core.cc.o.d"
+  "CMakeFiles/flick_isa.dir/rv64/disasm.cc.o"
+  "CMakeFiles/flick_isa.dir/rv64/disasm.cc.o.d"
+  "libflick_isa.a"
+  "libflick_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loader/linker.cc" "src/loader/CMakeFiles/flick_loader.dir/linker.cc.o" "gcc" "src/loader/CMakeFiles/flick_loader.dir/linker.cc.o.d"
+  "/root/repo/src/loader/loader.cc" "src/loader/CMakeFiles/flick_loader.dir/loader.cc.o" "gcc" "src/loader/CMakeFiles/flick_loader.dir/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/flick_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/flick_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flick_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

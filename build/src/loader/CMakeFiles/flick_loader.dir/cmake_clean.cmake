@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_loader.dir/linker.cc.o"
+  "CMakeFiles/flick_loader.dir/linker.cc.o.d"
+  "CMakeFiles/flick_loader.dir/loader.cc.o"
+  "CMakeFiles/flick_loader.dir/loader.cc.o.d"
+  "libflick_loader.a"
+  "libflick_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

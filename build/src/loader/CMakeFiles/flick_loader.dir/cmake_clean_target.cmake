@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflick_loader.a"
+)

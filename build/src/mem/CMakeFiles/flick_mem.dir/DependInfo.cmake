@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dma.cc" "src/mem/CMakeFiles/flick_mem.dir/dma.cc.o" "gcc" "src/mem/CMakeFiles/flick_mem.dir/dma.cc.o.d"
+  "/root/repo/src/mem/irq.cc" "src/mem/CMakeFiles/flick_mem.dir/irq.cc.o" "gcc" "src/mem/CMakeFiles/flick_mem.dir/irq.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/mem/CMakeFiles/flick_mem.dir/mem_system.cc.o" "gcc" "src/mem/CMakeFiles/flick_mem.dir/mem_system.cc.o.d"
+  "/root/repo/src/mem/sparse_memory.cc" "src/mem/CMakeFiles/flick_mem.dir/sparse_memory.cc.o" "gcc" "src/mem/CMakeFiles/flick_mem.dir/sparse_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

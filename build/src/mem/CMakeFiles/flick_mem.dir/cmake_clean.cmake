@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_mem.dir/dma.cc.o"
+  "CMakeFiles/flick_mem.dir/dma.cc.o.d"
+  "CMakeFiles/flick_mem.dir/irq.cc.o"
+  "CMakeFiles/flick_mem.dir/irq.cc.o.d"
+  "CMakeFiles/flick_mem.dir/mem_system.cc.o"
+  "CMakeFiles/flick_mem.dir/mem_system.cc.o.d"
+  "CMakeFiles/flick_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/flick_mem.dir/sparse_memory.cc.o.d"
+  "libflick_mem.a"
+  "libflick_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_os.dir/kernel.cc.o"
+  "CMakeFiles/flick_os.dir/kernel.cc.o.d"
+  "libflick_os.a"
+  "libflick_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

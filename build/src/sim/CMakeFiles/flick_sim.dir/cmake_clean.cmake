@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_sim.dir/event_queue.cc.o"
+  "CMakeFiles/flick_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/flick_sim.dir/logging.cc.o"
+  "CMakeFiles/flick_sim.dir/logging.cc.o.d"
+  "CMakeFiles/flick_sim.dir/stats.cc.o"
+  "CMakeFiles/flick_sim.dir/stats.cc.o.d"
+  "libflick_sim.a"
+  "libflick_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

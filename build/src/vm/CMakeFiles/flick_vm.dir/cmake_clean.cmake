@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_vm.dir/mmu.cc.o"
+  "CMakeFiles/flick_vm.dir/mmu.cc.o.d"
+  "CMakeFiles/flick_vm.dir/page_table.cc.o"
+  "CMakeFiles/flick_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/flick_vm.dir/phys_allocator.cc.o"
+  "CMakeFiles/flick_vm.dir/phys_allocator.cc.o.d"
+  "CMakeFiles/flick_vm.dir/tlb.cc.o"
+  "CMakeFiles/flick_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/flick_vm.dir/walker.cc.o"
+  "CMakeFiles/flick_vm.dir/walker.cc.o.d"
+  "libflick_vm.a"
+  "libflick_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/flick_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/flick_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/flick_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/flick_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/offload.cc" "src/workloads/CMakeFiles/flick_workloads.dir/offload.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/offload.cc.o.d"
+  "/root/repo/src/workloads/pointer_chase.cc" "src/workloads/CMakeFiles/flick_workloads.dir/pointer_chase.cc.o" "gcc" "src/workloads/CMakeFiles/flick_workloads.dir/pointer_chase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flick/CMakeFiles/flick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/flick_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flick_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flick_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/flick_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flick_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

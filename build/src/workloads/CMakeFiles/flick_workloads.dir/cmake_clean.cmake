@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_workloads.dir/bfs.cc.o"
+  "CMakeFiles/flick_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/flick_workloads.dir/graph.cc.o"
+  "CMakeFiles/flick_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/flick_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/flick_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/flick_workloads.dir/microbench.cc.o"
+  "CMakeFiles/flick_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/flick_workloads.dir/offload.cc.o"
+  "CMakeFiles/flick_workloads.dir/offload.cc.o.d"
+  "CMakeFiles/flick_workloads.dir/pointer_chase.cc.o"
+  "CMakeFiles/flick_workloads.dir/pointer_chase.cc.o.d"
+  "libflick_workloads.a"
+  "libflick_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

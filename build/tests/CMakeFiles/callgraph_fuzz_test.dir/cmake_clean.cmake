@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callgraph_fuzz_test.dir/callgraph_fuzz_test.cpp.o"
+  "CMakeFiles/callgraph_fuzz_test.dir/callgraph_fuzz_test.cpp.o.d"
+  "callgraph_fuzz_test"
+  "callgraph_fuzz_test.pdb"
+  "callgraph_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callgraph_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flick_runtime_test.dir/flick_runtime_test.cpp.o"
+  "CMakeFiles/flick_runtime_test.dir/flick_runtime_test.cpp.o.d"
+  "flick_runtime_test"
+  "flick_runtime_test.pdb"
+  "flick_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flick_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

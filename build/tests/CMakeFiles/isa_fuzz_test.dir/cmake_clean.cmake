@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_fuzz_test.dir/isa_fuzz_test.cpp.o"
+  "CMakeFiles/isa_fuzz_test.dir/isa_fuzz_test.cpp.o.d"
+  "isa_fuzz_test"
+  "isa_fuzz_test.pdb"
+  "isa_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_rv64_test.dir/isa_rv64_test.cpp.o"
+  "CMakeFiles/isa_rv64_test.dir/isa_rv64_test.cpp.o.d"
+  "isa_rv64_test"
+  "isa_rv64_test.pdb"
+  "isa_rv64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_rv64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

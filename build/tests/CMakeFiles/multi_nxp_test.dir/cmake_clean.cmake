@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_nxp_test.dir/multi_nxp_test.cpp.o"
+  "CMakeFiles/multi_nxp_test.dir/multi_nxp_test.cpp.o.d"
+  "multi_nxp_test"
+  "multi_nxp_test.pdb"
+  "multi_nxp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_nxp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

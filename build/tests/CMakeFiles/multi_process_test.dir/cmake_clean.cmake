@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_process_test.dir/multi_process_test.cpp.o"
+  "CMakeFiles/multi_process_test.dir/multi_process_test.cpp.o.d"
+  "multi_process_test"
+  "multi_process_test.pdb"
+  "multi_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odd_address_test.dir/odd_address_test.cpp.o"
+  "CMakeFiles/odd_address_test.dir/odd_address_test.cpp.o.d"
+  "odd_address_test"
+  "odd_address_test.pdb"
+  "odd_address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odd_address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

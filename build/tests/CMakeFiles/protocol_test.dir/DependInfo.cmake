@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol_test.cpp" "tests/CMakeFiles/protocol_test.dir/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_test.dir/protocol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/flick_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/flick/CMakeFiles/flick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/flick_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/flick_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/flick_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/flick_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/flick_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flick_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

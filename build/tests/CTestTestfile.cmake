@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_rv64_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_hx64_test[1]_include.cmake")
+include("/root/repo/build/tests/linker_test[1]_include.cmake")
+include("/root/repo/build/tests/loader_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/descriptor_test[1]_include.cmake")
+include("/root/repo/build/tests/flick_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/offload_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_nxp_test[1]_include.cmake")
+include("/root/repo/build/tests/callgraph_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/icache_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_process_test[1]_include.cmake")
+include("/root/repo/build/tests/odd_address_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
