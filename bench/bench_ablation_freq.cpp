@@ -34,7 +34,7 @@ main(int argc, char **argv)
 
         PointerChaseList list(sys, proc, 8192, 1ull << 30, 35);
         Tick t0 = sys.now();
-        sys.call(proc, "chase_nxp", {list.head(), 4000});
+        sys.submit(proc, "chase_nxp", {list.head(), 4000}).wait();
         double per_node = static_cast<double>(sys.now() - t0) / 4000.0 /
                           1000.0;
 

@@ -42,15 +42,15 @@ main(int argc, char **argv)
         workloads::addPointerChaseKernels(prog);
         Process &proc = sys.load(prog);
         PointerChaseList list(sys, proc, 8192, 256ull << 20, 31);
-        sys.call(proc, "nxp_noop");
+        sys.submit(proc, "nxp_noop").wait();
 
         std::uint64_t walks0 =
-            sys.nxpCore().mmu().walker().stats().get("walks");
+            sys.debug().nxpCore().mmu().walker().stats().get("walks");
         Tick t0 = sys.now();
-        sys.call(proc, "chase_nxp", {list.head(), nodes});
+        sys.submit(proc, "chase_nxp", {list.head(), nodes}).wait();
         Tick elapsed = sys.now() - t0;
         std::uint64_t walks =
-            sys.nxpCore().mmu().walker().stats().get("walks") - walks0;
+            sys.debug().nxpCore().mmu().walker().stats().get("walks") - walks0;
 
         rows.push_back(
             {v.name,

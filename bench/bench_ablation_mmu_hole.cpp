@@ -37,21 +37,21 @@ chase(bool use_hole, std::uint64_t nodes)
     workloads::addPointerChaseKernels(prog);
     Process &proc = sys.load(prog);
     PointerChaseList list(sys, proc, 8192, 64ull << 20, 37);
-    sys.call(proc, "nxp_noop");
+    sys.submit(proc, "nxp_noop").wait();
 
     if (use_hole) {
         // The MMU translates the whole window straight to local DRAM.
-        sys.nxpCore().mmu().addHole(layout::nxpWindowBase,
+        sys.debug().nxpCore().mmu().addHole(layout::nxpWindowBase,
                                     cfg.platform.nxpDramBytes,
                                     cfg.platform.nxpDramLocalBase);
     }
 
     std::uint64_t walks0 =
-        sys.nxpCore().mmu().walker().stats().get("walks");
+        sys.debug().nxpCore().mmu().walker().stats().get("walks");
     Tick t0 = sys.now();
-    sys.call(proc, "chase_nxp", {list.head(), nodes});
+    sys.submit(proc, "chase_nxp", {list.head(), nodes}).wait();
     return {static_cast<double>(sys.now() - t0) / nodes / 1000.0,
-            sys.nxpCore().mmu().walker().stats().get("walks") - walks0};
+            sys.debug().nxpCore().mmu().walker().stats().get("walks") - walks0};
 }
 
 } // namespace

@@ -31,10 +31,10 @@ main(int argc, char **argv)
 
     double flick_us = 0;
     {
-        sys.call(proc, "nxp_add", {1, 2}); // warm up
+        sys.submit(proc, "nxp_add", {1, 2}).wait(); // warm up
         Tick t0 = sys.now();
         for (int i = 0; i < calls; ++i)
-            sys.call(proc, "nxp_add", {1, 2});
+            sys.submit(proc, "nxp_add", {1, 2}).wait();
         flick_us = ticksToUs(sys.now() - t0) / calls;
     }
 

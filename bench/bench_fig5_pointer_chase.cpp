@@ -45,7 +45,7 @@ timePerCallUs(FlickSystem &sys, Process &proc, const char *fn,
     for (int i = 0; i < calls; ++i) {
         if (interval)
             sys.advanceTime(interval);
-        cursor = sys.call(proc, fn, {cursor, n});
+        cursor = sys.submit(proc, fn, {cursor, n}).wait();
     }
     return ticksToUs(sys.now() - t0) / calls;
 }
@@ -63,7 +63,7 @@ runFigure(const char *title, Tick interval, const std::vector<
 
     // Nodes randomly spread across the NxP storage (Section V-B).
     PointerChaseList list(sys, proc, 64 * 1024, 1ull << 30, 2020);
-    sys.call(proc, "nxp_noop"); // one-time NxP stack allocation
+    sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
 
     const Config configs[] = {
         {"flick", 0},

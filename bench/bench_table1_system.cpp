@@ -51,12 +51,12 @@ main()
     (void)proc;
 
     std::uint64_t v = 0;
-    Tick host_to_nxp = sys.mem().readInt(
+    Tick host_to_nxp = sys.debug().mem().readInt(
         Requester::hostCore, cfg.platform.bar0Base + 0x1000, 8, v);
-    Tick nxp_local = sys.mem().readInt(
+    Tick nxp_local = sys.debug().mem().readInt(
         Requester::nxpCore, cfg.platform.nxpDramLocalBase + 0x1000, 8, v);
-    Tick nxp_to_host = sys.mem().readInt(Requester::nxpCore, 0x1000, 8, v);
-    Tick host_local = sys.mem().readInt(Requester::hostCore, 0x1000, 8, v);
+    Tick nxp_to_host = sys.debug().mem().readInt(Requester::nxpCore, 0x1000, 8, v);
+    Tick host_local = sys.debug().mem().readInt(Requester::hostCore, 0x1000, 8, v);
 
     printTable(
         "Measured raw access round trips (Section V quotes ~825ns/~267ns)",

@@ -53,16 +53,18 @@ main(int argc, char **argv)
         DeviceGraph dev = uploadGraph(sys, proc, graph);
         VAddr dummy = proc.image.symbol("bfs_dummy");
         std::uint64_t expect = graph.reachableFrom(0);
-        sys.call(proc, "nxp_noop"); // one-time NxP stack allocation
+        sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
 
         // Baseline: host traverses the graph over PCIe, dummy called
         // locally per vertex.
         Tick t0 = sys.now();
         for (int i = 0; i < iters; ++i) {
             resetVisited(sys, proc, dev);
-            std::uint64_t got = sys.call(
-                proc, "bfs_host",
-                {dev.rowOff, dev.col, dev.visited, dev.queue, 0, dummy});
+            std::uint64_t got =
+                sys.submit(proc, "bfs_host",
+                           {dev.rowOff, dev.col, dev.visited, dev.queue,
+                            0, dummy})
+                    .wait();
             if (got != expect)
                 fatal("baseline BFS mismatch: %llu != %llu",
                       (unsigned long long)got,
@@ -75,9 +77,11 @@ main(int argc, char **argv)
         t0 = sys.now();
         for (int i = 0; i < iters; ++i) {
             resetVisited(sys, proc, dev);
-            std::uint64_t got = sys.call(
-                proc, "bfs_nxp",
-                {dev.rowOff, dev.col, dev.visited, dev.queue, 0, dummy});
+            std::uint64_t got =
+                sys.submit(proc, "bfs_nxp",
+                           {dev.rowOff, dev.col, dev.visited, dev.queue,
+                            0, dummy})
+                    .wait();
             if (got != expect)
                 fatal("flick BFS mismatch: %llu != %llu",
                       (unsigned long long)got,

@@ -85,10 +85,10 @@ fmtX(double x)
 inline double
 measureHostNxpHostUs(FlickSystem &sys, Process &proc, int calls)
 {
-    sys.call(proc, "nxp_noop"); // warm-up: one-time NxP stack allocation
+    sys.submit(proc, "nxp_noop").wait(); // warm-up: one-time NxP stack allocation
     Tick t0 = sys.now();
     for (int i = 0; i < calls; ++i)
-        sys.call(proc, "nxp_noop");
+        sys.submit(proc, "nxp_noop").wait();
     return ticksToUs(sys.now() - t0) / calls;
 }
 
@@ -100,13 +100,14 @@ measureHostNxpHostUs(FlickSystem &sys, Process &proc, int calls)
 inline double
 measureNxpHostNxpUs(FlickSystem &sys, Process &proc, int calls)
 {
-    sys.call(proc, "nxp_noop");
+    sys.submit(proc, "nxp_noop").wait();
     Tick t0 = sys.now();
-    sys.call(proc, "nxp_calls_host",
-             {static_cast<std::uint64_t>(calls)});
+    sys.submit(proc, "nxp_calls_host",
+               {static_cast<std::uint64_t>(calls)})
+        .wait();
     Tick total = sys.now() - t0;
     Tick t1 = sys.now();
-    sys.call(proc, "nxp_calls_host", {0});
+    sys.submit(proc, "nxp_calls_host", {0}).wait();
     Tick outer = sys.now() - t1;
     return ticksToUs(total - outer) / calls;
 }

@@ -109,15 +109,15 @@ main(int argc, char **argv)
     if (trace)
         sys.enableInstructionTrace(&std::cerr);
     if (print_journal)
-        sys.engine().enableJournal();
+        sys.debug().engine().enableJournal();
 
     Tick t0 = sys.now();
-    std::uint64_t result = sys.call(proc, call_symbol, args);
+    std::uint64_t result = sys.submit(proc, call_symbol, args).wait();
     Tick elapsed = sys.now() - t0;
 
     if (print_journal) {
         std::printf("-- protocol journal --\n");
-        for (const ProtocolEvent &e : sys.engine().journal())
+        for (const ProtocolEvent &e : sys.debug().engine().journal())
             std::printf("%12.2fus  %-14s  pid=%d  addr=%#llx\n",
                         ticksToUs(e.when - t0), protocolStepName(e.step),
                         e.pid, (unsigned long long)e.addr);

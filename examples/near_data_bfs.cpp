@@ -62,16 +62,17 @@ main(int argc, char **argv)
     DeviceGraph dev = uploadGraph(sys, proc, graph);
 
     VAddr task = proc.image.symbol("host_vertex_task");
-    sys.call(proc, "nxp_noop"); // first-migration stack setup
+    sys.submit(proc, "nxp_noop").wait(); // first-migration stack setup
 
     // Baseline: host traverses the NxP-resident graph over PCIe.
     resetVisited(sys, proc, dev);
     vertices_seen = 0;
     std::uint64_t check_base;
     Tick t0 = sys.now();
-    std::uint64_t found = sys.call(
-        proc, "bfs_host",
-        {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task});
+    std::uint64_t found =
+        sys.submit(proc, "bfs_host",
+                   {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task})
+            .wait();
     Tick baseline = sys.now() - t0;
     check_base = checksum;
     std::printf("baseline (host over PCIe): %llu vertices in %.2f ms "
@@ -84,9 +85,10 @@ main(int argc, char **argv)
     vertices_seen = 0;
     checksum = 0;
     t0 = sys.now();
-    std::uint64_t found2 = sys.call(
-        proc, "bfs_nxp",
-        {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task});
+    std::uint64_t found2 =
+        sys.submit(proc, "bfs_nxp",
+                   {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task})
+            .wait();
     Tick flick = sys.now() - t0;
     std::printf("flick (traversal on NxP):  %llu vertices in %.2f ms "
                 "(%llu migrations)\n",

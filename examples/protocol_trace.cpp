@@ -7,6 +7,11 @@
  * prints every protocol step with its simulated timestamp: the NX fault,
  * the descriptor DMA (fired only after the host thread is suspended),
  * the NxP pickup, the reverse call, and both returns.
+ *
+ * This example intentionally sticks to the legacy synchronous API —
+ * call() and the loose FlickSystem accessors — to show that it still
+ * works unchanged; the other examples use submit()/CallFuture and the
+ * debug() harness.
  */
 
 #include <cstdio>

@@ -30,8 +30,9 @@ main()
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
 
-    // A plain host call: no migration.
-    std::uint64_t r = sys.call(proc, "host_add", {2, 3});
+    // A plain host call: submit() starts the thread and returns a
+    // future; wait() runs the simulation until the call finishes.
+    std::uint64_t r = sys.submit(proc, "host_add", {2, 3}).wait();
     std::printf("host_add(2, 3)        = %llu (ran on the host)\n",
                 (unsigned long long)r);
 
@@ -39,23 +40,26 @@ main()
     // the NX bit, the thread migrates, runs at 200 MHz next to the data,
     // and migrates back with the return value.
     Tick t0 = sys.now();
-    r = sys.call(proc, "nxp_add", {40, 2});
+    CallFuture f = sys.submit(proc, "nxp_add", {40, 2});
+    // Nothing has happened yet: submit() is instantaneous in simulated
+    // time. wait() pumps events until the future resolves.
+    r = f.wait();
     Tick rtt = sys.now() - t0;
     std::printf("nxp_add(40, 2)        = %llu (migrated, %.1f us round "
                 "trip)\n",
                 (unsigned long long)r, ticksToUs(rtt));
 
     // Six arguments cross the descriptor.
-    r = sys.call(proc, "nxp_sum6", {1, 2, 3, 4, 5, 6});
+    r = sys.submit(proc, "nxp_sum6", {1, 2, 3, 4, 5, 6}).wait();
     std::printf("nxp_sum6(1..6)        = %llu\n", (unsigned long long)r);
 
     // A host function that calls an NxP function (one nesting level).
-    r = sys.call(proc, "host_mul_via_nxp", {10, 11});
+    r = sys.submit(proc, "host_mul_via_nxp", {10, 11}).wait();
     std::printf("host_mul_via_nxp      = %llu (= (10+11)*2)\n",
                 (unsigned long long)r);
 
     // Mutual cross-ISA recursion: factorial alternating cores per level.
-    r = sys.call(proc, "host_fact_nxp", {10});
+    r = sys.submit(proc, "host_fact_nxp", {10}).wait();
     std::printf("host_fact_nxp(10)     = %llu (10! across 10 migrations)"
                 "\n",
                 (unsigned long long)r);
@@ -63,7 +67,7 @@ main()
     std::printf("\nsimulated time: %.3f ms, migrations: %llu\n",
                 ticksToUs(sys.now()) / 1000.0,
                 (unsigned long long)(
-                    sys.engine().stats().get("host_to_nxp_calls") +
-                    sys.engine().stats().get("nxp_to_host_calls")));
+                    sys.debug().engine().stats().get("host_to_nxp_calls") +
+                    sys.debug().engine().stats().get("nxp_to_host_calls")));
     return 0;
 }

@@ -183,9 +183,7 @@ hs_done:
 int
 main()
 {
-    SystemConfig cfg;
-    cfg.enableSecondNxp();
-    FlickSystem sys(cfg);
+    FlickSystem sys(SystemConfig{}.withNxpDevices(2));
 
     static std::vector<std::uint64_t> hits;
     Program prog;
@@ -242,9 +240,10 @@ main()
     hits.clear();
     Tick t0 = sys.now();
     std::uint64_t base_hits =
-        sys.call(proc, "scan_host",
-                 {packets, packet_count, blocklist, blocklist_count,
-                  lookup, report});
+        sys.submit(proc, "scan_host",
+                   {packets, packet_count, blocklist, blocklist_count,
+                    lookup, report})
+            .wait();
     Tick baseline = sys.now() - t0;
     std::printf("host baseline:      %llu hits in %8.2f ms (all data "
                 "over PCIe)\n",
@@ -256,18 +255,19 @@ main()
     hits.clear();
     t0 = sys.now();
     std::uint64_t flick_hits =
-        sys.call(proc, "scan_packets",
-                 {packets, packet_count, blocklist, blocklist_count,
-                  lookup, report});
+        sys.submit(proc, "scan_packets",
+                   {packets, packet_count, blocklist, blocklist_count,
+                    lookup, report})
+            .wait();
     Tick flick = sys.now() - t0;
     std::printf("flick (NIC+storage): %llu hits in %8.2f ms "
                 "(%llu migrations: %llu dev-to-dev, %llu to host)\n",
                 (unsigned long long)flick_hits,
                 ticksToUs(flick) / 1000.0,
                 (unsigned long long)proc.task->migrations,
-                (unsigned long long)sys.engine().stats().get(
+                (unsigned long long)sys.debug().engine().stats().get(
                     "nxp_to_nxp_calls"),
-                (unsigned long long)sys.engine().stats().get(
+                (unsigned long long)sys.debug().engine().stats().get(
                     "nxp_to_host_calls"));
 
     if (flick_hits != base_hits || flick_hits != expected_hits) {

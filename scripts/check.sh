@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification sweep: the regular test suite in the default build,
+# plus a Debug + ThreadSanitizer build running the concurrency-labeled
+# tests (the event-driven migration engine's interleaved continuation
+# chains are where lifetime bugs would hide).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo
+echo "== debug + tsan build, concurrency tests =="
+cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target concurrent_call_test
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
+
+echo
+echo "all checks passed"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CallFuture: the handle for an in-flight cross-ISA call.
+ *
+ * FlickSystem::submit() starts a call and returns immediately; the
+ * returned CallFuture resolves when the call's root function returns.
+ * wait() drives the simulated machine (the shared event queue) forward,
+ * so while one thread's call is blocked mid-migration every other
+ * in-flight call keeps making progress — that is where the overlap
+ * between concurrent migrating threads comes from.
+ */
+
+#ifndef FLICK_FLICK_CALL_FUTURE_HH
+#define FLICK_FLICK_CALL_FUTURE_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace flick
+{
+
+class MigrationEngine;
+
+/** Shared completion state between the engine and the future. */
+struct CallFutureState
+{
+    bool done = false;
+    std::uint64_t value = 0;
+    int pid = 0;
+};
+
+/**
+ * Result handle for one submitted call.
+ *
+ * Copyable; all copies observe the same completion. A default-
+ * constructed future is invalid until assigned from submit().
+ */
+class CallFuture
+{
+  public:
+    CallFuture() = default;
+
+    bool valid() const { return _state != nullptr; }
+
+    /** True once the call's root function has returned. */
+    bool done() const { return _state && _state->done; }
+
+    /** PID of the thread executing the call. */
+    int pid() const { return _state ? _state->pid : 0; }
+
+    /**
+     * Drive the simulation until this call completes; returns the
+     * call's return value. Other in-flight calls progress concurrently.
+     */
+    std::uint64_t wait();
+
+    /** The return value; the call must be done(). */
+    std::uint64_t value() const;
+
+  private:
+    friend class MigrationEngine;
+
+    CallFuture(std::shared_ptr<CallFutureState> state,
+               MigrationEngine *engine)
+        : _state(std::move(state)), _engine(engine)
+    {}
+
+    std::shared_ptr<CallFutureState> _state;
+    MigrationEngine *_engine = nullptr;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_CALL_FUTURE_HH

@@ -26,6 +26,19 @@ get64(const std::uint8_t *p)
 
 } // namespace
 
+const char *
+descriptorKindName(DescriptorKind kind)
+{
+    switch (kind) {
+      case DescriptorKind::invalid: return "invalid";
+      case DescriptorKind::hostToNxpCall: return "hostToNxpCall";
+      case DescriptorKind::nxpToHostCall: return "nxpToHostCall";
+      case DescriptorKind::hostToNxpReturn: return "hostToNxpReturn";
+      case DescriptorKind::nxpToHostReturn: return "nxpToHostReturn";
+    }
+    return "?";
+}
+
 std::array<std::uint8_t, MigrationDescriptor::wireBytes>
 MigrationDescriptor::toWire() const
 {

@@ -31,6 +31,9 @@ enum class DescriptorKind : std::uint32_t
     nxpToHostReturn = 4, //!< NxP function finished; value back to host.
 };
 
+/** Printable descriptor-kind name, for diagnostics. */
+const char *descriptorKindName(DescriptorKind kind);
+
 /** A migration descriptor (128 bytes on the wire). */
 struct MigrationDescriptor
 {

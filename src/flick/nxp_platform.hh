@@ -44,18 +44,39 @@ class NxpPlatform : public MmioDevice
     /** Attach the NxP core's MMU so regBarRemap can program its TLBs. */
     void setNxpMmu(Mmu *mmu) { _nxpMmu = mmu; }
 
-    /** Local physical address of the inbound descriptor slot. */
+    /**
+     * Local physical address of the inbound descriptor ring (slot 0).
+     * The single-slot accessors below are the ring's first slot, which
+     * keeps the serial (one in-flight descriptor) layout unchanged.
+     */
     Addr
     inboxLocalPa() const
     {
         return _mem.platform().nxpDramLocalBase;
     }
 
-    /** Local physical address of the outbound descriptor staging slot. */
+    /** Local physical address of the outbound descriptor ring (slot 0). */
     Addr
     outboxLocalPa() const
     {
         return _mem.platform().nxpDramLocalBase + 0x1000;
+    }
+
+    /** Largest ring the 4 KB mailbox windows can hold. */
+    static constexpr unsigned maxRingSlots = 32;
+
+    /** Local physical address of inbound ring slot @p slot. */
+    Addr
+    inboxSlotPa(unsigned slot) const
+    {
+        return inboxLocalPa() + slot * 128;
+    }
+
+    /** Local physical address of outbound ring slot @p slot. */
+    Addr
+    outboxSlotPa(unsigned slot) const
+    {
+        return outboxLocalPa() + slot * 128;
     }
 
     /** First local byte not reserved for the platform (mailboxes etc.). */

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Descriptor rings (Section IV-C1).
+ *
+ * Concurrent migrations need more than one in-flight descriptor per
+ * direction, so the single kernel-buffer and inbox slots of the serial
+ * design become fixed-size rings of 128-byte slots with head/tail
+ * indices. A ring pairs two slot arrays that mirror each other across
+ * the PCIe link: the sender's staging area (where the descriptor is
+ * packaged) and the receiver's mailbox (where the DMA burst lands).
+ * Because the DMA engine completes transfers FIFO, the same head/tail
+ * indices describe both sides: slot i of the staging array always
+ * travels to slot i of the mailbox.
+ *
+ * The ring only does index bookkeeping; the descriptor bytes themselves
+ * live in simulated DRAM at the slot addresses and travel through the
+ * simulated DMA engines.
+ */
+
+#ifndef FLICK_FLICK_RING_HH
+#define FLICK_FLICK_RING_HH
+
+#include "flick/descriptor.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+/**
+ * Index bookkeeping for one direction of descriptor traffic between the
+ * host and one NxP device.
+ */
+class DescriptorRing
+{
+  public:
+    /** Slot stride: one wire descriptor, padded to its wire size. */
+    static constexpr std::uint64_t slotBytes =
+        MigrationDescriptor::wireBytes;
+
+    DescriptorRing() = default;
+
+    /**
+     * @param staging_base Physical base of the sender-side slot array.
+     * @param mailbox_base Physical base of the receiver-side slot array
+     *        (in the receiver's address space).
+     * @param slots Number of slots (in-flight descriptor bound).
+     */
+    DescriptorRing(Addr staging_base, Addr mailbox_base, unsigned slots)
+        : _staging(staging_base), _mailbox(mailbox_base), _slots(slots)
+    {
+        if (slots == 0)
+            panic("descriptor ring with zero slots");
+    }
+
+    unsigned slots() const { return _slots; }
+    unsigned inUse() const { return _count; }
+    bool full() const { return _count == _slots; }
+    bool empty() const { return _count == 0; }
+
+    /** Claim the tail slot for a new descriptor; ring must not be full. */
+    unsigned
+    push()
+    {
+        if (full())
+            panic("descriptor ring overflow (%u slots)", _slots);
+        unsigned slot = _tail;
+        _tail = (_tail + 1) % _slots;
+        ++_count;
+        return slot;
+    }
+
+    /** Oldest in-flight slot (what the receiver consumes next). */
+    unsigned
+    front() const
+    {
+        if (empty())
+            panic("descriptor ring underflow");
+        return _head;
+    }
+
+    /** Release the head slot after the receiver consumed it. */
+    void
+    pop()
+    {
+        if (empty())
+            panic("descriptor ring underflow");
+        _head = (_head + 1) % _slots;
+        --_count;
+    }
+
+    /** Sender-side (staging) physical address of @p slot. */
+    Addr stagingPa(unsigned slot) const { return _staging + slot * slotBytes; }
+
+    /** Receiver-side (mailbox) physical address of @p slot. */
+    Addr mailboxPa(unsigned slot) const { return _mailbox + slot * slotBytes; }
+
+  private:
+    Addr _staging = 0;
+    Addr _mailbox = 0;
+    unsigned _slots = 1;
+    unsigned _head = 0;
+    unsigned _tail = 0;
+    unsigned _count = 0;
+};
+
+} // namespace flick
+
+#endif // FLICK_FLICK_RING_HH

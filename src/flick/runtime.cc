@@ -28,26 +28,64 @@ protocolStepName(ProtocolStep step)
     return "?";
 }
 
+// --- CallFuture ---------------------------------------------------------
+
+std::uint64_t
+CallFuture::wait()
+{
+    if (!_state || !_engine)
+        panic("wait() on an invalid CallFuture");
+    while (!_state->done) {
+        if (!_engine->pump())
+            panic("migration engine deadlock: waiting on an empty "
+                  "event queue");
+    }
+    return _state->value;
+}
+
+std::uint64_t
+CallFuture::value() const
+{
+    if (!_state || !_state->done)
+        panic("value() on a CallFuture that is not done");
+    return _state->value;
+}
+
+// --- Construction and registration --------------------------------------
+
 MigrationEngine::MigrationEngine(EventQueue &events, MemSystem &mem,
                                  const TimingConfig &timing,
                                  Kernel &kernel, IrqController &irq,
-                                 Core &host_core, Addr kernel_buf_pa)
+                                 Core &host_core)
     : _events(events), _mem(mem), _timing(timing), _kernel(kernel),
-      _irq(irq), _hostCore(host_core), _kernelBufPa(kernel_buf_pa),
-      _stats("flick")
+      _irq(irq), _hostCore(host_core), _stats("flick")
 {
 }
 
 void
 MigrationEngine::addNxpDevice(Core &core, NxpPlatform &platform,
                               DmaEngine &dma, RegionHeap &stack_heap,
-                              Addr host_inbox_pa, unsigned irq_vector)
+                              Addr host_staging_pa, Addr host_inbox_pa,
+                              unsigned irq_vector, unsigned ring_slots)
 {
     if (_nxp.size() >= Task::maxNxpDevices)
         fatal("too many NxP devices");
-    NxpSide s{&core, &platform, &dma, &stack_heap, host_inbox_pa,
-              irq_vector, 0};
-    _nxp.push_back(s);
+    if (ring_slots == 0 || ring_slots > NxpPlatform::maxRingSlots)
+        fatal("descriptor rings must have 1..%u slots",
+              NxpPlatform::maxRingSlots);
+    NxpSide s;
+    s.core = &core;
+    s.platform = &platform;
+    s.dma = &dma;
+    s.stackHeap = &stack_heap;
+    s.hostStagingPa = host_staging_pa;
+    s.hostInboxPa = host_inbox_pa;
+    s.irqVector = irq_vector;
+    s.h2d = DescriptorRing(host_staging_pa, platform.inboxLocalPa(),
+                           ring_slots);
+    s.d2h = DescriptorRing(platform.outboxLocalPa(), host_inbox_pa,
+                           ring_slots);
+    _nxp.push_back(std::move(s));
     unsigned device = static_cast<unsigned>(_nxp.size() - 1);
     _irq.connect(irq_vector, [this, device] { hostIrq(device); });
 }
@@ -60,10 +98,13 @@ MigrationEngine::side(unsigned device)
     return _nxp[device];
 }
 
-void
-MigrationEngine::advance(Tick t)
+MigrationEngine::TaskExec &
+MigrationEngine::exec(int pid)
 {
-    _events.runUntil(_events.now() + t, true);
+    auto it = _exec.find(pid);
+    if (it == _exec.end())
+        panic("no in-flight call for task %d", pid);
+    return it->second;
 }
 
 Tick
@@ -79,27 +120,22 @@ MigrationEngine::nxpCycles(unsigned device, std::uint64_t n) const
     return _timing.nxpClock().cycles(n);
 }
 
-void
-MigrationEngine::hostIrq(unsigned device)
-{
-    // The device raised the DMA-complete MSI; the kernel's IRQ handler
-    // will find the task and wake it (charged on the receive path).
-    ++side(device).hostInboxPending;
-    _stats.inc("host_irqs");
-}
+// --- Descriptor-ring memory helpers -------------------------------------
 
 void
-MigrationEngine::writeKernelBuffer(const MigrationDescriptor &d)
+MigrationEngine::writeHostStaging(const MigrationDescriptor &d,
+                                  unsigned device, unsigned slot)
 {
     auto w = d.toWire();
-    _mem.hostDram().write(_kernelBufPa, w.data(), w.size());
+    _mem.hostDram().write(side(device).h2d.stagingPa(slot), w.data(),
+                          w.size());
 }
 
 MigrationDescriptor
-MigrationEngine::readNxpInbox(unsigned device)
+MigrationEngine::readNxpInbox(unsigned device, unsigned slot)
 {
     std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
-    Addr off = side(device).platform->inboxLocalPa() -
+    Addr off = side(device).h2d.mailboxPa(slot) -
                _mem.platform().nxpDramLocalBase;
     _mem.nxpDram(device).read(off, w.data(), w.size());
     return MigrationDescriptor::fromWire(w);
@@ -107,26 +143,30 @@ MigrationEngine::readNxpInbox(unsigned device)
 
 void
 MigrationEngine::writeNxpOutbox(const MigrationDescriptor &d,
-                                unsigned device)
+                                unsigned device, unsigned slot)
 {
     auto w = d.toWire();
-    Addr off = side(device).platform->outboxLocalPa() -
+    Addr off = side(device).d2h.stagingPa(slot) -
                _mem.platform().nxpDramLocalBase;
     _mem.nxpDram(device).write(off, w.data(), w.size());
 }
 
 MigrationDescriptor
-MigrationEngine::readHostInbox(unsigned device)
+MigrationEngine::readHostInbox(unsigned device, unsigned slot)
 {
     std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
-    _mem.hostDram().read(side(device).hostInboxPa, w.data(), w.size());
+    _mem.hostDram().read(side(device).d2h.mailboxPa(slot), w.data(),
+                         w.size());
     return MigrationDescriptor::fromWire(w);
 }
 
 std::uint64_t
 MigrationEngine::currentNxpSp(const Task &task, unsigned device) const
 {
-    for (auto it = _nxpCtxStack.rbegin(); it != _nxpCtxStack.rend(); ++it) {
+    // The innermost saved context on this device tells where the
+    // thread's NxP stack currently stands (reentrant nested calls).
+    for (auto it = task.nxpSavedCtx.rbegin(); it != task.nxpSavedCtx.rend();
+         ++it) {
         if (it->device == device)
             return it->sp & ~std::uint64_t(15);
     }
@@ -134,103 +174,66 @@ MigrationEngine::currentNxpSp(const Task &task, unsigned device) const
 }
 
 void
-MigrationEngine::ensureNxpStack(Task &task, unsigned device)
+MigrationEngine::ensureNxpStack(Task &task, unsigned device, Cont then)
 {
-    if (task.nxpStackTop[device] != 0)
+    if (task.nxpStackTop[device] != 0) {
+        then();
         return;
+    }
     VAddr stack_base = side(device).stackHeap->allocate(_nxpStackBytes, 16);
     task.nxpStackTop[device] = stack_base + _nxpStackBytes;
     task.nxpStackBytes = _nxpStackBytes;
-    advance(_timing.nxpStackAllocate);
-    _stats.inc("nxp_stacks_allocated");
-    journal(ProtocolStep::nxpStackAlloc, task.pid,
-            task.nxpStackTop[device]);
+    int pid = task.pid;
+    VAddr top = task.nxpStackTop[device];
+    after(_timing.nxpStackAllocate, [this, pid, top, then] {
+        _stats.inc("nxp_stacks_allocated");
+        journal(ProtocolStep::nxpStackAlloc, pid, top);
+        then();
+    });
 }
 
 void
-MigrationEngine::sendCallToNxp(Task &task, const MigrationDescriptor &d,
-                               unsigned device)
+MigrationEngine::releaseNxpStacks(Task &task)
 {
-    advance(_timing.descriptorPack);
-    writeKernelBuffer(d);
-
-    // Suspend TASK_KILLABLE, context switch away, then (and only then)
-    // let the scheduler trigger the descriptor DMA (Section IV-D).
-    _kernel.suspendForMigration(task, _hostCore.saveContext());
-    advance(_timing.suspendSwitch);
-    journal(d.kind == DescriptorKind::hostToNxpCall
-                ? ProtocolStep::hostSendCall
-                : ProtocolStep::hostSendReturn,
-            task.pid, d.kind == DescriptorKind::hostToNxpCall ? d.target
-                                                              : d.retval);
-    if (_extraRoundTrip && d.kind == DescriptorKind::hostToNxpCall)
-        advance(_extraRoundTrip);
-
-    if (!_kernel.takeMigrationTrigger(task))
-        panic("descriptor DMA requested without the migration flag set");
-    NxpSide &s = side(device);
-    NxpPlatform *platform = s.platform;
-    s.dma->copyHostToNxp(_kernelBufPa, platform->inboxLocalPa(),
-                         MigrationDescriptor::wireBytes,
-                         [platform] { platform->inboxArrived(); });
-    if (d.kind == DescriptorKind::hostToNxpCall)
-        journal(ProtocolStep::dmaToNxp, task.pid);
+    if (!task.nxpSavedCtx.empty())
+        panic("releasing NxP stacks of task %d mid-migration", task.pid);
+    for (unsigned d = 0; d < _nxp.size() && d < Task::maxNxpDevices; ++d) {
+        if (task.nxpStackTop[d] == 0)
+            continue;
+        side(d).stackHeap->free(task.nxpStackTop[d] - task.nxpStackBytes);
+        task.nxpStackTop[d] = 0;
+        _stats.inc("nxp_stacks_freed");
+    }
 }
 
-MigrationDescriptor
-MigrationEngine::receiveOnNxp(unsigned device)
-{
-    NxpSide &s = side(device);
-    // The NxP scheduler polls the DMA status register (Listing 2).
-    waitFor([&s] { return s.platform->pendingInbox() > 0; });
-    // Detection: one poll iteration plus the status register read.
-    advance(nxpCycles(device, _timing.nxpPollCycles) +
-            _timing.nxpToLocalMmio);
-    // Fetch and parse the descriptor from the local inbox.
-    advance(nxpCycles(device, _timing.nxpDescriptorCycles) +
-            _timing.nxpToNxpDram);
-    MigrationDescriptor d = readNxpInbox(device);
-    // ACK through the control register.
-    s.platform->consumeInbox();
-    advance(_timing.nxpToLocalMmio);
-    return d;
-}
+// --- Submission ----------------------------------------------------------
 
-MigrationDescriptor
-MigrationEngine::receiveOnHost(Task &task, unsigned device)
+CallFuture
+MigrationEngine::submit(Task &task, VAddr entry,
+                        const std::vector<std::uint64_t> &args,
+                        VAddr stack_top)
 {
-    NxpSide &s = side(device);
-    waitFor([&s] { return s.hostInboxPending > 0; });
-    --s.hostInboxPending;
-    // IRQ handler: read the descriptor, find the task by PID, wake it.
-    MigrationDescriptor d = readHostInbox(device);
-    advance(_timing.irqWake);
-    Task *by_pid = _kernel.findTask(static_cast<int>(d.pid));
-    if (by_pid != &task)
-        panic("descriptor PID %u does not match the waiting task %d",
-              d.pid, task.pid);
-    _kernel.wake(task);
-    // Scheduler latency until the thread runs again, then the ioctl
-    // returns into the user-space migration handler.
-    advance(_timing.wakeupToRun);
-    _hostCore.restoreContext(_kernel.resume(task));
-    advance(_timing.ioctlExit);
-    return d;
-}
+    if (task.state != TaskState::created &&
+        task.state != TaskState::running) {
+        panic("submit on task %d in state %d", task.pid,
+              static_cast<int>(task.state));
+    }
+    if (_exec.count(task.pid))
+        panic("task %d already has a call in flight", task.pid);
 
-void
-MigrationEngine::sendToHost(const MigrationDescriptor &d, unsigned device)
-{
-    NxpSide &s = side(device);
-    advance(nxpCycles(device, _timing.nxpDescriptorCycles) +
-            _timing.nxpToNxpDram);
-    writeNxpOutbox(d, device);
-    // Context switch to the NxP scheduler, ring the DMA doorbell.
-    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles) +
-            _timing.nxpToLocalMmio);
-    s.dma->copyNxpToHost(s.platform->outboxLocalPa(), s.hostInboxPa,
-                         MigrationDescriptor::wireBytes,
-                         static_cast<int>(s.irqVector));
+    auto state = std::make_shared<CallFutureState>();
+    state->pid = task.pid;
+    TaskExec x;
+    x.task = &task;
+    x.future = state;
+    x.entry = entry;
+    x.args = args;
+    x.stackTop = stack_top;
+    _exec.emplace(task.pid, std::move(x));
+    _stats.inc("calls_submitted");
+    _kernel.enqueueRunnable(task);
+    kickHost();
+    return CallFuture(std::move(state), this);
 }
 
 std::uint64_t
@@ -238,374 +241,670 @@ MigrationEngine::runHostFunction(Task &task, VAddr entry,
                                  const std::vector<std::uint64_t> &args,
                                  VAddr stack_top)
 {
-    if (task.state != TaskState::created &&
-        task.state != TaskState::running) {
-        panic("runHostFunction on task %d in state %d", task.pid,
-              static_cast<int>(task.state));
-    }
+    return submit(task, entry, args, stack_top).wait();
+}
+
+// --- Host-core scheduling ------------------------------------------------
+
+void
+MigrationEngine::kickHost()
+{
+    if (_hostBusy || _hostKickScheduled || _kernel.runQueueDepth() == 0)
+        return;
+    _hostKickScheduled = true;
+    after(0, [this] {
+        _hostKickScheduled = false;
+        dispatchHost();
+    });
+}
+
+void
+MigrationEngine::dispatchHost()
+{
+    if (_hostBusy)
+        return;
+    Task *task = _kernel.nextRunnable();
+    if (!task)
+        return;
+    _hostBusy = true;
+    TaskExec &x = exec(task->pid);
+    if (x.pendingWake)
+        dispatchWake(x);
+    else
+        startEntry(x);
+}
+
+void
+MigrationEngine::releaseHost()
+{
+    _hostBusy = false;
+    kickHost();
+}
+
+void
+MigrationEngine::startEntry(TaskExec &x)
+{
+    Task &task = *x.task;
     task.state = TaskState::running;
+    // A fresh call enters through the kernel, which installs the
+    // process's page tables on the host core.
     _hostCore.mmu().setCr3(task.cr3);
-    _hostCore.setStackPointer(stack_top & ~std::uint64_t(15));
-    _hostCore.setupCall(entry, args);
-    return hostLoop(task);
+    _hostLoadedCr3 = task.cr3;
+    _hostCore.setStackPointer(x.stackTop & ~std::uint64_t(15));
+    _hostCore.setupCall(x.entry, x.args);
+    runHostSegment(x);
 }
 
-std::uint64_t
-MigrationEngine::hostLoop(Task &task)
+void
+MigrationEngine::dispatchWake(TaskExec &x)
 {
-    for (;;) {
-        RunResult r = _hostCore.run();
-        advance(r.elapsed);
-
-        switch (r.stop) {
-          case Fault::trampoline:
-            return _hostCore.retVal();
-
-          case Fault::halt:
-            if (_depth != 0)
-                panic("program exit inside a nested cross-ISA call");
-            task.state = TaskState::done;
-            return _hostCore.retVal();
-
-          case Fault::nxFetch: {
-            FaultAction action =
-                _kernel.classifyFetchFault(r.stop, IsaKind::hx64);
-            if (action != FaultAction::migrateToNxp)
-                panic("host NX fault not classified as migration");
-
-            // The fault handler reads the PTE's software ISA tag
-            // (cached in the I-TLB by the faulting fetch) to tell NxP
-            // text from plain non-executable data and to pick the
-            // target device (Section IV-C3).
-            const TlbEntry *pte_entry =
-                _hostCore.mmu().itlb().peek(r.faultVa);
-            unsigned isa_tag =
-                pte_entry ? pte::isaTag(pte_entry->flags) : 0;
-            if (isa_tag < nxpIsaTag ||
-                isa_tag - nxpIsaTag >= _nxp.size()) {
-                fatal("guest jumped to NX page %#llx with ISA tag %u: "
-                      "not code for any NxP (likely a call through a "
-                      "data pointer)",
-                      (unsigned long long)r.faultVa, isa_tag);
-            }
-            std::uint64_t rv =
-                migrateCallToNxp(task, r.faultVa, isa_tag - nxpIsaTag);
-            _hostCore.finishHijackedCall(rv);
-            break;
-          }
-
-          default:
-            // A genuine guest fault (the kernel would deliver SIGSEGV /
-            // SIGILL): a user error, not a simulator bug.
-            fatal("guest fault on the host core: %s at %#llx "
-                  "(pc %#llx, pid %d)",
-                  faultName(r.stop), (unsigned long long)r.faultVa,
-                  (unsigned long long)_hostCore.pc(), task.pid);
+    int pid = x.task->pid;
+    // Scheduler latency until the thread runs again, then the ioctl
+    // returns into the user-space migration handler.
+    after(_timing.wakeupToRun, [this, pid] {
+        TaskExec &w = exec(pid);
+        Task &task = *w.task;
+        if (_hostLoadedCr3 != task.cr3) {
+            _hostCore.mmu().setCr3(task.cr3);
+            _hostLoadedCr3 = task.cr3;
         }
-    }
+        _hostCore.restoreContext(_kernel.resume(task));
+        after(_timing.ioctlExit, [this, pid] {
+            TaskExec &v = exec(pid);
+            MigrationDescriptor d = v.wakeDesc;
+            v.pendingWake = false;
+            handleHostDescriptor(v, d);
+        });
+    });
 }
 
-std::uint64_t
-MigrationEngine::nxpLoop(Task &task, unsigned device)
+void
+MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
 {
-    Core &core = *side(device).core;
-    for (;;) {
-        RunResult r = core.run();
-        advance(r.elapsed);
+    Task &task = *x.task;
+    int pid = task.pid;
+    if (x.frames.empty())
+        panic("host woke task %d with no cross-ISA call in flight", pid);
+    CallFrame &top = x.frames.back();
 
-        switch (r.stop) {
-          case Fault::trampoline:
-            return core.retVal();
-
-          case Fault::nonNxFetch:
-          case Fault::misalignedFetch: {
-            FaultAction action =
-                _kernel.classifyFetchFault(r.stop, IsaKind::rv64);
-            if (action != FaultAction::migrateToHost)
-                panic("NxP fetch fault not classified as migration");
-            std::uint64_t rv = dispatchNxpFault(task, r.faultVa, device);
-            core.finishHijackedCall(rv);
-            break;
-          }
-
-          default:
-            fatal("guest fault on the NxP core: %s at %#llx "
-                  "(pc %#llx, pid %d)",
-                  faultName(r.stop), (unsigned long long)r.faultVa,
-                  (unsigned long long)core.pc(), task.pid);
+    switch (d.kind) {
+      case DescriptorKind::nxpToHostCall: {
+        journal(ProtocolStep::hostWake, pid, d.target);
+        if (top.callee == hostSide) {
+            // (d) An NxP called a host function: run it here.
+            std::vector<std::uint64_t> args(d.args.begin(),
+                                            d.args.begin() + d.nargs);
+            _hostCore.setupCall(d.target, args);
+            journal(ProtocolStep::hostCallStart, pid, d.target);
+            runHostSegment(x);
+            return;
         }
-    }
-}
+        // Device-to-device call: the target belongs to another NxP, so
+        // the kernel forwards the descriptor there (Section IV-C3).
+        unsigned to = top.callee;
+        journal(ProtocolStep::hostForward, pid, d.target);
+        MigrationDescriptor fwd = d;
+        ensureNxpStack(task, to, [this, pid, fwd, to] {
+            after(_timing.ioctlEntry, [this, pid, fwd, to] {
+                TaskExec &w = exec(pid);
+                MigrationDescriptor f = fwd;
+                f.kind = DescriptorKind::hostToNxpCall;
+                f.cr3 = w.task->cr3;
+                f.nxpSp = currentNxpSp(*w.task, to);
+                hostSendDescriptor(w, f, to);
+            });
+        });
+        return;
+      }
 
-std::uint64_t
-MigrationEngine::dispatchNxpFault(Task &task, VAddr target,
-                                  unsigned device)
-{
-    // The kernel classifies the target by the ISA tag in its PTE. The
-    // upper table levels sit in the host's paging-structure caches, so
-    // this is charged as a single leaf read; the value is fetched with
-    // an untimed walk.
-    advance(_timing.hostToHostDram);
-    Addr table = task.cr3;
-    std::uint64_t entry = 0;
-    bool present = false;
-    for (int level = 3; level >= 0; --level) {
-        std::uint64_t raw = 0;
-        _mem.readInt(Requester::debug,
-                     table + 8ull * tableIndex(target, level), 8, raw);
-        if (!(raw & pte::present))
-            break;
-        if (level == 0 || (raw & pte::pageSize)) {
-            entry = raw;
-            present = true;
-            break;
+      case DescriptorKind::nxpToHostReturn: {
+        journal(ProtocolStep::hostReturn, pid, d.retval);
+        if (top.caller == hostSide) {
+            // (g) The host->NxP round trip completes here.
+            Tick t0 = top.t0;
+            x.frames.pop_back();
+            ++task.migrations;
+            _stats.inc("host_nxp_host_roundtrips");
+            _stats.inc("host_nxp_host_ticks", _events.now() - t0);
+            _hostCore.finishHijackedCall(d.retval);
+            runHostSegment(x);
+            return;
         }
-        table = pte::entryAddr(raw);
+        // A forwarded device-to-device call returned: relay the value
+        // back to the device that is waiting for it.
+        unsigned from = top.caller;
+        std::uint64_t rv = d.retval;
+        after(_timing.ioctlEntry, [this, pid, rv, from] {
+            TaskExec &w = exec(pid);
+            MigrationDescriptor ret;
+            ret.kind = DescriptorKind::hostToNxpReturn;
+            ret.pid = static_cast<std::uint32_t>(pid);
+            ret.retval = rv;
+            ret.nxpSp = currentNxpSp(*w.task, from);
+            hostSendDescriptor(w, ret, from);
+        });
+        return;
+      }
+
+      default:
+        panic("host received unexpected descriptor kind %s for task %d",
+              descriptorKindName(d.kind), pid);
     }
-    if (!present) {
-        fatal("guest on NxP %u jumped to unmapped address %#llx", device,
-              (unsigned long long)target);
-    }
-    unsigned tag = pte::isaTag(entry);
-    if (tag == 0)
-        return migrateCallToHost(task, target, device);
-    unsigned to = tag - nxpIsaTag;
-    if (to >= _nxp.size()) {
-        fatal("guest jumped to code tagged for missing NxP %u", to);
-    }
-    if (to == device) {
-        panic("NxP %u faulted on its own code at %#llx", device,
-              (unsigned long long)target);
-    }
-    return migrateNxpToNxp(task, target, device, to);
 }
 
-std::uint64_t
-MigrationEngine::runOnNxpAndReturn(Task &task, unsigned device)
+void
+MigrationEngine::runHostSegment(TaskExec &x)
 {
-    MigrationDescriptor call = receiveOnNxp(device);
-    journal(ProtocolStep::nxpPickup, task.pid, call.target);
-    if (call.kind != DescriptorKind::hostToNxpCall)
-        panic("NxP expected a call descriptor, got kind %u",
-              static_cast<unsigned>(call.kind));
-
-    // Context switch into the thread using the descriptor's stack
-    // pointer.
-    Core &core = *side(device).core;
-    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles));
-    core.mmu().setCr3(call.cr3);
-    core.setStackPointer(call.nxpSp);
-    std::vector<std::uint64_t> args(call.args.begin(),
-                                    call.args.begin() + call.nargs);
-    core.setupCall(call.target, args);
-    journal(ProtocolStep::nxpCallStart, task.pid, call.target);
-
-    std::uint64_t rv = nxpLoop(task, device);
-
-    // --- Return migration: NxP -> host ---------------------------------
-    MigrationDescriptor ret;
-    ret.kind = DescriptorKind::nxpToHostReturn;
-    ret.pid = static_cast<std::uint32_t>(task.pid);
-    ret.retval = rv;
-    sendToHost(ret, device);
-    journal(ProtocolStep::nxpSendReturn, task.pid, rv);
-
-    MigrationDescriptor back = receiveOnHost(task, device);
-    journal(ProtocolStep::hostReturn, task.pid, back.retval);
-    if (back.kind != DescriptorKind::nxpToHostReturn)
-        panic("host expected a return descriptor, got kind %u",
-              static_cast<unsigned>(back.kind));
-    return back.retval;
+    int pid = x.task->pid;
+    // Functional-first: the slice executes now, its time is charged as
+    // a continuation, and the core stays owned until the stop handler.
+    RunResult r = _hostCore.run();
+    after(r.elapsed, [this, pid, r] { handleHostStop(pid, r); });
 }
 
-std::uint64_t
-MigrationEngine::migrateCallToNxp(Task &task, VAddr target,
-                                  unsigned device)
+void
+MigrationEngine::handleHostStop(int pid, RunResult r)
 {
-    ++_depth;
+    TaskExec &x = exec(pid);
+    Task &task = *x.task;
+
+    switch (r.stop) {
+      case Fault::trampoline: {
+        std::uint64_t rv = _hostCore.retVal();
+        if (x.frames.empty()) {
+            // The entry function returned: the call is complete.
+            completeCall(x, rv);
+            return;
+        }
+        CallFrame &top = x.frames.back();
+        if (top.callee != hostSide) {
+            panic("host trampoline for task %d inside a device-side "
+                  "frame", pid);
+        }
+        // (e) A nested host function finished: package the return and
+        // ship it back to the calling device.
+        unsigned from = top.caller;
+        after(hostCycles(_timing.hostHandlerCycles) + _timing.ioctlEntry,
+              [this, pid, rv, from] {
+                  TaskExec &w = exec(pid);
+                  MigrationDescriptor ret;
+                  ret.kind = DescriptorKind::hostToNxpReturn;
+                  ret.pid = static_cast<std::uint32_t>(pid);
+                  ret.retval = rv;
+                  ret.nxpSp = currentNxpSp(*w.task, from);
+                  hostSendDescriptor(w, ret, from);
+              });
+        return;
+      }
+
+      case Fault::halt:
+        if (!x.frames.empty())
+            panic("program exit inside a nested cross-ISA call");
+        task.state = TaskState::done;
+        completeCall(x, _hostCore.retVal());
+        return;
+
+      case Fault::nxFetch: {
+        FaultAction action =
+            _kernel.classifyFetchFault(r.stop, IsaKind::hx64);
+        if (action != FaultAction::migrateToNxp)
+            panic("host NX fault not classified as migration");
+
+        // The fault handler reads the PTE's software ISA tag (cached in
+        // the I-TLB by the faulting fetch) to tell NxP text from plain
+        // non-executable data and to pick the target device
+        // (Section IV-C3).
+        const TlbEntry *pte_entry = _hostCore.mmu().itlb().peek(r.faultVa);
+        unsigned isa_tag = pte_entry ? pte::isaTag(pte_entry->flags) : 0;
+        if (isa_tag < nxpIsaTag || isa_tag - nxpIsaTag >= _nxp.size()) {
+            fatal("guest jumped to NX page %#llx with ISA tag %u: "
+                  "not code for any NxP (likely a call through a "
+                  "data pointer)",
+                  (unsigned long long)r.faultVa, isa_tag);
+        }
+        startHostToNxpCall(x, r.faultVa, isa_tag - nxpIsaTag);
+        return;
+      }
+
+      default:
+        // A genuine guest fault (the kernel would deliver SIGSEGV /
+        // SIGILL): a user error, not a simulator bug.
+        fatal("guest fault on the host core: %s at %#llx "
+              "(pc %#llx, pid %d)",
+              faultName(r.stop), (unsigned long long)r.faultVa,
+              (unsigned long long)_hostCore.pc(), task.pid);
+    }
+}
+
+void
+MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
+                                    unsigned device)
+{
+    Task &task = *x.task;
+    int pid = task.pid;
     _stats.inc("host_to_nxp_calls");
-    Tick t0 = _events.now();
+    x.frames.push_back({device, hostSide, _events.now()});
 
-    // --- Host side: Listing 1 -------------------------------------------
     // Kernel NX fault service: decode, save the faulting address in the
     // task_struct, hijack the return address to the migration handler,
     // then trap-exit into the hijacked user-space handler.
     task.savedFaultAddr = target;
-    journal(ProtocolStep::hostNxFault, task.pid, target);
-    advance(_timing.nxFaultService);
-    advance(_timing.faultTrapExit);
-
-    // First migration to this device: allocate the thread's NxP stack
-    // (Listing 1 lines 3-4).
-    ensureNxpStack(task, device);
-
-    // User-space handler gathers its (hijacked) arguments.
-    advance(hostCycles(_timing.hostHandlerCycles));
-
-    // ioctl(): package target, args, CR3, PID, NxP SP into a descriptor.
-    advance(_timing.ioctlEntry);
-    MigrationDescriptor d;
-    d.kind = DescriptorKind::hostToNxpCall;
-    d.pid = static_cast<std::uint32_t>(task.pid);
-    d.target = target;
-    d.cr3 = task.cr3;
-    d.nxpSp = currentNxpSp(task, device);
-    d.nargs = MigrationDescriptor::maxArgs;
-    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
-        d.args[i] = _hostCore.arg(i);
-    sendCallToNxp(task, d, device);
-
-    // --- NxP side: Listing 2, then the return migration -----------------
-    std::uint64_t rv = runOnNxpAndReturn(task, device);
-
-    ++task.migrations;
-    _stats.inc("host_nxp_host_roundtrips");
-    _stats.inc("host_nxp_host_ticks", _events.now() - t0);
-    --_depth;
-    return rv;
+    journal(ProtocolStep::hostNxFault, pid, target);
+    after(_timing.nxFaultService + _timing.faultTrapExit,
+          [this, pid, target, device] {
+              // First migration to this device: allocate the thread's
+              // NxP stack (Listing 1 lines 3-4).
+              ensureNxpStack(*exec(pid).task, device,
+                             [this, pid, target, device] {
+                  // User-space handler gathers its (hijacked)
+                  // arguments, then ioctl(): package target, args,
+                  // CR3, PID, NxP SP into a descriptor.
+                  after(hostCycles(_timing.hostHandlerCycles) +
+                            _timing.ioctlEntry,
+                        [this, pid, target, device] {
+                      TaskExec &w = exec(pid);
+                      Task &t = *w.task;
+                      MigrationDescriptor d;
+                      d.kind = DescriptorKind::hostToNxpCall;
+                      d.pid = static_cast<std::uint32_t>(pid);
+                      d.target = target;
+                      d.cr3 = t.cr3;
+                      d.nxpSp = currentNxpSp(t, device);
+                      d.nargs = MigrationDescriptor::maxArgs;
+                      for (unsigned i = 0; i < MigrationDescriptor::maxArgs;
+                           ++i)
+                          d.args[i] = _hostCore.arg(i);
+                      hostSendDescriptor(w, d, device);
+                  });
+              });
+          });
 }
 
-std::uint64_t
-MigrationEngine::migrateCallToHost(Task &task, VAddr target,
-                                   unsigned device)
+void
+MigrationEngine::completeCall(TaskExec &x, std::uint64_t value)
 {
-    ++_depth;
-    _stats.inc("nxp_to_host_calls");
-    Tick t0 = _events.now();
-    journal(ProtocolStep::nxpFault, task.pid, target);
+    x.future->value = value;
+    x.future->done = true;
+    _stats.inc("calls_completed");
+    _exec.erase(x.task->pid);
+    releaseHost();
+}
 
+void
+MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
+                                    unsigned device)
+{
+    int pid = x.task->pid;
+    after(_timing.descriptorPack, [this, pid, d, device] {
+        // Suspend TASK_KILLABLE, context switch away, then (and only
+        // then) let the scheduler trigger the descriptor DMA
+        // (Section IV-D).
+        Task &task = *exec(pid).task;
+        _kernel.suspendForMigration(task, _hostCore.saveContext());
+        after(_timing.suspendSwitch, [this, pid, d, device] {
+            bool is_call = d.kind == DescriptorKind::hostToNxpCall;
+            journal(is_call ? ProtocolStep::hostSendCall
+                            : ProtocolStep::hostSendReturn,
+                    pid, is_call ? d.target : d.retval);
+            Cont fire = [this, pid, d, device] {
+                Task &t = *exec(pid).task;
+                if (!_kernel.takeMigrationTrigger(t)) {
+                    panic("descriptor DMA requested without the "
+                          "migration flag set");
+                }
+                NxpSide &s = side(device);
+                if (s.h2d.full())
+                    s.h2dDeferred.push_back(d);
+                else
+                    fireHostToNxp(d, device);
+                releaseHost();
+            };
+            if (is_call && _extraRoundTrip)
+                after(_extraRoundTrip, std::move(fire));
+            else
+                fire();
+        });
+    });
+}
+
+void
+MigrationEngine::fireHostToNxp(const MigrationDescriptor &d,
+                               unsigned device)
+{
+    NxpSide &s = side(device);
+    unsigned slot = s.h2d.push();
+    writeHostStaging(d, device, slot);
+    NxpPlatform *platform = s.platform;
+    s.dma->copyHostToNxp(s.h2d.stagingPa(slot), s.h2d.mailboxPa(slot),
+                         MigrationDescriptor::wireBytes,
+                         [this, platform, device] {
+                             platform->inboxArrived();
+                             kickNxp(device);
+                         });
+    if (d.kind == DescriptorKind::hostToNxpCall)
+        journal(ProtocolStep::dmaToNxp, static_cast<int>(d.pid));
+}
+
+// --- NxP-side scheduling -------------------------------------------------
+
+void
+MigrationEngine::kickNxp(unsigned device)
+{
+    NxpSide &s = side(device);
+    if (s.busy || s.kickScheduled || s.platform->pendingInbox() == 0)
+        return;
+    s.kickScheduled = true;
+    after(0, [this, device] {
+        side(device).kickScheduled = false;
+        dispatchNxp(device);
+    });
+}
+
+void
+MigrationEngine::dispatchNxp(unsigned device)
+{
+    NxpSide &s = side(device);
+    if (s.busy || s.platform->pendingInbox() == 0)
+        return;
+    s.busy = true;
+    // The NxP scheduler polls the DMA status register (Listing 2):
+    // one poll iteration plus the status register read.
+    after(nxpCycles(device, _timing.nxpPollCycles) + _timing.nxpToLocalMmio,
+          [this, device] {
+        // Fetch and parse the descriptor from the local inbox ring.
+        after(nxpCycles(device, _timing.nxpDescriptorCycles) +
+                  _timing.nxpToNxpDram,
+              [this, device] {
+            NxpSide &t = side(device);
+            unsigned slot = t.h2d.front();
+            MigrationDescriptor d = readNxpInbox(device, slot);
+            t.h2d.pop();
+            t.platform->consumeInbox();
+            // The freed slot unblocks a deferred host-side send.
+            if (!t.h2dDeferred.empty() && !t.h2d.full()) {
+                MigrationDescriptor dd = t.h2dDeferred.front();
+                t.h2dDeferred.pop_front();
+                fireHostToNxp(dd, device);
+            }
+            // ACK through the control register.
+            after(_timing.nxpToLocalMmio, [this, device, d] {
+                handleNxpDescriptor(device, d);
+            });
+        });
+    });
+}
+
+void
+MigrationEngine::releaseNxp(unsigned device)
+{
+    side(device).busy = false;
+    kickNxp(device);
+}
+
+void
+MigrationEngine::handleNxpDescriptor(unsigned device,
+                                     MigrationDescriptor d)
+{
+    int pid = static_cast<int>(d.pid);
+
+    switch (d.kind) {
+      case DescriptorKind::hostToNxpCall: {
+        journal(ProtocolStep::nxpPickup, pid, d.target);
+        // Context switch into the thread using the descriptor's stack
+        // pointer.
+        after(nxpCycles(device, _timing.nxpCtxSwitchCycles),
+              [this, device, d, pid] {
+            NxpSide &s = side(device);
+            Core &core = *s.core;
+            core.mmu().setCr3(d.cr3);
+            s.loadedCr3 = d.cr3;
+            core.setStackPointer(d.nxpSp);
+            std::vector<std::uint64_t> args(d.args.begin(),
+                                            d.args.begin() + d.nargs);
+            core.setupCall(d.target, args);
+            journal(ProtocolStep::nxpCallStart, pid, d.target);
+            runNxpSegment(exec(pid), device);
+        });
+        return;
+      }
+
+      case DescriptorKind::hostToNxpReturn: {
+        // Context switch the thread back in and resume it where it
+        // faulted.
+        after(nxpCycles(device, _timing.nxpCtxSwitchCycles),
+              [this, device, d, pid] {
+            NxpSide &s = side(device);
+            Core &core = *s.core;
+            TaskExec &x = exec(pid);
+            Task &task = *x.task;
+            if (task.nxpSavedCtx.empty() ||
+                task.nxpSavedCtx.back().device != device) {
+                panic("host->NxP return with mismatched saved NxP "
+                      "context");
+            }
+            if (s.loadedCr3 != task.cr3) {
+                core.mmu().setCr3(task.cr3);
+                s.loadedCr3 = task.cr3;
+            }
+            core.restoreContext(task.nxpSavedCtx.back().context);
+            task.nxpSavedCtx.pop_back();
+            journal(ProtocolStep::nxpResume, pid, core.pc());
+
+            if (x.frames.empty() || x.frames.back().caller != device) {
+                panic("NxP %u resumed task %d without a matching call "
+                      "frame", device, pid);
+            }
+            CallFrame f = x.frames.back();
+            x.frames.pop_back();
+            ++task.migrations;
+            if (f.callee == hostSide) {
+                _stats.inc("nxp_host_nxp_roundtrips");
+                _stats.inc("nxp_host_nxp_ticks", _events.now() - f.t0);
+            } else {
+                _stats.inc("nxp_to_nxp_roundtrips");
+            }
+            core.finishHijackedCall(d.retval);
+            runNxpSegment(x, device);
+        });
+        return;
+      }
+
+      default:
+        panic("NxP %u received unexpected descriptor kind %s", device,
+              descriptorKindName(d.kind));
+    }
+}
+
+void
+MigrationEngine::runNxpSegment(TaskExec &x, unsigned device)
+{
+    int pid = x.task->pid;
+    RunResult r = side(device).core->run();
+    after(r.elapsed,
+          [this, pid, device, r] { handleNxpStop(pid, device, r); });
+}
+
+void
+MigrationEngine::handleNxpStop(int pid, unsigned device, RunResult r)
+{
+    TaskExec &x = exec(pid);
     Core &core = *side(device).core;
 
-    // --- NxP side: the fault lands in the NxP migration handler ---------
-    // Build the NxP->host call descriptor from the faulting call's
-    // argument registers (Listing 2 lines 3-4).
-    MigrationDescriptor d;
-    d.kind = DescriptorKind::nxpToHostCall;
-    d.pid = static_cast<std::uint32_t>(task.pid);
-    d.target = target;
-    d.cr3 = task.cr3;
-    d.nargs = MigrationDescriptor::maxArgs;
-    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
-        d.args[i] = core.arg(i);
+    switch (r.stop) {
+      case Fault::trampoline: {
+        // (f) The NxP function finished: ship the return value home.
+        std::uint64_t rv = core.retVal();
+        MigrationDescriptor ret;
+        ret.kind = DescriptorKind::nxpToHostReturn;
+        ret.pid = static_cast<std::uint32_t>(pid);
+        ret.retval = rv;
+        deviceSendToHost(x, ret, device, ProtocolStep::nxpSendReturn, rv);
+        return;
+      }
 
-    // Save the thread's NxP context (the context switch to the NxP
-    // scheduler) and ship the descriptor.
-    _nxpCtxStack.push_back(
-        {device, core.saveContext(), core.stackPointer()});
-    if (_extraRoundTrip)
-        advance(_extraRoundTrip);
-    sendToHost(d, device);
-    journal(ProtocolStep::nxpSendCall, task.pid, target);
+      case Fault::nonNxFetch:
+      case Fault::misalignedFetch: {
+        FaultAction action =
+            _kernel.classifyFetchFault(r.stop, IsaKind::rv64);
+        if (action != FaultAction::migrateToHost)
+            panic("NxP fetch fault not classified as migration");
+        startNxpFaultMigration(x, r.faultVa, device);
+        return;
+      }
 
-    // --- Host side: wake inside the ioctl, call the target ---------------
-    MigrationDescriptor call = receiveOnHost(task, device);
-    journal(ProtocolStep::hostWake, task.pid, call.target);
-    if (call.kind != DescriptorKind::nxpToHostCall)
-        panic("host expected a call descriptor, got kind %u",
-              static_cast<unsigned>(call.kind));
-    std::vector<std::uint64_t> args(call.args.begin(),
-                                    call.args.begin() + call.nargs);
-    _hostCore.setupCall(call.target, args);
-    journal(ProtocolStep::hostCallStart, task.pid, call.target);
-
-    std::uint64_t rv = hostLoop(task);
-
-    // --- Return migration: host -> NxP -----------------------------------
-    advance(hostCycles(_timing.hostHandlerCycles));
-    advance(_timing.ioctlEntry);
-    MigrationDescriptor ret;
-    ret.kind = DescriptorKind::hostToNxpReturn;
-    ret.pid = static_cast<std::uint32_t>(task.pid);
-    ret.retval = rv;
-    ret.nxpSp = currentNxpSp(task, device);
-    sendCallToNxp(task, ret, device);
-
-    MigrationDescriptor back = receiveOnNxp(device);
-    if (back.kind != DescriptorKind::hostToNxpReturn)
-        panic("NxP expected a return descriptor, got kind %u",
-              static_cast<unsigned>(back.kind));
-
-    // Context switch the thread back in and resume it where it faulted.
-    advance(nxpCycles(device, _timing.nxpCtxSwitchCycles));
-    if (_nxpCtxStack.empty() || _nxpCtxStack.back().device != device)
-        panic("host->NxP return with mismatched saved NxP context");
-    core.restoreContext(_nxpCtxStack.back().context);
-    _nxpCtxStack.pop_back();
-    journal(ProtocolStep::nxpResume, task.pid, core.pc());
-
-    ++task.migrations;
-    _stats.inc("nxp_host_nxp_roundtrips");
-    _stats.inc("nxp_host_nxp_ticks", _events.now() - t0);
-    --_depth;
-    return back.retval;
+      default:
+        fatal("guest fault on the NxP core: %s at %#llx "
+              "(pc %#llx, pid %d)",
+              faultName(r.stop), (unsigned long long)r.faultVa,
+              (unsigned long long)core.pc(), pid);
+    }
 }
 
-std::uint64_t
-MigrationEngine::migrateNxpToNxp(Task &task, VAddr target, unsigned from,
-                                 unsigned to)
+void
+MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
+                                        unsigned device)
 {
-    ++_depth;
-    _stats.inc("nxp_to_nxp_calls");
-    journal(ProtocolStep::nxpFault, task.pid, target);
+    int pid = x.task->pid;
+    // The kernel classifies the target by the ISA tag in its PTE. The
+    // upper table levels sit in the host's paging-structure caches, so
+    // this is charged as a single leaf read; the value is fetched with
+    // an untimed walk.
+    after(_timing.hostToHostDram, [this, pid, target, device] {
+        TaskExec &w = exec(pid);
+        Task &task = *w.task;
+        Core &core = *side(device).core;
 
-    Core &from_core = *side(from).core;
+        Addr table = task.cr3;
+        std::uint64_t entry = 0;
+        bool present = false;
+        for (int level = 3; level >= 0; --level) {
+            std::uint64_t raw = 0;
+            _mem.readInt(Requester::debug,
+                         table + 8ull * tableIndex(target, level), 8, raw);
+            if (!(raw & pte::present))
+                break;
+            if (level == 0 || (raw & pte::pageSize)) {
+                entry = raw;
+                present = true;
+                break;
+            }
+            table = pte::entryAddr(raw);
+        }
+        if (!present) {
+            fatal("guest on NxP %u jumped to unmapped address %#llx",
+                  device, (unsigned long long)target);
+        }
 
-    // --- Source device: same exit path as an NxP->host call -------------
-    MigrationDescriptor d;
-    d.kind = DescriptorKind::nxpToHostCall;
-    d.pid = static_cast<std::uint32_t>(task.pid);
-    d.target = target;
-    d.cr3 = task.cr3;
-    d.nargs = MigrationDescriptor::maxArgs;
-    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
-        d.args[i] = from_core.arg(i);
-    _nxpCtxStack.push_back(
-        {from, from_core.saveContext(), from_core.stackPointer()});
-    if (_extraRoundTrip)
-        advance(_extraRoundTrip);
-    sendToHost(d, from);
-    journal(ProtocolStep::nxpSendCall, task.pid, target);
+        unsigned tag = pte::isaTag(entry);
+        unsigned dest = hostSide;
+        if (tag != 0) {
+            unsigned to = tag - nxpIsaTag;
+            if (to >= _nxp.size())
+                fatal("guest jumped to code tagged for missing NxP %u", to);
+            if (to == device) {
+                panic("NxP %u faulted on its own code at %#llx", device,
+                      (unsigned long long)target);
+            }
+            dest = to;
+        }
 
-    // --- Host kernel: wake, see the target belongs to another NxP, and
-    // forward the call descriptor there (device-to-device migrations
-    // bounce through the host kernel).
-    MigrationDescriptor call = receiveOnHost(task, from);
-    journal(ProtocolStep::hostWake, task.pid, call.target);
-    journal(ProtocolStep::hostForward, task.pid, call.target);
-    ensureNxpStack(task, to);
-    advance(_timing.ioctlEntry);
-    MigrationDescriptor fwd = call;
-    fwd.kind = DescriptorKind::hostToNxpCall;
-    fwd.cr3 = task.cr3;
-    fwd.nxpSp = currentNxpSp(task, to);
-    sendCallToNxp(task, fwd, to);
+        _stats.inc(dest == hostSide ? "nxp_to_host_calls"
+                                    : "nxp_to_nxp_calls");
+        journal(ProtocolStep::nxpFault, pid, target);
 
-    std::uint64_t rv = runOnNxpAndReturn(task, to);
+        // Build the NxP->host call descriptor from the faulting call's
+        // argument registers (Listing 2 lines 3-4).
+        MigrationDescriptor d;
+        d.kind = DescriptorKind::nxpToHostCall;
+        d.pid = static_cast<std::uint32_t>(pid);
+        d.target = target;
+        d.cr3 = task.cr3;
+        d.nargs = MigrationDescriptor::maxArgs;
+        for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+            d.args[i] = core.arg(i);
 
-    // --- Forward the return value back to the source device -------------
-    advance(_timing.ioctlEntry);
-    MigrationDescriptor ret;
-    ret.kind = DescriptorKind::hostToNxpReturn;
-    ret.pid = static_cast<std::uint32_t>(task.pid);
-    ret.retval = rv;
-    ret.nxpSp = currentNxpSp(task, from);
-    sendCallToNxp(task, ret, from);
+        // Save the thread's NxP context (the context switch to the NxP
+        // scheduler); the device core frees up once the send completes.
+        task.nxpSavedCtx.push_back(
+            {device, core.saveContext(), core.stackPointer()});
+        w.frames.push_back({dest, device, _events.now()});
 
-    MigrationDescriptor back = receiveOnNxp(from);
-    if (back.kind != DescriptorKind::hostToNxpReturn)
-        panic("NxP expected a forwarded return, got kind %u",
-              static_cast<unsigned>(back.kind));
-    advance(nxpCycles(from, _timing.nxpCtxSwitchCycles));
-    if (_nxpCtxStack.empty() || _nxpCtxStack.back().device != from)
-        panic("NxP->NxP return with mismatched saved context");
-    from_core.restoreContext(_nxpCtxStack.back().context);
-    _nxpCtxStack.pop_back();
-    journal(ProtocolStep::nxpResume, task.pid, from_core.pc());
+        if (_extraRoundTrip) {
+            after(_extraRoundTrip, [this, pid, d, device, target] {
+                deviceSendToHost(exec(pid), d, device,
+                                 ProtocolStep::nxpSendCall, target);
+            });
+        } else {
+            deviceSendToHost(w, d, device, ProtocolStep::nxpSendCall,
+                             target);
+        }
+    });
+}
 
-    ++task.migrations;
-    _stats.inc("nxp_to_nxp_roundtrips");
-    --_depth;
-    return back.retval;
+void
+MigrationEngine::deviceSendToHost(TaskExec &x, MigrationDescriptor d,
+                                  unsigned device, ProtocolStep step,
+                                  VAddr addr)
+{
+    int pid = x.task->pid;
+    after(nxpCycles(device, _timing.nxpDescriptorCycles) +
+              _timing.nxpToNxpDram,
+          [this, pid, d, device, step, addr] {
+        // Context switch to the NxP scheduler, ring the DMA doorbell.
+        after(nxpCycles(device, _timing.nxpCtxSwitchCycles) +
+                  _timing.nxpToLocalMmio,
+              [this, pid, d, device, step, addr] {
+            NxpSide &s = side(device);
+            if (s.d2h.full())
+                s.d2hDeferred.push_back(d);
+            else
+                fireNxpToHost(d, device);
+            journal(step, pid, addr);
+            releaseNxp(device);
+        });
+    });
+}
+
+void
+MigrationEngine::fireNxpToHost(const MigrationDescriptor &d,
+                               unsigned device)
+{
+    NxpSide &s = side(device);
+    unsigned slot = s.d2h.push();
+    writeNxpOutbox(d, device, slot);
+    s.dma->copyNxpToHost(s.d2h.stagingPa(slot), s.d2h.mailboxPa(slot),
+                         MigrationDescriptor::wireBytes,
+                         static_cast<int>(s.irqVector));
+}
+
+void
+MigrationEngine::hostIrq(unsigned device)
+{
+    // The device raised the DMA-complete MSI: read the descriptor out
+    // of the inbox ring, then let the IRQ handler find and wake the
+    // suspended task.
+    NxpSide &s = side(device);
+    _stats.inc("host_irqs");
+    unsigned slot = s.d2h.front();
+    MigrationDescriptor d = readHostInbox(device, slot);
+    s.d2h.pop();
+    if (!s.d2hDeferred.empty() && !s.d2h.full()) {
+        MigrationDescriptor dd = s.d2hDeferred.front();
+        s.d2hDeferred.pop_front();
+        fireNxpToHost(dd, device);
+    }
+    after(_timing.irqWake, [this, d] {
+        int pid = static_cast<int>(d.pid);
+        Task *task = _kernel.findTask(pid);
+        if (!task)
+            panic("descriptor PID %u does not match any task", d.pid);
+        TaskExec &x = exec(pid);
+        _kernel.wake(*task);
+        x.pendingWake = true;
+        x.wakeDesc = d;
+        _kernel.enqueueRunnable(*task);
+        kickHost();
+    });
 }
 
 } // namespace flick

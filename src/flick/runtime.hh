@@ -4,39 +4,52 @@
  *
  * Implements the protocol of Section IV-B — the host migration handler
  * (Listing 1), the NxP scheduler and migration handler (Listing 2), the
- * kernel ioctl/suspend/wake path and the descriptor DMA — as a set of
- * mutually recursive execution loops:
+ * kernel ioctl/suspend/wake path and the descriptor DMA — as an
+ * event-driven scheduler multiplexing any number of simulated threads
+ * over the host core and the NxP devices:
  *
- *   hostLoop(): runs the host core; an NX instruction fault means the
- *       thread called an NxP function (the PTE's ISA tag says which
- *       device), so the engine performs a call migration (descriptor +
- *       DMA + suspend), lets nxpLoop() run the function on that NxP
- *       core, and completes the hijacked call with the returned value.
- *   nxpLoop(device): runs one NxP core; an inverted-NX or misaligned-
- *       fetch fault means the thread called host code (tag 0) or
- *       another NxP's code (tag != this device), triggering the reverse
- *       or device-to-device migration.
+ *   - A thread enters through submit(), which queues it on the kernel's
+ *     host run queue and returns a CallFuture immediately. The host
+ *     core dispatches queued threads whenever it goes idle.
+ *   - Each core runs one thread's segment at a time (a Core::run()
+ *     slice up to the next migration point: trampoline, halt or fetch
+ *     fault). Handler and kernel costs are charged by chaining
+ *     continuation events from TimingConfig, so a segment plus its
+ *     protocol leg occupies the core for exactly the time the serial
+ *     protocol would.
+ *   - Descriptors travel through per-device, per-direction descriptor
+ *     rings (DescriptorRing) instead of single kernel-buffer/inbox
+ *     slots, so several threads can be mid-migration on the same link.
+ *     Each NxP's scheduler works its inbox ring in FIFO order — its run
+ *     list — while threads suspended mid-nested-call park their saved
+ *     contexts on their Task.
+ *   - A thread's cross-ISA nesting is tracked as a per-task stack of
+ *     call frames; returns always route device -> host -> (resume the
+ *     suspended host context, or relay to the caller device), which is
+ *     also how device-to-device calls bounce through the host kernel
+ *     (Section IV-C3).
  *
- * The recursion depth mirrors the nesting depth of cross-ISA calls,
- * which is exactly the reentrancy property the paper's handlers provide.
- * All application instructions execute in the interpreters; the handler
- * and kernel costs are charged from TimingConfig, and descriptor bytes
- * really travel through the simulated DMA engines and memories.
- *
- * Multi-NxP support follows the paper's Section IV-C3 suggestion:
- * additional PTE bits (the ISA tag) distinguish the NxP ISAs; device-to-
- * device migrations bounce through the host kernel, which forwards the
- * descriptor to the target device.
+ * All application instructions execute in the interpreters, and the
+ * descriptor bytes really travel through the simulated DMA engines and
+ * memories. Because every cost is charged on the owning core's timeline,
+ * independent threads overlap: while one thread computes on an NxP, the
+ * host core is free to run another thread's handler or segment.
  */
 
 #ifndef FLICK_FLICK_RUNTIME_HH
 #define FLICK_FLICK_RUNTIME_HH
 
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "flick/call_future.hh"
 #include "flick/descriptor.hh"
 #include "flick/heap.hh"
 #include "flick/nxp_platform.hh"
+#include "flick/ring.hh"
 #include "isa/core.hh"
 #include "mem/dma.hh"
 #include "mem/irq.hh"
@@ -47,17 +60,6 @@
 
 namespace flick
 {
-
-/**
- * Saved NxP execution state for one nesting level (the thread's context
- * as that device's scheduler would hold it on the thread's NxP stack).
- */
-struct NxpSavedLevel
-{
-    unsigned device;
-    std::vector<std::uint64_t> context;
-    std::uint64_t sp;
-};
 
 /**
  * One step of the migration protocol, for the journal.
@@ -104,30 +106,52 @@ class MigrationEngine
   public:
     MigrationEngine(EventQueue &events, MemSystem &mem,
                     const TimingConfig &timing, Kernel &kernel,
-                    IrqController &irq, Core &host_core,
-                    Addr kernel_buf_pa);
+                    IrqController &irq, Core &host_core);
 
     /**
      * Register one NxP device (in device-id order, starting at 0).
      *
-     * @param host_inbox_pa Host DRAM slot this device's NxP-to-host
-     *        descriptors DMA into.
+     * @param host_staging_pa Host DRAM base of the kernel's outbound
+     *        descriptor-staging ring (ring_slots slots of 128 bytes);
+     *        slot i DMAs into the device's inbox ring slot i.
+     * @param host_inbox_pa Host DRAM base of the inbound ring the
+     *        device's outbox slots DMA into.
      * @param irq_vector Host interrupt vector the device raises.
+     * @param ring_slots Slots per direction (in-flight descriptor bound).
      */
     void addNxpDevice(Core &core, NxpPlatform &platform, DmaEngine &dma,
-                      RegionHeap &stack_heap, Addr host_inbox_pa,
-                      unsigned irq_vector);
+                      RegionHeap &stack_heap, Addr host_staging_pa,
+                      Addr host_inbox_pa, unsigned irq_vector,
+                      unsigned ring_slots);
 
     /**
-     * Start @p task at @p entry on the host core and run it (migrating
-     * as needed) until the entry function returns or the program exits.
+     * Start @p task at @p entry on the host core and return a future
+     * that resolves when the entry function returns. The call begins at
+     * the current simulated time but makes progress only as the event
+     * queue runs (CallFuture::wait() pumps it); submitting never blocks.
      *
      * @param stack_top Initial host stack pointer.
-     * @return The entry function's return value.
+     */
+    CallFuture submit(Task &task, VAddr entry,
+                      const std::vector<std::uint64_t> &args,
+                      VAddr stack_top);
+
+    /**
+     * Blocking convenience: submit() and wait. Kept for callers that
+     * want the pre-CallFuture synchronous behavior.
      */
     std::uint64_t runHostFunction(Task &task, VAddr entry,
                                   const std::vector<std::uint64_t> &args,
                                   VAddr stack_top);
+
+    /**
+     * Free the NxP stacks @p task accumulated (thread teardown). The
+     * task must not be mid-migration.
+     */
+    void releaseNxpStacks(Task &task);
+
+    /** Run one pending event; false if the queue is empty. */
+    bool pump() { return _events.step(); }
 
     /**
      * Inject extra latency per migration round trip, emulating the
@@ -152,6 +176,35 @@ class MigrationEngine
     StatGroup &stats() { return _stats; }
 
   private:
+    /** "Device" id of the host side in a call frame. */
+    static constexpr unsigned hostSide = ~0u;
+
+    /**
+     * One level of a thread's cross-ISA nesting: who is running the
+     * callee and who is waiting for the return.
+     */
+    struct CallFrame
+    {
+        unsigned callee; //!< Device running the called function, or host.
+        unsigned caller; //!< Side waiting for the return, or hostSide.
+        Tick t0;         //!< Round-trip start (for the ticks stats).
+    };
+
+    /** Execution state of one in-flight submitted call. */
+    struct TaskExec
+    {
+        Task *task = nullptr;
+        std::shared_ptr<CallFutureState> future;
+        std::vector<CallFrame> frames;
+        //! Entry-call parameters, consumed by the first host dispatch.
+        VAddr entry = 0;
+        std::vector<std::uint64_t> args;
+        VAddr stackTop = 0;
+        //! Set while a woken descriptor waits for the host core.
+        bool pendingWake = false;
+        MigrationDescriptor wakeDesc;
+    };
+
     /** Everything belonging to one NxP device. */
     struct NxpSide
     {
@@ -159,74 +212,107 @@ class MigrationEngine
         NxpPlatform *platform;
         DmaEngine *dma;
         RegionHeap *stackHeap;
+        Addr hostStagingPa;
         Addr hostInboxPa;
         unsigned irqVector;
-        unsigned hostInboxPending = 0;
+        DescriptorRing h2d; //!< Host staging ring -> device inbox ring.
+        DescriptorRing d2h; //!< Device outbox ring -> host inbox ring.
+        //! Descriptors waiting for a free slot (ring backpressure).
+        std::deque<MigrationDescriptor> h2dDeferred;
+        std::deque<MigrationDescriptor> d2hDeferred;
+        bool busy = false;          //!< Core owned by a thread/handler.
+        bool kickScheduled = false; //!< Scheduler poll event pending.
+        Addr loadedCr3 = 0;         //!< CR3 the device MMU currently holds.
     };
 
-    std::uint64_t hostLoop(Task &task);
-    std::uint64_t nxpLoop(Task &task, unsigned device);
+    using Cont = std::function<void()>;
 
-    /** Full host->NxP call + NxP->host return migration. */
-    std::uint64_t migrateCallToNxp(Task &task, VAddr target,
-                                   unsigned device);
+    // --- Host-core scheduling -----------------------------------------
 
-    /** Full NxP->host call + host->NxP return migration. */
-    std::uint64_t migrateCallToHost(Task &task, VAddr target,
-                                    unsigned device);
+    /** Schedule a host dispatch attempt if the core might be free. */
+    void kickHost();
+    /** Pop the next runnable thread and put it on the host core. */
+    void dispatchHost();
+    /** Release the host core and look for more work. */
+    void releaseHost();
+
+    /** First dispatch of a submitted call: set up and run the entry. */
+    void startEntry(TaskExec &x);
+    /** Dispatch a thread woken by a migration-return interrupt. */
+    void dispatchWake(TaskExec &x);
+    /** Act on the descriptor that woke the thread (after ioctl exit). */
+    void handleHostDescriptor(TaskExec &x, MigrationDescriptor d);
+
+    /** Run one host segment of @p x and schedule the stop handling. */
+    void runHostSegment(TaskExec &x);
+    void handleHostStop(int pid, RunResult r);
+
+    /** Host NX fault: begin the host->NxP call migration (Listing 1). */
+    void startHostToNxpCall(TaskExec &x, VAddr target, unsigned device);
+
+    /** The entry function returned (or the program exited). */
+    void completeCall(TaskExec &x, std::uint64_t value);
 
     /**
-     * Device-to-device migration: NxP @p from called code belonging to
-     * NxP @p to; the kernel forwards the call and, later, the return.
+     * Package @p d, suspend the thread and fire the descriptor DMA to
+     * @p device (the kernel ioctl path; Section IV-D ordering). Ends by
+     * releasing the host core.
      */
-    std::uint64_t migrateNxpToNxp(Task &task, VAddr target, unsigned from,
-                                  unsigned to);
+    void hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
+                            unsigned device);
+    /** Stage @p d in the next h2d ring slot and start its DMA burst. */
+    void fireHostToNxp(const MigrationDescriptor &d, unsigned device);
 
-    /** Dispatch an NxP fetch fault by the target page's ISA tag. */
-    std::uint64_t dispatchNxpFault(Task &task, VAddr target,
-                                   unsigned device);
+    // --- NxP-side scheduling ------------------------------------------
 
-    /** Ensure the thread has an NxP stack on @p device (Listing 1). */
-    void ensureNxpStack(Task &task, unsigned device);
+    /** Schedule an inbox poll on @p device if its core might be free. */
+    void kickNxp(unsigned device);
+    /** NxP scheduler: pick up the next inbox descriptor (Listing 2). */
+    void dispatchNxp(unsigned device);
+    void releaseNxp(unsigned device);
 
-    /** Package and send a host->NxP descriptor (suspends the thread). */
-    void sendCallToNxp(Task &task, const MigrationDescriptor &d,
-                       unsigned device);
+    void handleNxpDescriptor(unsigned device, MigrationDescriptor d);
+    void runNxpSegment(TaskExec &x, unsigned device);
+    void handleNxpStop(int pid, unsigned device, RunResult r);
 
-    /** NxP-side pickup: wait, poll, fetch, ACK, context-switch in. */
-    MigrationDescriptor receiveOnNxp(unsigned device);
+    /** NxP fetch fault: classify by ISA tag and start the migration. */
+    void startNxpFaultMigration(TaskExec &x, VAddr target,
+                                unsigned device);
 
-    /** Host-side: wait for the IRQ-delivered descriptor and wake. */
-    MigrationDescriptor receiveOnHost(Task &task, unsigned device);
+    /**
+     * Ship @p d to the host (outbox stage + doorbell + DMA), journal
+     * @p step, then release the device core.
+     */
+    void deviceSendToHost(TaskExec &x, MigrationDescriptor d,
+                          unsigned device, ProtocolStep step, VAddr addr);
+    /** Stage @p d in the next d2h ring slot and start its DMA burst. */
+    void fireNxpToHost(const MigrationDescriptor &d, unsigned device);
 
-    /** NxP-side: stage a descriptor and DMA it to the host. */
-    void sendToHost(const MigrationDescriptor &d, unsigned device);
+    /** The IRQ handler for @p device's DMA-complete vector. */
+    void hostIrq(unsigned device);
 
-    /** Receive + run the target function on @p device, send the return
-     *  back, and complete the host side of the round trip. */
-    std::uint64_t runOnNxpAndReturn(Task &task, unsigned device);
+    // --- Helpers -------------------------------------------------------
 
-    /** Advance simulated time, running any events that come due. */
-    void advance(Tick t);
+    /** Ensure the thread has an NxP stack on @p device (Listing 1),
+     *  charging the allocation before running @p then. */
+    void ensureNxpStack(Task &task, unsigned device, Cont then);
 
-    template <typename Pred>
+    /** Schedule @p fn to run @p t ticks from now. */
     void
-    waitFor(Pred pred)
+    after(Tick t, Cont fn)
     {
-        while (!pred()) {
-            if (!_events.step())
-                panic("migration engine deadlock: waiting on an empty "
-                      "event queue");
-        }
+        _events.scheduleIn(t, "flick-engine", std::move(fn));
     }
 
     Tick hostCycles(std::uint64_t n) const;
     Tick nxpCycles(unsigned device, std::uint64_t n) const;
 
-    void writeKernelBuffer(const MigrationDescriptor &d);
-    MigrationDescriptor readNxpInbox(unsigned device);
-    void writeNxpOutbox(const MigrationDescriptor &d, unsigned device);
-    MigrationDescriptor readHostInbox(unsigned device);
+    void writeHostStaging(const MigrationDescriptor &d, unsigned device,
+                          unsigned slot);
+    MigrationDescriptor readNxpInbox(unsigned device, unsigned slot);
+    void writeNxpOutbox(const MigrationDescriptor &d, unsigned device,
+                        unsigned slot);
+    MigrationDescriptor readHostInbox(unsigned device, unsigned slot);
 
     /** Current NxP stack pointer for a (possibly nested) call. */
     std::uint64_t currentNxpSp(const Task &task, unsigned device) const;
@@ -239,10 +325,8 @@ class MigrationEngine
             _journal.push_back({_events.now(), step, pid, addr});
     }
 
-    /** The IRQ handler for @p device's DMA-complete vector. */
-    void hostIrq(unsigned device);
-
     NxpSide &side(unsigned device);
+    TaskExec &exec(int pid);
 
     EventQueue &_events;
     MemSystem &_mem;
@@ -250,13 +334,18 @@ class MigrationEngine
     Kernel &_kernel;
     IrqController &_irq;
     Core &_hostCore;
-    Addr _kernelBufPa;
     std::vector<NxpSide> _nxp;
+
+    //! In-flight submitted calls by PID (node-stable container: chained
+    //! events hold PIDs and look their exec state up on entry).
+    std::map<int, TaskExec> _exec;
+
+    bool _hostBusy = false;
+    bool _hostKickScheduled = false;
+    Addr _hostLoadedCr3 = 0;
 
     Tick _extraRoundTrip = 0;
     std::uint64_t _nxpStackBytes = 64 * 1024;
-    unsigned _depth = 0;
-    std::vector<NxpSavedLevel> _nxpCtxStack;
     bool _journalOn = false;
     std::vector<ProtocolEvent> _journal;
     StatGroup _stats;

@@ -63,8 +63,6 @@ FlickSystem::FlickSystem(SystemConfig config)
       _hostCore(hostCoreParams(_config.timing), _mem),
       _nxpCore(nxpCoreParams(_config.timing), _mem),
       _loader(_mem, _ptm, _hostAlloc, _nxpAlloc),
-      _kernelBufPa(_hostAlloc.allocate(4096)),
-      _hostInboxPa(_kernelBufPa + 2048),
       _nxpWindowHeap(
           "nxp_window",
           layout::nxpWindowBase + (_platformCtrl.reservedLocalEnd() -
@@ -73,14 +71,30 @@ FlickSystem::FlickSystem(SystemConfig config)
               (_platformCtrl.reservedLocalEnd() -
                _config.platform.nxpDramLocalBase))
 {
+    if (_config.platform.nxpDeviceCount > 2)
+        fatal("too many NxP devices");
+
     _platformCtrl.setNxpMmu(&_nxpCore.mmu());
 
     _engine = std::make_unique<MigrationEngine>(_events, _mem,
                                                 _config.timing, _kernel,
-                                                _irq, _hostCore,
-                                                _kernelBufPa);
+                                                _irq, _hostCore);
+
+    // Per device: a host-side staging ring the kernel packages outbound
+    // descriptors into, and a host-side inbox ring the device's outbox
+    // DMAs into. The device-local mailbox rings live in the reserved
+    // window of its DRAM (NxpPlatform).
+    unsigned slots = _config.ringSlots;
+    if (slots == 0)
+        slots = 1;
+    if (slots > NxpPlatform::maxRingSlots)
+        slots = NxpPlatform::maxRingSlots;
+    std::uint64_t ring_bytes = slots * DescriptorRing::slotBytes;
+
+    Addr staging0 = _hostAlloc.allocate(ring_bytes);
+    Addr inbox0 = _hostAlloc.allocate(ring_bytes);
     _engine->addNxpDevice(_nxpCore, _platformCtrl, _dma, _nxpWindowHeap,
-                          _hostInboxPa, 0);
+                          staging0, inbox0, 0, slots);
 
     if (_config.platform.nxpDeviceCount > 1) {
         _nxp2Core = std::make_unique<Rv64Core>(
@@ -93,9 +107,11 @@ FlickSystem::FlickSystem(SystemConfig config)
         _nxpWindowHeap2 = std::make_unique<RegionHeap>(
             "nxp2_window", layout::nxpWindowBase2 + reserved,
             _config.platform.nxp2DramBytes - reserved);
-        _hostInbox2Pa = _kernelBufPa + 2048 + 256;
+        Addr staging1 = _hostAlloc.allocate(ring_bytes);
+        Addr inbox1 = _hostAlloc.allocate(ring_bytes);
         _engine->addNxpDevice(*_nxp2Core, *_platformCtrl2, *_dma2,
-                              *_nxpWindowHeap2, _hostInbox2Pa, 1);
+                              *_nxpWindowHeap2, staging1, inbox1, 1,
+                              slots);
     }
     _engine->setNxpStackBytes(_config.nxpStackBytes);
 
@@ -122,22 +138,32 @@ FlickSystem::FlickSystem(SystemConfig config)
 }
 
 Rv64Core &
-FlickSystem::nxpCore(unsigned device)
+FlickSystem::Debug::nxpCore(unsigned device) const
 {
     if (device == 0)
-        return _nxpCore;
-    if (device == 1 && _nxp2Core)
-        return *_nxp2Core;
+        return sys->_nxpCore;
+    if (device == 1 && sys->_nxp2Core)
+        return *sys->_nxp2Core;
     fatal("no NxP device %u", device);
 }
 
 NxpPlatform &
-FlickSystem::nxpPlatform(unsigned device)
+FlickSystem::Debug::nxpPlatform(unsigned device) const
 {
     if (device == 0)
-        return _platformCtrl;
-    if (device == 1 && _platformCtrl2)
-        return *_platformCtrl2;
+        return sys->_platformCtrl;
+    if (device == 1 && sys->_platformCtrl2)
+        return *sys->_platformCtrl2;
+    fatal("no NxP device %u", device);
+}
+
+RegionHeap &
+FlickSystem::Debug::nxpHeap(unsigned device) const
+{
+    if (device == 0)
+        return sys->_nxpWindowHeap;
+    if (device == 1 && sys->_nxpWindowHeap2)
+        return *sys->_nxpWindowHeap2;
     fatal("no NxP device %u", device);
 }
 
@@ -148,10 +174,64 @@ FlickSystem::load(const Program &program)
     auto proc = std::make_unique<Process>();
     proc->image = _loader.load(image, _config.loadOptions);
     proc->task = &_kernel.createTask(proc->image.cr3);
+    proc->task->hostStackTop = proc->image.hostStackTop;
+    proc->task->hostStackBytes = _config.loadOptions.hostStackBytes;
     proc->hostHeap = std::make_unique<RegionHeap>(
         "host_heap", proc->image.hostHeapBase, proc->image.hostHeapBytes);
+    // Spawned threads carve their stacks below the main stack, separated
+    // by unmapped guard gaps.
+    proc->nextThreadStackTop = proc->image.hostStackTop -
+                               _config.loadOptions.hostStackBytes -
+                               threadStackGuard;
     _processes.push_back(std::move(proc));
     return *_processes.back();
+}
+
+Task &
+FlickSystem::spawnThread(Process &process, std::uint64_t stack_bytes)
+{
+    stack_bytes = (stack_bytes + 4095) & ~std::uint64_t(4095);
+    VAddr top = process.nextThreadStackTop;
+    VAddr base = top - stack_bytes;
+    for (VAddr va = base; va < top; va += 4096) {
+        Addr pa = _hostAlloc.allocate(4096);
+        _ptm.map(process.image.cr3, va, pa, 4096, PageSize::size4K,
+                 pte::user | pte::writable | pte::noExecute);
+    }
+    process.nextThreadStackTop = base - threadStackGuard;
+    return _kernel.createThread(process.image.cr3, top, stack_bytes);
+}
+
+void
+FlickSystem::exitThread(Task &thread)
+{
+    _engine->releaseNxpStacks(thread);
+    _kernel.exitTask(thread);
+}
+
+CallFuture
+FlickSystem::submit(Process &process, const std::string &symbol,
+                    std::vector<std::uint64_t> args)
+{
+    return submitVa(process, *process.task,
+                    process.image.symbol(symbol), std::move(args));
+}
+
+CallFuture
+FlickSystem::submit(Process &process, Task &thread,
+                    const std::string &symbol,
+                    std::vector<std::uint64_t> args)
+{
+    return submitVa(process, thread, process.image.symbol(symbol),
+                    std::move(args));
+}
+
+CallFuture
+FlickSystem::submitVa(Process &process, Task &thread, VAddr va,
+                      std::vector<std::uint64_t> args)
+{
+    (void)process;
+    return _engine->submit(thread, va, args, thread.hostStackTop - 64);
 }
 
 std::uint64_t
@@ -165,8 +245,7 @@ std::uint64_t
 FlickSystem::callVa(Process &process, VAddr va,
                     std::vector<std::uint64_t> args)
 {
-    return _engine->runHostFunction(*process.task, va, args,
-                                    process.image.hostStackTop - 64);
+    return submitVa(process, *process.task, va, std::move(args)).wait();
 }
 
 VAddr

@@ -2,15 +2,26 @@
  * @file
  * FlickSystem: the public facade of the simulated platform.
  *
- * Owns and wires every component — memories, cores, MMUs, DMA engine,
+ * Owns and wires every component — memories, cores, MMUs, DMA engines,
  * interrupt controller, kernel, loader and migration engine — and exposes
  * the workflow a user of the paper's system would have:
  *
- *     flick::FlickSystem sys;                    // boot the platform
- *     flick::Program prog;                       // write multi-ISA code
+ *     flick::FlickSystem sys(
+ *         flick::SystemConfig{}.withNxpDevices(2));   // boot the platform
+ *     flick::Program prog;                            // multi-ISA code
  *     prog.addHostAsm(...); prog.addNxpAsm(...);
- *     auto &proc = sys.load(prog);               // link + load + NX bits
+ *     auto &proc = sys.load(prog);                    // link + load + NX
+ *
+ *     // Synchronous, single-threaded:
  *     std::uint64_t r = sys.call(proc, "main", {arg0});
+ *
+ *     // Concurrent: each submit() starts a thread's call and returns a
+ *     // future; the calls overlap across the host core and the NxPs.
+ *     flick::Task &t2 = sys.spawnThread(proc);
+ *     auto f1 = sys.submit(proc, "work", {0});
+ *     auto f2 = sys.submit(proc, t2, "work", {1});
+ *     std::uint64_t a = f1.wait(), b = f2.wait();
+ *     sys.exitThread(t2);
  *
  * Threads start on the host and migrate transparently whenever they call
  * across the ISA boundary.
@@ -43,7 +54,16 @@
 namespace flick
 {
 
-/** All configuration of a FlickSystem, defaulting to the paper's setup. */
+/**
+ * All configuration of a FlickSystem, defaulting to the paper's setup.
+ *
+ * The with*() setters return *this so a config can be built fluently in
+ * the constructor call:
+ *
+ *     FlickSystem sys(SystemConfig{}
+ *                         .withNxpDevices(2)
+ *                         .withNxpStackBytes(128 * 1024));
+ */
 struct SystemConfig
 {
     TimingConfig timing;
@@ -51,6 +71,30 @@ struct SystemConfig
     LoadOptions loadOptions;
     /** NxP stack allocated per thread on first migration. */
     std::uint64_t nxpStackBytes = 64 * 1024;
+    /** Descriptor-ring slots per direction and device (in-flight bound). */
+    unsigned ringSlots = 8;
+
+    /** Number of NxP devices in the platform (1 or 2). */
+    SystemConfig &
+    withNxpDevices(unsigned count)
+    {
+        platform.nxpDeviceCount = count;
+        return *this;
+    }
+
+    SystemConfig &
+    withNxpStackBytes(std::uint64_t bytes)
+    {
+        nxpStackBytes = bytes;
+        return *this;
+    }
+
+    SystemConfig &
+    withRingSlots(unsigned slots)
+    {
+        ringSlots = slots;
+        return *this;
+    }
 
     /** Convenience: configure a second NxP device (Section IV-C3). */
     void
@@ -66,6 +110,8 @@ struct Process
     LoadedProgram image;
     Task *task = nullptr;
     std::unique_ptr<RegionHeap> hostHeap;
+    /** Where the next spawned thread's host stack will be carved. */
+    VAddr nextThreadStackTop = 0;
 };
 
 /**
@@ -82,9 +128,30 @@ class FlickSystem
     /** Link @p program and load it into a new address space. */
     Process &load(const Program &program);
 
+    // --- Calls ----------------------------------------------------------
+
+    /**
+     * Start @p symbol on @p process's main thread and return a future.
+     * The call makes progress as simulated time advances (wait() on any
+     * future, or advanceTime()); concurrent submissions from different
+     * threads of the process overlap across the cores.
+     */
+    CallFuture submit(Process &process, const std::string &symbol,
+                      std::vector<std::uint64_t> args = {});
+
+    /** submit() for a spawned thread of @p process. */
+    CallFuture submit(Process &process, Task &thread,
+                      const std::string &symbol,
+                      std::vector<std::uint64_t> args = {});
+
+    /** submit() by address. */
+    CallFuture submitVa(Process &process, Task &thread, VAddr va,
+                        std::vector<std::uint64_t> args = {});
+
     /**
      * Call @p symbol on @p process's main thread, starting on the host
-     * core; the thread migrates transparently at ISA boundaries.
+     * core; the thread migrates transparently at ISA boundaries. This is
+     * submit() + wait: it blocks until the call returns.
      */
     std::uint64_t call(Process &process, const std::string &symbol,
                        std::vector<std::uint64_t> args = {});
@@ -92,6 +159,23 @@ class FlickSystem
     /** Call a function by address. */
     std::uint64_t callVa(Process &process, VAddr va,
                          std::vector<std::uint64_t> args = {});
+
+    // --- Threads --------------------------------------------------------
+
+    /**
+     * Create another thread in @p process (what pthread_create would
+     * do): maps a fresh host stack below the previous one and registers
+     * the thread with the kernel. Pass the returned Task to submit().
+     */
+    Task &spawnThread(Process &process,
+                      std::uint64_t stack_bytes = 256 * 1024);
+
+    /**
+     * Tear a spawned thread down: frees its NxP stacks back to the
+     * device heaps and retires it from the kernel. The thread must not
+     * have a call in flight.
+     */
+    void exitThread(Task &thread);
 
     /** Current simulated time. */
     Tick now() const { return _events.now(); }
@@ -145,24 +229,76 @@ class FlickSystem
     void dumpStats(std::ostream &os);
 
     const SystemConfig &config() const { return _config; }
-    MemSystem &mem() { return _mem; }
-    Kernel &kernel() { return _kernel; }
-    MigrationEngine &engine() { return *_engine; }
-    Hx64Core &hostCore() { return _hostCore; }
-    Rv64Core &nxpCore(unsigned device = 0);
-    NxpPlatform &nxpPlatform(unsigned device = 0);
-    /** Number of NxP devices in the platform. */
+
+    /**
+     * Raw access to the simulated components, for tests, tools and
+     * debugging harnesses. Groups what used to be loose accessors on
+     * FlickSystem itself.
+     */
+    struct Debug
+    {
+        FlickSystem *sys;
+
+        MemSystem &mem() const { return sys->_mem; }
+        Kernel &kernel() const { return sys->_kernel; }
+        MigrationEngine &engine() const { return *sys->_engine; }
+        Hx64Core &hostCore() const { return sys->_hostCore; }
+        Rv64Core &nxpCore(unsigned device = 0) const;
+        NxpPlatform &nxpPlatform(unsigned device = 0) const;
+        PageTableManager &pageTables() const { return sys->_ptm; }
+        NativeRegistry &natives() const { return sys->_natives; }
+        EventQueue &events() const { return sys->_events; }
+        RegionHeap &nxpHeap(unsigned device = 0) const;
+        unsigned
+        nxpDeviceCount() const
+        {
+            return sys->_config.platform.nxpDeviceCount;
+        }
+    };
+
+    /** The debug/introspection harness. */
+    Debug debug() { return Debug{this}; }
+
+    // Deprecated forwarders, kept for source compatibility; prefer the
+    // grouped debug() harness.
+
+    /** @deprecated Use debug().mem(). */
+    MemSystem &mem() { return debug().mem(); }
+    /** @deprecated Use debug().kernel(). */
+    Kernel &kernel() { return debug().kernel(); }
+    /** @deprecated Use debug().engine(). */
+    MigrationEngine &engine() { return debug().engine(); }
+    /** @deprecated Use debug().hostCore(). */
+    Hx64Core &hostCore() { return debug().hostCore(); }
+    /** @deprecated Use debug().nxpCore(). */
+    Rv64Core &nxpCore(unsigned device = 0) { return debug().nxpCore(device); }
+    /** @deprecated Use debug().nxpPlatform(). */
+    NxpPlatform &
+    nxpPlatform(unsigned device = 0)
+    {
+        return debug().nxpPlatform(device);
+    }
+    /** @deprecated Use debug().nxpDeviceCount(). */
     unsigned nxpDeviceCount() const
     {
         return _config.platform.nxpDeviceCount;
     }
-    PageTableManager &pageTables() { return _ptm; }
-    NativeRegistry &natives() { return _natives; }
-    EventQueue &events() { return _events; }
-    RegionHeap &nxpHeap() { return _nxpWindowHeap; }
+    /** @deprecated Use debug().pageTables(). */
+    PageTableManager &pageTables() { return debug().pageTables(); }
+    /** @deprecated Use debug().natives(). */
+    NativeRegistry &natives() { return debug().natives(); }
+    /** @deprecated Use debug().events(). */
+    EventQueue &events() { return debug().events(); }
+    /** @deprecated Use debug().nxpHeap(). */
+    RegionHeap &nxpHeap() { return debug().nxpHeap(); }
 
   private:
+    friend struct Debug;
+
     Addr translateDebug(const Process &process, VAddr va) const;
+
+    /** Gap left unmapped between thread stacks (overflow tripwire). */
+    static constexpr std::uint64_t threadStackGuard = 0x10000;
 
     SystemConfig _config;
     EventQueue _events;
@@ -178,15 +314,12 @@ class FlickSystem
     Kernel _kernel;
     ProgramLoader _loader;
     NativeRegistry _natives;
-    Addr _kernelBufPa;
-    Addr _hostInboxPa;
     RegionHeap _nxpWindowHeap;
     // Second NxP device (present when platform.nxpDeviceCount > 1).
     std::unique_ptr<Rv64Core> _nxp2Core;
     std::unique_ptr<NxpPlatform> _platformCtrl2;
     std::unique_ptr<DmaEngine> _dma2;
     std::unique_ptr<RegionHeap> _nxpWindowHeap2;
-    Addr _hostInbox2Pa = 0;
     std::unique_ptr<MigrationEngine> _engine;
     std::vector<std::unique_ptr<Process>> _processes;
 };

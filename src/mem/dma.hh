@@ -67,6 +67,9 @@ class DmaEngine
     /** True while a transfer is in flight. */
     bool busy() const { return _busy; }
 
+    /** Transfers queued behind the in-flight one (ring backpressure). */
+    std::size_t queuedTransfers() const { return _pending.size(); }
+
     StatGroup &stats() { return _stats; }
 
   private:

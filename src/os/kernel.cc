@@ -16,6 +16,46 @@ Kernel::createTask(Addr cr3)
     return *_tasks.back();
 }
 
+Task &
+Kernel::createThread(Addr cr3, VAddr host_stack_top,
+                     std::uint64_t host_stack_bytes)
+{
+    Task &t = createTask(cr3);
+    t.hostStackTop = host_stack_top;
+    t.hostStackBytes = host_stack_bytes;
+    _stats.inc("threads_spawned");
+    return t;
+}
+
+void
+Kernel::exitTask(Task &task)
+{
+    if (task.state == TaskState::onNxp || task.state == TaskState::runnable)
+        panic("exitTask of task %d mid-migration (state %d)", task.pid,
+              static_cast<int>(task.state));
+    if (!task.nxpSavedCtx.empty())
+        panic("exitTask of task %d with %zu saved NxP contexts", task.pid,
+              task.nxpSavedCtx.size());
+    task.state = TaskState::done;
+    _stats.inc("tasks_exited");
+}
+
+void
+Kernel::enqueueRunnable(Task &task)
+{
+    _runQueue.push_back(&task);
+}
+
+Task *
+Kernel::nextRunnable()
+{
+    if (_runQueue.empty())
+        return nullptr;
+    Task *t = _runQueue.front();
+    _runQueue.pop_front();
+    return t;
+}
+
 Task *
 Kernel::findTask(int pid)
 {

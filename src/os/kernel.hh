@@ -13,6 +13,7 @@
 #ifndef FLICK_OS_KERNEL_HH
 #define FLICK_OS_KERNEL_HH
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -43,8 +44,35 @@ class Kernel
     /** Create a task in @p cr3's address space. */
     Task &createTask(Addr cr3);
 
+    /**
+     * Create an additional thread in an existing address space (what
+     * pthread_create would do): same CR3, fresh PID, fresh NxP stack
+     * slots. The caller provides the thread's host stack.
+     */
+    Task &createThread(Addr cr3, VAddr host_stack_top,
+                       std::uint64_t host_stack_bytes);
+
+    /** Mark @p task exited. It must not be mid-migration. */
+    void exitTask(Task &task);
+
     /** Look up a task by PID (the IRQ wake path), or nullptr. */
     Task *findTask(int pid);
+
+    // --- Host run queue -------------------------------------------------
+    //
+    // The scheduler's FIFO of threads that want the host core: freshly
+    // submitted calls and threads woken by a migration-return interrupt.
+    // The migration engine (standing in for the CPU scheduler loop)
+    // pops from it whenever the host core goes idle.
+
+    /** Append @p task to the host run queue. */
+    void enqueueRunnable(Task &task);
+
+    /** Pop the next queued task, or nullptr if the queue is empty. */
+    Task *nextRunnable();
+
+    /** Number of tasks queued for the host core. */
+    std::size_t runQueueDepth() const { return _runQueue.size(); }
 
     /**
      * Classify a fetch fault, as the modified page fault handler does.
@@ -80,6 +108,7 @@ class Kernel
   private:
     int _nextPid = 1000;
     std::vector<std::unique_ptr<Task>> _tasks;
+    std::deque<Task *> _runQueue;
     StatGroup _stats;
 };
 

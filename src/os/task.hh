@@ -32,6 +32,18 @@ enum class TaskState
     done,      //!< Exited.
 };
 
+/**
+ * Saved NxP execution state for one nesting level — the thread's context
+ * as that device's scheduler would hold it on the thread's NxP stack
+ * while the thread is away running host (or another device's) code.
+ */
+struct NxpSavedContext
+{
+    unsigned device;
+    std::vector<std::uint64_t> context;
+    std::uint64_t sp;
+};
+
 /** One software thread. */
 struct Task
 {
@@ -60,6 +72,19 @@ struct Task
 
     /** Host register context saved while suspended. */
     std::vector<std::uint64_t> hostContext;
+
+    /**
+     * NxP contexts saved per nesting level while this thread is away
+     * from a device mid-call (the per-task piece of the run-list
+     * scheduling: the device core is free for other threads while these
+     * are parked here).
+     */
+    std::vector<NxpSavedContext> nxpSavedCtx;
+
+    /** Top of this thread's host stack (set when the thread is created). */
+    VAddr hostStackTop = 0;
+    /** Bytes of host stack owned by this thread (0: process main stack). */
+    std::uint64_t hostStackBytes = 0;
 
     /** Completed thread-migration round trips. */
     std::uint64_t migrations = 0;
