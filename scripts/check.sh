@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
-# plus a Debug + ThreadSanitizer build running the concurrency-labeled
-# tests (the event-driven migration engine's interleaved continuation
-# chains are where lifetime bugs would hide).
+# plus a Debug + ThreadSanitizer build running the concurrency- and
+# chaos-labeled tests (the event-driven migration engine's interleaved
+# continuation chains and the fault-recovery paths are where lifetime
+# bugs would hide).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,11 +15,13 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== debug + tsan build, concurrency tests =="
+echo "== debug + tsan build, concurrency + chaos tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target concurrent_call_test
+cmake --build build-tsan -j "$jobs" \
+    --target concurrent_call_test chaos_test callgraph_fuzz_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 
 echo
 echo "all checks passed"

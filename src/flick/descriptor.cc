@@ -24,6 +24,25 @@ get64(const std::uint8_t *p)
     return v;
 }
 
+// CRC-64/ECMA-182, bitwise, init 0, no final xor. The zero init keeps
+// the all-zero descriptor's wire image all zeroes (an untouched mailbox
+// slot checks out as intact-but-invalid rather than corrupt), while any
+// single-bit flip in either the payload or the stored checksum is
+// guaranteed to be detected.
+std::uint64_t
+crc64(const std::uint8_t *p, std::uint64_t len)
+{
+    constexpr std::uint64_t poly = 0x42f0e1eba9ea3693ull;
+    std::uint64_t crc = 0;
+    for (std::uint64_t i = 0; i < len; ++i) {
+        crc ^= std::uint64_t(p[i]) << 56;
+        for (int b = 0; b < 8; ++b) {
+            crc = (crc & (1ull << 63)) ? (crc << 1) ^ poly : crc << 1;
+        }
+    }
+    return crc;
+}
+
 } // namespace
 
 const char *
@@ -39,10 +58,10 @@ descriptorKindName(DescriptorKind kind)
     return "?";
 }
 
-std::array<std::uint8_t, MigrationDescriptor::wireBytes>
+MigrationDescriptor::Wire
 MigrationDescriptor::toWire() const
 {
-    std::array<std::uint8_t, wireBytes> w{};
+    Wire w{};
     put64(&w[0], (std::uint64_t(pid) << 32) |
                      static_cast<std::uint32_t>(kind));
     put64(&w[8], target);
@@ -52,11 +71,13 @@ MigrationDescriptor::toWire() const
     put64(&w[40], nargs);
     for (unsigned i = 0; i < maxArgs; ++i)
         put64(&w[48 + 8 * i], args[i]);
+    put64(&w[96], seq);
+    put64(&w[checksummedBytes], crc64(w.data(), checksummedBytes));
     return w;
 }
 
 MigrationDescriptor
-MigrationDescriptor::fromWire(const std::array<std::uint8_t, wireBytes> &w)
+MigrationDescriptor::fromWire(const Wire &w)
 {
     MigrationDescriptor d;
     std::uint64_t head = get64(&w[0]);
@@ -69,7 +90,20 @@ MigrationDescriptor::fromWire(const std::array<std::uint8_t, wireBytes> &w)
     d.nargs = static_cast<std::uint32_t>(get64(&w[40]));
     for (unsigned i = 0; i < maxArgs; ++i)
         d.args[i] = get64(&w[48 + 8 * i]);
+    d.seq = get64(&w[96]);
     return d;
+}
+
+std::uint64_t
+MigrationDescriptor::wireChecksum(const Wire &w)
+{
+    return crc64(w.data(), checksummedBytes);
+}
+
+bool
+MigrationDescriptor::wireIntact(const Wire &w)
+{
+    return get64(&w[checksummedBytes]) == wireChecksum(w);
 }
 
 } // namespace flick

@@ -34,11 +34,24 @@ enum class DescriptorKind : std::uint32_t
 /** Printable descriptor-kind name, for diagnostics. */
 const char *descriptorKindName(DescriptorKind kind);
 
-/** A migration descriptor (128 bytes on the wire). */
+/**
+ * A migration descriptor (128 bytes on the wire).
+ *
+ * The wire format carries two integrity fields so the fabric does not
+ * have to be trusted: a per-link sequence number (offset 96) and a
+ * CRC-64 checksum over bytes [0, 120) stored in the final 8 bytes.
+ * Receivers verify both before acting on a descriptor and NAK a slot
+ * whose checksum fails, triggering a retransmission from the sender's
+ * staging copy.
+ */
 struct MigrationDescriptor
 {
     static constexpr std::uint64_t wireBytes = 128;
     static constexpr unsigned maxArgs = 6;
+    /** Bytes covered by the trailing checksum (everything before it). */
+    static constexpr std::uint64_t checksummedBytes = wireBytes - 8;
+
+    using Wire = std::array<std::uint8_t, wireBytes>;
 
     DescriptorKind kind = DescriptorKind::invalid;
     std::uint32_t pid = 0;
@@ -48,13 +61,25 @@ struct MigrationDescriptor
     std::uint64_t retval = 0; //!< Return value (return kinds).
     std::uint32_t nargs = 0;
     std::array<std::uint64_t, maxArgs> args{};
+    std::uint64_t seq = 0;  //!< Per-link FIFO sequence number.
 
-    /** Serialize to the 128-byte wire format (little endian). */
-    std::array<std::uint8_t, wireBytes> toWire() const;
+    /**
+     * Serialize to the 128-byte wire format (little endian), computing
+     * and embedding the trailing checksum.
+     */
+    Wire toWire() const;
 
-    /** Deserialize from the wire format. */
-    static MigrationDescriptor fromWire(
-        const std::array<std::uint8_t, wireBytes> &wire);
+    /**
+     * Deserialize from the wire format. Does not verify integrity;
+     * receivers call wireIntact() on the raw bytes first.
+     */
+    static MigrationDescriptor fromWire(const Wire &wire);
+
+    /** CRC-64 of @p wire's checksummed prefix. */
+    static std::uint64_t wireChecksum(const Wire &wire);
+
+    /** Does @p wire's embedded checksum match its contents? */
+    static bool wireIntact(const Wire &wire);
 };
 
 } // namespace flick

@@ -1,6 +1,7 @@
 #include "flick/runtime.hh"
 
 #include "loader/loader.hh"
+#include "sim/chaos.hh"
 
 namespace flick
 {
@@ -131,14 +132,14 @@ MigrationEngine::writeHostStaging(const MigrationDescriptor &d,
                           w.size());
 }
 
-MigrationDescriptor
-MigrationEngine::readNxpInbox(unsigned device, unsigned slot)
+MigrationDescriptor::Wire
+MigrationEngine::readNxpInboxWire(unsigned device, unsigned slot)
 {
-    std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
+    MigrationDescriptor::Wire w{};
     Addr off = side(device).h2d.mailboxPa(slot) -
                _mem.platform().nxpDramLocalBase;
     _mem.nxpDram(device).read(off, w.data(), w.size());
-    return MigrationDescriptor::fromWire(w);
+    return w;
 }
 
 void
@@ -151,13 +152,13 @@ MigrationEngine::writeNxpOutbox(const MigrationDescriptor &d,
     _mem.nxpDram(device).write(off, w.data(), w.size());
 }
 
-MigrationDescriptor
-MigrationEngine::readHostInbox(unsigned device, unsigned slot)
+MigrationDescriptor::Wire
+MigrationEngine::readHostInboxWire(unsigned device, unsigned slot)
 {
-    std::array<std::uint8_t, MigrationDescriptor::wireBytes> w{};
+    MigrationDescriptor::Wire w{};
     _mem.hostDram().read(side(device).d2h.mailboxPa(slot), w.data(),
                          w.size());
-    return MigrationDescriptor::fromWire(w);
+    return w;
 }
 
 std::uint64_t
@@ -568,10 +569,13 @@ MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
 }
 
 void
-MigrationEngine::fireHostToNxp(const MigrationDescriptor &d,
-                               unsigned device)
+MigrationEngine::fireHostToNxp(MigrationDescriptor d, unsigned device)
 {
     NxpSide &s = side(device);
+    // The kernel stamps the link sequence number as it stages the
+    // descriptor; fire order is ring order, so the device expects
+    // exactly this sequence.
+    d.seq = ++s.h2dSendSeq;
     unsigned slot = s.h2d.push();
     writeHostStaging(d, device, slot);
     NxpPlatform *platform = s.platform;
@@ -617,7 +621,24 @@ MigrationEngine::dispatchNxp(unsigned device)
               [this, device] {
             NxpSide &t = side(device);
             unsigned slot = t.h2d.front();
-            MigrationDescriptor d = readNxpInbox(device, slot);
+            MigrationDescriptor::Wire w = readNxpInboxWire(device, slot);
+            // The scheduler verifies the slot before trusting any field
+            // in it; a corrupted burst is NAKed and retransmitted from
+            // the host's intact staging copy.
+            MigrationDescriptor d;
+            bool ok = MigrationDescriptor::wireIntact(w);
+            if (ok) {
+                d = MigrationDescriptor::fromWire(w);
+                ok = d.seq == t.h2dAcceptSeq + 1;
+                if (!ok)
+                    protoStat("seq_mismatches", device);
+            }
+            if (!ok) {
+                nakH2d(device);
+                return;
+            }
+            t.h2dAcceptSeq = d.seq;
+            t.h2dRetries = 0;
             t.h2d.pop();
             t.platform->consumeInbox();
             // The freed slot unblocks a deferred host-side send.
@@ -866,15 +887,17 @@ MigrationEngine::deviceSendToHost(TaskExec &x, MigrationDescriptor d,
 }
 
 void
-MigrationEngine::fireNxpToHost(const MigrationDescriptor &d,
-                               unsigned device)
+MigrationEngine::fireNxpToHost(MigrationDescriptor d, unsigned device)
 {
     NxpSide &s = side(device);
+    d.seq = ++s.d2hSendSeq;
     unsigned slot = s.d2h.push();
     writeNxpOutbox(d, device, slot);
     s.dma->copyNxpToHost(s.d2h.stagingPa(slot), s.d2h.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
-                         static_cast<int>(s.irqVector));
+                         static_cast<int>(s.irqVector),
+                         [this, device] { ++side(device).d2hLanded; });
+    armD2hWatchdog(device, d.seq);
 }
 
 void
@@ -883,10 +906,38 @@ MigrationEngine::hostIrq(unsigned device)
     // The device raised the DMA-complete MSI: read the descriptor out
     // of the inbox ring, then let the IRQ handler find and wake the
     // suspended task.
+    protoStat("host_irqs", device);
     NxpSide &s = side(device);
-    _stats.inc("host_irqs");
+    if (s.d2hLanded == 0) {
+        // A duplicated MSI, or one whose descriptor the watchdog has
+        // already serviced: nothing unserviced has landed.
+        protoStat("spurious_irqs", device);
+        return;
+    }
+    processHostInbox(device);
+}
+
+void
+MigrationEngine::processHostInbox(unsigned device)
+{
+    NxpSide &s = side(device);
     unsigned slot = s.d2h.front();
-    MigrationDescriptor d = readHostInbox(device, slot);
+    MigrationDescriptor::Wire w = readHostInboxWire(device, slot);
+    MigrationDescriptor d;
+    bool ok = MigrationDescriptor::wireIntact(w);
+    if (ok) {
+        d = MigrationDescriptor::fromWire(w);
+        ok = d.seq == s.d2hAcceptSeq + 1;
+        if (!ok)
+            protoStat("seq_mismatches", device);
+    }
+    if (!ok) {
+        nakD2h(device);
+        return;
+    }
+    s.d2hAcceptSeq = d.seq;
+    s.d2hRetries = 0;
+    --s.d2hLanded;
     s.d2h.pop();
     if (!s.d2hDeferred.empty() && !s.d2h.full()) {
         MigrationDescriptor dd = s.d2hDeferred.front();
@@ -905,6 +956,89 @@ MigrationEngine::hostIrq(unsigned device)
         _kernel.enqueueRunnable(*task);
         kickHost();
     });
+}
+
+// --- Link integrity (NAK / retransmit / timeout) -------------------------
+
+void
+MigrationEngine::nakH2d(unsigned device)
+{
+    NxpSide &s = side(device);
+    protoStat("naks", device);
+    if (++s.h2dRetries > _retryBudget)
+        unrecoverable("host->NxP", device);
+    protoStat("retries", device);
+    // The corrupt arrival is consumed; the retransmission will signal a
+    // fresh one. The host's staging copy of the head slot is intact, so
+    // the NAK just replays its DMA burst.
+    s.platform->consumeInbox();
+    unsigned slot = s.h2d.front();
+    NxpPlatform *platform = s.platform;
+    s.dma->copyHostToNxp(s.h2d.stagingPa(slot), s.h2d.mailboxPa(slot),
+                         MigrationDescriptor::wireBytes,
+                         [this, platform, device] {
+                             platform->inboxArrived();
+                             kickNxp(device);
+                         });
+    releaseNxp(device);
+}
+
+void
+MigrationEngine::nakD2h(unsigned device)
+{
+    NxpSide &s = side(device);
+    protoStat("naks", device);
+    if (++s.d2hRetries > _retryBudget)
+        unrecoverable("NxP->host", device);
+    protoStat("retries", device);
+    // The landed copy is trash; replay the outbox slot's burst. The
+    // watchdog armed at first fire keeps covering the retransmission's
+    // MSI, which may itself be lost.
+    --s.d2hLanded;
+    unsigned slot = s.d2h.front();
+    s.dma->copyNxpToHost(s.d2h.stagingPa(slot), s.d2h.mailboxPa(slot),
+                         MigrationDescriptor::wireBytes,
+                         static_cast<int>(s.irqVector),
+                         [this, device] { ++side(device).d2hLanded; });
+}
+
+void
+MigrationEngine::armD2hWatchdog(unsigned device, std::uint64_t seq)
+{
+    // Without fault injection MSIs cannot be lost; leave the event
+    // stream untouched so fault-free runs stay tick-for-tick identical.
+    if (!_chaos || !_chaos->enabled())
+        return;
+    _events.scheduleIn(_timing.descriptorTimeout, "d2h-watchdog",
+                       [this, device, seq] {
+        NxpSide &s = side(device);
+        if (s.d2hAcceptSeq >= seq)
+            return; // serviced in time; disarm
+        if (s.d2hLanded == 0) {
+            // Still in flight (delayed burst or pending retransmission);
+            // keep watching.
+            armD2hWatchdog(device, seq);
+            return;
+        }
+        // The descriptor landed but its MSI never arrived: the driver's
+        // poll finds and services it.
+        protoStat("timeouts", device);
+        processHostInbox(device);
+        if (side(device).d2hAcceptSeq < seq)
+            armD2hWatchdog(device, seq); // NAKed; watch the retry
+    });
+}
+
+void
+MigrationEngine::unrecoverable(const char *link, unsigned device)
+{
+    fatal("unrecoverable fabric fault: descriptor on the %s link of "
+          "NxP %u still corrupt after %u retransmissions%s",
+          link, device, _retryBudget,
+          _chaos ? strfmt(" (chaos seed %llu)",
+                          (unsigned long long)_chaos->seed())
+                       .c_str()
+                 : "");
 }
 
 } // namespace flick

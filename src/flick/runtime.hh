@@ -61,6 +61,8 @@
 namespace flick
 {
 
+class ChaosController;
+
 /**
  * One step of the migration protocol, for the journal.
  *
@@ -162,6 +164,20 @@ class MigrationEngine
     /** Bytes of NxP stack allocated per thread on first migration. */
     void setNxpStackBytes(std::uint64_t b) { _nxpStackBytes = b; }
 
+    /**
+     * Attach the machine's chaos controller. The engine never draws
+     * from it; it only uses it to decide whether to arm the descriptor
+     * watchdogs (pointless without fault injection) and to report the
+     * chaos seed in unrecoverable-fault diagnostics.
+     */
+    void setChaos(ChaosController *chaos) { _chaos = chaos; }
+
+    /**
+     * Consecutive retransmissions tolerated per link before the
+     * simulation dies with an unrecoverable-corruption diagnostic.
+     */
+    void setRetryBudget(unsigned budget) { _retryBudget = budget; }
+
     /** Start recording protocol steps (clears any previous journal). */
     void
     enableJournal(bool on = true)
@@ -223,6 +239,17 @@ class MigrationEngine
         bool busy = false;          //!< Core owned by a thread/handler.
         bool kickScheduled = false; //!< Scheduler poll event pending.
         Addr loadedCr3 = 0;         //!< CR3 the device MMU currently holds.
+
+        // --- Link integrity state (sequence numbers, retry budgets) ---
+        std::uint64_t h2dSendSeq = 0;   //!< Last seq sent host->device.
+        std::uint64_t h2dAcceptSeq = 0; //!< Last seq accepted by device.
+        std::uint64_t d2hSendSeq = 0;   //!< Last seq sent device->host.
+        std::uint64_t d2hAcceptSeq = 0; //!< Last seq accepted by host.
+        unsigned h2dRetries = 0; //!< Consecutive NAKs, host->device link.
+        unsigned d2hRetries = 0; //!< Consecutive NAKs, device->host link.
+        //! Descriptors whose d2h DMA landed but are not yet serviced;
+        //! the guard that makes duplicated or stale MSIs harmless.
+        unsigned d2hLanded = 0;
     };
 
     using Cont = std::function<void()>;
@@ -261,7 +288,7 @@ class MigrationEngine
     void hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                             unsigned device);
     /** Stage @p d in the next h2d ring slot and start its DMA burst. */
-    void fireHostToNxp(const MigrationDescriptor &d, unsigned device);
+    void fireHostToNxp(MigrationDescriptor d, unsigned device);
 
     // --- NxP-side scheduling ------------------------------------------
 
@@ -286,10 +313,42 @@ class MigrationEngine
     void deviceSendToHost(TaskExec &x, MigrationDescriptor d,
                           unsigned device, ProtocolStep step, VAddr addr);
     /** Stage @p d in the next d2h ring slot and start its DMA burst. */
-    void fireNxpToHost(const MigrationDescriptor &d, unsigned device);
+    void fireNxpToHost(MigrationDescriptor d, unsigned device);
 
     /** The IRQ handler for @p device's DMA-complete vector. */
     void hostIrq(unsigned device);
+
+    // --- Link integrity (NAK / retransmit / timeout) -------------------
+
+    /**
+     * Service the oldest landed descriptor on @p device's d2h ring:
+     * verify integrity, NAK-and-retransmit on failure, wake the target
+     * thread on success. Shared by the IRQ handler and the watchdog.
+     */
+    void processHostInbox(unsigned device);
+
+    /** Device rejected its inbox head: retransmit from staging. */
+    void nakH2d(unsigned device);
+    /** Host rejected its inbox head: retransmit from the outbox. */
+    void nakD2h(unsigned device);
+
+    /**
+     * Arm (or re-arm) the lost-MSI watchdog for d2h descriptor @p seq.
+     * Only armed while fault injection is active; the fault-free event
+     * stream carries no watchdog events at all.
+     */
+    void armD2hWatchdog(unsigned device, std::uint64_t seq);
+
+    /** Die on an exhausted retry budget, naming the link and seed. */
+    [[noreturn]] void unrecoverable(const char *link, unsigned device);
+
+    /** Bump the aggregate and the per-device protocol counter. */
+    void
+    protoStat(const char *key, unsigned device)
+    {
+        _stats.inc(key);
+        _stats.inc(strfmt("%s_dev%u", key, device));
+    }
 
     // --- Helpers -------------------------------------------------------
 
@@ -309,10 +368,12 @@ class MigrationEngine
 
     void writeHostStaging(const MigrationDescriptor &d, unsigned device,
                           unsigned slot);
-    MigrationDescriptor readNxpInbox(unsigned device, unsigned slot);
+    MigrationDescriptor::Wire readNxpInboxWire(unsigned device,
+                                               unsigned slot);
     void writeNxpOutbox(const MigrationDescriptor &d, unsigned device,
                         unsigned slot);
-    MigrationDescriptor readHostInbox(unsigned device, unsigned slot);
+    MigrationDescriptor::Wire readHostInboxWire(unsigned device,
+                                                unsigned slot);
 
     /** Current NxP stack pointer for a (possibly nested) call. */
     std::uint64_t currentNxpSp(const Task &task, unsigned device) const;
@@ -346,6 +407,8 @@ class MigrationEngine
 
     Tick _extraRoundTrip = 0;
     std::uint64_t _nxpStackBytes = 64 * 1024;
+    ChaosController *_chaos = nullptr;
+    unsigned _retryBudget = 16;
     bool _journalOn = false;
     std::vector<ProtocolEvent> _journal;
     StatGroup _stats;

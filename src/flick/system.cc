@@ -50,6 +50,7 @@ nxpCoreParams(const TimingConfig &t, unsigned device = 0)
 FlickSystem::FlickSystem(SystemConfig config)
     : _config(std::move(config)),
       _mem(_config.timing, _config.platform),
+      _chaos(_config.chaos),
       _irq(_events, _config.timing),
       _dma(_events, _mem, &_irq),
       _platformCtrl(_mem),
@@ -76,9 +77,16 @@ FlickSystem::FlickSystem(SystemConfig config)
 
     _platformCtrl.setNxpMmu(&_nxpCore.mmu());
 
+    // Every fabric component consults the one chaos controller, so a
+    // seed fully determines the injected fault sequence.
+    _dma.setChaos(&_chaos);
+    _irq.setChaos(&_chaos);
+
     _engine = std::make_unique<MigrationEngine>(_events, _mem,
                                                 _config.timing, _kernel,
                                                 _irq, _hostCore);
+    _engine->setChaos(&_chaos);
+    _engine->setRetryBudget(_config.retryBudget);
 
     // Per device: a host-side staging ring the kernel packages outbound
     // descriptors into, and a host-side inbox ring the device's outbox
@@ -102,6 +110,7 @@ FlickSystem::FlickSystem(SystemConfig config)
         _platformCtrl2 = std::make_unique<NxpPlatform>(_mem, 1);
         _platformCtrl2->setNxpMmu(&_nxp2Core->mmu());
         _dma2 = std::make_unique<DmaEngine>(_events, _mem, &_irq, 1);
+        _dma2->setChaos(&_chaos);
         std::uint64_t reserved = _platformCtrl.reservedLocalEnd() -
                                  _config.platform.nxpDramLocalBase;
         _nxpWindowHeap2 = std::make_unique<RegionHeap>(
@@ -154,6 +163,16 @@ FlickSystem::Debug::nxpPlatform(unsigned device) const
         return sys->_platformCtrl;
     if (device == 1 && sys->_platformCtrl2)
         return *sys->_platformCtrl2;
+    fatal("no NxP device %u", device);
+}
+
+DmaEngine &
+FlickSystem::Debug::dma(unsigned device) const
+{
+    if (device == 0)
+        return sys->_dma;
+    if (device == 1 && sys->_dma2)
+        return *sys->_dma2;
     fatal("no NxP device %u", device);
 }
 
@@ -374,6 +393,7 @@ FlickSystem::dumpStats(std::ostream &os)
 {
     _mem.stats().dump(os);
     _kernel.stats().dump(os);
+    _chaos.stats().dump(os);
     _dma.stats().dump(os);
     _irq.stats().dump(os);
     _platformCtrl.stats().dump(os);

@@ -46,6 +46,7 @@
 #include "mem/irq.hh"
 #include "mem/mem_system.hh"
 #include "os/kernel.hh"
+#include "sim/chaos.hh"
 #include "sim/event_queue.hh"
 #include "sim/timing_config.hh"
 #include "vm/page_table.hh"
@@ -73,6 +74,10 @@ struct SystemConfig
     std::uint64_t nxpStackBytes = 64 * 1024;
     /** Descriptor-ring slots per direction and device (in-flight bound). */
     unsigned ringSlots = 8;
+    /** Fault-injection (chaos) configuration; disabled by default. */
+    ChaosConfig chaos;
+    /** Consecutive descriptor retransmissions tolerated per link. */
+    unsigned retryBudget = 16;
 
     /** Number of NxP devices in the platform (1 or 2). */
     SystemConfig &
@@ -93,6 +98,34 @@ struct SystemConfig
     withRingSlots(unsigned slots)
     {
         ringSlots = slots;
+        return *this;
+    }
+
+    /**
+     * Seed the chaos PRNG. The seed alone does not enable fault
+     * injection (use withChaos()), so a seeded-but-disabled system is
+     * tick-for-tick identical to a default one — which the chaos suite
+     * asserts.
+     */
+    SystemConfig &
+    withChaosSeed(std::uint64_t seed)
+    {
+        chaos.seed = seed;
+        return *this;
+    }
+
+    /** Enable fault injection with the given fault classes/rates. */
+    SystemConfig &
+    withChaos(const ChaosConfig &config)
+    {
+        chaos = config;
+        return *this;
+    }
+
+    SystemConfig &
+    withRetryBudget(unsigned budget)
+    {
+        retryBudget = budget;
         return *this;
     }
 
@@ -248,6 +281,9 @@ class FlickSystem
         PageTableManager &pageTables() const { return sys->_ptm; }
         NativeRegistry &natives() const { return sys->_natives; }
         EventQueue &events() const { return sys->_events; }
+        ChaosController &chaos() const { return sys->_chaos; }
+        DmaEngine &dma(unsigned device = 0) const;
+        IrqController &irq() const { return sys->_irq; }
         RegionHeap &nxpHeap(unsigned device = 0) const;
         unsigned
         nxpDeviceCount() const
@@ -303,6 +339,7 @@ class FlickSystem
     SystemConfig _config;
     EventQueue _events;
     MemSystem _mem;
+    ChaosController _chaos;
     IrqController _irq;
     DmaEngine _dma;
     NxpPlatform _platformCtrl;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "mem/irq.hh"
+#include "sim/chaos.hh"
 #include "sim/logging.hh"
 
 namespace flick
@@ -41,10 +42,30 @@ DmaEngine::start(Transfer t)
     _stats.inc("transfers");
     _stats.inc("bytes", t.len);
     Tick latency = _mem.timing().dmaTransfer(t.len);
+    if (_chaos) {
+        Tick extra = _chaos->extraDmaDelay();
+        if (extra) {
+            latency += extra;
+            _stats.inc("chaos_delays");
+        }
+    }
     _events.scheduleIn(latency, t.to_nxp ? "dmaToNxp" : "dmaToHost",
                        [this, t = std::move(t)]() mutable {
                            complete(std::move(t));
                        });
+}
+
+void
+DmaEngine::corrupt(std::vector<std::uint8_t> &buf)
+{
+    if (!_chaos || buf.empty() || !_chaos->shouldCorruptDma())
+        return;
+    unsigned bits = _chaos->corruptBitCount();
+    for (unsigned i = 0; i < bits; ++i) {
+        std::uint64_t bit = _chaos->pick(buf.size() * 8);
+        buf[bit / 8] ^= std::uint8_t(1u << (bit % 8));
+    }
+    _stats.inc("chaos_corruptions");
 }
 
 void
@@ -61,6 +82,7 @@ DmaEngine::complete(Transfer t)
             panic("DMA host->NxP with bad addresses src=%#llx dst=%#llx",
                   (unsigned long long)t.src, (unsigned long long)t.dst);
         _mem.hostDram().read(t.src, buf.data(), t.len);
+        corrupt(buf);
         _mem.nxpDram(_device).write(t.dst - p.nxpDramLocalBase,
                                     buf.data(), t.len);
     } else {
@@ -69,6 +91,7 @@ DmaEngine::complete(Transfer t)
                   (unsigned long long)t.src, (unsigned long long)t.dst);
         _mem.nxpDram(_device).read(t.src - p.nxpDramLocalBase,
                                    buf.data(), t.len);
+        corrupt(buf);
         _mem.hostDram().write(t.dst, buf.data(), t.len);
     }
 

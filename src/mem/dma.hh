@@ -24,6 +24,7 @@
 namespace flick
 {
 
+class ChaosController;
 class IrqController;
 
 /**
@@ -70,6 +71,15 @@ class DmaEngine
     /** Transfers queued behind the in-flight one (ring backpressure). */
     std::size_t queuedTransfers() const { return _pending.size(); }
 
+    /**
+     * Attach the machine's chaos controller. When attached and enabled,
+     * transfers may land with flipped payload bits and may be charged
+     * extra latency; the destination bytes are corrupted, never the
+     * sender's staging copy (faults happen on the link, not in the
+     * source buffer), so a retransmission of the same slot can recover.
+     */
+    void setChaos(ChaosController *chaos) { _chaos = chaos; }
+
     StatGroup &stats() { return _stats; }
 
   private:
@@ -86,10 +96,13 @@ class DmaEngine
     void enqueue(Transfer t);
     void start(Transfer t);
     void complete(Transfer t);
+    /** Maybe flip bits in an in-flight payload (chaos). */
+    void corrupt(std::vector<std::uint8_t> &buf);
 
     EventQueue &_events;
     MemSystem &_mem;
     IrqController *_irq;
+    ChaosController *_chaos = nullptr;
     unsigned _device;
     bool _busy = false;
     std::deque<Transfer> _pending;

@@ -1,5 +1,6 @@
 #include "mem/irq.hh"
 
+#include "sim/chaos.hh"
 #include "sim/logging.hh"
 
 namespace flick
@@ -12,9 +13,26 @@ IrqController::raise(unsigned vector)
     if (it == _handlers.end())
         panic("IRQ vector %u raised with no handler connected", vector);
     _stats.inc("raised");
+    if (_chaos && _chaos->shouldDropIrq()) {
+        _stats.inc("dropped");
+        return;
+    }
+    Tick latency = _timing.irqDelivery;
+    if (_chaos) {
+        Tick extra = _chaos->extraIrqDelay();
+        if (extra) {
+            latency += extra;
+            _stats.inc("chaos_delays");
+        }
+    }
     Handler &h = it->second;
-    _events.scheduleIn(_timing.irqDelivery, strfmt("irq%u", vector),
-                       [&h] { h(); });
+    _events.scheduleIn(latency, strfmt("irq%u", vector), [&h] { h(); });
+    if (_chaos && _chaos->shouldDuplicateIrq()) {
+        _stats.inc("duplicated");
+        // The ghost copy lands shortly after the real one.
+        _events.scheduleIn(latency + _timing.irqDelivery / 4,
+                           strfmt("irq%u-dup", vector), [&h] { h(); });
+    }
 }
 
 } // namespace flick

@@ -21,6 +21,8 @@
 namespace flick
 {
 
+class ChaosController;
+
 /**
  * Delivers device interrupts to host-side handlers.
  */
@@ -46,11 +48,19 @@ class IrqController
      */
     void raise(unsigned vector);
 
+    /**
+     * Attach the machine's chaos controller. When attached and enabled,
+     * a raised vector may be silently dropped (the receiver's timeout
+     * path must recover), delivered twice, or delayed.
+     */
+    void setChaos(ChaosController *chaos) { _chaos = chaos; }
+
     StatGroup &stats() { return _stats; }
 
   private:
     EventQueue &_events;
     const TimingConfig &_timing;
+    ChaosController *_chaos = nullptr;
     std::unordered_map<unsigned, Handler> _handlers;
     StatGroup _stats;
 };

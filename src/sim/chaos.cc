@@ -1,0 +1,37 @@
+#include "sim/chaos.hh"
+
+namespace flick
+{
+
+bool
+ChaosController::roll(double rate, const char *counter)
+{
+    if (!_config.enabled || rate <= 0.0)
+        return false;
+    _stats.inc("rolls");
+    if (_rng.real() >= rate)
+        return false;
+    _stats.inc(counter);
+    _stats.inc("faults_injected");
+    return true;
+}
+
+Tick
+ChaosController::extraDelay(const char *counter, const char *tick_counter)
+{
+    if (!roll(_config.delayRate, counter))
+        return 0;
+    Tick extra = _config.maxExtraDelay
+                     ? 1 + _rng.below(_config.maxExtraDelay)
+                     : 0;
+    _stats.inc(tick_counter, extra);
+    return extra;
+}
+
+std::uint64_t
+ChaosController::faultsInjected() const
+{
+    return _stats.get("faults_injected");
+}
+
+} // namespace flick

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated fabric.
+ *
+ * Real PCIe links flip bits, lose MSIs and add jitter; the paper's
+ * protocol assumes they never do. The ChaosController is the single
+ * source of injected fabric faults: the DMA engines and the interrupt
+ * controller consult it at well-defined points, and every decision is
+ * drawn from one seeded PRNG so any failing run reproduces exactly from
+ * its seed. With chaos disabled no PRNG draw ever happens and every
+ * consultation is a constant "no", keeping the fault-free simulation
+ * tick-for-tick identical to a build without the chaos layer.
+ */
+
+#ifndef FLICK_SIM_CHAOS_HH
+#define FLICK_SIM_CHAOS_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace flick
+{
+
+/**
+ * Fault classes and rates of the chaos layer. All rates are
+ * probabilities in [0, 1] evaluated independently per opportunity (per
+ * DMA transfer, per interrupt).
+ */
+struct ChaosConfig
+{
+    /** Master switch; when false no fault is ever injected. */
+    bool enabled = false;
+
+    /** PRNG seed; one seed fully determines every injected fault. */
+    std::uint64_t seed = 1;
+
+    /** Probability a DMA burst lands with corrupted payload bytes. */
+    double corruptRate = 0.0;
+
+    /** Bits flipped per corruption event (1..corruptBits). */
+    unsigned corruptBits = 4;
+
+    /** Probability a device interrupt is silently dropped. */
+    double dropIrqRate = 0.0;
+
+    /** Probability a device interrupt is delivered twice. */
+    double duplicateIrqRate = 0.0;
+
+    /** Probability a DMA transfer or interrupt is delayed. */
+    double delayRate = 0.0;
+
+    /** Upper bound of the injected extra latency. */
+    Tick maxExtraDelay = us(5);
+};
+
+/**
+ * Draws and counts fabric-fault decisions. One instance per simulated
+ * machine, shared by every DMA engine and the interrupt controller, so
+ * the draw sequence is a deterministic function of (seed, event order).
+ */
+class ChaosController
+{
+  public:
+    explicit ChaosController(const ChaosConfig &config = {})
+        : _config(config), _rng(config.seed), _stats("chaos")
+    {}
+
+    bool enabled() const { return _config.enabled; }
+    const ChaosConfig &config() const { return _config; }
+    std::uint64_t seed() const { return _config.seed; }
+
+    /** Should this DMA burst land corrupted? */
+    bool
+    shouldCorruptDma()
+    {
+        return roll(_config.corruptRate, "dma_corruptions");
+    }
+
+    /** How many bits to flip in a corrupted burst (>= 1). */
+    unsigned
+    corruptBitCount()
+    {
+        unsigned max = _config.corruptBits ? _config.corruptBits : 1;
+        return 1 + static_cast<unsigned>(_rng.below(max));
+    }
+
+    /** Uniform value in [0, bound); for picking corruption sites. */
+    std::uint64_t pick(std::uint64_t bound) { return _rng.below(bound); }
+
+    /** Should this interrupt be dropped? */
+    bool
+    shouldDropIrq()
+    {
+        return roll(_config.dropIrqRate, "irqs_dropped");
+    }
+
+    /** Should this interrupt be delivered twice? */
+    bool
+    shouldDuplicateIrq()
+    {
+        return roll(_config.duplicateIrqRate, "irqs_duplicated");
+    }
+
+    /** Extra latency for this DMA transfer (0 when none injected). */
+    Tick
+    extraDmaDelay()
+    {
+        return extraDelay("dma_delays", "dma_delay_ticks");
+    }
+
+    /** Extra latency for this interrupt delivery (0 when none). */
+    Tick
+    extraIrqDelay()
+    {
+        return extraDelay("irq_delays", "irq_delay_ticks");
+    }
+
+    /** Total faults injected across every class. */
+    std::uint64_t faultsInjected() const;
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    /** One Bernoulli draw; never draws when chaos is disabled. */
+    bool roll(double rate, const char *counter);
+
+    Tick extraDelay(const char *counter, const char *tick_counter);
+
+    ChaosConfig _config;
+    Rng _rng;
+    StatGroup _stats;
+};
+
+} // namespace flick
+
+#endif // FLICK_SIM_CHAOS_HH

@@ -84,6 +84,13 @@ struct TimingConfig
     Tick dmaPerByte = ps(127);
     /** MSI interrupt delivery latency, device to host core. */
     Tick irqDelivery = ns(900);
+    /**
+     * Driver watchdog period for an outstanding device->host descriptor:
+     * if the completion MSI was lost, a poll after this long finds the
+     * landed descriptor and services it. Only armed when fault injection
+     * is active, so the fault-free event stream is unchanged.
+     */
+    Tick descriptorTimeout = us(60);
 
     // --- Kernel charges (the paper's Linux modifications) --------------
     /**

@@ -176,6 +176,45 @@ TEST_P(CallGraphFuzz, MatchesGoldenModelAcrossTwoDevices)
         << "seed " << GetParam();
 }
 
+TEST_P(CallGraphFuzz, MatchesGoldenModelUnderChaos)
+{
+    // Same random DAGs, but with the fabric injecting descriptor
+    // corruption, lost/duplicated interrupts and jitter: the hardened
+    // protocol must make every cross-ISA edge exact anyway.
+    Rng rng(7000 + GetParam());
+    const unsigned count = 8 + static_cast<unsigned>(rng.below(8));
+    std::vector<FnSpec> fns = makeGraph(rng, count, 2);
+
+    std::string host_src, nxp_src;
+    for (const FnSpec &f : fns)
+        (f.where == 0 ? host_src : nxp_src) +=
+            (f.where == 0 ? emitHx64(f) : emitRv64(f));
+
+    ChaosConfig chaos;
+    chaos.enabled = true;
+    chaos.seed = 9000 + GetParam();
+    chaos.corruptRate = 0.15;
+    chaos.dropIrqRate = 0.10;
+    chaos.duplicateIrqRate = 0.10;
+    chaos.delayRate = 0.30;
+
+    FlickSystem sys(SystemConfig{}.withChaos(chaos));
+    Program prog;
+    if (!host_src.empty())
+        prog.addHostAsm(host_src);
+    if (!nxp_src.empty())
+        prog.addNxpAsm(nxp_src);
+    Process &proc = sys.load(prog);
+
+    for (std::uint64_t x : {0ull, 1ull, 12345ull}) {
+        std::uint64_t expect = evaluate(fns, 0, x);
+        std::uint64_t got = sys.call(proc, "fn0", {x});
+        ASSERT_EQ(got, expect)
+            << "seed " << GetParam() << " chaos seed " << chaos.seed
+            << " x=" << x << " functions=" << count;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CallGraphFuzz, ::testing::Range(0, 12));
 
 } // namespace

@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit tests for migration descriptors: wire-format round trips.
+ * Unit tests for migration descriptors: wire-format round trips and the
+ * integrity fields (sequence number, CRC-64 checksum) receivers use to
+ * reject corrupted bursts.
  */
 
 #include <gtest/gtest.h>
@@ -61,6 +63,7 @@ TEST_P(DescriptorProperty, RandomRoundTrip)
     d.nargs = static_cast<std::uint32_t>(rng.below(7));
     for (auto &a : d.args)
         a = rng.next();
+    d.seq = rng.next();
     MigrationDescriptor e = MigrationDescriptor::fromWire(d.toWire());
     EXPECT_EQ(e.kind, d.kind);
     EXPECT_EQ(e.pid, d.pid);
@@ -70,6 +73,75 @@ TEST_P(DescriptorProperty, RandomRoundTrip)
     EXPECT_EQ(e.retval, d.retval);
     EXPECT_EQ(e.nargs, d.nargs);
     EXPECT_EQ(e.args, d.args);
+    EXPECT_EQ(e.seq, d.seq);
+}
+
+/** A freshly serialized descriptor always passes the integrity check. */
+TEST_P(DescriptorProperty, FreshWireIsIntact)
+{
+    Rng rng(GetParam() + 1000);
+    MigrationDescriptor d;
+    d.kind = static_cast<DescriptorKind>(1 + rng.below(4));
+    d.pid = static_cast<std::uint32_t>(rng.next());
+    d.target = rng.next();
+    d.retval = rng.next();
+    d.nargs = static_cast<std::uint32_t>(rng.below(7));
+    for (auto &a : d.args)
+        a = rng.next();
+    d.seq = rng.next();
+    EXPECT_TRUE(MigrationDescriptor::wireIntact(d.toWire()))
+        << "seed " << GetParam();
+}
+
+/**
+ * Every single-bit flip anywhere in the 128-byte wire image must fail
+ * the checksum: a flip in the covered prefix changes the computed CRC,
+ * and a flip in the stored checksum mismatches the (unchanged) computed
+ * one. This is the property the NAK/retransmit protocol relies on.
+ */
+TEST_P(DescriptorProperty, AnySingleBitFlipDetected)
+{
+    Rng rng(GetParam() + 2000);
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::hostToNxpCall;
+    d.pid = static_cast<std::uint32_t>(rng.next());
+    d.target = rng.next();
+    d.nargs = 6;
+    for (auto &a : d.args)
+        a = rng.next();
+    d.seq = 1 + rng.below(1 << 20);
+    const auto clean = d.toWire();
+    ASSERT_TRUE(MigrationDescriptor::wireIntact(clean));
+    for (unsigned bit = 0; bit < MigrationDescriptor::wireBytes * 8; ++bit) {
+        auto w = clean;
+        w[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(MigrationDescriptor::wireIntact(w))
+            << "seed " << GetParam() << ", undetected flip of bit " << bit;
+    }
+}
+
+/** Multi-bit bursts of the width the chaos engine injects are caught. */
+TEST_P(DescriptorProperty, RandomBurstCorruptionDetected)
+{
+    Rng rng(GetParam() + 3000);
+    MigrationDescriptor d;
+    d.kind = DescriptorKind::nxpToHostReturn;
+    d.retval = rng.next();
+    d.seq = 1 + rng.below(1 << 20);
+    const auto clean = d.toWire();
+    for (int trial = 0; trial < 64; ++trial) {
+        auto w = clean;
+        unsigned flips = 1 + static_cast<unsigned>(rng.below(8));
+        for (unsigned i = 0; i < flips; ++i) {
+            unsigned bit =
+                static_cast<unsigned>(rng.below(MigrationDescriptor::wireBytes * 8));
+            w[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        if (w == clean)  // flips may cancel out
+            continue;
+        EXPECT_FALSE(MigrationDescriptor::wireIntact(w))
+            << "seed " << GetParam() << ", trial " << trial;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DescriptorProperty,

@@ -72,6 +72,35 @@ bad_bytes:
                  "guest fault on the host core: illegalInstr");
 }
 
+TEST_F(FaultInjection, NxpWriteToTextIsGuestFault)
+{
+    // An NxP store into its own (read-execute) text page must surface as
+    // a protection fault, mirroring the host-side write-to-text case.
+    boot(nullptr, R"(
+nxp_bad_write:
+    la t0, nxp_bad_write
+    li t1, 1
+    sd t1, 0(t0)
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "nxp_bad_write"),
+                 "guest fault on the NxP core: protection");
+}
+
+TEST_F(FaultInjection, HostIndirectJumpToUnmappedIsGuestFault)
+{
+    // An indirect call through a garbage pointer lands on an unmapped
+    // page; the fetch must die as a guest fault, not a simulator panic.
+    boot(R"(
+bad_jump:
+    mov rax, 0x123456789000
+    callr rax
+    ret
+)");
+    EXPECT_DEATH(sys->call(*proc, "bad_jump"),
+                 "guest fault on the host core: notPresent");
+}
+
 TEST_F(FaultInjection, NxpWildReadIsGuestFault)
 {
     boot(nullptr, R"(
