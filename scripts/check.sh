@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
-# plus a Debug + ThreadSanitizer build running the concurrency- and
-# chaos-labeled tests (the event-driven migration engine's interleaved
-# continuation chains and the fault-recovery paths are where lifetime
-# bugs would hide).
+# plus a Debug + ThreadSanitizer build running the concurrency-,
+# chaos- and device_fault-labeled tests (the event-driven migration
+# engine's interleaved continuation chains and the fault-recovery and
+# failover paths are where lifetime bugs would hide).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,13 +15,19 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
+echo "== release build, device-fault label =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L device_fault
+
+echo
 echo "== debug + tsan build, concurrency + chaos tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
-    --target concurrent_call_test chaos_test callgraph_fuzz_test
+    --target concurrent_call_test chaos_test callgraph_fuzz_test \
+             device_fault_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
 
 echo
 echo "all checks passed"

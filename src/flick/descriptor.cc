@@ -72,6 +72,7 @@ MigrationDescriptor::toWire() const
     for (unsigned i = 0; i < maxArgs; ++i)
         put64(&w[48 + 8 * i], args[i]);
     put64(&w[96], seq);
+    put64(&w[104], callId);
     put64(&w[checksummedBytes], crc64(w.data(), checksummedBytes));
     return w;
 }
@@ -91,6 +92,7 @@ MigrationDescriptor::fromWire(const Wire &w)
     for (unsigned i = 0; i < maxArgs; ++i)
         d.args[i] = get64(&w[48 + 8 * i]);
     d.seq = get64(&w[96]);
+    d.callId = get64(&w[104]);
     return d;
 }
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "mem/sparse_memory.hh"
 #include "vm/pte.hh"
@@ -62,6 +63,23 @@ struct MigrationDescriptor
     std::uint32_t nargs = 0;
     std::array<std::uint64_t, maxArgs> args{};
     std::uint64_t seq = 0;  //!< Per-link FIFO sequence number.
+    /**
+     * Generation token of the in-flight call this descriptor belongs
+     * to. A call that is cancelled or failed (deadline, dead device)
+     * releases its PID immediately; a descriptor from the dead call can
+     * still be in flight and must not be delivered to a later call that
+     * reuses the PID. Receivers drop descriptors whose callId does not
+     * match the PID's current in-flight call.
+     */
+    std::uint64_t callId = 0;
+
+    /** The argument array as a vector (ABI handoff convenience). */
+    std::vector<std::uint64_t>
+    argVector() const
+    {
+        return std::vector<std::uint64_t>(args.begin(),
+                                          args.begin() + nargs);
+    }
 
     /**
      * Serialize to the 128-byte wire format (little endian), computing

@@ -88,6 +88,18 @@ class DescriptorRing
         --_count;
     }
 
+    /**
+     * Drop every in-flight slot (device quarantine: nothing staged will
+     * ever be consumed, retransmitted or completed). The ring is empty
+     * afterwards and can be reused.
+     */
+    void
+    drain()
+    {
+        _head = _tail;
+        _count = 0;
+    }
+
     /** Sender-side (staging) physical address of @p slot. */
     Addr stagingPa(unsigned slot) const { return _staging + slot * slotBytes; }
 

@@ -25,6 +25,31 @@ protocolStepName(ProtocolStep step)
       case ProtocolStep::nxpSendReturn: return "nxpSendReturn";
       case ProtocolStep::hostReturn: return "hostReturn";
       case ProtocolStep::hostForward: return "hostForward";
+      case ProtocolStep::hostFallback: return "hostFallback";
+    }
+    return "?";
+}
+
+const char *
+callStatusName(CallStatus status)
+{
+    switch (status) {
+      case CallStatus::pending: return "pending";
+      case CallStatus::ok: return "ok";
+      case CallStatus::deadlineExceeded: return "deadlineExceeded";
+      case CallStatus::deviceLost: return "deviceLost";
+      case CallStatus::cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+const char *
+deviceHealthName(DeviceHealth health)
+{
+    switch (health) {
+      case DeviceHealth::healthy: return "healthy";
+      case DeviceHealth::suspect: return "suspect";
+      case DeviceHealth::quarantined: return "quarantined";
     }
     return "?";
 }
@@ -42,6 +67,27 @@ CallFuture::wait()
                   "event queue");
     }
     return _state->value;
+}
+
+bool
+CallFuture::waitFor(Tick ticks)
+{
+    if (!_state || !_engine)
+        panic("waitFor() on an invalid CallFuture");
+    Tick until = _engine->now() + ticks;
+    while (!_state->done && _engine->now() < until) {
+        if (!_engine->pump())
+            break; // queue ran dry; the call is stuck, not done
+    }
+    return _state->done;
+}
+
+bool
+CallFuture::cancel()
+{
+    if (!_state || !_engine || _state->done)
+        return false;
+    return _engine->cancelCall(_state->pid);
 }
 
 std::uint64_t
@@ -106,6 +152,15 @@ MigrationEngine::exec(int pid)
     if (it == _exec.end())
         panic("no in-flight call for task %d", pid);
     return it->second;
+}
+
+MigrationEngine::TaskExec *
+MigrationEngine::live(int pid, std::uint64_t id)
+{
+    auto it = _exec.find(pid);
+    if (it == _exec.end() || it->second.id != id)
+        return nullptr;
+    return &it->second;
 }
 
 Tick
@@ -227,11 +282,19 @@ MigrationEngine::submit(Task &task, VAddr entry,
     TaskExec x;
     x.task = &task;
     x.future = state;
+    x.id = ++_nextExecId;
     x.entry = entry;
     x.args = args;
     x.stackTop = stack_top;
+    if (_callDeadline)
+        x.deadline = _events.now() + _callDeadline;
     _exec.emplace(task.pid, std::move(x));
     _stats.inc("calls_submitted");
+    // The watchdog only exists when something can actually go wrong
+    // (endpoint fault injection or a configured deadline); otherwise the
+    // fault-free event stream stays untouched.
+    if (_callDeadline || (_chaos && _chaos->endpointFaultsEnabled()))
+        armHeartbeat();
     _kernel.enqueueRunnable(task);
     kickHost();
     return CallFuture(std::move(state), this);
@@ -264,15 +327,20 @@ MigrationEngine::dispatchHost()
 {
     if (_hostBusy)
         return;
-    Task *task = _kernel.nextRunnable();
-    if (!task)
+    while (Task *task = _kernel.nextRunnable()) {
+        auto it = _exec.find(task->pid);
+        if (it == _exec.end())
+            continue; // the queued call failed or was cancelled
+        _hostBusy = true;
+        TaskExec &x = it->second;
+        if (x.pendingFallback)
+            dispatchFallback(x);
+        else if (x.pendingWake)
+            dispatchWake(x);
+        else
+            startEntry(x);
         return;
-    _hostBusy = true;
-    TaskExec &x = exec(task->pid);
-    if (x.pendingWake)
-        dispatchWake(x);
-    else
-        startEntry(x);
+    }
 }
 
 void
@@ -300,21 +368,79 @@ void
 MigrationEngine::dispatchWake(TaskExec &x)
 {
     int pid = x.task->pid;
+    std::uint64_t id = x.id;
     // Scheduler latency until the thread runs again, then the ioctl
     // returns into the user-space migration handler.
-    after(_timing.wakeupToRun, [this, pid] {
-        TaskExec &w = exec(pid);
-        Task &task = *w.task;
+    after(_timing.wakeupToRun, [this, pid, id] {
+        TaskExec *w = live(pid, id);
+        if (!w) {
+            releaseHost();
+            return;
+        }
+        Task &task = *w->task;
         if (_hostLoadedCr3 != task.cr3) {
             _hostCore.mmu().setCr3(task.cr3);
             _hostLoadedCr3 = task.cr3;
         }
         _hostCore.restoreContext(_kernel.resume(task));
-        after(_timing.ioctlExit, [this, pid] {
-            TaskExec &v = exec(pid);
-            MigrationDescriptor d = v.wakeDesc;
-            v.pendingWake = false;
-            handleHostDescriptor(v, d);
+        after(_timing.ioctlExit, [this, pid, id] {
+            TaskExec *v = live(pid, id);
+            if (!v) {
+                releaseHost();
+                return;
+            }
+            MigrationDescriptor d = v->wakeDesc;
+            v->pendingWake = false;
+            handleHostDescriptor(*v, d);
+        });
+    });
+}
+
+void
+MigrationEngine::dispatchFallback(TaskExec &x)
+{
+    int pid = x.task->pid;
+    std::uint64_t id = x.id;
+    // The kernel failed the migration and woke the thread; it resumes
+    // exactly like a migration return (scheduler latency, then the
+    // driver hands control back to user space), but the driver reports
+    // the failure and the runtime re-dispatches to the host twin.
+    after(_timing.wakeupToRun, [this, pid, id] {
+        TaskExec *w = live(pid, id);
+        if (!w) {
+            releaseHost();
+            return;
+        }
+        Task &task = *w->task;
+        if (_hostLoadedCr3 != task.cr3) {
+            _hostCore.mmu().setCr3(task.cr3);
+            _hostLoadedCr3 = task.cr3;
+        }
+        // The saved context's PC still sits on the faulting NX target;
+        // the re-dispatch below repoints it at the host twin before any
+        // fetch happens.
+        _hostCore.restoreContext(_kernel.resume(task));
+        after(_timing.ioctlExit +
+                  hostCycles(_timing.hostHandlerCycles),
+              [this, pid, id] {
+            TaskExec *v = live(pid, id);
+            if (!v) {
+                releaseHost();
+                return;
+            }
+            v->pendingFallback = false;
+            CallFrame &top = v->frames.back();
+            VAddr twin = fallbackVa(v->task->cr3, top.target);
+            if (!twin) {
+                panic("host fallback dispatched for task %d without a "
+                      "registered twin of %#llx",
+                      pid, (unsigned long long)top.target);
+            }
+            std::vector<std::uint64_t> args(top.args.begin(),
+                                            top.args.begin() + top.nargs);
+            _hostCore.setupCall(twin, args);
+            journal(ProtocolStep::hostFallback, pid, twin);
+            runHostSegment(*v);
         });
     });
 }
@@ -343,16 +469,40 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
         // Device-to-device call: the target belongs to another NxP, so
         // the kernel forwards the descriptor there (Section IV-C3).
         unsigned to = top.callee;
+        if (side(to).health == DeviceHealth::quarantined) {
+            // The destination is gone. With fallback enabled the kernel
+            // runs the host twin right here — the host core is already
+            // ours and the calling device just waits for its return
+            // descriptor as usual. Without it, the call chain dies.
+            protoStat("rejected_submissions", to);
+            VAddr twin = _hostFallback ? fallbackVa(task.cr3, d.target) : 0;
+            if (!twin) {
+                failCall(x, CallStatus::deviceLost);
+                releaseHost();
+                return;
+            }
+            protoStat("failovers", to);
+            top.callee = hostSide;
+            _hostCore.setupCall(twin, d.argVector());
+            journal(ProtocolStep::hostFallback, pid, twin);
+            runHostSegment(x);
+            return;
+        }
         journal(ProtocolStep::hostForward, pid, d.target);
         MigrationDescriptor fwd = d;
-        ensureNxpStack(task, to, [this, pid, fwd, to] {
-            after(_timing.ioctlEntry, [this, pid, fwd, to] {
-                TaskExec &w = exec(pid);
+        std::uint64_t id = x.id;
+        ensureNxpStack(task, to, [this, pid, id, fwd, to] {
+            after(_timing.ioctlEntry, [this, pid, id, fwd, to] {
+                TaskExec *w = live(pid, id);
+                if (!w) {
+                    releaseHost();
+                    return;
+                }
                 MigrationDescriptor f = fwd;
                 f.kind = DescriptorKind::hostToNxpCall;
-                f.cr3 = w.task->cr3;
-                f.nxpSp = currentNxpSp(*w.task, to);
-                hostSendDescriptor(w, f, to);
+                f.cr3 = w->task->cr3;
+                f.nxpSp = currentNxpSp(*w->task, to);
+                hostSendDescriptor(*w, f, to);
             });
         });
         return;
@@ -375,14 +525,19 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
         // back to the device that is waiting for it.
         unsigned from = top.caller;
         std::uint64_t rv = d.retval;
-        after(_timing.ioctlEntry, [this, pid, rv, from] {
-            TaskExec &w = exec(pid);
+        std::uint64_t id = x.id;
+        after(_timing.ioctlEntry, [this, pid, id, rv, from] {
+            TaskExec *w = live(pid, id);
+            if (!w) {
+                releaseHost();
+                return;
+            }
             MigrationDescriptor ret;
             ret.kind = DescriptorKind::hostToNxpReturn;
             ret.pid = static_cast<std::uint32_t>(pid);
             ret.retval = rv;
-            ret.nxpSp = currentNxpSp(*w.task, from);
-            hostSendDescriptor(w, ret, from);
+            ret.nxpSp = currentNxpSp(*w->task, from);
+            hostSendDescriptor(*w, ret, from);
         });
         return;
       }
@@ -397,16 +552,24 @@ void
 MigrationEngine::runHostSegment(TaskExec &x)
 {
     int pid = x.task->pid;
+    std::uint64_t id = x.id;
     // Functional-first: the slice executes now, its time is charged as
     // a continuation, and the core stays owned until the stop handler.
     RunResult r = _hostCore.run();
-    after(r.elapsed, [this, pid, r] { handleHostStop(pid, r); });
+    after(r.elapsed, [this, pid, id, r] { handleHostStop(pid, id, r); });
 }
 
 void
-MigrationEngine::handleHostStop(int pid, RunResult r)
+MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
 {
-    TaskExec &x = exec(pid);
+    TaskExec *xp = live(pid, id);
+    if (!xp) {
+        // The call was failed/cancelled while its segment's time was
+        // being charged; the segment's owner releases the core.
+        releaseHost();
+        return;
+    }
+    TaskExec &x = *xp;
     Task &task = *x.task;
 
     switch (r.stop) {
@@ -422,18 +585,31 @@ MigrationEngine::handleHostStop(int pid, RunResult r)
             panic("host trampoline for task %d inside a device-side "
                   "frame", pid);
         }
+        if (top.caller == hostSide) {
+            // A host-fallback twin of a host-initiated call finished:
+            // deliver the value like the migration return would have.
+            x.frames.pop_back();
+            _stats.inc("fallback_returns");
+            _hostCore.finishHijackedCall(rv);
+            runHostSegment(x);
+            return;
+        }
         // (e) A nested host function finished: package the return and
         // ship it back to the calling device.
         unsigned from = top.caller;
         after(hostCycles(_timing.hostHandlerCycles) + _timing.ioctlEntry,
-              [this, pid, rv, from] {
-                  TaskExec &w = exec(pid);
+              [this, pid, id, rv, from] {
+                  TaskExec *w = live(pid, id);
+                  if (!w) {
+                      releaseHost();
+                      return;
+                  }
                   MigrationDescriptor ret;
                   ret.kind = DescriptorKind::hostToNxpReturn;
                   ret.pid = static_cast<std::uint32_t>(pid);
                   ret.retval = rv;
-                  ret.nxpSp = currentNxpSp(*w.task, from);
-                  hostSendDescriptor(w, ret, from);
+                  ret.nxpSp = currentNxpSp(*w->task, from);
+                  hostSendDescriptor(*w, ret, from);
               });
         return;
       }
@@ -483,6 +659,48 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
 {
     Task &task = *x.task;
     int pid = task.pid;
+    std::uint64_t id = x.id;
+
+    if (side(device).health == DeviceHealth::quarantined) {
+        // The kernel's fault handler consults the device health before
+        // staging anything: a migration to a quarantined NxP is
+        // rejected on the spot. With fallback enabled and a host twin
+        // registered, the handler re-points the faulting call at the
+        // twin — the hijacked return address is already in place, so
+        // the call completes exactly like a migration would have.
+        protoStat("rejected_submissions", device);
+        VAddr twin = _hostFallback ? fallbackVa(task.cr3, target) : 0;
+        if (!twin) {
+            failCall(x, CallStatus::deviceLost);
+            releaseHost();
+            return;
+        }
+        protoStat("failovers", device);
+        CallFrame f{hostSide, hostSide, _events.now()};
+        f.target = target;
+        f.nargs = MigrationDescriptor::maxArgs;
+        for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+            f.args[i] = _hostCore.arg(i);
+        x.frames.push_back(f);
+        journal(ProtocolStep::hostNxFault, pid, target);
+        after(_timing.nxFaultService + _timing.faultTrapExit +
+                  hostCycles(_timing.hostHandlerCycles),
+              [this, pid, id, twin] {
+            TaskExec *w = live(pid, id);
+            if (!w) {
+                releaseHost();
+                return;
+            }
+            CallFrame &top = w->frames.back();
+            std::vector<std::uint64_t> args(top.args.begin(),
+                                            top.args.begin() + top.nargs);
+            _hostCore.setupCall(twin, args);
+            journal(ProtocolStep::hostFallback, pid, twin);
+            runHostSegment(*w);
+        });
+        return;
+    }
+
     _stats.inc("host_to_nxp_calls");
     x.frames.push_back({device, hostSide, _events.now()});
 
@@ -492,19 +710,28 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
     task.savedFaultAddr = target;
     journal(ProtocolStep::hostNxFault, pid, target);
     after(_timing.nxFaultService + _timing.faultTrapExit,
-          [this, pid, target, device] {
+          [this, pid, id, target, device] {
+              TaskExec *w0 = live(pid, id);
+              if (!w0) {
+                  releaseHost();
+                  return;
+              }
               // First migration to this device: allocate the thread's
               // NxP stack (Listing 1 lines 3-4).
-              ensureNxpStack(*exec(pid).task, device,
-                             [this, pid, target, device] {
+              ensureNxpStack(*w0->task, device,
+                             [this, pid, id, target, device] {
                   // User-space handler gathers its (hijacked)
                   // arguments, then ioctl(): package target, args,
                   // CR3, PID, NxP SP into a descriptor.
                   after(hostCycles(_timing.hostHandlerCycles) +
                             _timing.ioctlEntry,
-                        [this, pid, target, device] {
-                      TaskExec &w = exec(pid);
-                      Task &t = *w.task;
+                        [this, pid, id, target, device] {
+                      TaskExec *w = live(pid, id);
+                      if (!w) {
+                          releaseHost();
+                          return;
+                      }
+                      Task &t = *w->task;
                       MigrationDescriptor d;
                       d.kind = DescriptorKind::hostToNxpCall;
                       d.pid = static_cast<std::uint32_t>(pid);
@@ -515,7 +742,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
                       for (unsigned i = 0; i < MigrationDescriptor::maxArgs;
                            ++i)
                           d.args[i] = _hostCore.arg(i);
-                      hostSendDescriptor(w, d, device);
+                      hostSendDescriptor(*w, d, device);
                   });
               });
           });
@@ -525,6 +752,7 @@ void
 MigrationEngine::completeCall(TaskExec &x, std::uint64_t value)
 {
     x.future->value = value;
+    x.future->status = CallStatus::ok;
     x.future->done = true;
     _stats.inc("calls_completed");
     _exec.erase(x.task->pid);
@@ -536,24 +764,53 @@ MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                                     unsigned device)
 {
     int pid = x.task->pid;
-    after(_timing.descriptorPack, [this, pid, d, device] {
+    std::uint64_t id = x.id;
+    d.callId = id;
+    if (d.kind == DescriptorKind::hostToNxpCall && !x.frames.empty()) {
+        // Remember what the descriptor asks for in the call frame; the
+        // host fallback path re-dispatches from this record if the
+        // device dies under the call.
+        CallFrame &top = x.frames.back();
+        top.target = d.target;
+        top.nargs = d.nargs;
+        top.args = d.args;
+    }
+    after(_timing.descriptorPack, [this, pid, id, d, device] {
+        TaskExec *w0 = live(pid, id);
+        if (!w0) {
+            releaseHost();
+            return;
+        }
         // Suspend TASK_KILLABLE, context switch away, then (and only
         // then) let the scheduler trigger the descriptor DMA
         // (Section IV-D).
-        Task &task = *exec(pid).task;
+        Task &task = *w0->task;
         _kernel.suspendForMigration(task, _hostCore.saveContext());
-        after(_timing.suspendSwitch, [this, pid, d, device] {
+        after(_timing.suspendSwitch, [this, pid, id, d, device] {
             bool is_call = d.kind == DescriptorKind::hostToNxpCall;
             journal(is_call ? ProtocolStep::hostSendCall
                             : ProtocolStep::hostSendReturn,
                     pid, is_call ? d.target : d.retval);
-            Cont fire = [this, pid, d, device] {
-                Task &t = *exec(pid).task;
+            Cont fire = [this, pid, id, d, device] {
+                TaskExec *w = live(pid, id);
+                if (!w) {
+                    releaseHost();
+                    return;
+                }
+                Task &t = *w->task;
                 if (!_kernel.takeMigrationTrigger(t)) {
                     panic("descriptor DMA requested without the "
                           "migration flag set");
                 }
                 NxpSide &s = side(device);
+                if (s.health == DeviceHealth::quarantined) {
+                    // The device died between the fault and the DMA
+                    // trigger: the kernel fails the migration instead
+                    // of staging into a drained ring.
+                    failCall(*w, CallStatus::deviceLost);
+                    releaseHost();
+                    return;
+                }
                 if (s.h2d.full())
                     s.h2dDeferred.push_back(d);
                 else
@@ -582,6 +839,7 @@ MigrationEngine::fireHostToNxp(MigrationDescriptor d, unsigned device)
     s.dma->copyHostToNxp(s.h2d.stagingPa(slot), s.h2d.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
                          [this, platform, device] {
+                             ++side(device).progress;
                              platform->inboxArrived();
                              kickNxp(device);
                          });
@@ -608,8 +866,19 @@ void
 MigrationEngine::dispatchNxp(unsigned device)
 {
     NxpSide &s = side(device);
+    if (s.dead || s.health == DeviceHealth::quarantined)
+        return; // nobody home; the watchdog notices the silence
     if (s.busy || s.platform->pendingInbox() == 0)
         return;
+    if (_chaos && _chaos->shouldKillNxpDevice()) {
+        // The device's scheduler core dies right here: the pending
+        // inbox descriptor is never picked up and nothing the device
+        // owes will ever complete. Only the health watchdog can tell.
+        s.dead = true;
+        s.segmentEnd = _events.now();
+        _stats.inc("chaos_device_deaths");
+        return;
+    }
     s.busy = true;
     // The NxP scheduler polls the DMA status register (Listing 2):
     // one poll iteration plus the status register read.
@@ -639,6 +908,7 @@ MigrationEngine::dispatchNxp(unsigned device)
             }
             t.h2dAcceptSeq = d.seq;
             t.h2dRetries = 0;
+            ++t.progress;
             t.h2d.pop();
             t.platform->consumeInbox();
             // The freed slot unblocks a deferred host-side send.
@@ -675,6 +945,14 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
         // pointer.
         after(nxpCycles(device, _timing.nxpCtxSwitchCycles),
               [this, device, d, pid] {
+            TaskExec *x = live(pid, d.callId);
+            if (!x) {
+                // The call this descriptor belongs to was failed or
+                // cancelled while the descriptor was in flight.
+                protoStat("stale_descriptors", device);
+                releaseNxp(device);
+                return;
+            }
             NxpSide &s = side(device);
             Core &core = *s.core;
             core.mmu().setCr3(d.cr3);
@@ -684,7 +962,7 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
                                             d.args.begin() + d.nargs);
             core.setupCall(d.target, args);
             journal(ProtocolStep::nxpCallStart, pid, d.target);
-            runNxpSegment(exec(pid), device);
+            runNxpSegment(*x, device);
         });
         return;
       }
@@ -694,9 +972,15 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
         // faulted.
         after(nxpCycles(device, _timing.nxpCtxSwitchCycles),
               [this, device, d, pid] {
+            TaskExec *xp = live(pid, d.callId);
+            if (!xp) {
+                protoStat("stale_descriptors", device);
+                releaseNxp(device);
+                return;
+            }
             NxpSide &s = side(device);
             Core &core = *s.core;
-            TaskExec &x = exec(pid);
+            TaskExec &x = *xp;
             Task &task = *x.task;
             if (task.nxpSavedCtx.empty() ||
                 task.nxpSavedCtx.back().device != device) {
@@ -740,15 +1024,49 @@ void
 MigrationEngine::runNxpSegment(TaskExec &x, unsigned device)
 {
     int pid = x.task->pid;
-    RunResult r = side(device).core->run();
+    std::uint64_t id = x.id;
+    NxpSide &s = side(device);
+    if (_chaos && _chaos->shouldWedgeNxpCore()) {
+        // The core wedges a few instructions into the segment (a hung
+        // accelerator pipeline): the architectural state stops
+        // advancing and no stop event is ever scheduled. The core
+        // stays busy forever; recovery is the health watchdog's job.
+        RunResult r = s.core->run(_chaos->wedgeProgress());
+        if (r.stop == Fault::none) {
+            s.segmentEnd = _events.now();
+            _stats.inc("chaos_core_wedges");
+            return;
+        }
+        // The segment was shorter than the wedge budget; it completed
+        // architecturally before the hang could bite.
+        s.segmentEnd = _events.now() + r.elapsed;
+        after(r.elapsed,
+              [this, pid, id, device, r] {
+                  handleNxpStop(pid, id, device, r);
+              });
+        return;
+    }
+    RunResult r = s.core->run();
+    // While the segment's time is being charged the busy core is
+    // computing, not stalled; tell the watchdog when that excuse ends.
+    s.segmentEnd = _events.now() + r.elapsed;
     after(r.elapsed,
-          [this, pid, device, r] { handleNxpStop(pid, device, r); });
+          [this, pid, id, device, r] {
+              handleNxpStop(pid, id, device, r);
+          });
 }
 
 void
-MigrationEngine::handleNxpStop(int pid, unsigned device, RunResult r)
+MigrationEngine::handleNxpStop(int pid, std::uint64_t id, unsigned device,
+                               RunResult r)
 {
-    TaskExec &x = exec(pid);
+    ++side(device).progress; // a retired segment is forward progress
+    TaskExec *xp = live(pid, id);
+    if (!xp) {
+        releaseNxp(device);
+        return;
+    }
+    TaskExec &x = *xp;
     Core &core = *side(device).core;
 
     switch (r.stop) {
@@ -786,12 +1104,18 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
                                         unsigned device)
 {
     int pid = x.task->pid;
+    std::uint64_t id = x.id;
     // The kernel classifies the target by the ISA tag in its PTE. The
     // upper table levels sit in the host's paging-structure caches, so
     // this is charged as a single leaf read; the value is fetched with
     // an untimed walk.
-    after(_timing.hostToHostDram, [this, pid, target, device] {
-        TaskExec &w = exec(pid);
+    after(_timing.hostToHostDram, [this, pid, id, target, device] {
+        TaskExec *wp = live(pid, id);
+        if (!wp) {
+            releaseNxp(device);
+            return;
+        }
+        TaskExec &w = *wp;
         Task &task = *w.task;
         Core &core = *side(device).core;
 
@@ -851,8 +1175,13 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
         w.frames.push_back({dest, device, _events.now()});
 
         if (_extraRoundTrip) {
-            after(_extraRoundTrip, [this, pid, d, device, target] {
-                deviceSendToHost(exec(pid), d, device,
+            after(_extraRoundTrip, [this, pid, id, d, device, target] {
+                TaskExec *v = live(pid, id);
+                if (!v) {
+                    releaseNxp(device);
+                    return;
+                }
+                deviceSendToHost(*v, d, device,
                                  ProtocolStep::nxpSendCall, target);
             });
         } else {
@@ -868,6 +1197,7 @@ MigrationEngine::deviceSendToHost(TaskExec &x, MigrationDescriptor d,
                                   VAddr addr)
 {
     int pid = x.task->pid;
+    d.callId = x.id;
     after(nxpCycles(device, _timing.nxpDescriptorCycles) +
               _timing.nxpToNxpDram,
           [this, pid, d, device, step, addr] {
@@ -876,6 +1206,14 @@ MigrationEngine::deviceSendToHost(TaskExec &x, MigrationDescriptor d,
                   _timing.nxpToLocalMmio,
               [this, pid, d, device, step, addr] {
             NxpSide &s = side(device);
+            if (s.dead || s.health == DeviceHealth::quarantined) {
+                // The device (or its link) was written off while the
+                // send was being staged; nothing may enter the drained
+                // rings. The waiting caller is failed by quarantine.
+                protoStat("dropped_descriptors", device);
+                releaseNxp(device);
+                return;
+            }
             if (s.d2h.full())
                 s.d2hDeferred.push_back(d);
             else
@@ -896,7 +1234,11 @@ MigrationEngine::fireNxpToHost(MigrationDescriptor d, unsigned device)
     s.dma->copyNxpToHost(s.d2h.stagingPa(slot), s.d2h.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
                          static_cast<int>(s.irqVector),
-                         [this, device] { ++side(device).d2hLanded; });
+                         [this, device] {
+                             NxpSide &t = side(device);
+                             ++t.d2hLanded;
+                             ++t.progress;
+                         });
     armD2hWatchdog(device, d.seq);
 }
 
@@ -937,6 +1279,7 @@ MigrationEngine::processHostInbox(unsigned device)
     }
     s.d2hAcceptSeq = d.seq;
     s.d2hRetries = 0;
+    ++s.progress;
     --s.d2hLanded;
     s.d2h.pop();
     if (!s.d2hDeferred.empty() && !s.d2h.full()) {
@@ -944,16 +1287,27 @@ MigrationEngine::processHostInbox(unsigned device)
         s.d2hDeferred.pop_front();
         fireNxpToHost(dd, device);
     }
-    after(_timing.irqWake, [this, d] {
+    after(_timing.irqWake, [this, d, device] {
         int pid = static_cast<int>(d.pid);
-        Task *task = _kernel.findTask(pid);
-        if (!task)
-            panic("descriptor PID %u does not match any task", d.pid);
-        TaskExec &x = exec(pid);
-        _kernel.wake(*task);
-        x.pendingWake = true;
-        x.wakeDesc = d;
-        _kernel.enqueueRunnable(*task);
+        TaskExec *x = live(pid, d.callId);
+        if (!x) {
+            // The call this return belongs to is gone (failed,
+            // cancelled or already failed over); dropping the wake is
+            // the IRQ handler finding no suspended thread to kick.
+            protoStat("stale_descriptors", device);
+            return;
+        }
+        if (x->pendingFallback || x->task->state != TaskState::onNxp) {
+            // The thread was already rescued out of its suspension
+            // (host fallback in flight); this straggler return must
+            // not wake it a second time.
+            protoStat("stale_descriptors", device);
+            return;
+        }
+        _kernel.wake(*x->task);
+        x->pendingWake = true;
+        x->wakeDesc = d;
+        _kernel.enqueueRunnable(*x->task);
         kickHost();
     });
 }
@@ -1039,6 +1393,244 @@ MigrationEngine::unrecoverable(const char *link, unsigned device)
                           (unsigned long long)_chaos->seed())
                        .c_str()
                  : "");
+}
+
+// --- Device health, deadlines and failover -------------------------------
+
+void
+MigrationEngine::killDevice(unsigned device)
+{
+    NxpSide &s = side(device);
+    s.dead = true;
+    s.segmentEnd = _events.now();
+    _stats.inc("devices_killed");
+    armHeartbeat();
+}
+
+bool
+MigrationEngine::cancelCall(int pid)
+{
+    auto it = _exec.find(pid);
+    if (it == _exec.end() || it->second.future->done)
+        return false;
+    failCall(it->second, CallStatus::cancelled);
+    return true;
+}
+
+void
+MigrationEngine::armHeartbeat()
+{
+    if (_heartbeatArmed)
+        return;
+    _heartbeatArmed = true;
+    _events.scheduleIn(_timing.deviceHeartbeat, "device-heartbeat",
+                       [this] { heartbeat(); });
+}
+
+void
+MigrationEngine::heartbeat()
+{
+    Tick now = _events.now();
+
+    // Deadlines first: a stalled call on a wedged device should report
+    // deadlineExceeded when the caller asked for a bound, even if the
+    // same beat would also quarantine the device.
+    std::vector<int> late;
+    for (const auto &kv : _exec) {
+        if (kv.second.deadline && now >= kv.second.deadline)
+            late.push_back(kv.first);
+    }
+    for (int pid : late) {
+        auto it = _exec.find(pid);
+        if (it != _exec.end())
+            failCall(it->second, CallStatus::deadlineExceeded);
+    }
+
+    // Then per-device progress: a device owing work must show forward
+    // progress between beats, unless its core is legitimately inside a
+    // long segment whose retirement is already scheduled.
+    for (unsigned dev = 0; dev < _nxp.size(); ++dev) {
+        NxpSide &s = _nxp[dev];
+        if (s.health == DeviceHealth::quarantined)
+            continue;
+        bool outstanding = !deviceIdle(s);
+        bool advanced = s.progress != s.lastProgress;
+        s.lastProgress = s.progress;
+        if (!outstanding || advanced || (s.busy && now < s.segmentEnd)) {
+            s.strikes = 0;
+            if (s.health == DeviceHealth::suspect) {
+                s.health = DeviceHealth::healthy;
+                protoStat("health_recoveries", dev);
+            }
+            continue;
+        }
+        strike(dev);
+    }
+
+    // Keep beating while calls are in flight; a later submit or
+    // killDevice re-arms an idle watchdog.
+    _heartbeatArmed = false;
+    if (!_exec.empty())
+        armHeartbeat();
+}
+
+void
+MigrationEngine::strike(unsigned device)
+{
+    NxpSide &s = side(device);
+    ++s.strikes;
+    protoStat("health_strikes", device);
+    if (s.health == DeviceHealth::healthy)
+        s.health = DeviceHealth::suspect;
+    if (s.strikes >= _strikeLimit)
+        quarantineDevice(device);
+}
+
+bool
+MigrationEngine::deviceIdle(const NxpSide &s) const
+{
+    return !s.busy && s.h2d.empty() && s.d2h.empty() &&
+           s.h2dDeferred.empty() && s.d2hDeferred.empty() &&
+           s.platform->pendingInbox() == 0 && !s.dma->busy();
+}
+
+void
+MigrationEngine::quarantineDevice(unsigned device)
+{
+    NxpSide &s = side(device);
+    if (s.health == DeviceHealth::quarantined)
+        return;
+    s.health = DeviceHealth::quarantined;
+    protoStat("quarantines", device);
+
+    // Nothing staged for or by the device will ever be serviced again:
+    // drop the in-flight rings, the backpressure queues and any landed-
+    // but-unserviced returns, then fail every call that depends on it.
+    s.h2d.drain();
+    s.d2h.drain();
+    s.h2dDeferred.clear();
+    s.d2hDeferred.clear();
+    s.d2hLanded = 0;
+
+    // failCall erases from _exec, so sweep over a PID snapshot.
+    std::vector<int> pids;
+    for (const auto &kv : _exec) {
+        if (execTouches(kv.second, device))
+            pids.push_back(kv.first);
+    }
+    for (int pid : pids) {
+        auto it = _exec.find(pid);
+        if (it != _exec.end())
+            failCall(it->second, CallStatus::deviceLost);
+    }
+}
+
+bool
+MigrationEngine::execTouches(const TaskExec &x, unsigned device) const
+{
+    for (const CallFrame &f : x.frames) {
+        if (f.callee == device || f.caller == device)
+            return true;
+    }
+    for (const auto &ctx : x.task->nxpSavedCtx) {
+        if (ctx.device == device)
+            return true;
+    }
+    return false;
+}
+
+void
+MigrationEngine::failCall(TaskExec &x, CallStatus status)
+{
+    if (x.future->done)
+        return;
+    unsigned dev = execDevice(x);
+    if (status == CallStatus::deviceLost && canFailover(x)) {
+        scheduleFallback(x);
+        return;
+    }
+
+    x.future->value = 0;
+    x.future->status = status;
+    x.future->done = true;
+    _stats.inc("calls_failed");
+    switch (status) {
+      case CallStatus::cancelled:
+        failStat("cancellations", dev);
+        break;
+      case CallStatus::deadlineExceeded:
+        failStat("deadline_exceeded", dev);
+        break;
+      case CallStatus::deviceLost:
+        failStat("device_lost", dev);
+        break;
+      default:
+        panic("failCall with status %s", callStatusName(status));
+    }
+
+    // Unwind the thread's migration bookkeeping so the task object is
+    // reusable (resubmit, teardown). In-flight continuations and
+    // descriptors of this call die against the generation token.
+    Task &task = *x.task;
+    _kernel.removeFromRunQueue(task);
+    _kernel.abortMigration(task);
+    task.nxpSavedCtx.clear();
+    _exec.erase(task.pid);
+}
+
+bool
+MigrationEngine::canFailover(const TaskExec &x) const
+{
+    if (!_hostFallback || x.frames.empty())
+        return false;
+    const CallFrame &top = x.frames.back();
+    if (top.callee == hostSide || top.callee >= _nxp.size())
+        return false;
+    if (top.target == 0) // descriptor never built: nothing to re-run
+        return false;
+    unsigned device = top.callee;
+    // Only a leaf call is safely re-executable: the thread must be
+    // suspended waiting for exactly this call, with no deeper frame and
+    // no saved execution context on the lost device (those would mean
+    // partially-executed state we cannot reconstruct).
+    if (x.task->state != TaskState::onNxp || x.pendingWake ||
+        x.pendingFallback)
+        return false;
+    for (std::size_t i = 0; i + 1 < x.frames.size(); ++i) {
+        if (x.frames[i].callee == device || x.frames[i].caller == device)
+            return false;
+    }
+    for (const auto &ctx : x.task->nxpSavedCtx) {
+        if (ctx.device == device)
+            return false;
+    }
+    return fallbackVa(x.task->cr3, top.target) != 0;
+}
+
+void
+MigrationEngine::scheduleFallback(TaskExec &x)
+{
+    CallFrame &top = x.frames.back();
+    protoStat("failovers", top.callee);
+    // The frame becomes a host-executed call; its recorded target and
+    // arguments drive the re-dispatch once the thread gets the core.
+    top.callee = hostSide;
+    x.pendingFallback = true;
+    _kernel.wake(*x.task);
+    _kernel.enqueueRunnable(*x.task);
+    kickHost();
+}
+
+unsigned
+MigrationEngine::execDevice(const TaskExec &x) const
+{
+    for (auto it = x.frames.rbegin(); it != x.frames.rend(); ++it) {
+        if (it->callee != hostSide)
+            return it->callee;
+        if (it->caller != hostSide)
+            return it->caller;
+    }
+    return hostSide;
 }
 
 } // namespace flick

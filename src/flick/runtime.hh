@@ -86,6 +86,7 @@ enum class ProtocolStep
     nxpSendReturn,    //!< (f) NxP-to-host return descriptor sent.
     hostReturn,       //!< (g) host resumed with the return value.
     hostForward,      //!< kernel forwarded a device-to-device call.
+    hostFallback,     //!< failed call re-dispatched to host-ISA text.
 };
 
 /** Printable step name. */
@@ -99,6 +100,25 @@ struct ProtocolEvent
     int pid;
     VAddr addr; //!< Target/fault address where meaningful.
 };
+
+/**
+ * Health of one NxP device, as the driver's watchdog sees it.
+ *
+ * healthy --(heartbeat finds outstanding work but no progress)-->
+ * suspect --(strike limit reached)--> quarantined. A suspect device
+ * that makes progress again returns to healthy; quarantine is
+ * terminal: the rings are drained, in-flight calls are failed (or
+ * failed over to host text) and new submissions are rejected.
+ */
+enum class DeviceHealth
+{
+    healthy,
+    suspect,
+    quarantined,
+};
+
+/** Printable health-state name. */
+const char *deviceHealthName(DeviceHealth health);
 
 /**
  * Drives threads across the ISA boundary.
@@ -178,6 +198,70 @@ class MigrationEngine
      */
     void setRetryBudget(unsigned budget) { _retryBudget = budget; }
 
+    // --- Device health, deadlines and failover -------------------------
+
+    /**
+     * Per-call deadline: a submitted call that has not completed after
+     * this much simulated time fails with status deadlineExceeded
+     * (checked at device-heartbeat granularity). 0 disables deadlines;
+     * a nonzero deadline arms the heartbeat, so it perturbs the
+     * fault-free event stream — which is why it is opt-in.
+     */
+    void setCallDeadline(Tick t) { _callDeadline = t; }
+
+    /**
+     * Enable the host-native fallback path: a call that fails because
+     * its target device is lost is re-dispatched to the function's
+     * host-ISA twin (registerHostFallback) instead of failing, when the
+     * call's state permits re-execution (a leaf call with no context
+     * parked on the dead device).
+     */
+    void setHostFallback(bool on) { _hostFallback = on; }
+
+    /**
+     * Heartbeats in a row without forward progress before an NxP with
+     * outstanding work is quarantined (first strike marks it suspect).
+     */
+    void setHealthStrikeLimit(unsigned strikes)
+    {
+        _strikeLimit = strikes ? strikes : 1;
+    }
+
+    /**
+     * Register @p host_va as the host-ISA twin of @p va in address
+     * space @p cr3 (the multi-ISA binary's Section 3.3 property: the
+     * same function exists as text for every ISA). The engine
+     * re-dispatches failed calls to the twin when host fallback is on.
+     */
+    void
+    registerHostFallback(Addr cr3, VAddr va, VAddr host_va)
+    {
+        _fallback[{cr3, va}] = host_va;
+    }
+
+    /**
+     * Fault/test hook: the device's hardware stops responding from now
+     * on (it picks up no descriptors and completes nothing). Detection
+     * still happens through the health watchdog, which this arms.
+     */
+    void killDevice(unsigned device);
+
+    /** Health of @p device as the watchdog currently sees it. */
+    DeviceHealth
+    deviceHealth(unsigned device)
+    {
+        return side(device).health;
+    }
+
+    /**
+     * Cancel the in-flight call of @p pid: its future completes with
+     * status cancelled. Returns false if no call is in flight.
+     */
+    bool cancelCall(int pid);
+
+    /** Current simulated time (CallFuture::waitFor's clock). */
+    Tick now() const { return _events.now(); }
+
     /** Start recording protocol steps (clears any previous journal). */
     void
     enableJournal(bool on = true)
@@ -204,6 +288,12 @@ class MigrationEngine
         unsigned callee; //!< Device running the called function, or host.
         unsigned caller; //!< Side waiting for the return, or hostSide.
         Tick t0;         //!< Round-trip start (for the ticks stats).
+        //! Call target and arguments, recorded when the call descriptor
+        //! is built; what the host fallback path re-dispatches. 0 until
+        //! the descriptor exists.
+        VAddr target = 0;
+        std::uint32_t nargs = 0;
+        std::array<std::uint64_t, MigrationDescriptor::maxArgs> args{};
     };
 
     /** Execution state of one in-flight submitted call. */
@@ -212,6 +302,12 @@ class MigrationEngine
         Task *task = nullptr;
         std::shared_ptr<CallFutureState> future;
         std::vector<CallFrame> frames;
+        //! Generation token. PIDs are reused across calls; continuation
+        //! events and descriptors carry (pid, id) and are dropped when
+        //! the id no longer matches (the call failed or was cancelled).
+        std::uint64_t id = 0;
+        //! Absolute completion deadline; 0 = none.
+        Tick deadline = 0;
         //! Entry-call parameters, consumed by the first host dispatch.
         VAddr entry = 0;
         std::vector<std::uint64_t> args;
@@ -219,6 +315,8 @@ class MigrationEngine
         //! Set while a woken descriptor waits for the host core.
         bool pendingWake = false;
         MigrationDescriptor wakeDesc;
+        //! Set while a host-fallback re-dispatch waits for the core.
+        bool pendingFallback = false;
     };
 
     /** Everything belonging to one NxP device. */
@@ -239,6 +337,23 @@ class MigrationEngine
         bool busy = false;          //!< Core owned by a thread/handler.
         bool kickScheduled = false; //!< Scheduler poll event pending.
         Addr loadedCr3 = 0;         //!< CR3 the device MMU currently holds.
+
+        // --- Device health (heartbeat/progress watchdog) --------------
+        DeviceHealth health = DeviceHealth::healthy;
+        //! Chaos/test flag: the hardware stopped responding. The
+        //! protocol cannot see this directly; the watchdog infers it
+        //! from the missing progress.
+        bool dead = false;
+        //! Heartbeats in a row with outstanding work but no progress.
+        unsigned strikes = 0;
+        //! Bumped on every observable step the device completes
+        //! (descriptor accepted, segment retired, DMA landed).
+        std::uint64_t progress = 0;
+        //! progress as of the previous heartbeat.
+        std::uint64_t lastProgress = 0;
+        //! When the segment occupying the core will retire; a busy core
+        //! before this tick is computing, not wedged.
+        Tick segmentEnd = 0;
 
         // --- Link integrity state (sequence numbers, retry budgets) ---
         std::uint64_t h2dSendSeq = 0;   //!< Last seq sent host->device.
@@ -267,12 +382,14 @@ class MigrationEngine
     void startEntry(TaskExec &x);
     /** Dispatch a thread woken by a migration-return interrupt. */
     void dispatchWake(TaskExec &x);
+    /** Dispatch a thread whose failed call re-runs on host text. */
+    void dispatchFallback(TaskExec &x);
     /** Act on the descriptor that woke the thread (after ioctl exit). */
     void handleHostDescriptor(TaskExec &x, MigrationDescriptor d);
 
     /** Run one host segment of @p x and schedule the stop handling. */
     void runHostSegment(TaskExec &x);
-    void handleHostStop(int pid, RunResult r);
+    void handleHostStop(int pid, std::uint64_t id, RunResult r);
 
     /** Host NX fault: begin the host->NxP call migration (Listing 1). */
     void startHostToNxpCall(TaskExec &x, VAddr target, unsigned device);
@@ -300,7 +417,8 @@ class MigrationEngine
 
     void handleNxpDescriptor(unsigned device, MigrationDescriptor d);
     void runNxpSegment(TaskExec &x, unsigned device);
-    void handleNxpStop(int pid, unsigned device, RunResult r);
+    void handleNxpStop(int pid, std::uint64_t id, unsigned device,
+                       RunResult r);
 
     /** NxP fetch fault: classify by ISA tag and start the migration. */
     void startNxpFaultMigration(TaskExec &x, VAddr target,
@@ -341,6 +459,68 @@ class MigrationEngine
 
     /** Die on an exhausted retry budget, naming the link and seed. */
     [[noreturn]] void unrecoverable(const char *link, unsigned device);
+
+    // --- Device health, deadlines and failover -------------------------
+
+    /** Arm the recurring heartbeat (idempotent). */
+    void armHeartbeat();
+    /** One heartbeat: check call deadlines and device progress. */
+    void heartbeat();
+    /** The heartbeat found @p device stalled: suspect, then quarantine. */
+    void strike(unsigned device);
+    /** Nothing outstanding on the device: no progress expected. */
+    bool deviceIdle(const NxpSide &s) const;
+
+    /**
+     * Quarantine @p device: drain its rings, drop deferred traffic and
+     * fail (or fail over) every in-flight call that depends on it.
+     */
+    void quarantineDevice(unsigned device);
+
+    /** Does @p x's call state reference @p device anywhere? */
+    bool execTouches(const TaskExec &x, unsigned device) const;
+
+    /**
+     * Complete @p x's call with a non-ok @p status and unwind its
+     * bookkeeping (run queue, task state, saved contexts). When the
+     * status is deviceLost and the call is rescuable, re-dispatches it
+     * to the host-ISA twin instead. Never touches core ownership: a
+     * continuation that finds its call gone releases the core it holds.
+     */
+    void failCall(TaskExec &x, CallStatus status);
+
+    /**
+     * Can @p x's failed call be re-executed on the host? Requires the
+     * fallback path enabled, a registered host twin, and a leaf call:
+     * the topmost frame targets the lost device, nothing deeper
+     * references it, and the thread is suspended awaiting it.
+     */
+    bool canFailover(const TaskExec &x) const;
+
+    /** Convert the top frame to a host frame and queue the re-dispatch. */
+    void scheduleFallback(TaskExec &x);
+
+    /** Host twin of (cr3, va), or 0 if none registered. */
+    VAddr
+    fallbackVa(Addr cr3, VAddr va) const
+    {
+        auto it = _fallback.find({cr3, va});
+        return it == _fallback.end() ? 0 : it->second;
+    }
+
+    /** The device a failing call's counters should be charged to, or
+     *  hostSide for a pure host call. */
+    unsigned execDevice(const TaskExec &x) const;
+
+    /** Charge a failure counter, per-device when one is involved. */
+    void
+    failStat(const char *key, unsigned device)
+    {
+        if (device == hostSide)
+            _stats.inc(key);
+        else
+            protoStat(key, device);
+    }
 
     /** Bump the aggregate and the per-device protocol counter. */
     void
@@ -389,6 +569,15 @@ class MigrationEngine
     NxpSide &side(unsigned device);
     TaskExec &exec(int pid);
 
+    /**
+     * The in-flight call (pid, id) if it is still alive, else nullptr.
+     * Continuation events and descriptor arrivals look their call up
+     * through this so a failed/cancelled call's stragglers bail out
+     * instead of acting on a dead call (or on a newer call reusing the
+     * PID).
+     */
+    TaskExec *live(int pid, std::uint64_t id);
+
     EventQueue &_events;
     MemSystem &_mem;
     const TimingConfig &_timing;
@@ -409,6 +598,13 @@ class MigrationEngine
     std::uint64_t _nxpStackBytes = 64 * 1024;
     ChaosController *_chaos = nullptr;
     unsigned _retryBudget = 16;
+    std::uint64_t _nextExecId = 0;
+    Tick _callDeadline = 0;
+    bool _hostFallback = false;
+    unsigned _strikeLimit = 2;
+    bool _heartbeatArmed = false;
+    //! (cr3, va) -> host-ISA twin va (Section 3.3 multi-ISA binaries).
+    std::map<std::pair<Addr, VAddr>, VAddr> _fallback;
     bool _journalOn = false;
     std::vector<ProtocolEvent> _journal;
     StatGroup _stats;

@@ -87,6 +87,9 @@ FlickSystem::FlickSystem(SystemConfig config)
                                                 _irq, _hostCore);
     _engine->setChaos(&_chaos);
     _engine->setRetryBudget(_config.retryBudget);
+    _engine->setCallDeadline(_config.callDeadline);
+    _engine->setHostFallback(_config.hostFallback);
+    _engine->setHealthStrikeLimit(_config.healthStrikeLimit);
 
     // Per device: a host-side staging ring the kernel packages outbound
     // descriptors into, and a host-side inbox ring the device's outbox
@@ -202,6 +205,21 @@ FlickSystem::load(const Program &program)
     proc->nextThreadStackTop = proc->image.hostStackTop -
                                _config.loadOptions.hostStackBytes -
                                threadStackGuard;
+    // Multi-ISA binaries carry every function as text for every ISA
+    // (Section 3.3): a symbol "f__host" is the host-ISA twin of "f" and
+    // becomes f's failover target when host fallback is enabled.
+    static const std::string twin_suffix = "__host";
+    for (const auto &[name, va] : proc->image.symbols) {
+        if (name.size() <= twin_suffix.size() ||
+            name.compare(name.size() - twin_suffix.size(),
+                         twin_suffix.size(), twin_suffix) != 0)
+            continue;
+        auto orig = proc->image.symbols.find(
+            name.substr(0, name.size() - twin_suffix.size()));
+        if (orig != proc->image.symbols.end())
+            _engine->registerHostFallback(proc->image.cr3, orig->second,
+                                          va);
+    }
     _processes.push_back(std::move(proc));
     return *_processes.back();
 }
@@ -264,7 +282,15 @@ std::uint64_t
 FlickSystem::callVa(Process &process, VAddr va,
                     std::vector<std::uint64_t> args)
 {
-    return submitVa(process, *process.task, va, std::move(args)).wait();
+    CallFuture f = submitVa(process, *process.task, va, std::move(args));
+    std::uint64_t v = f.wait();
+    if (f.status() != CallStatus::ok) {
+        // The synchronous API has no way to hand the outcome back;
+        // failing loudly beats returning a fabricated 0.
+        fatal("call at %#llx failed with status %s",
+              (unsigned long long)va, callStatusName(f.status()));
+    }
+    return v;
 }
 
 VAddr

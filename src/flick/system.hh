@@ -78,6 +78,21 @@ struct SystemConfig
     ChaosConfig chaos;
     /** Consecutive descriptor retransmissions tolerated per link. */
     unsigned retryBudget = 16;
+    /**
+     * Per-call completion deadline (0 = none). Expired calls fail with
+     * CallStatus::deadlineExceeded. Nonzero deadlines arm the device
+     * health heartbeat, perturbing the fault-free event stream, which
+     * is why this is opt-in.
+     */
+    Tick callDeadline = 0;
+    /**
+     * Re-dispatch calls that lose their NxP (quarantine) to the
+     * function's host-ISA twin instead of failing them; twins are the
+     * symbols suffixed "__host" that load() registers automatically.
+     */
+    bool hostFallback = false;
+    /** Progress-less heartbeats before a stalled NxP is quarantined. */
+    unsigned healthStrikeLimit = 2;
 
     /** Number of NxP devices in the platform (1 or 2). */
     SystemConfig &
@@ -126,6 +141,27 @@ struct SystemConfig
     withRetryBudget(unsigned budget)
     {
         retryBudget = budget;
+        return *this;
+    }
+
+    SystemConfig &
+    withCallDeadline(Tick deadline)
+    {
+        callDeadline = deadline;
+        return *this;
+    }
+
+    SystemConfig &
+    withHostFallback(bool on = true)
+    {
+        hostFallback = on;
+        return *this;
+    }
+
+    SystemConfig &
+    withHealthStrikeLimit(unsigned strikes)
+    {
+        healthStrikeLimit = strikes;
         return *this;
     }
 

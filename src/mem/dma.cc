@@ -41,6 +41,15 @@ DmaEngine::start(Transfer t)
     _busy = true;
     _stats.inc("transfers");
     _stats.inc("bytes", t.len);
+    if (_chaos && _chaos->shouldStickDma()) {
+        // The engine wedges: this transfer never completes, its bytes
+        // never land, and everything queued behind it stalls with it.
+        // No completion event is scheduled — recovery is the migration
+        // engine's health watchdog quarantining the device, not a
+        // retransmission (nothing was NAKed, nothing will be).
+        _stats.inc("chaos_stuck");
+        return;
+    }
     Tick latency = _mem.timing().dmaTransfer(t.len);
     if (_chaos) {
         Tick extra = _chaos->extraDmaDelay();

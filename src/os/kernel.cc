@@ -56,6 +56,30 @@ Kernel::nextRunnable()
     return t;
 }
 
+void
+Kernel::removeFromRunQueue(Task &task)
+{
+    for (auto it = _runQueue.begin(); it != _runQueue.end();) {
+        if (*it == &task) {
+            it = _runQueue.erase(it);
+            _stats.inc("runqueue_removals");
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Kernel::abortMigration(Task &task)
+{
+    if (task.state == TaskState::onNxp ||
+        task.state == TaskState::runnable) {
+        task.state = TaskState::running;
+        _stats.inc("migrations_aborted");
+    }
+    task.migrationFlag = false;
+}
+
 Task *
 Kernel::findTask(int pid)
 {

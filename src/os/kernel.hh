@@ -75,6 +75,19 @@ class Kernel
     std::size_t runQueueDepth() const { return _runQueue.size(); }
 
     /**
+     * Remove every queued occurrence of @p task (its call failed or was
+     * cancelled while waiting for the host core).
+     */
+    void removeFromRunQueue(Task &task);
+
+    /**
+     * A failed or cancelled migration: return @p task from its
+     * suspended/woken migration state to plain running, clearing the
+     * pending DMA trigger. No-op for a task that is not mid-migration.
+     */
+    void abortMigration(Task &task);
+
+    /**
      * Classify a fetch fault, as the modified page fault handler does.
      *
      * @param fault The architectural fault raised by the core.

@@ -2,12 +2,15 @@
  * @file
  * Deterministic fault injection for the simulated fabric.
  *
- * Real PCIe links flip bits, lose MSIs and add jitter; the paper's
- * protocol assumes they never do. The ChaosController is the single
- * source of injected fabric faults: the DMA engines and the interrupt
- * controller consult it at well-defined points, and every decision is
- * drawn from one seeded PRNG so any failing run reproduces exactly from
- * its seed. With chaos disabled no PRNG draw ever happens and every
+ * Real PCIe links flip bits, lose MSIs and add jitter — and real
+ * endpoints hang, crash and stall: the paper's protocol assumes none of
+ * it ever happens. The ChaosController is the single source of injected
+ * faults, fabric (corruption, lost/duplicated MSIs, latency) and
+ * endpoint (wedged NxP cores, device death, stuck DMA engines) alike:
+ * the DMA engines, the interrupt controller and the migration engine
+ * consult it at well-defined points, and every decision is drawn from
+ * one seeded PRNG so any failing run reproduces exactly from its seed.
+ * With chaos disabled no PRNG draw ever happens and every
  * consultation is a constant "no", keeping the fault-free simulation
  * tick-for-tick identical to a build without the chaos layer.
  */
@@ -54,6 +57,26 @@ struct ChaosConfig
 
     /** Upper bound of the injected extra latency. */
     Tick maxExtraDelay = us(5);
+
+    // --- Endpoint fault classes (the devices, not the fabric) ---------
+    //
+    // The fabric classes above are always recoverable: the hardened
+    // protocol retransmits until the descriptor gets through. Endpoint
+    // faults are not — a wedged core or a dead device never answers —
+    // so they exercise the health watchdog, call-failure and
+    // host-fallback paths instead of NAK/retransmit.
+
+    /** Probability an NxP core wedges mid-segment (guest hang). */
+    double wedgeNxpRate = 0.0;
+
+    /** Instructions a wedging segment retires before hanging. */
+    unsigned wedgeProgressInstructions = 16;
+
+    /** Probability an NxP device dies at a descriptor pickup. */
+    double deviceDeathRate = 0.0;
+
+    /** Probability a DMA transfer sticks and never completes. */
+    double stuckDmaRate = 0.0;
 };
 
 /**
@@ -116,6 +139,47 @@ class ChaosController
     extraIrqDelay()
     {
         return extraDelay("irq_delays", "irq_delay_ticks");
+    }
+
+    /** Any endpoint fault class configured to fire? The migration
+     *  engine arms its device-health heartbeat only when this is true
+     *  (or a call deadline is set), keeping the fault-free event stream
+     *  untouched. */
+    bool
+    endpointFaultsEnabled() const
+    {
+        return _config.enabled &&
+               (_config.wedgeNxpRate > 0.0 ||
+                _config.deviceDeathRate > 0.0 ||
+                _config.stuckDmaRate > 0.0);
+    }
+
+    /** Should this NxP segment wedge (hang forever mid-function)? */
+    bool
+    shouldWedgeNxpCore()
+    {
+        return roll(_config.wedgeNxpRate, "nxp_wedges");
+    }
+
+    /** Instructions the wedging segment retires before hanging. */
+    unsigned
+    wedgeProgress() const
+    {
+        return _config.wedgeProgressInstructions;
+    }
+
+    /** Should this descriptor pickup kill the device outright? */
+    bool
+    shouldKillNxpDevice()
+    {
+        return roll(_config.deviceDeathRate, "device_deaths");
+    }
+
+    /** Should this DMA transfer stick and never complete? */
+    bool
+    shouldStickDma()
+    {
+        return roll(_config.stuckDmaRate, "stuck_dmas");
     }
 
     /** Total faults injected across every class. */

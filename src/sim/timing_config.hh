@@ -91,6 +91,14 @@ struct TimingConfig
      * is active, so the fault-free event stream is unchanged.
      */
     Tick descriptorTimeout = us(60);
+    /**
+     * Device health heartbeat: how often the driver checks that every
+     * busy NxP device made forward progress (instructions retired, DMA
+     * completed, descriptors consumed). Only armed when endpoint fault
+     * injection or a call deadline is configured, so the fault-free
+     * event stream is unchanged.
+     */
+    Tick deviceHeartbeat = us(60);
 
     // --- Kernel charges (the paper's Linux modifications) --------------
     /**

@@ -122,6 +122,41 @@ nfh_rec:
     ret
 )";
 
+const char *hostTwinSource = R"(
+# --- host-ISA twins of the NxP leaf kernels --------------------------
+# The "__host" suffix marks each as the fallback twin of its NxP
+# original; every twin computes the identical value.
+
+nxp_noop__host:
+    mov rax, 0
+    ret
+
+nxp_add__host:
+    mov rax, rdi
+    add rax, rsi
+    ret
+
+nxp_sum6__host:
+    mov rax, rdi
+    add rax, rsi
+    add rax, rdx
+    add rax, rcx
+    add rax, r8
+    add rax, r9
+    ret
+
+nxp_noop_loop__host:
+    mov rax, rdi
+nnlh_loop:
+    cmp rax, 0
+    je nnlh_done
+    sub rax, 1
+    jmp nnlh_loop
+nnlh_done:
+    mov rax, rdi
+    ret
+)";
+
 } // namespace
 
 void
@@ -129,6 +164,12 @@ addMicrobench(Program &program)
 {
     program.addHostAsm(hostSource);
     program.addNxpAsm(nxpSource);
+}
+
+void
+addMicrobenchHostFallbacks(Program &program)
+{
+    program.addHostAsm(hostTwinSource);
 }
 
 } // namespace flick::workloads

@@ -33,6 +33,17 @@ namespace flick::workloads
  */
 void addMicrobench(Program &program);
 
+/**
+ * Add host-ISA twins of the NxP leaf kernels ("f__host" beside "f"),
+ * the multi-ISA-binary property the host fallback path relies on:
+ *
+ *   nxp_noop__host, nxp_add__host, nxp_sum6__host, nxp_noop_loop__host
+ *
+ * Each computes bit-identically to its NxP original, so a failed-over
+ * call returns exactly the value the device would have produced.
+ */
+void addMicrobenchHostFallbacks(Program &program);
+
 } // namespace flick::workloads
 
 #endif // FLICK_WORKLOADS_MICROBENCH_HH

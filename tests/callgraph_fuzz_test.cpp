@@ -67,11 +67,11 @@ emitRv64(const FnSpec &f)
     return s;
 }
 
-/** Emit one function in HX64 assembly. */
+/** Emit one function in HX64 assembly (optionally as a "__host" twin). */
 std::string
-emitHx64(const FnSpec &f)
+emitHx64(const FnSpec &f, const char *suffix = "")
 {
-    std::string s = strfmt("fn%u:\n", f.id);
+    std::string s = strfmt("fn%u%s:\n", f.id, suffix);
     s += "    push rbx\n"
          "    push rbp\n"
          "    mov rbx, rdi\n"  // x
@@ -199,6 +199,60 @@ TEST_P(CallGraphFuzz, MatchesGoldenModelUnderChaos)
     chaos.delayRate = 0.30;
 
     FlickSystem sys(SystemConfig{}.withChaos(chaos));
+    Program prog;
+    if (!host_src.empty())
+        prog.addHostAsm(host_src);
+    if (!nxp_src.empty())
+        prog.addNxpAsm(nxp_src);
+    Process &proc = sys.load(prog);
+
+    for (std::uint64_t x : {0ull, 1ull, 12345ull}) {
+        std::uint64_t expect = evaluate(fns, 0, x);
+        std::uint64_t got = sys.call(proc, "fn0", {x});
+        ASSERT_EQ(got, expect)
+            << "seed " << GetParam() << " chaos seed " << chaos.seed
+            << " x=" << x << " functions=" << count;
+    }
+}
+
+TEST_P(CallGraphFuzz, MatchesGoldenModelUnderEndpointFaultsWithFallback)
+{
+    // Endpoint faults (wedged NxP cores, device death, stuck DMA) with
+    // host-native failover enabled. Failover re-runs the interrupted
+    // call from its recorded arguments, so it is only exact for calls
+    // without externally visible side effects mid-call: force every
+    // NxP-assigned function to be a leaf and give each one an hx64
+    // "__host" twin. However many devices die or wedge, fn0 must still
+    // produce the golden-model value.
+    Rng rng(8000 + GetParam());
+    const unsigned count = 8 + static_cast<unsigned>(rng.below(8));
+    std::vector<FnSpec> fns = makeGraph(rng, count, 2);
+    for (FnSpec &f : fns)
+        if (f.where != 0)
+            f.callees.clear();
+
+    std::string host_src, nxp_src;
+    for (const FnSpec &f : fns) {
+        if (f.where == 0) {
+            host_src += emitHx64(f);
+        } else {
+            nxp_src += emitRv64(f);
+            host_src += emitHx64(f, "__host");
+        }
+    }
+
+    ChaosConfig chaos;
+    chaos.enabled = true;
+    chaos.seed = 9500 + GetParam();
+    chaos.wedgeNxpRate = 0.20;
+    chaos.wedgeProgressInstructions = 4;
+    chaos.deviceDeathRate = 0.10;
+    chaos.stuckDmaRate = 0.05;
+
+    FlickSystem sys(SystemConfig{}
+                        .withChaos(chaos)
+                        .withHostFallback()
+                        .withHealthStrikeLimit(1));
     Program prog;
     if (!host_src.empty())
         prog.addHostAsm(host_src);

@@ -378,6 +378,137 @@ TEST(ChaosOff, ChaosRunsDoNotChangeTheFaultFreeTimeline)
     EXPECT_EQ(again.finalTick, golden.finalTick);
 }
 
+// --- Endpoint faults: wedges, death, stuck DMA + host failover -----------
+
+/** Endpoint-only rates; the fabric classes stay at zero so these legs
+ *  draw from a PRNG stream disjoint from the differential legs above. */
+ChaosConfig
+endpointChaos(std::uint64_t seed)
+{
+    ChaosConfig c;
+    c.enabled = true;
+    c.seed = seed;
+    c.wedgeNxpRate = 0.20;
+    c.wedgeProgressInstructions = 4;
+    c.deviceDeathRate = 0.10;
+    c.stuckDmaRate = 0.05;
+    return c;
+}
+
+/** Everything observable about one leaf-workload run. */
+struct EndpointResult
+{
+    std::vector<std::uint64_t> values;
+    Tick finalTick = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t fallbackReturns = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t rejectedSubmissions = 0;
+    std::uint64_t callsFailed = 0;
+    std::uint64_t coreWedges = 0;
+    std::uint64_t deviceDeaths = 0;
+    std::uint64_t stuckDmas = 0;
+
+    std::uint64_t
+    endpointEvents() const
+    {
+        return failovers + fallbackReturns + quarantines +
+               rejectedSubmissions + callsFailed + coreWedges +
+               deviceDeaths + stuckDmas;
+    }
+};
+
+/**
+ * Leaf-only NxP calls, every one with a registered "__host" twin.
+ * Failover re-runs an interrupted call from its recorded arguments, so
+ * pure leaves are the shape endpoint chaos can always rescue exactly.
+ */
+EndpointResult
+runLeafWorkload(SystemConfig config)
+{
+    FlickSystem sys(config);
+    Program prog;
+    workloads::addMicrobench(prog);
+    workloads::addMicrobenchHostFallbacks(prog);
+    Process &proc = sys.load(prog);
+
+    EndpointResult r;
+    auto run = [&](const char *symbol, std::vector<std::uint64_t> args) {
+        r.values.push_back(sys.call(proc, symbol, std::move(args)));
+    };
+    run("nxp_noop", {});
+    run("nxp_add", {7, 35});
+    run("nxp_sum6", {1, 2, 3, 4, 5, 6});
+    run("host_add", {3, 4});
+    run("nxp_add", {20, 22});
+
+    r.finalTick = sys.now();
+    auto debug = sys.debug();
+    const StatGroup &engine = debug.engine().stats();
+    r.failovers = engine.get("failovers");
+    r.fallbackReturns = engine.get("fallback_returns");
+    r.quarantines = engine.get("quarantines");
+    r.rejectedSubmissions = engine.get("rejected_submissions");
+    r.callsFailed = engine.get("calls_failed");
+    r.coreWedges = engine.get("chaos_core_wedges");
+    r.deviceDeaths = engine.get("chaos_device_deaths");
+    for (unsigned d = 0; d < debug.nxpDeviceCount(); ++d)
+        r.stuckDmas += debug.dma(d).stats().get("chaos_stuck");
+    return r;
+}
+
+TEST(ChaosEndpoint, LeafCallsSurviveEndpointFaultsViaHostFallback)
+{
+    EndpointResult golden = runLeafWorkload(SystemConfig{});
+    const std::vector<std::uint64_t> expected = {0, 42, 21, 7, 42};
+    ASSERT_EQ(golden.values, expected);
+    ASSERT_EQ(golden.endpointEvents(), 0u);
+
+    EndpointResult total;
+    for (std::uint64_t seed = 200; seed < 230; ++seed) {
+        EndpointResult r = runLeafWorkload(SystemConfig{}
+                                               .withChaos(endpointChaos(seed))
+                                               .withHostFallback()
+                                               .withHealthStrikeLimit(1));
+        // Bit-identical values no matter which endpoint faults fired...
+        EXPECT_EQ(r.values, golden.values) << "endpoint chaos seed " << seed;
+        // ...and never by failing a call: every loss was failed over.
+        EXPECT_EQ(r.callsFailed, 0u) << "endpoint chaos seed " << seed;
+        total.failovers += r.failovers;
+        total.fallbackReturns += r.fallbackReturns;
+        total.quarantines += r.quarantines;
+        total.rejectedSubmissions += r.rejectedSubmissions;
+        total.coreWedges += r.coreWedges;
+        total.deviceDeaths += r.deviceDeaths;
+        total.stuckDmas += r.stuckDmas;
+    }
+    // Every endpoint fault class demonstrably fired across the seeds,
+    // and the recovery machinery visibly engaged.
+    EXPECT_GT(total.coreWedges, 0u);
+    EXPECT_GT(total.deviceDeaths, 0u);
+    EXPECT_GT(total.stuckDmas, 0u);
+    EXPECT_GT(total.quarantines, 0u);
+    EXPECT_GT(total.failovers, 0u);
+    EXPECT_GT(total.fallbackReturns, 0u);
+    EXPECT_GT(total.rejectedSubmissions, 0u);
+}
+
+TEST(ChaosEndpoint, SeededButDisabledKeepsCountersZeroAndTickIdentical)
+{
+    // Endpoint rates configured but the master switch off: no heartbeat
+    // is armed, no PRNG draw happens, every endpoint counter stays at
+    // exactly zero and the timeline matches a default system tick for
+    // tick — even with host fallback twins registered.
+    EndpointResult golden = runLeafWorkload(SystemConfig{});
+    ChaosConfig off = endpointChaos(0xfeedface);
+    off.enabled = false;
+    EndpointResult r = runLeafWorkload(
+        SystemConfig{}.withChaos(off).withHostFallback());
+    EXPECT_EQ(r.values, golden.values);
+    EXPECT_EQ(r.finalTick, golden.finalTick);
+    EXPECT_EQ(r.endpointEvents(), 0u);
+}
+
 // --- Unrecoverable faults die loudly -------------------------------------
 
 TEST(ChaosDeath, ExhaustedRetryBudgetDiesWithSeedInDiagnostic)
