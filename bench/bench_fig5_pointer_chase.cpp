@@ -16,9 +16,11 @@
  * sweep in 5a.
  */
 
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "sim/trace.hh"
 #include "workloads/pointer_chase.hh"
 
 using namespace flick;
@@ -106,6 +108,40 @@ runFigure(const char *title, Tick interval, const std::vector<
                 crossover, (unsigned long long)sweep.back(), plateau);
 }
 
+/**
+ * Dump a Perfetto trace of a short pointer-chase run (--trace-json=FILE):
+ * a handful of chase_nxp migrations at 64 accesses each, traced end to
+ * end so the host->NxP->host arc of every migration is visible in
+ * ui.perfetto.dev (EXPERIMENTS.md "Regenerating the Perfetto trace").
+ */
+int
+dumpChaseTrace(const std::string &path)
+{
+    SystemConfig cfg;
+    cfg.withTrace();
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    workloads::addPointerChaseKernels(prog);
+    Process &proc = sys.load(prog);
+    PointerChaseList list(sys, proc, 64 * 1024, 1ull << 30, 2020);
+    sys.submit(proc, "nxp_noop").wait();
+
+    sys.debug().trace().reset(); // drop warmup; keep the chase itself
+    VAddr cursor = list.head();
+    for (int i = 0; i < 8; ++i)
+        cursor = sys.submit(proc, "chase_nxp", {cursor, 64}).wait();
+
+    if (!sys.debug().trace().dumpJson(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("pointer-chase perfetto trace (8 migrations, 64 "
+                "accesses each) written to %s\n",
+                path.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -113,6 +149,9 @@ main(int argc, char **argv)
 {
     bool full = flagValue(argc, argv, "full", 0) != 0;
     int calls = static_cast<int>(flagValue(argc, argv, "calls", 20));
+    std::string trace_json = flagString(argc, argv, "trace-json", "");
+    if (!trace_json.empty())
+        return dumpChaseTrace(trace_json);
 
     std::vector<std::uint64_t> sweep;
     if (full) {

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Table III — per-phase latency attribution of the migration round trip.
+ *
+ * Runs the Section V-A microbenchmark (host calls to an immediately
+ * returning NxP function) under the tracing layer (DESIGN.md §10) and
+ * prints where every picosecond of the Host-NxP-Host round trip goes:
+ * NX fault service, descriptor build, DMA bursts, NxP dispatch, MSI
+ * delivery and host wakeup.
+ *
+ * The decomposition is exact by construction — each trace milestone
+ * closes the previous phase and opens its own — and this bench enforces
+ * it: it exits nonzero if any call's phase durations do not sum to its
+ * end-to-end latency, or if the aggregate per-phase totals do not sum
+ * to the aggregate round-trip time.
+ *
+ * Paper anchors: 18.3 us Host-NxP-Host total; 0.7 us of it is the host
+ * page-fault service (Section V-A). The traced `nxFault` phase spans
+ * fault service + trap exit, so its paper-equivalent share is 2x0.7 us.
+ *
+ * Flags: --calls=N (default 1000); --json=FILE additionally dumps the
+ * Chrome/Perfetto trace of the run (open in ui.perfetto.dev).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "sim/trace.hh"
+
+using namespace flick;
+using namespace flick::bench;
+
+namespace
+{
+
+/** Paper-side annotation for one phase row ("-" where Table III is silent). */
+const char *
+paperNote(TracePhase ph)
+{
+    switch (ph) {
+      case TracePhase::nxFault:
+        return "0.7us svc + trap exit (V-A)";
+      default:
+        return "-";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int calls = static_cast<int>(flagValue(argc, argv, "calls", 1000));
+    std::string json = flagString(argc, argv, "json", "");
+
+    SystemConfig cfg;
+    cfg.withTrace();
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addMicrobench(prog);
+    Process &proc = sys.load(prog);
+
+    sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
+    Tracer &trace = sys.debug().trace();
+    trace.reset(); // exclude the warm-up call from the attribution
+
+    Tick t0 = sys.now();
+    for (int i = 0; i < calls; ++i)
+        sys.submit(proc, "nxp_noop").wait();
+    double wall_us = ticksToUs(sys.now() - t0) / calls;
+
+    // Exactness check 1: every finished call decomposes exactly.
+    Tick end_to_end = 0;
+    std::uint64_t finished = 0;
+    for (const auto &[id, c] : trace.calls()) {
+        if (!c.end)
+            continue;
+        ++finished;
+        end_to_end += c.end - c.start;
+        if (c.phaseSum() != c.end - c.start) {
+            std::fprintf(stderr,
+                         "FAIL: call %llu phase sum %llu != end-to-end "
+                         "%llu ticks\n",
+                         (unsigned long long)id,
+                         (unsigned long long)c.phaseSum(),
+                         (unsigned long long)(c.end - c.start));
+            return 1;
+        }
+    }
+    if (finished != static_cast<std::uint64_t>(calls)) {
+        std::fprintf(stderr, "FAIL: traced %llu finished calls, ran %d\n",
+                     (unsigned long long)finished, calls);
+        return 1;
+    }
+
+    // Exactness check 2: the aggregate histogram accounts for all of it.
+    Tick phase_total = 0;
+    for (unsigned i = 0; i < numTracePhases; ++i)
+        phase_total += trace.phaseStats(static_cast<TracePhase>(i)).total;
+    if (phase_total != end_to_end) {
+        std::fprintf(stderr,
+                     "FAIL: phase totals %llu != end-to-end %llu ticks\n",
+                     (unsigned long long)phase_total,
+                     (unsigned long long)end_to_end);
+        return 1;
+    }
+
+    double e2e_us = ticksToUs(end_to_end) / calls;
+    std::vector<std::vector<std::string>> rows;
+    for (unsigned i = 0; i < numTracePhases; ++i) {
+        auto ph = static_cast<TracePhase>(i);
+        const TracePhaseStats &s = trace.phaseStats(ph);
+        if (!s.count)
+            continue;
+        double mean = s.meanUs();
+        double per_call = ticksToUs(s.total) / calls;
+        rows.push_back({tracePhaseName(ph),
+                        std::to_string(s.count),
+                        strfmt("%.3fus", mean),
+                        strfmt("%.3fus", per_call),
+                        strfmt("%.1f%%", 100.0 * per_call / e2e_us),
+                        paperNote(ph)});
+    }
+    rows.push_back({"total", std::to_string(calls),
+                    strfmt("%.3fus", e2e_us), strfmt("%.3fus", e2e_us),
+                    "100.0%", "18.3us (Table III)"});
+
+    printTable(strfmt("Table III breakdown: Host-NxP-Host phase "
+                      "attribution (%d calls)",
+                      calls),
+               {"Phase", "Count", "Mean", "Per-call", "Share", "Paper"},
+               rows);
+    std::printf("exact decomposition: phase sums == end-to-end for all "
+                "%d calls; per-call end-to-end %.3fus (wall %.3fus incl. "
+                "submit overhead)\n",
+                calls, e2e_us, wall_us);
+
+    if (!json.empty()) {
+        if (!trace.dumpJson(json)) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n", json.c_str());
+            return 1;
+        }
+        std::printf("perfetto trace written to %s (open in "
+                    "ui.perfetto.dev)\n",
+                    json.c_str());
+    }
+    return 0;
+}

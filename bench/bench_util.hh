@@ -126,6 +126,20 @@ flagValue(int argc, char **argv, const std::string &name,
     return fallback;
 }
 
+/** Parse "--name=value" style string flags. */
+inline std::string
+flagString(int argc, char **argv, const std::string &name,
+           const std::string &fallback)
+{
+    std::string prefix = "--" + name + "=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return fallback;
+}
+
 } // namespace flick::bench
 
 #endif // FLICK_BENCH_BENCH_UTIL_HH

@@ -1,14 +1,33 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
 # plus a Debug + ThreadSanitizer build running the concurrency-,
-# chaos- and device_fault-labeled tests (the event-driven migration
-# engine's interleaved continuation chains and the fault-recovery and
-# failover paths are where lifetime bugs would hide).
+# chaos-, device_fault- and trace-labeled tests (the event-driven
+# migration engine's interleaved continuation chains, the fault-recovery
+# and failover paths, and the trace instrumentation riding along them
+# are where lifetime bugs would hide), and a docs-drift guard keeping
+# DESIGN.md's configuration table in sync with SystemConfig.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 
+echo "== docs drift guard: SystemConfig fluent options in DESIGN.md =="
+missing=0
+for opt in $(grep -oE 'SystemConfig &[[:space:]]*$|with[A-Z][A-Za-z0-9]*' \
+                 src/flick/system.hh | grep -oE 'with[A-Z][A-Za-z0-9]*' |
+                 sort -u); do
+    if ! grep -q "$opt" DESIGN.md; then
+        echo "DESIGN.md does not mention SystemConfig::$opt" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "docs drift: document the options above in DESIGN.md" >&2
+    exit 1
+fi
+echo "all SystemConfig::with* options documented"
+
+echo
 echo "== release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
@@ -19,15 +38,20 @@ echo "== release build, device-fault label =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L device_fault
 
 echo
-echo "== debug + tsan build, concurrency + chaos tests =="
+echo "== release build, trace label =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L trace
+
+echo
+echo "== debug + tsan build, concurrency + chaos + trace tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
-             device_fault_test
+             device_fault_test trace_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L trace
 
 echo
 echo "all checks passed"

@@ -290,6 +290,7 @@ MigrationEngine::submit(Task &task, VAddr entry,
         x.deadline = _events.now() + _callDeadline;
     _exec.emplace(task.pid, std::move(x));
     _stats.inc("calls_submitted");
+    traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
     // The watchdog only exists when something can actually go wrong
     // (endpoint fault injection or a configured deadline); otherwise the
     // fault-free event stream stays untouched.
@@ -361,6 +362,7 @@ MigrationEngine::startEntry(TaskExec &x)
     _hostLoadedCr3 = task.cr3;
     _hostCore.setStackPointer(x.stackTop & ~std::uint64_t(15));
     _hostCore.setupCall(x.entry, x.args);
+    tracePoint(TracePoint::callEntry, task.pid, x.id, 0, x.entry);
     runHostSegment(x);
 }
 
@@ -440,6 +442,7 @@ MigrationEngine::dispatchFallback(TaskExec &x)
                                             top.args.begin() + top.nargs);
             _hostCore.setupCall(twin, args);
             journal(ProtocolStep::hostFallback, pid, twin);
+            tracePoint(TracePoint::hostCallStart, pid, id, 0, twin);
             runHostSegment(*v);
         });
     });
@@ -463,6 +466,7 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
                                             d.args.begin() + d.nargs);
             _hostCore.setupCall(d.target, args);
             journal(ProtocolStep::hostCallStart, pid, d.target);
+            tracePoint(TracePoint::hostCallStart, pid, x.id, 0, d.target);
             runHostSegment(x);
             return;
         }
@@ -485,10 +489,12 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
             top.callee = hostSide;
             _hostCore.setupCall(twin, d.argVector());
             journal(ProtocolStep::hostFallback, pid, twin);
+            tracePoint(TracePoint::hostCallStart, pid, x.id, 0, twin);
             runHostSegment(x);
             return;
         }
         journal(ProtocolStep::hostForward, pid, d.target);
+        tracePoint(TracePoint::hostDescBuild, pid, x.id, to, d.target);
         MigrationDescriptor fwd = d;
         std::uint64_t id = x.id;
         ensureNxpStack(task, to, [this, pid, id, fwd, to] {
@@ -512,6 +518,7 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
         journal(ProtocolStep::hostReturn, pid, d.retval);
         if (top.caller == hostSide) {
             // (g) The host->NxP round trip completes here.
+            tracePoint(TracePoint::hostResume, pid, x.id);
             Tick t0 = top.t0;
             x.frames.pop_back();
             ++task.migrations;
@@ -526,6 +533,7 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
         unsigned from = top.caller;
         std::uint64_t rv = d.retval;
         std::uint64_t id = x.id;
+        tracePoint(TracePoint::hostDescBuild, pid, id, from);
         after(_timing.ioctlEntry, [this, pid, id, rv, from] {
             TaskExec *w = live(pid, id);
             if (!w) {
@@ -597,6 +605,7 @@ MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
         // (e) A nested host function finished: package the return and
         // ship it back to the calling device.
         unsigned from = top.caller;
+        tracePoint(TracePoint::hostDescBuild, pid, id, from, rv);
         after(hostCycles(_timing.hostHandlerCycles) + _timing.ioctlEntry,
               [this, pid, id, rv, from] {
                   TaskExec *w = live(pid, id);
@@ -683,6 +692,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
             f.args[i] = _hostCore.arg(i);
         x.frames.push_back(f);
         journal(ProtocolStep::hostNxFault, pid, target);
+        tracePoint(TracePoint::hostNxFault, pid, id, device, target);
         after(_timing.nxFaultService + _timing.faultTrapExit +
                   hostCycles(_timing.hostHandlerCycles),
               [this, pid, id, twin] {
@@ -696,6 +706,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
                                             top.args.begin() + top.nargs);
             _hostCore.setupCall(twin, args);
             journal(ProtocolStep::hostFallback, pid, twin);
+            tracePoint(TracePoint::hostCallStart, pid, id, 0, twin);
             runHostSegment(*w);
         });
         return;
@@ -709,6 +720,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
     // then trap-exit into the hijacked user-space handler.
     task.savedFaultAddr = target;
     journal(ProtocolStep::hostNxFault, pid, target);
+    tracePoint(TracePoint::hostNxFault, pid, id, device, target);
     after(_timing.nxFaultService + _timing.faultTrapExit,
           [this, pid, id, target, device] {
               TaskExec *w0 = live(pid, id);
@@ -716,6 +728,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
                   releaseHost();
                   return;
               }
+              tracePoint(TracePoint::hostDescBuild, pid, id, device);
               // First migration to this device: allocate the thread's
               // NxP stack (Listing 1 lines 3-4).
               ensureNxpStack(*w0->task, device,
@@ -755,7 +768,9 @@ MigrationEngine::completeCall(TaskExec &x, std::uint64_t value)
     x.future->status = CallStatus::ok;
     x.future->done = true;
     _stats.inc("calls_completed");
+    tracePoint(TracePoint::callComplete, x.task->pid, x.id, 0, value);
     _exec.erase(x.task->pid);
+    traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
     releaseHost();
 }
 
@@ -835,11 +850,18 @@ MigrationEngine::fireHostToNxp(MigrationDescriptor d, unsigned device)
     d.seq = ++s.h2dSendSeq;
     unsigned slot = s.h2d.push();
     writeHostStaging(d, device, slot);
+    tracePoint(TracePoint::dmaToNxpStart, static_cast<int>(d.pid),
+               d.callId, device);
+    traceGauge(TraceGauge::h2dRing, device, s.h2d.inUse());
     NxpPlatform *platform = s.platform;
+    int dpid = static_cast<int>(d.pid);
+    std::uint64_t cid = d.callId;
     s.dma->copyHostToNxp(s.h2d.stagingPa(slot), s.h2d.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
-                         [this, platform, device] {
+                         [this, platform, device, dpid, cid] {
                              ++side(device).progress;
+                             tracePoint(TracePoint::dmaToNxpDone, dpid, cid,
+                                        device);
                              platform->inboxArrived();
                              kickNxp(device);
                          });
@@ -910,6 +932,7 @@ MigrationEngine::dispatchNxp(unsigned device)
             t.h2dRetries = 0;
             ++t.progress;
             t.h2d.pop();
+            traceGauge(TraceGauge::h2dRing, device, t.h2d.inUse());
             t.platform->consumeInbox();
             // The freed slot unblocks a deferred host-side send.
             if (!t.h2dDeferred.empty() && !t.h2d.full()) {
@@ -962,6 +985,8 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
                                             d.args.begin() + d.nargs);
             core.setupCall(d.target, args);
             journal(ProtocolStep::nxpCallStart, pid, d.target);
+            tracePoint(TracePoint::nxpCallStart, pid, d.callId, device,
+                       d.target);
             runNxpSegment(*x, device);
         });
         return;
@@ -994,6 +1019,7 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
             core.restoreContext(task.nxpSavedCtx.back().context);
             task.nxpSavedCtx.pop_back();
             journal(ProtocolStep::nxpResume, pid, core.pc());
+            tracePoint(TracePoint::nxpResume, pid, d.callId, device);
 
             if (x.frames.empty() || x.frames.back().caller != device) {
                 panic("NxP %u resumed task %d without a matching call "
@@ -1073,6 +1099,7 @@ MigrationEngine::handleNxpStop(int pid, std::uint64_t id, unsigned device,
       case Fault::trampoline: {
         // (f) The NxP function finished: ship the return value home.
         std::uint64_t rv = core.retVal();
+        tracePoint(TracePoint::nxpDescBuild, pid, id, device, rv);
         MigrationDescriptor ret;
         ret.kind = DescriptorKind::nxpToHostReturn;
         ret.pid = static_cast<std::uint32_t>(pid);
@@ -1087,6 +1114,7 @@ MigrationEngine::handleNxpStop(int pid, std::uint64_t id, unsigned device,
             _kernel.classifyFetchFault(r.stop, IsaKind::rv64);
         if (action != FaultAction::migrateToHost)
             panic("NxP fetch fault not classified as migration");
+        tracePoint(TracePoint::nxpFault, pid, id, device, r.faultVa);
         startNxpFaultMigration(x, r.faultVa, device);
         return;
       }
@@ -1156,6 +1184,7 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
         _stats.inc(dest == hostSide ? "nxp_to_host_calls"
                                     : "nxp_to_nxp_calls");
         journal(ProtocolStep::nxpFault, pid, target);
+        tracePoint(TracePoint::nxpDescBuild, pid, id, device, target);
 
         // Build the NxP->host call descriptor from the faulting call's
         // argument registers (Listing 2 lines 3-4).
@@ -1231,13 +1260,20 @@ MigrationEngine::fireNxpToHost(MigrationDescriptor d, unsigned device)
     d.seq = ++s.d2hSendSeq;
     unsigned slot = s.d2h.push();
     writeNxpOutbox(d, device, slot);
+    tracePoint(TracePoint::dmaToHostStart, static_cast<int>(d.pid),
+               d.callId, device);
+    traceGauge(TraceGauge::d2hRing, device, s.d2h.inUse());
+    int dpid = static_cast<int>(d.pid);
+    std::uint64_t cid = d.callId;
     s.dma->copyNxpToHost(s.d2h.stagingPa(slot), s.d2h.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
                          static_cast<int>(s.irqVector),
-                         [this, device] {
+                         [this, device, dpid, cid] {
                              NxpSide &t = side(device);
                              ++t.d2hLanded;
                              ++t.progress;
+                             tracePoint(TracePoint::dmaToHostDone, dpid, cid,
+                                        device);
                          });
     armD2hWatchdog(device, d.seq);
 }
@@ -1282,6 +1318,7 @@ MigrationEngine::processHostInbox(unsigned device)
     ++s.progress;
     --s.d2hLanded;
     s.d2h.pop();
+    traceGauge(TraceGauge::d2hRing, device, s.d2h.inUse());
     if (!s.d2hDeferred.empty() && !s.d2h.full()) {
         MigrationDescriptor dd = s.d2hDeferred.front();
         s.d2hDeferred.pop_front();
@@ -1305,6 +1342,7 @@ MigrationEngine::processHostInbox(unsigned device)
             return;
         }
         _kernel.wake(*x->task);
+        tracePoint(TracePoint::hostWake, pid, d.callId, device);
         x->pendingWake = true;
         x->wakeDesc = d;
         _kernel.enqueueRunnable(*x->task);
@@ -1554,6 +1592,8 @@ MigrationEngine::failCall(TaskExec &x, CallStatus status)
     x.future->status = status;
     x.future->done = true;
     _stats.inc("calls_failed");
+    tracePoint(TracePoint::callFailed, x.task->pid, x.id,
+               dev == hostSide ? 0 : dev, static_cast<std::uint64_t>(status));
     switch (status) {
       case CallStatus::cancelled:
         failStat("cancellations", dev);
@@ -1576,6 +1616,7 @@ MigrationEngine::failCall(TaskExec &x, CallStatus status)
     _kernel.abortMigration(task);
     task.nxpSavedCtx.clear();
     _exec.erase(task.pid);
+    traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
 }
 
 bool

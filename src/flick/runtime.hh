@@ -57,6 +57,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/timing_config.hh"
+#include "sim/trace.hh"
 
 namespace flick
 {
@@ -191,6 +192,14 @@ class MigrationEngine
      * chaos seed in unrecoverable-fault diagnostics.
      */
     void setChaos(ChaosController *chaos) { _chaos = chaos; }
+
+    /**
+     * Attach the tracer. The engine emits a milestone at every protocol
+     * step of every in-flight call plus ring-occupancy / in-flight-call
+     * gauges (DESIGN.md §10). Purely passive: the tracer never schedules
+     * events, so traced and untraced runs are tick-for-tick identical.
+     */
+    void setTracer(Tracer *tracer) { _tracer = tracer; }
 
     /**
      * Consecutive retransmissions tolerated per link before the
@@ -566,6 +575,23 @@ class MigrationEngine
             _journal.push_back({_events.now(), step, pid, addr});
     }
 
+    /** Emit a trace milestone for call (@p pid, @p id) when tracing. */
+    void
+    tracePoint(TracePoint p, int pid, std::uint64_t id, unsigned device = 0,
+               std::uint64_t arg = 0)
+    {
+        if (_tracer)
+            _tracer->point(p, _events.now(), pid, id, device, arg);
+    }
+
+    /** Sample a trace gauge when tracing. */
+    void
+    traceGauge(TraceGauge g, unsigned device, std::uint64_t value)
+    {
+        if (_tracer)
+            _tracer->gauge(g, _events.now(), device, value);
+    }
+
     NxpSide &side(unsigned device);
     TaskExec &exec(int pid);
 
@@ -597,6 +623,7 @@ class MigrationEngine
     Tick _extraRoundTrip = 0;
     std::uint64_t _nxpStackBytes = 64 * 1024;
     ChaosController *_chaos = nullptr;
+    Tracer *_tracer = nullptr;
     unsigned _retryBudget = 16;
     std::uint64_t _nextExecId = 0;
     Tick _callDeadline = 0;

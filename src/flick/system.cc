@@ -82,10 +82,18 @@ FlickSystem::FlickSystem(SystemConfig config)
     _dma.setChaos(&_chaos);
     _irq.setChaos(&_chaos);
 
+    // The one tracer (disabled unless configured): milestones from the
+    // engine and kernel, queue-depth gauges from the DMA engines.
+    if (_config.trace)
+        _tracer.enable();
+    _dma.setTracer(&_tracer);
+    _kernel.setTracer(&_tracer, &_events);
+
     _engine = std::make_unique<MigrationEngine>(_events, _mem,
                                                 _config.timing, _kernel,
                                                 _irq, _hostCore);
     _engine->setChaos(&_chaos);
+    _engine->setTracer(&_tracer);
     _engine->setRetryBudget(_config.retryBudget);
     _engine->setCallDeadline(_config.callDeadline);
     _engine->setHostFallback(_config.hostFallback);
@@ -114,6 +122,7 @@ FlickSystem::FlickSystem(SystemConfig config)
         _platformCtrl2->setNxpMmu(&_nxp2Core->mmu());
         _dma2 = std::make_unique<DmaEngine>(_events, _mem, &_irq, 1);
         _dma2->setChaos(&_chaos);
+        _dma2->setTracer(&_tracer);
         std::uint64_t reserved = _platformCtrl.reservedLocalEnd() -
                                  _config.platform.nxpDramLocalBase;
         _nxpWindowHeap2 = std::make_unique<RegionHeap>(
@@ -439,6 +448,8 @@ FlickSystem::dumpStats(std::ostream &os)
         _dma2->stats().dump(os);
         _nxp2Core->mmu().walker().stats().dump(os);
     }
+    if (_tracer.on())
+        _tracer.dumpBreakdown(os);
 }
 
 } // namespace flick

@@ -93,6 +93,13 @@ struct SystemConfig
     bool hostFallback = false;
     /** Progress-less heartbeats before a stalled NxP is quarantined. */
     unsigned healthStrikeLimit = 2;
+    /**
+     * Record trace milestones and gauges along the migration path
+     * (DESIGN.md §10). Tracing is passive — a traced run is
+     * tick-for-tick identical to an untraced one — but it allocates, so
+     * it is opt-in; with it off no trace code touches any container.
+     */
+    bool trace = false;
 
     /** Number of NxP devices in the platform (1 or 2). */
     SystemConfig &
@@ -162,6 +169,14 @@ struct SystemConfig
     withHealthStrikeLimit(unsigned strikes)
     {
         healthStrikeLimit = strikes;
+        return *this;
+    }
+
+    /** Enable event tracing and latency attribution (debug().trace()). */
+    SystemConfig &
+    withTrace(bool on = true)
+    {
+        trace = on;
         return *this;
     }
 
@@ -318,6 +333,7 @@ class FlickSystem
         NativeRegistry &natives() const { return sys->_natives; }
         EventQueue &events() const { return sys->_events; }
         ChaosController &chaos() const { return sys->_chaos; }
+        Tracer &trace() const { return sys->_tracer; }
         DmaEngine &dma(unsigned device = 0) const;
         IrqController &irq() const { return sys->_irq; }
         RegionHeap &nxpHeap(unsigned device = 0) const;
@@ -376,6 +392,7 @@ class FlickSystem
     EventQueue _events;
     MemSystem _mem;
     ChaosController _chaos;
+    Tracer _tracer;
     IrqController _irq;
     DmaEngine _dma;
     NxpPlatform _platformCtrl;

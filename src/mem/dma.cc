@@ -5,6 +5,7 @@
 #include "mem/irq.hh"
 #include "sim/chaos.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace flick
 {
@@ -25,14 +26,24 @@ DmaEngine::copyNxpToHost(Addr nxp_local_pa, Addr host_pa, std::uint64_t len,
 }
 
 void
+DmaEngine::traceQueueDepth()
+{
+    if (_tracer)
+        _tracer->gauge(TraceGauge::dmaQueue, _events.now(), _device,
+                       _pending.size() + (_busy ? 1 : 0));
+}
+
+void
 DmaEngine::enqueue(Transfer t)
 {
     if (_busy) {
         _stats.inc("queued");
         _pending.push_back(std::move(t));
+        traceQueueDepth();
         return;
     }
     start(std::move(t));
+    traceQueueDepth();
 }
 
 void
@@ -118,6 +129,7 @@ DmaEngine::complete(Transfer t)
         _pending.pop_front();
         start(std::move(next));
     }
+    traceQueueDepth();
 }
 
 } // namespace flick

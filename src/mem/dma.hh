@@ -26,6 +26,7 @@ namespace flick
 
 class ChaosController;
 class IrqController;
+class Tracer;
 
 /**
  * The FPGA-side DMA engine, bus master on both the PCIe link and the
@@ -80,6 +81,13 @@ class DmaEngine
      */
     void setChaos(ChaosController *chaos) { _chaos = chaos; }
 
+    /**
+     * Attach the tracer; the engine then samples its queue depth
+     * (active + pending transfers) whenever a transfer is accepted or
+     * retired. Passive — transfer behaviour and timing are unchanged.
+     */
+    void setTracer(Tracer *tracer) { _tracer = tracer; }
+
     StatGroup &stats() { return _stats; }
 
   private:
@@ -96,6 +104,8 @@ class DmaEngine
     void enqueue(Transfer t);
     void start(Transfer t);
     void complete(Transfer t);
+    /** Sample the queue-depth gauge (no-op without an enabled tracer). */
+    void traceQueueDepth();
     /** Maybe flip bits in an in-flight payload (chaos). */
     void corrupt(std::vector<std::uint8_t> &buf);
 
@@ -103,6 +113,7 @@ class DmaEngine
     MemSystem &_mem;
     IrqController *_irq;
     ChaosController *_chaos = nullptr;
+    Tracer *_tracer = nullptr;
     unsigned _device;
     bool _busy = false;
     std::deque<Transfer> _pending;

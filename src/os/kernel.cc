@@ -1,6 +1,8 @@
 #include "os/kernel.hh"
 
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace flick
 {
@@ -113,6 +115,13 @@ Kernel::classifyFetchFault(Fault fault, IsaKind core_isa)
 }
 
 void
+Kernel::traceInstant(TracePoint p, const Task &task)
+{
+    if (_tracer && _traceClock)
+        _tracer->point(p, _traceClock->now(), task.pid, 0);
+}
+
+void
 Kernel::suspendForMigration(Task &task,
                             std::vector<std::uint64_t> host_context)
 {
@@ -123,6 +132,7 @@ Kernel::suspendForMigration(Task &task,
     task.migrationFlag = true;
     task.state = TaskState::onNxp;
     _stats.inc("suspensions");
+    traceInstant(TracePoint::kernelSuspend, task);
 }
 
 bool
@@ -143,6 +153,7 @@ Kernel::wake(Task &task)
               static_cast<int>(task.state));
     task.state = TaskState::runnable;
     _stats.inc("wakeups");
+    traceInstant(TracePoint::kernelWake, task);
 }
 
 std::vector<std::uint64_t>
@@ -153,6 +164,7 @@ Kernel::resume(Task &task)
               static_cast<int>(task.state));
     task.state = TaskState::running;
     _stats.inc("resumes");
+    traceInstant(TracePoint::kernelResume, task);
     return std::move(task.hostContext);
 }
 

@@ -13,6 +13,7 @@
 #ifndef FLICK_OS_KERNEL_HH
 #define FLICK_OS_KERNEL_HH
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -24,6 +25,10 @@
 
 namespace flick
 {
+
+class EventQueue;
+class Tracer;
+enum class TracePoint : std::uint8_t;
 
 /** What the fault handler decides to do with a fetch fault. */
 enum class FaultAction
@@ -118,11 +123,27 @@ class Kernel
 
     StatGroup &stats() { return _stats; }
 
+    /**
+     * Attach the tracer (and the clock it timestamps with); the kernel
+     * then emits instant markers at suspend/wake/resume. Passive — the
+     * kernel's behaviour and accounting are unchanged.
+     */
+    void
+    setTracer(Tracer *tracer, const EventQueue *events)
+    {
+        _tracer = tracer;
+        _traceClock = events;
+    }
+
   private:
+    void traceInstant(TracePoint p, const Task &task);
+
     int _nextPid = 1000;
     std::vector<std::unique_ptr<Task>> _tasks;
     std::deque<Task *> _runQueue;
     StatGroup _stats;
+    Tracer *_tracer = nullptr;
+    const EventQueue *_traceClock = nullptr;
 };
 
 } // namespace flick

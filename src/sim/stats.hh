@@ -12,9 +12,9 @@
 #define FLICK_SIM_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 
 namespace flick
 {
@@ -56,18 +56,22 @@ class StatGroup
             kv.second = 0;
     }
 
-    /** All counters, sorted by key. */
-    const std::map<std::string, std::uint64_t> &counters() const
+    /** All counters, in unspecified (hash) order; dump() sorts. */
+    const std::unordered_map<std::string, std::uint64_t> &counters() const
     {
         return _counters;
     }
 
-    /** Write "group.key value" lines to @p os. */
+    /**
+     * Write "group.key value" lines to @p os, sorted by key so the
+     * output is deterministic and diffable regardless of insertion or
+     * hash order.
+     */
     void dump(std::ostream &os) const;
 
   private:
     std::string _name;
-    std::map<std::string, std::uint64_t> _counters;
+    std::unordered_map<std::string, std::uint64_t> _counters;
 };
 
 } // namespace flick
