@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Placement-policy benchmark (DESIGN.md §11, EXPERIMENTS.md).
+ *
+ * Runs the same mixed workload — batches of concurrent threads issuing
+ * hot xorshift kernels, an occasional long-occupancy cold call, tiny
+ * adds that never amortize a crossing, and near-data sums over a
+ * device-0 buffer — under each of the three shipped placement policies
+ * and reports throughput (calls/s of simulated time) and p99 call
+ * latency. Expected shape:
+ *
+ *   - static       : everything queues on device 0; the cold call
+ *                    convoys the batch.
+ *   - least-loaded : hot/tiny calls spread to device 1's twins; p99
+ *                    drops and throughput scales.
+ *   - profile-guided: additionally steers mix_tiny to its "__host"
+ *                    twin after one probe, while the near-data sum
+ *                    stays on its device.
+ *
+ * Flags: --threads=N (default 8), --batches=N (default 6),
+ * --hot-rounds=N (default 2000), --devices=N (default 2, max 2),
+ * --smoke (reduced sizes for CI), --json=FILE (machine-readable dump).
+ * Exits 1 if least-loaded fails to beat static throughput at >= 2
+ * devices, or if profile-guided never steers a call to the host.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "workloads/placement_mix.hh"
+
+using namespace flick;
+using namespace flick::bench;
+
+namespace
+{
+
+struct PolicyResult
+{
+    double callsPerSec = 0;
+    double p99Us = 0;
+    std::uint64_t devCalls[2] = {0, 0};
+    std::uint64_t hostSteered = 0;
+    std::uint64_t rebalanced = 0;
+};
+
+struct Params
+{
+    unsigned threads = 8;
+    unsigned batches = 6;
+    std::uint64_t hotRounds = 2000;
+    unsigned devices = 2;
+    std::uint64_t nearWords = 64;
+};
+
+PolicyResult
+runPolicy(PlacementKind kind, const Params &p)
+{
+    FlickSystem sys(SystemConfig{}
+                        .withNxpDevices(p.devices)
+                        .withPlacement(kind));
+    Program prog;
+    workloads::addPlacementMix(prog, p.devices);
+    Process &proc = sys.load(prog);
+
+    VAddr buf = sys.nxpMalloc(p.nearWords * 8, 16, 0);
+    std::uint64_t near_sum = 0;
+    for (std::uint64_t i = 0; i < p.nearWords; ++i) {
+        sys.writeVa(proc, buf + i * 8, 5 * i + 3);
+        near_sum += 5 * i + 3;
+    }
+
+    std::vector<Task *> tasks;
+    for (unsigned i = 0; i < p.threads; ++i)
+        tasks.push_back(&sys.spawnThread(proc));
+
+    // Warm-up: one-time NxP stack setup, and the profile-guided
+    // policy's first device probes.
+    sys.submit(proc, *tasks[0], "mix_hot", {1, 10}).wait();
+    sys.submit(proc, *tasks[0], "mix_tiny", {1, 2}).wait();
+    sys.submit(proc, *tasks[0], "mix_near", {buf, p.nearWords}).wait();
+
+    std::vector<double> latencies;
+    Tick start = sys.now();
+    for (unsigned b = 0; b < p.batches; ++b) {
+        Tick batch_start = sys.now();
+        std::vector<CallFuture> futs;
+        std::vector<std::uint64_t> expect;
+        for (unsigned i = 0; i < p.threads; ++i) {
+            std::uint64_t slot = b * p.threads + i + 1;
+            if (slot % 5 == 4) {
+                futs.push_back(sys.submit(proc, *tasks[i], "mix_tiny",
+                                          {slot, 1}));
+                expect.push_back(slot + 1);
+            } else if (slot % 17 == 9) {
+                futs.push_back(sys.submit(proc, *tasks[i], "mix_cold",
+                                          {slot, p.hotRounds * 4}));
+                expect.push_back(
+                    workloads::mixHotRef(slot, p.hotRounds * 4));
+            } else if (slot % 7 == 5) {
+                futs.push_back(sys.submit(proc, *tasks[i], "mix_near",
+                                          {buf, p.nearWords}));
+                expect.push_back(near_sum);
+            } else {
+                futs.push_back(sys.submit(proc, *tasks[i], "mix_hot",
+                                          {slot, p.hotRounds}));
+                expect.push_back(
+                    workloads::mixHotRef(slot, p.hotRounds));
+            }
+        }
+        // Poll in 1us quanta so each call's completion tick (and thus
+        // its latency) is observed, not just the batch makespan.
+        std::vector<bool> seen(futs.size(), false);
+        std::size_t done = 0;
+        while (done < futs.size()) {
+            sys.advanceTime(us(1));
+            for (std::size_t i = 0; i < futs.size(); ++i) {
+                if (seen[i] || !futs[i].done())
+                    continue;
+                seen[i] = true;
+                ++done;
+                latencies.push_back(
+                    ticksToUs(sys.now() - batch_start));
+            }
+        }
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            if (futs[i].status() != CallStatus::ok ||
+                futs[i].value() != expect[i]) {
+                std::fprintf(stderr,
+                             "FAIL: %s batch %u call %zu: status %s "
+                             "value %llu (want %llu)\n",
+                             placementKindName(kind), b, i,
+                             callStatusName(futs[i].status()),
+                             (unsigned long long)futs[i].value(),
+                             (unsigned long long)expect[i]);
+                std::exit(1);
+            }
+        }
+    }
+    Tick makespan = sys.now() - start;
+
+    PolicyResult r;
+    double secs = ticksToUs(makespan) * 1e-6;
+    r.callsPerSec = (double)(p.batches * p.threads) / secs;
+    std::sort(latencies.begin(), latencies.end());
+    r.p99Us = latencies[std::min(latencies.size() - 1,
+                                 (latencies.size() * 99 + 99) / 100 - 1)];
+    const StatGroup &st = sys.debug().engine().stats();
+    r.devCalls[0] = st.get("host_to_nxp_calls_dev0");
+    r.devCalls[1] = st.get("host_to_nxp_calls_dev1");
+    r.hostSteered = st.get("placement.host_steered");
+    r.rebalanced = st.get("placement.rebalanced");
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Params p;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    if (smoke) {
+        p.threads = 4;
+        p.batches = 3;
+        p.hotRounds = 600;
+    }
+    p.threads = (unsigned)flagValue(argc, argv, "threads", p.threads);
+    p.batches = (unsigned)flagValue(argc, argv, "batches", p.batches);
+    p.hotRounds = flagValue(argc, argv, "hot-rounds", p.hotRounds);
+    p.devices = (unsigned)flagValue(argc, argv, "devices", p.devices);
+    if (p.devices > 2) {
+        std::printf("note: platform models at most 2 NxPs; clamping\n");
+        p.devices = 2;
+    }
+    std::string json = flagString(argc, argv, "json", "");
+
+    const PlacementKind kinds[] = {PlacementKind::staticPlacement,
+                                   PlacementKind::leastLoaded,
+                                   PlacementKind::profileGuided};
+    PolicyResult results[3];
+    for (int k = 0; k < 3; ++k)
+        results[k] = runPolicy(kinds[k], p);
+
+    std::vector<std::vector<std::string>> rows;
+    for (int k = 0; k < 3; ++k) {
+        const PolicyResult &r = results[k];
+        rows.push_back(
+            {placementKindName(kinds[k]),
+             strfmt("%.0f", r.callsPerSec), fmtUs(r.p99Us),
+             strfmt("%llu/%llu", (unsigned long long)r.devCalls[0],
+                    (unsigned long long)r.devCalls[1]),
+             strfmt("%llu", (unsigned long long)r.hostSteered),
+             strfmt("%llu", (unsigned long long)r.rebalanced)});
+    }
+    printTable(
+        strfmt("Placement policies: mixed workload, %u threads x %u "
+               "batches, %u device(s)",
+               p.threads, p.batches, p.devices),
+        {"Policy", "Calls/s", "p99", "dev0/dev1 calls", "host-steered",
+         "rebalanced"},
+        rows);
+    std::printf("\nSpeedup over static: least-loaded %s, "
+                "profile-guided %s\n",
+                fmtX(results[1].callsPerSec / results[0].callsPerSec)
+                    .c_str(),
+                fmtX(results[2].callsPerSec / results[0].callsPerSec)
+                    .c_str());
+
+    if (!json.empty()) {
+        std::ofstream os(json);
+        if (!os) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n",
+                         json.c_str());
+            return 1;
+        }
+        os << "{\n  \"threads\": " << p.threads
+           << ", \"batches\": " << p.batches
+           << ", \"hot_rounds\": " << p.hotRounds
+           << ", \"devices\": " << p.devices << ",\n  \"policies\": [";
+        for (int k = 0; k < 3; ++k) {
+            const PolicyResult &r = results[k];
+            os << (k ? "," : "") << "\n    {\"name\": \""
+               << placementKindName(kinds[k])
+               << "\", \"calls_per_sec\": " << r.callsPerSec
+               << ", \"p99_us\": " << r.p99Us
+               << ", \"dev0_calls\": " << r.devCalls[0]
+               << ", \"dev1_calls\": " << r.devCalls[1]
+               << ", \"host_steered\": " << r.hostSteered
+               << ", \"rebalanced\": " << r.rebalanced << "}";
+        }
+        os << "\n  ]\n}\n";
+        std::printf("wrote %s\n", json.c_str());
+    }
+
+    bool ok = true;
+    if (p.devices >= 2 &&
+        results[1].callsPerSec <= results[0].callsPerSec) {
+        std::fprintf(stderr, "FAIL: least-loaded did not beat static "
+                             "throughput with %u devices\n",
+                     p.devices);
+        ok = false;
+    }
+    if (results[2].hostSteered == 0) {
+        std::fprintf(stderr, "FAIL: profile-guided never steered a "
+                             "call to a host twin\n");
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -17,14 +17,24 @@
  *
  * One thread, ordinary function calls, three processors — against a
  * baseline where the host does everything over PCIe.
+ *
+ * Part 2 shows the placement-policy subsystem (DESIGN.md §11) on the
+ * same two-device box: a storm of identical compute-bound calls, all
+ * homed on device 0, run under the policy chosen with
+ * --policy=static|least-loaded|profile-guided (default least-loaded).
+ * The per-device call split and the makespan show the balancer
+ * spreading work onto device 1's twins.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "flick/system.hh"
 #include "sim/random.hh"
 #include "workloads/microbench.hh"
+#include "workloads/placement_mix.hh"
 
 using namespace flick;
 
@@ -178,11 +188,77 @@ hs_done:
     ret
 )";
 
+// Part 2: a storm of device-0-homed calls under a placement policy.
+void
+runPlacementStorm(PlacementKind kind)
+{
+    std::printf("\n--- part 2: placement policy \"%s\" ---\n",
+                placementKindName(kind));
+
+    FlickSystem sys(
+        SystemConfig{}.withNxpDevices(2).withPlacement(kind));
+    Program prog;
+    workloads::addPlacementMix(prog, 2);
+    Process &proc = sys.load(prog);
+
+    constexpr unsigned threads = 6;
+    constexpr std::uint64_t rounds = 1500;
+    std::vector<Task *> tasks;
+    for (unsigned i = 0; i < threads; ++i)
+        tasks.push_back(&sys.spawnThread(proc));
+    sys.submit(proc, *tasks[0], "mix_hot", {1, 10}).wait(); // warm-up
+
+    Tick t0 = sys.now();
+    std::vector<CallFuture> futs;
+    for (unsigned i = 0; i < threads; ++i)
+        futs.push_back(
+            sys.submit(proc, *tasks[i], "mix_hot", {i + 1, rounds}));
+    for (unsigned i = 0; i < threads; ++i) {
+        if (futs[i].wait() != workloads::mixHotRef(i + 1, rounds)) {
+            std::printf("MISMATCH on thread %u!\n", i);
+            std::exit(1);
+        }
+    }
+    Tick makespan = sys.now() - t0;
+
+    const StatGroup &st = sys.debug().engine().stats();
+    std::printf("%u concurrent mix_hot calls (all homed on device 0): "
+                "%.1f us\n",
+                threads, ticksToUs(makespan));
+    std::printf("  device 0 ran %llu, device 1 ran %llu, host twins ran "
+                "%llu, rebalanced %llu\n",
+                (unsigned long long)st.get("host_to_nxp_calls_dev0"),
+                (unsigned long long)st.get("host_to_nxp_calls_dev1"),
+                (unsigned long long)st.get("placement.host_steered"),
+                (unsigned long long)st.get("placement.rebalanced"));
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    PlacementKind storm_kind = PlacementKind::leastLoaded;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--policy=", 9) != 0)
+            continue;
+        std::string name = arg + 9;
+        if (name == "static") {
+            storm_kind = PlacementKind::staticPlacement;
+        } else if (name == "least-loaded") {
+            storm_kind = PlacementKind::leastLoaded;
+        } else if (name == "profile-guided") {
+            storm_kind = PlacementKind::profileGuided;
+        } else {
+            std::fprintf(stderr,
+                         "unknown --policy=%s (want static, "
+                         "least-loaded or profile-guided)\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+
     FlickSystem sys(SystemConfig{}.withNxpDevices(2));
 
     static std::vector<std::uint64_t> hits;
@@ -278,5 +354,7 @@ main()
                 "to the packets, lookups next to the index, and only "
                 "rare hits pay migration costs\n",
                 static_cast<double>(baseline) / static_cast<double>(flick));
+
+    runPlacementStorm(storm_kind);
     return 0;
 }

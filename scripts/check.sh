@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
 # plus a Debug + ThreadSanitizer build running the concurrency-,
-# chaos-, device_fault- and trace-labeled tests (the event-driven
+# chaos-, device_fault-, trace- and policy-labeled tests (the event-driven
 # migration engine's interleaved continuation chains, the fault-recovery
 # and failover paths, and the trace instrumentation riding along them
 # are where lifetime bugs would hide), and a docs-drift guard keeping
@@ -42,16 +42,25 @@ echo "== release build, trace label =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L trace
 
 echo
-echo "== debug + tsan build, concurrency + chaos + trace tests =="
+echo "== release build, policy label =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L policy
+
+echo
+echo "== placement bench, smoke mode =="
+./build/bench/bench_placement --smoke
+
+echo
+echo "== debug + tsan build, concurrency + chaos + trace + policy tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
-             device_fault_test trace_test
+             device_fault_test trace_test policy_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L trace
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L policy
 
 echo
 echo "all checks passed"

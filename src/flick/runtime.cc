@@ -1,6 +1,7 @@
 #include "flick/runtime.hh"
 
 #include "loader/loader.hh"
+#include "policy/policy.hh"
 #include "sim/chaos.hh"
 
 namespace flick
@@ -26,9 +27,68 @@ protocolStepName(ProtocolStep step)
       case ProtocolStep::hostReturn: return "hostReturn";
       case ProtocolStep::hostForward: return "hostForward";
       case ProtocolStep::hostFallback: return "hostFallback";
+      case ProtocolStep::hostSteered: return "hostSteered";
     }
     return "?";
 }
+
+// --- Placement policy plumbing (DESIGN.md §11) --------------------------
+
+/**
+ * The engine-state window a PlacementPolicy looks through. Everything
+ * is a cheap read of existing engine state; building one is free and
+ * side-effect free, so consulting a policy cannot perturb the event
+ * stream.
+ */
+struct EnginePlacementView final : PlacementView
+{
+    explicit EnginePlacementView(const MigrationEngine &engine)
+        : e(engine)
+    {
+    }
+
+    unsigned
+    deviceCount() const override
+    {
+        return static_cast<unsigned>(e._nxp.size());
+    }
+
+    DeviceLoad
+    load(unsigned device) const override
+    {
+        const auto &s = e._nxp[device];
+        DeviceLoad l;
+        l.depth = s.h2d.inUse() +
+                  static_cast<unsigned>(s.h2dDeferred.size()) +
+                  (s.busy ? 1 : 0);
+        l.busy = s.busy;
+        l.quarantined = s.health == DeviceHealth::quarantined;
+        return l;
+    }
+
+    Tick crossingEstimate() const override
+    {
+        return e.crossingCostEstimate();
+    }
+
+    Tick
+    steerOverhead() const override
+    {
+        return e._timing.nxFaultService + e._timing.faultTrapExit +
+               e.hostCycles(e._timing.hostHandlerCycles);
+    }
+
+    unsigned
+    hostSpeedup() const override
+    {
+        if (!e._timing.nxpFreqHz)
+            return 1;
+        auto r = e._timing.hostFreqHz / e._timing.nxpFreqHz;
+        return r ? static_cast<unsigned>(r) : 1;
+    }
+
+    const MigrationEngine &e;
+};
 
 const char *
 callStatusName(CallStatus status)
@@ -519,11 +579,14 @@ MigrationEngine::handleHostDescriptor(TaskExec &x, MigrationDescriptor d)
         if (top.caller == hostSide) {
             // (g) The host->NxP round trip completes here.
             tracePoint(TracePoint::hostResume, pid, x.id);
-            Tick t0 = top.t0;
+            CallFrame done = top;
             x.frames.pop_back();
             ++task.migrations;
             _stats.inc("host_nxp_host_roundtrips");
-            _stats.inc("host_nxp_host_ticks", _events.now() - t0);
+            _stats.inc("host_nxp_host_ticks", _events.now() - done.t0);
+            // The measured end-to-end latency is the cost model's input
+            // (ProfileGuidedPlacement); a no-feedback policy skips it.
+            recordPlacementOutcome(task, done);
             _hostCore.finishHijackedCall(d.retval);
             runHostSegment(x);
             return;
@@ -594,10 +657,14 @@ MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
                   "frame", pid);
         }
         if (top.caller == hostSide) {
-            // A host-fallback twin of a host-initiated call finished:
-            // deliver the value like the migration return would have.
+            // A host twin of a host-initiated call finished — either a
+            // failover or a policy-steered run: deliver the value like
+            // the migration return would have.
+            CallFrame done = top;
             x.frames.pop_back();
-            _stats.inc("fallback_returns");
+            _stats.inc(done.steered ? "placement.host_steered_returns"
+                                    : "fallback_returns");
+            recordPlacementOutcome(task, done);
             _hostCore.finishHijackedCall(rv);
             runHostSegment(x);
             return;
@@ -648,7 +715,20 @@ MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
                   "data pointer)",
                   (unsigned long long)r.faultVa, isa_tag);
         }
-        startHostToNxpCall(x, r.faultVa, isa_tag - nxpIsaTag);
+        // The dispatch decision point (DESIGN.md §11): the fault
+        // handler consults the placement policy before staging
+        // anything. Without a policy the answer is always "home" and
+        // this is a straight pass-through.
+        unsigned home = isa_tag - nxpIsaTag;
+        Placed p = decidePlacement(task, r.faultVa, home, hostSide);
+        if (p.toHost) {
+            protoStat("placement.host_steered", home);
+            startHostSteeredCall(x, r.faultVa, p.canonical, p.va, home);
+            return;
+        }
+        if (p.device != home)
+            protoStat("placement.rebalanced", p.device);
+        startHostToNxpCall(x, p.va, p.device, p.canonical);
         return;
       }
 
@@ -663,8 +743,165 @@ MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
 }
 
 void
+MigrationEngine::registerDeviceTwin(Addr cr3, VAddr canonical,
+                                    unsigned device, VAddr twin_va)
+{
+    auto &family = _deviceTwins[{cr3, canonical}];
+    if (family.size() < _nxp.size())
+        family.resize(_nxp.size(), 0);
+    if (device < family.size())
+        family[device] = twin_va;
+    if (twin_va != canonical)
+        _twinCanonical[{cr3, twin_va}] = canonical;
+}
+
+Tick
+MigrationEngine::crossingCostEstimate() const
+{
+    const TimingConfig &t = _timing;
+    std::uint64_t wire = MigrationDescriptor::wireBytes;
+    // Host outbound leg: NX fault service, trap exit into the hijacked
+    // handler, handler prologue, ioctl entry, descriptor packaging,
+    // suspend + context switch, then the h2d descriptor DMA.
+    Tick host_out = t.nxFaultService + t.faultTrapExit +
+                    hostCycles(t.hostHandlerCycles) + t.ioctlEntry +
+                    t.descriptorPack + t.suspendSwitch +
+                    t.dmaTransfer(wire);
+    // Device: scheduler poll + doorbell read, descriptor parse, context
+    // switch in; then (callee runs); then descriptor build, context
+    // switch out, doorbell, and the d2h return DMA.
+    ClockDomain nxp = t.nxpClock();
+    Tick device_legs = nxp.cycles(t.nxpPollCycles) + t.nxpToLocalMmio +
+                       nxp.cycles(t.nxpDescriptorCycles) +
+                       t.nxpToNxpDram + nxp.cycles(t.nxpCtxSwitchCycles) +
+                       nxp.cycles(t.nxpDescriptorCycles) +
+                       t.nxpToNxpDram + nxp.cycles(t.nxpCtxSwitchCycles) +
+                       t.nxpToLocalMmio + t.dmaTransfer(wire);
+    // Host return leg: MSI delivery, IRQ wake, scheduler latency and
+    // the ioctl exit back to user space.
+    Tick host_back = t.irqDelivery + t.irqWake + t.wakeupToRun +
+                     t.ioctlExit;
+    return host_out + device_legs + host_back;
+}
+
+MigrationEngine::Placed
+MigrationEngine::decidePlacement(Task &task, VAddr target, unsigned home,
+                                 unsigned caller_device)
+{
+    Placed p;
+    p.device = home;
+    p.va = target;
+    auto c_it = _twinCanonical.find({task.cr3, target});
+    p.canonical = c_it == _twinCanonical.end() ? target : c_it->second;
+    if (!_policy)
+        return p;
+
+    PlacementQuery q;
+    q.cr3 = task.cr3;
+    q.canonical = p.canonical;
+    q.home = home;
+    q.fromDevice = caller_device != hostSide;
+    q.callerDevice = q.fromDevice ? caller_device : 0;
+
+    PlacementCandidates c;
+    c.deviceVa.assign(_nxp.size(), 0);
+    if (home < c.deviceVa.size())
+        c.deviceVa[home] = target;
+    auto t_it = _deviceTwins.find({task.cr3, p.canonical});
+    if (t_it != _deviceTwins.end()) {
+        for (unsigned d = 0;
+             d < c.deviceVa.size() && d < t_it->second.size(); ++d) {
+            if (t_it->second[d])
+                c.deviceVa[d] = t_it->second[d];
+        }
+    }
+    // A device cannot call its own core's text — the fault already
+    // proved the target is foreign.
+    if (q.fromDevice && caller_device < c.deviceVa.size())
+        c.deviceVa[caller_device] = 0;
+    c.hostVa = fallbackVa(task.cr3, p.canonical);
+
+    EnginePlacementView view(*this);
+    PlacementDecision d = _policy->place(q, c, view);
+
+    // Clamp: a decision for text that does not exist (or a quarantined
+    // answer the policy should not have given) degrades to home.
+    if (d.toHost && c.hostVa) {
+        p.toHost = true;
+        p.va = c.hostVa;
+        return p;
+    }
+    if (!d.toHost && d.device < c.deviceVa.size() &&
+        c.deviceVa[d.device] != 0) {
+        p.device = d.device;
+        p.va = c.deviceVa[d.device];
+    }
+    return p;
+}
+
+void
+MigrationEngine::startHostSteeredCall(TaskExec &x, VAddr faulted,
+                                      VAddr canonical, VAddr twin,
+                                      unsigned home)
+{
+    Task &task = *x.task;
+    int pid = task.pid;
+    std::uint64_t id = x.id;
+    // Same shape (and timing) as a quarantine failover at the fault
+    // boundary: the NX fault already fired, so its service cost and the
+    // handler prologue are paid; then the handler re-points the call at
+    // the host twin instead of packaging a descriptor. The hijacked
+    // return address is in place, so the call completes exactly like a
+    // migration would have — just without ever leaving the host.
+    CallFrame f{hostSide, hostSide, _events.now()};
+    f.target = faulted;
+    f.canonical = canonical;
+    f.steered = true;
+    f.nargs = MigrationDescriptor::maxArgs;
+    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+        f.args[i] = _hostCore.arg(i);
+    x.frames.push_back(f);
+    journal(ProtocolStep::hostNxFault, pid, faulted);
+    tracePoint(TracePoint::hostNxFault, pid, id, home, faulted);
+    after(_timing.nxFaultService + _timing.faultTrapExit +
+              hostCycles(_timing.hostHandlerCycles),
+          [this, pid, id, twin] {
+        TaskExec *w = live(pid, id);
+        if (!w) {
+            releaseHost();
+            return;
+        }
+        CallFrame &top = w->frames.back();
+        std::vector<std::uint64_t> args(top.args.begin(),
+                                        top.args.begin() + top.nargs);
+        _hostCore.setupCall(twin, args);
+        journal(ProtocolStep::hostSteered, pid, twin);
+        tracePoint(TracePoint::hostCallStart, pid, id, 0, twin);
+        runHostSegment(*w);
+    });
+}
+
+void
+MigrationEngine::recordPlacementOutcome(Task &task, const CallFrame &frame)
+{
+    if (!_policy || !_policy->wantsFeedback() || frame.canonical == 0)
+        return;
+    if (frame.caller != hostSide)
+        return; // only host-originated calls feed the model
+    Tick latency = _events.now() - frame.t0;
+    if (frame.callee == hostSide) {
+        _policy->recordHostCall(task.cr3, frame.canonical, latency);
+        _stats.inc("placement.model_updates");
+    } else {
+        _policy->recordDeviceCall(task.cr3, frame.canonical, frame.callee,
+                                  latency);
+        protoStat("placement.model_updates", frame.callee);
+    }
+}
+
+void
 MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
-                                    unsigned device)
+                                    unsigned device, VAddr canonical)
 {
     Task &task = *x.task;
     int pid = task.pid;
@@ -678,7 +915,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
         // twin — the hijacked return address is already in place, so
         // the call completes exactly like a migration would have.
         protoStat("rejected_submissions", device);
-        VAddr twin = _hostFallback ? fallbackVa(task.cr3, target) : 0;
+        VAddr twin = _hostFallback ? fallbackVa(task.cr3, canonical) : 0;
         if (!twin) {
             failCall(x, CallStatus::deviceLost);
             releaseHost();
@@ -687,6 +924,7 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
         protoStat("failovers", device);
         CallFrame f{hostSide, hostSide, _events.now()};
         f.target = target;
+        f.canonical = canonical;
         f.nargs = MigrationDescriptor::maxArgs;
         for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
             f.args[i] = _hostCore.arg(i);
@@ -713,7 +951,12 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
     }
 
     _stats.inc("host_to_nxp_calls");
-    x.frames.push_back({device, hostSide, _events.now()});
+    _stats.inc(strfmt("host_to_nxp_calls_dev%u", device));
+    {
+        CallFrame f{device, hostSide, _events.now()};
+        f.canonical = canonical;
+        x.frames.push_back(f);
+    }
 
     // Kernel NX fault service: decode, save the faulting address in the
     // task_struct, hijack the return address to the migration handler,
@@ -1181,6 +1424,28 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
             dest = to;
         }
 
+        // The faulted VA stays in the journal; the dispatch VA is what
+        // the descriptor carries (a policy may re-point it at a twin).
+        VAddr dispatch = target;
+        VAddr canonical = target;
+        if (dest != hostSide) {
+            // Device-to-device calls go through the same decision point
+            // as host-originated ones (the kernel relays them anyway);
+            // the policy may rebalance onto another device's twin or —
+            // if it says crossing loses — route the relay straight to
+            // the host twin.
+            Placed p = decidePlacement(task, target, dest, device);
+            canonical = p.canonical;
+            if (p.toHost) {
+                protoStat("placement.host_steered", dest);
+                dest = hostSide;
+            } else if (p.device != dest) {
+                protoStat("placement.rebalanced", p.device);
+                dest = p.device;
+            }
+            dispatch = p.va;
+        }
+
         _stats.inc(dest == hostSide ? "nxp_to_host_calls"
                                     : "nxp_to_nxp_calls");
         journal(ProtocolStep::nxpFault, pid, target);
@@ -1191,7 +1456,7 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
         MigrationDescriptor d;
         d.kind = DescriptorKind::nxpToHostCall;
         d.pid = static_cast<std::uint32_t>(pid);
-        d.target = target;
+        d.target = dispatch;
         d.cr3 = task.cr3;
         d.nargs = MigrationDescriptor::maxArgs;
         for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
@@ -1201,7 +1466,11 @@ MigrationEngine::startNxpFaultMigration(TaskExec &x, VAddr target,
         // scheduler); the device core frees up once the send completes.
         task.nxpSavedCtx.push_back(
             {device, core.saveContext(), core.stackPointer()});
-        w.frames.push_back({dest, device, _events.now()});
+        {
+            CallFrame f{dest, device, _events.now()};
+            f.canonical = canonical;
+            w.frames.push_back(f);
+        }
 
         if (_extraRoundTrip) {
             after(_extraRoundTrip, [this, pid, id, d, device, target] {

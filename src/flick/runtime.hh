@@ -63,6 +63,8 @@ namespace flick
 {
 
 class ChaosController;
+class PlacementPolicy;
+struct EnginePlacementView;
 
 /**
  * One step of the migration protocol, for the journal.
@@ -88,6 +90,7 @@ enum class ProtocolStep
     hostReturn,       //!< (g) host resumed with the return value.
     hostForward,      //!< kernel forwarded a device-to-device call.
     hostFallback,     //!< failed call re-dispatched to host-ISA text.
+    hostSteered,      //!< placement policy ran the host twin instead.
 };
 
 /** Printable step name. */
@@ -248,6 +251,34 @@ class MigrationEngine
         _fallback[{cr3, va}] = host_va;
     }
 
+    // --- Placement policy (DESIGN.md §11) ------------------------------
+
+    /**
+     * Attach the placement policy consulted at every NX-fault dispatch.
+     * nullptr (the default) — and an attached StaticPlacement — keep
+     * dispatch on the paper's link-time pinning, tick-for-tick
+     * identical to the pre-policy engine. The engine does not own the
+     * policy.
+     */
+    void setPlacementPolicy(PlacementPolicy *policy) { _policy = policy; }
+
+    /**
+     * Register @p twin_va as @p canonical's text for @p device (the
+     * "__dev<k>" twins load() discovers, plus the home symbol itself).
+     * A placement policy may re-point a faulted call at any registered
+     * device's copy.
+     */
+    void registerDeviceTwin(Addr cr3, VAddr canonical, unsigned device,
+                            VAddr twin_va);
+
+    /**
+     * Analytic Host-NxP-Host protocol overhead (fault service through
+     * host wakeup, excluding callee execution) from TimingConfig; what
+     * ProfileGuidedPlacement subtracts from measured round trips to
+     * estimate callee execution time (DESIGN.md §11).
+     */
+    Tick crossingCostEstimate() const;
+
     /**
      * Fault/test hook: the device's hardware stops responding from now
      * on (it picks up no descriptors and completes nothing). Detection
@@ -285,6 +316,8 @@ class MigrationEngine
     StatGroup &stats() { return _stats; }
 
   private:
+    friend struct EnginePlacementView;
+
     /** "Device" id of the host side in a call frame. */
     static constexpr unsigned hostSide = ~0u;
 
@@ -303,6 +336,12 @@ class MigrationEngine
         VAddr target = 0;
         std::uint32_t nargs = 0;
         std::array<std::uint64_t, MigrationDescriptor::maxArgs> args{};
+        //! Home-symbol VA of the callee (== target unless the placement
+        //! policy re-pointed the call at a twin); the cost model's key.
+        VAddr canonical = 0;
+        //! The placement policy chose host text (vs a quarantine
+        //! failover); splits the return-path counters.
+        bool steered = false;
     };
 
     /** Execution state of one in-flight submitted call. */
@@ -400,8 +439,43 @@ class MigrationEngine
     void runHostSegment(TaskExec &x);
     void handleHostStop(int pid, std::uint64_t id, RunResult r);
 
-    /** Host NX fault: begin the host->NxP call migration (Listing 1). */
-    void startHostToNxpCall(TaskExec &x, VAddr target, unsigned device);
+    /** Host NX fault: begin the host->NxP call migration (Listing 1).
+     *  @p canonical is the callee's home-symbol VA (== @p target unless
+     *  the placement policy re-pointed the call at a device twin). */
+    void startHostToNxpCall(TaskExec &x, VAddr target, unsigned device,
+                            VAddr canonical);
+
+    // --- Placement policy (DESIGN.md §11) ------------------------------
+
+    /** A placement decision, clamped to what actually exists. */
+    struct Placed
+    {
+        bool toHost = false; //!< Run the host twin without crossing.
+        unsigned device = 0; //!< Dispatch device when !toHost.
+        VAddr va = 0;        //!< VA to dispatch (twin or original).
+        VAddr canonical = 0; //!< Home-symbol VA (the model's key).
+    };
+
+    /**
+     * Consult the placement policy for a faulted call to @p target
+     * whose PTE tags it for @p home. @p caller_device is the
+     * originating NxP for device-to-device calls, hostSide otherwise.
+     * Without a policy — or when the policy's answer is impossible —
+     * returns the home placement.
+     */
+    Placed decidePlacement(Task &task, VAddr target, unsigned home,
+                           unsigned caller_device);
+
+    /**
+     * Policy steered a host-originated faulted call to its host twin:
+     * charge the fault service like a quarantine failover would and run
+     * @p twin on the host core (no descriptor, no DMA, no device).
+     */
+    void startHostSteeredCall(TaskExec &x, VAddr faulted, VAddr canonical,
+                              VAddr twin, unsigned home);
+
+    /** Feed a completed call's latency to the policy's cost model. */
+    void recordPlacementOutcome(Task &task, const CallFrame &frame);
 
     /** The entry function returned (or the program exited). */
     void completeCall(TaskExec &x, std::uint64_t value);
@@ -632,6 +706,12 @@ class MigrationEngine
     bool _heartbeatArmed = false;
     //! (cr3, va) -> host-ISA twin va (Section 3.3 multi-ISA binaries).
     std::map<std::pair<Addr, VAddr>, VAddr> _fallback;
+    //! Placement policy; nullptr = the paper's link-time pinning.
+    PlacementPolicy *_policy = nullptr;
+    //! (cr3, canonical va) -> per-device dispatch VA (0 = no copy).
+    std::map<std::pair<Addr, VAddr>, std::vector<VAddr>> _deviceTwins;
+    //! (cr3, twin va) -> canonical va, the reverse of _deviceTwins.
+    std::map<std::pair<Addr, VAddr>, VAddr> _twinCanonical;
     bool _journalOn = false;
     std::vector<ProtocolEvent> _journal;
     StatGroup _stats;

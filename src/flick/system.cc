@@ -99,6 +99,18 @@ FlickSystem::FlickSystem(SystemConfig config)
     _engine->setHostFallback(_config.hostFallback);
     _engine->setHealthStrikeLimit(_config.healthStrikeLimit);
 
+    // Placement policy (DESIGN.md §11). The policy object always exists
+    // (debug().policy() is total), but the engine is only pointed at it
+    // when the config asks for more than the default link-time pinning:
+    // the fault-free default dispatch path stays exactly the paper's.
+    _placement = _config.placementPolicy
+                     ? _config.placementPolicy
+                     : makePlacementPolicy(_config.placement,
+                                           _config.placementConfig);
+    if (_config.placementPolicy ||
+        _config.placement != PlacementKind::staticPlacement)
+        _engine->setPlacementPolicy(_placement.get());
+
     // Per device: a host-side staging ring the kernel packages outbound
     // descriptors into, and a host-side inbox ring the device's outbox
     // DMAs into. The device-local mailbox rings live in the reserved
@@ -216,7 +228,9 @@ FlickSystem::load(const Program &program)
                                threadStackGuard;
     // Multi-ISA binaries carry every function as text for every ISA
     // (Section 3.3): a symbol "f__host" is the host-ISA twin of "f" and
-    // becomes f's failover target when host fallback is enabled.
+    // becomes f's failover target when host fallback is enabled — and,
+    // since PR 5, the target a placement policy steers to when its cost
+    // model says crossing does not pay (DESIGN.md §11).
     static const std::string twin_suffix = "__host";
     for (const auto &[name, va] : proc->image.symbols) {
         if (name.size() <= twin_suffix.size() ||
@@ -228,6 +242,53 @@ FlickSystem::load(const Program &program)
         if (orig != proc->image.symbols.end())
             _engine->registerHostFallback(proc->image.cr3, orig->second,
                                           va);
+    }
+
+    // Device twins: "f__dev<k>" is f assembled for NxP k. The linked
+    // image's executable sections say which device each symbol's text
+    // really belongs to (the loader tags its PTEs accordingly); the
+    // registry built here is what lets a placement policy re-point a
+    // faulted call at any device's copy of the function. Twins inherit
+    // the original's "__host" fallback so failover works regardless of
+    // which copy a call was steered to.
+    auto execDevice = [&image](VAddr va) -> int {
+        for (const auto &sec : image.sections) {
+            if (!sec.executable || va < sec.base ||
+                va >= sec.base + sec.bytes.size())
+                continue;
+            return sec.isa == IsaKind::rv64 ? static_cast<int>(sec.nxpDevice)
+                                            : -1;
+        }
+        return -1;
+    };
+    static const std::string dev_infix = "__dev";
+    for (const auto &[name, va] : proc->image.symbols) {
+        auto pos = name.rfind(dev_infix);
+        if (pos == std::string::npos || pos == 0 ||
+            pos + dev_infix.size() >= name.size())
+            continue;
+        bool digits = true;
+        for (auto i = pos + dev_infix.size(); i < name.size(); ++i)
+            digits = digits && name[i] >= '0' && name[i] <= '9';
+        if (!digits)
+            continue;
+        auto orig = proc->image.symbols.find(name.substr(0, pos));
+        if (orig == proc->image.symbols.end())
+            continue;
+        int twin_dev = execDevice(va);
+        int home_dev = execDevice(orig->second);
+        if (twin_dev < 0 || home_dev < 0)
+            continue; // not a pair of NxP text symbols
+        Addr cr3 = proc->image.cr3;
+        _engine->registerDeviceTwin(cr3, orig->second,
+                                    static_cast<unsigned>(home_dev),
+                                    orig->second);
+        _engine->registerDeviceTwin(cr3, orig->second,
+                                    static_cast<unsigned>(twin_dev), va);
+        auto host_twin =
+            proc->image.symbols.find(name.substr(0, pos) + twin_suffix);
+        if (host_twin != proc->image.symbols.end())
+            _engine->registerHostFallback(cr3, va, host_twin->second);
     }
     _processes.push_back(std::move(proc));
     return *_processes.back();

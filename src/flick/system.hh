@@ -46,6 +46,7 @@
 #include "mem/irq.hh"
 #include "mem/mem_system.hh"
 #include "os/kernel.hh"
+#include "policy/policy.hh"
 #include "sim/chaos.hh"
 #include "sim/event_queue.hh"
 #include "sim/timing_config.hh"
@@ -100,6 +101,17 @@ struct SystemConfig
      * it is opt-in; with it off no trace code touches any container.
      */
     bool trace = false;
+    /**
+     * Placement policy consulted at every NX-fault dispatch (DESIGN.md
+     * §11). The default, staticPlacement, is the paper's link-time
+     * pinning and keeps every run tick-for-tick identical to a
+     * policy-less engine.
+     */
+    PlacementKind placement = PlacementKind::staticPlacement;
+    /** Tunables of the shipped policies (EWMA shift, margins, ...). */
+    PlacementConfig placementConfig;
+    /** A caller-supplied policy instance; overrides `placement`. */
+    std::shared_ptr<PlacementPolicy> placementPolicy;
 
     /** Number of NxP devices in the platform (1 or 2). */
     SystemConfig &
@@ -177,6 +189,30 @@ struct SystemConfig
     withTrace(bool on = true)
     {
         trace = on;
+        return *this;
+    }
+
+    /** Select one of the shipped placement policies (DESIGN.md §11). */
+    SystemConfig &
+    withPlacement(PlacementKind kind)
+    {
+        placement = kind;
+        return *this;
+    }
+
+    /** Install a caller-supplied placement policy instance. */
+    SystemConfig &
+    withPlacement(std::shared_ptr<PlacementPolicy> policy)
+    {
+        placementPolicy = std::move(policy);
+        return *this;
+    }
+
+    /** Tune the shipped policies (EWMA shift, steer margin, re-probe). */
+    SystemConfig &
+    withPlacementConfig(const PlacementConfig &config)
+    {
+        placementConfig = config;
         return *this;
     }
 
@@ -334,6 +370,8 @@ class FlickSystem
         EventQueue &events() const { return sys->_events; }
         ChaosController &chaos() const { return sys->_chaos; }
         Tracer &trace() const { return sys->_tracer; }
+        /** The installed placement policy (StaticPlacement by default). */
+        PlacementPolicy &policy() const { return *sys->_placement; }
         DmaEngine &dma(unsigned device = 0) const;
         IrqController &irq() const { return sys->_irq; }
         RegionHeap &nxpHeap(unsigned device = 0) const;
@@ -411,6 +449,7 @@ class FlickSystem
     std::unique_ptr<DmaEngine> _dma2;
     std::unique_ptr<RegionHeap> _nxpWindowHeap2;
     std::unique_ptr<MigrationEngine> _engine;
+    std::shared_ptr<PlacementPolicy> _placement;
     std::vector<std::unique_ptr<Process>> _processes;
 };
 

@@ -1,0 +1,38 @@
+#include "policy/policy.hh"
+
+#include "policy/least_loaded.hh"
+#include "policy/profile_guided.hh"
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+const char *
+placementKindName(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::staticPlacement:
+        return "static";
+      case PlacementKind::leastLoaded:
+        return "least-loaded";
+      case PlacementKind::profileGuided:
+        return "profile-guided";
+    }
+    return "unknown";
+}
+
+std::shared_ptr<PlacementPolicy>
+makePlacementPolicy(PlacementKind kind, const PlacementConfig &config)
+{
+    switch (kind) {
+      case PlacementKind::staticPlacement:
+        return std::make_shared<StaticPlacement>();
+      case PlacementKind::leastLoaded:
+        return std::make_shared<LeastLoadedPlacement>();
+      case PlacementKind::profileGuided:
+        return std::make_shared<ProfileGuidedPlacement>(config);
+    }
+    panic("unknown placement kind");
+}
+
+} // namespace flick

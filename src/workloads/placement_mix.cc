@@ -1,0 +1,201 @@
+#include "workloads/placement_mix.hh"
+
+namespace flick::workloads
+{
+
+namespace
+{
+
+// Labels are global across assembly units, so each twin renames its
+// loop labels (mh_/mh1_/mhh_ ...).
+
+const char *nxpMixDev0 = R"(
+# --- placement mixed workload, device-0 home symbols (RV64) ----------
+
+# xorshift64 rounds: register-only, device-agnostic compute.
+mix_hot:
+    mv t0, a0
+    mv t1, a1
+mh_loop:
+    beqz t1, mh_done
+    slli t2, t0, 13
+    xor t0, t0, t2
+    srli t2, t0, 7
+    xor t0, t0, t2
+    slli t2, t0, 17
+    xor t0, t0, t2
+    addi t1, t1, -1
+    j mh_loop
+mh_done:
+    mv a0, t0
+    ret
+
+# Same kernel, separate symbol: the rare long-occupancy call.
+mix_cold:
+    mv t0, a0
+    mv t1, a1
+mc_loop:
+    beqz t1, mc_done
+    slli t2, t0, 13
+    xor t0, t0, t2
+    srli t2, t0, 7
+    xor t0, t0, t2
+    slli t2, t0, 17
+    xor t0, t0, t2
+    addi t1, t1, -1
+    j mc_loop
+mc_done:
+    mv a0, t0
+    ret
+
+# One add: a crossing never amortizes this.
+mix_tiny:
+    add a0, a0, a1
+    ret
+
+# Sum words at ptr: near-data on device 0 (267ns local vs 825ns from
+# the host), the call the cost model must keep on the device.
+mix_near:
+    li t0, 0
+mn_loop:
+    beqz a1, mn_done
+    ld t1, 0(a0)
+    add t0, t0, t1
+    addi a0, a0, 8
+    addi a1, a1, -1
+    j mn_loop
+mn_done:
+    mv a0, t0
+    ret
+)";
+
+const char *nxpMixDev1 = R"(
+# --- device-1 twins (identical RV64 text, assembled for NxP 1) -------
+
+mix_hot__dev1:
+    mv t0, a0
+    mv t1, a1
+mh1_loop:
+    beqz t1, mh1_done
+    slli t2, t0, 13
+    xor t0, t0, t2
+    srli t2, t0, 7
+    xor t0, t0, t2
+    slli t2, t0, 17
+    xor t0, t0, t2
+    addi t1, t1, -1
+    j mh1_loop
+mh1_done:
+    mv a0, t0
+    ret
+
+mix_cold__dev1:
+    mv t0, a0
+    mv t1, a1
+mc1_loop:
+    beqz t1, mc1_done
+    slli t2, t0, 13
+    xor t0, t0, t2
+    srli t2, t0, 7
+    xor t0, t0, t2
+    slli t2, t0, 17
+    xor t0, t0, t2
+    addi t1, t1, -1
+    j mc1_loop
+mc1_done:
+    mv a0, t0
+    ret
+
+mix_tiny__dev1:
+    add a0, a0, a1
+    ret
+)";
+
+const char *hostMixTwins = R"(
+# --- host-ISA twins (identical values, HX64) -------------------------
+
+mix_hot__host:
+    mov rax, rdi
+    mov rcx, rsi
+mhh_loop:
+    cmp rcx, 0
+    je mhh_done
+    mov rdx, rax
+    shl rdx, 13
+    xor rax, rdx
+    mov rdx, rax
+    shr rdx, 7
+    xor rax, rdx
+    mov rdx, rax
+    shl rdx, 17
+    xor rax, rdx
+    sub rcx, 1
+    jmp mhh_loop
+mhh_done:
+    ret
+
+mix_cold__host:
+    mov rax, rdi
+    mov rcx, rsi
+mch_loop:
+    cmp rcx, 0
+    je mch_done
+    mov rdx, rax
+    shl rdx, 13
+    xor rax, rdx
+    mov rdx, rax
+    shr rdx, 7
+    xor rax, rdx
+    mov rdx, rax
+    shl rdx, 17
+    xor rax, rdx
+    sub rcx, 1
+    jmp mch_loop
+mch_done:
+    ret
+
+mix_tiny__host:
+    mov rax, rdi
+    add rax, rsi
+    ret
+
+# Host copy of the near-data sum: same value, but every load crosses
+# PCIe to the device DRAM (what the cost model should discover loses).
+mix_near__host:
+    mov rax, 0
+mnh_loop:
+    cmp rsi, 0
+    je mnh_done
+    ld rdx, [rdi+0]
+    add rax, rdx
+    add rdi, 8
+    sub rsi, 1
+    jmp mnh_loop
+mnh_done:
+    ret
+)";
+
+} // namespace
+
+void
+addPlacementMix(Program &program, unsigned devices)
+{
+    program.addNxpAsm(nxpMixDev0, 0);
+    if (devices >= 2)
+        program.addNxpAsm(nxpMixDev1, 1);
+    program.addHostAsm(hostMixTwins);
+}
+
+std::uint64_t
+mixHotRef(std::uint64_t seed, std::uint64_t rounds)
+{
+    std::uint64_t x = seed;
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    return x;
+}
+
+} // namespace flick::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The placement-policy mixed workload (DESIGN.md §11, EXPERIMENTS.md).
+ *
+ * A small function family exercising every placement decision the
+ * policy subsystem can make, shared by bench_placement, the policy
+ * tests and the two_devices example:
+ *
+ *   - mix_hot(seed, rounds)  — register-only xorshift64 loop, homed on
+ *     device 0 with a "__dev1" twin: the balancing target.
+ *   - mix_cold(seed, rounds) — same kernel, separate symbol, called
+ *     rarely with a large rounds count: the long-occupancy call that
+ *     makes static single-device placement queue up.
+ *   - mix_tiny(a, b)         — one add: crossing never pays, the
+ *     profile-guided host-steering target.
+ *   - mix_near(ptr, words)   — sums a device-0-local buffer: memory
+ *     bound near its data, so crossing *does* pay and the cost model
+ *     must learn to keep it on the device (no "__dev1" twin — the data
+ *     is device-local).
+ *
+ * Every function also has a "__host" twin computing the identical
+ * value, so results stay correct wherever a call lands.
+ */
+
+#ifndef FLICK_WORKLOADS_PLACEMENT_MIX_HH
+#define FLICK_WORKLOADS_PLACEMENT_MIX_HH
+
+#include <cstdint>
+
+#include "flick/program.hh"
+
+namespace flick::workloads
+{
+
+/**
+ * Add the mixed workload to @p program. @p devices is the platform's
+ * NxP count: with >= 2 the "__dev1" twins are emitted so placement can
+ * spread calls across both devices.
+ */
+void addPlacementMix(Program &program, unsigned devices = 2);
+
+/** Reference model of mix_hot / mix_cold (xorshift64 rounds). */
+std::uint64_t mixHotRef(std::uint64_t seed, std::uint64_t rounds);
+
+/** Reference model of mix_tiny. */
+inline std::uint64_t
+mixTinyRef(std::uint64_t a, std::uint64_t b)
+{
+    return a + b;
+}
+
+} // namespace flick::workloads
+
+#endif // FLICK_WORKLOADS_PLACEMENT_MIX_HH
