@@ -34,7 +34,9 @@ main(int argc, char **argv)
 
         PointerChaseList list(sys, proc, 8192, 1ull << 30, 35);
         Tick t0 = sys.now();
-        sys.submit(proc, "chase_nxp", {list.head(), 4000}).wait();
+        sys.submit(proc,
+                   CallSpec("chase_nxp").withArgs({list.head(), 4000}))
+            .wait();
         double per_node = static_cast<double>(sys.now() - t0) / 4000.0 /
                           1000.0;
 

@@ -42,12 +42,14 @@ main(int argc, char **argv)
         workloads::addPointerChaseKernels(prog);
         Process &proc = sys.load(prog);
         PointerChaseList list(sys, proc, 8192, 256ull << 20, 31);
-        sys.submit(proc, "nxp_noop").wait();
+        sys.submit(proc, CallSpec("nxp_noop")).wait();
 
         std::uint64_t walks0 =
             sys.debug().nxpCore().mmu().walker().stats().get("walks");
         Tick t0 = sys.now();
-        sys.submit(proc, "chase_nxp", {list.head(), nodes}).wait();
+        sys.submit(proc,
+                   CallSpec("chase_nxp").withArgs({list.head(), nodes}))
+            .wait();
         Tick elapsed = sys.now() - t0;
         std::uint64_t walks =
             sys.debug().nxpCore().mmu().walker().stats().get("walks") - walks0;

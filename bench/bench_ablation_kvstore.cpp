@@ -47,7 +47,7 @@ main(int argc, char **argv)
         batch.push_back(keys[rng.below(keys.size())]);
     VAddr keys_va = sys.nxpMalloc(max_batch * 8, 4096);
     sys.writeBlock(proc, keys_va, batch.data(), max_batch * 8);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     std::vector<std::vector<std::string>> rows;
     double crossover = 0;
@@ -55,15 +55,15 @@ main(int argc, char **argv)
                             1024}) {
         Tick t0 = sys.now();
         for (int i = 0; i < calls; ++i)
-            sys.submit(proc, "kv_batch_host",
-                       {kv.table(), kv.mask(), keys_va, n})
+            sys.submit(proc, CallSpec("kv_batch_host").withArgs(
+                                 {kv.table(), kv.mask(), keys_va, n}))
                 .wait();
         double host_us = ticksToUs(sys.now() - t0) / calls;
 
         t0 = sys.now();
         for (int i = 0; i < calls; ++i)
-            sys.submit(proc, "kv_batch_nxp",
-                       {kv.table(), kv.mask(), keys_va, n})
+            sys.submit(proc, CallSpec("kv_batch_nxp").withArgs(
+                                 {kv.table(), kv.mask(), keys_va, n}))
                 .wait();
         double nxp_us = ticksToUs(sys.now() - t0) / calls;
 

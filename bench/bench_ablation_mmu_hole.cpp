@@ -37,7 +37,7 @@ chase(bool use_hole, std::uint64_t nodes)
     workloads::addPointerChaseKernels(prog);
     Process &proc = sys.load(prog);
     PointerChaseList list(sys, proc, 8192, 64ull << 20, 37);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     if (use_hole) {
         // The MMU translates the whole window straight to local DRAM.
@@ -49,7 +49,8 @@ chase(bool use_hole, std::uint64_t nodes)
     std::uint64_t walks0 =
         sys.debug().nxpCore().mmu().walker().stats().get("walks");
     Tick t0 = sys.now();
-    sys.submit(proc, "chase_nxp", {list.head(), nodes}).wait();
+    sys.submit(proc, CallSpec("chase_nxp").withArgs({list.head(), nodes}))
+        .wait();
     return {static_cast<double>(sys.now() - t0) / nodes / 1000.0,
             sys.debug().nxpCore().mmu().walker().stats().get("walks") - walks0};
 }

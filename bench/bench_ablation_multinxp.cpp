@@ -20,7 +20,7 @@ main(int argc, char **argv)
 {
     int calls = static_cast<int>(flagValue(argc, argv, "calls", 1000));
 
-    FlickSystem sys(SystemConfig{}.withNxpDevices(2));
+    FlickSystem sys(SystemConfig{}.withDevices(2));
     Program prog;
     workloads::addMicrobench(prog);
     prog.addNxpAsm("dev1_noop: li a0, 0\n ret\n", 1);
@@ -48,27 +48,27 @@ d01_done:
     auto avg_us = [&](const char *fn, std::uint64_t n, Tick &out_total) {
         Tick t0 = sys.now();
         for (std::uint64_t i = 0; i < n; ++i)
-            sys.submit(proc, fn).wait();
+            sys.submit(proc, CallSpec(fn)).wait();
         out_total = sys.now() - t0;
         return ticksToUs(out_total) / static_cast<double>(n);
     };
 
     // Warm up both devices (stacks, TLBs).
-    sys.submit(proc, "nxp_noop").wait();
-    sys.submit(proc, "dev1_noop").wait();
-    sys.submit(proc, "dev0_calls_dev1", {1}).wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
+    sys.submit(proc, CallSpec("dev1_noop")).wait();
+    sys.submit(proc, CallSpec("dev0_calls_dev1").withArgs({1})).wait();
 
     Tick t;
     double h_d0 = avg_us("nxp_noop", calls, t);
     double h_d1 = avg_us("dev1_noop", calls, t);
 
     Tick t0 = sys.now();
-    sys.submit(proc, "dev0_calls_dev1",
-               {static_cast<std::uint64_t>(calls)})
+    sys.submit(proc, CallSpec("dev0_calls_dev1").withArgs(
+                         {static_cast<std::uint64_t>(calls)}))
         .wait();
     Tick total = sys.now() - t0;
     Tick t1 = sys.now();
-    sys.submit(proc, "dev0_calls_dev1", {0}).wait();
+    sys.submit(proc, CallSpec("dev0_calls_dev1").withArgs({0})).wait();
     Tick outer = sys.now() - t1;
     double d0_d1 = ticksToUs(total - outer) / calls;
 

@@ -31,10 +31,11 @@ main(int argc, char **argv)
 
     double flick_us = 0;
     {
-        sys.submit(proc, "nxp_add", {1, 2}).wait(); // warm up
+        // Warm up.
+        sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2})).wait();
         Tick t0 = sys.now();
         for (int i = 0; i < calls; ++i)
-            sys.submit(proc, "nxp_add", {1, 2}).wait();
+            sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2})).wait();
         flick_us = ticksToUs(sys.now() - t0) / calls;
     }
 

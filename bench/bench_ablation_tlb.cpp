@@ -37,12 +37,13 @@ chaseWith(unsigned tlb_entries, PageSize page, std::uint64_t nodes,
     workloads::addPointerChaseKernels(prog);
     Process &proc = sys.load(prog);
     PointerChaseList list(sys, proc, 8192, spread, 33);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     std::uint64_t walks0 =
         sys.debug().nxpCore().mmu().walker().stats().get("walks");
     Tick t0 = sys.now();
-    sys.submit(proc, "chase_nxp", {list.head(), nodes}).wait();
+    sys.submit(proc, CallSpec("chase_nxp").withArgs({list.head(), nodes}))
+        .wait();
     return {static_cast<double>(sys.now() - t0) / nodes / 1000.0,
             sys.debug().nxpCore().mmu().walker().stats().get("walks") - walks0};
 }

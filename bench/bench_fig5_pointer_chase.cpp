@@ -47,7 +47,8 @@ timePerCallUs(FlickSystem &sys, Process &proc, const char *fn,
     for (int i = 0; i < calls; ++i) {
         if (interval)
             sys.advanceTime(interval);
-        cursor = sys.submit(proc, fn, {cursor, n}).wait();
+        cursor =
+            sys.submit(proc, CallSpec(fn).withArgs({cursor, n})).wait();
     }
     return ticksToUs(sys.now() - t0) / calls;
 }
@@ -65,7 +66,7 @@ runFigure(const char *title, Tick interval, const std::vector<
 
     // Nodes randomly spread across the NxP storage (Section V-B).
     PointerChaseList list(sys, proc, 64 * 1024, 1ull << 30, 2020);
-    sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
+    sys.submit(proc, CallSpec("nxp_noop")).wait(); // one-time NxP stack
 
     const Config configs[] = {
         {"flick", 0},
@@ -125,12 +126,14 @@ dumpChaseTrace(const std::string &path)
     workloads::addPointerChaseKernels(prog);
     Process &proc = sys.load(prog);
     PointerChaseList list(sys, proc, 64 * 1024, 1ull << 30, 2020);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     sys.debug().trace().reset(); // drop warmup; keep the chase itself
     VAddr cursor = list.head();
     for (int i = 0; i < 8; ++i)
-        cursor = sys.submit(proc, "chase_nxp", {cursor, 64}).wait();
+        cursor = sys.submit(proc, CallSpec("chase_nxp")
+                                      .withArgs({cursor, 64}))
+                     .wait();
 
     if (!sys.debug().trace().dumpJson(path)) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());

@@ -1,27 +1,35 @@
 /**
  * @file
- * Placement-policy benchmark (DESIGN.md §11, EXPERIMENTS.md).
+ * Placement-policy and fabric-scaling benchmark (DESIGN.md §11-§12,
+ * EXPERIMENTS.md).
  *
- * Runs the same mixed workload — batches of concurrent threads issuing
- * hot xorshift kernels, an occasional long-occupancy cold call, tiny
- * adds that never amortize a crossing, and near-data sums over a
- * device-0 buffer — under each of the three shipped placement policies
- * and reports throughput (calls/s of simulated time) and p99 call
- * latency. Expected shape:
+ * Phase 1 runs the same mixed workload — batches of concurrent threads
+ * issuing hot xorshift kernels, an occasional long-occupancy cold
+ * call, tiny adds that never amortize a crossing, and near-data sums
+ * over a device-0 buffer — under each of the three shipped placement
+ * policies and reports throughput (calls/s of simulated time) and p99
+ * call latency. Expected shape:
  *
  *   - static       : everything queues on device 0; the cold call
  *                    convoys the batch.
- *   - least-loaded : hot/tiny calls spread to device 1's twins; p99
- *                    drops and throughput scales.
+ *   - least-loaded : hot/tiny calls spread across the device twins;
+ *                    p99 drops and throughput scales.
  *   - profile-guided: additionally steers mix_tiny to its "__host"
  *                    twin after one probe, while the near-data sum
  *                    stays on its device.
  *
+ * Phase 2 (at --devices >= 4) sweeps least-loaded over {2, 4, ...,
+ * devices} NxPs at a fixed thread count and reports the scaling
+ * curve; aggregate calls/s must be monotonically non-decreasing.
+ *
+ * Phase 3 replays a submission storm under static placement twice —
+ * descriptor batching off, then on — and reports the doorbell-write
+ * reduction. Per-call values must be identical in both runs.
+ *
  * Flags: --threads=N (default 8), --batches=N (default 6),
- * --hot-rounds=N (default 2000), --devices=N (default 2, max 2),
+ * --hot-rounds=N (default 2000), --devices=N (default 2, any count),
  * --smoke (reduced sizes for CI), --json=FILE (machine-readable dump).
- * Exits 1 if least-loaded fails to beat static throughput at >= 2
- * devices, or if profile-guided never steers a call to the host.
+ * Exits 1 if any phase's gate fails.
  */
 
 #include <algorithm>
@@ -42,7 +50,7 @@ struct PolicyResult
 {
     double callsPerSec = 0;
     double p99Us = 0;
-    std::uint64_t devCalls[2] = {0, 0};
+    std::vector<std::uint64_t> devCalls;
     std::uint64_t hostSteered = 0;
     std::uint64_t rebalanced = 0;
 };
@@ -56,11 +64,20 @@ struct Params
     std::uint64_t nearWords = 64;
 };
 
+std::string
+joinCounts(const std::vector<std::uint64_t> &v)
+{
+    std::string s;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        s += (i ? "/" : "") + strfmt("%llu", (unsigned long long)v[i]);
+    return s;
+}
+
 PolicyResult
 runPolicy(PlacementKind kind, const Params &p)
 {
     FlickSystem sys(SystemConfig{}
-                        .withNxpDevices(p.devices)
+                        .withDevices(p.devices)
                         .withPlacement(kind));
     Program prog;
     workloads::addPlacementMix(prog, p.devices);
@@ -79,9 +96,15 @@ runPolicy(PlacementKind kind, const Params &p)
 
     // Warm-up: one-time NxP stack setup, and the profile-guided
     // policy's first device probes.
-    sys.submit(proc, *tasks[0], "mix_hot", {1, 10}).wait();
-    sys.submit(proc, *tasks[0], "mix_tiny", {1, 2}).wait();
-    sys.submit(proc, *tasks[0], "mix_near", {buf, p.nearWords}).wait();
+    sys.submit(proc, CallSpec("mix_hot").withArgs({1, 10})
+                         .onThread(*tasks[0]))
+        .wait();
+    sys.submit(proc, CallSpec("mix_tiny").withArgs({1, 2})
+                         .onThread(*tasks[0]))
+        .wait();
+    sys.submit(proc, CallSpec("mix_near").withArgs({buf, p.nearWords})
+                         .onThread(*tasks[0]))
+        .wait();
 
     std::vector<double> latencies;
     Tick start = sys.now();
@@ -92,21 +115,27 @@ runPolicy(PlacementKind kind, const Params &p)
         for (unsigned i = 0; i < p.threads; ++i) {
             std::uint64_t slot = b * p.threads + i + 1;
             if (slot % 5 == 4) {
-                futs.push_back(sys.submit(proc, *tasks[i], "mix_tiny",
-                                          {slot, 1}));
+                futs.push_back(sys.submit(
+                    proc, CallSpec("mix_tiny").withArgs({slot, 1})
+                              .onThread(*tasks[i])));
                 expect.push_back(slot + 1);
             } else if (slot % 17 == 9) {
-                futs.push_back(sys.submit(proc, *tasks[i], "mix_cold",
-                                          {slot, p.hotRounds * 4}));
+                futs.push_back(sys.submit(
+                    proc,
+                    CallSpec("mix_cold").withArgs({slot, p.hotRounds * 4})
+                        .onThread(*tasks[i])));
                 expect.push_back(
                     workloads::mixHotRef(slot, p.hotRounds * 4));
             } else if (slot % 7 == 5) {
-                futs.push_back(sys.submit(proc, *tasks[i], "mix_near",
-                                          {buf, p.nearWords}));
+                futs.push_back(sys.submit(
+                    proc,
+                    CallSpec("mix_near").withArgs({buf, p.nearWords})
+                        .onThread(*tasks[i])));
                 expect.push_back(near_sum);
             } else {
-                futs.push_back(sys.submit(proc, *tasks[i], "mix_hot",
-                                          {slot, p.hotRounds}));
+                futs.push_back(sys.submit(
+                    proc, CallSpec("mix_hot").withArgs({slot, p.hotRounds})
+                              .onThread(*tasks[i])));
                 expect.push_back(
                     workloads::mixHotRef(slot, p.hotRounds));
             }
@@ -149,10 +178,122 @@ runPolicy(PlacementKind kind, const Params &p)
     r.p99Us = latencies[std::min(latencies.size() - 1,
                                  (latencies.size() * 99 + 99) / 100 - 1)];
     const StatGroup &st = sys.debug().engine().stats();
-    r.devCalls[0] = st.get("host_to_nxp_calls_dev0");
-    r.devCalls[1] = st.get("host_to_nxp_calls_dev1");
+    for (unsigned d = 0; d < p.devices; ++d)
+        r.devCalls.push_back(
+            st.get(strfmt("host_to_nxp_calls_dev%u", d)));
     r.hostSteered = st.get("placement.host_steered");
     r.rebalanced = st.get("placement.rebalanced");
+    return r;
+}
+
+/**
+ * Fabric-scaling point: a pure mix_hot storm (no cold-call convoy, no
+ * device-0-pinned near calls) under least-loaded placement, so the
+ * aggregate throughput is bounded by the fabric, not by the longest
+ * single call. Returns calls/s and the per-device spread.
+ */
+PolicyResult
+runScalePoint(unsigned devices, unsigned threads, unsigned batches,
+              std::uint64_t rounds)
+{
+    FlickSystem sys(SystemConfig{}
+                        .withDevices(devices)
+                        .withPlacement(PlacementKind::leastLoaded));
+    Program prog;
+    workloads::addPlacementMix(prog, devices);
+    Process &proc = sys.load(prog);
+
+    std::vector<Task *> tasks;
+    for (unsigned i = 0; i < threads; ++i)
+        tasks.push_back(&sys.spawnThread(proc));
+    sys.submit(proc, CallSpec("mix_hot").withArgs({1, 10})
+                         .onThread(*tasks[0]))
+        .wait();
+
+    Tick start = sys.now();
+    for (unsigned b = 0; b < batches; ++b) {
+        std::vector<CallFuture> futs;
+        for (unsigned i = 0; i < threads; ++i) {
+            std::uint64_t slot = b * threads + i + 1;
+            futs.push_back(sys.submit(
+                proc, CallSpec("mix_hot").withArgs({slot, rounds})
+                          .onThread(*tasks[i])));
+        }
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            std::uint64_t slot = b * threads + i + 1;
+            if (futs[i].wait() != workloads::mixHotRef(slot, rounds)) {
+                std::fprintf(stderr,
+                             "FAIL: scaling run bad value at %u "
+                             "devices, slot %llu\n",
+                             devices, (unsigned long long)slot);
+                std::exit(1);
+            }
+        }
+    }
+    PolicyResult r;
+    double secs = ticksToUs(sys.now() - start) * 1e-6;
+    r.callsPerSec = (double)(batches * threads) / secs;
+    const StatGroup &st = sys.debug().engine().stats();
+    for (unsigned d = 0; d < devices; ++d)
+        r.devCalls.push_back(
+            st.get(strfmt("host_to_nxp_calls_dev%u", d)));
+    return r;
+}
+
+/**
+ * A submission storm: every thread fires a hot call in the same tick,
+ * repeated for several waves without waiting in between, so the
+ * host->device rings see back-to-back descriptors. Returns the
+ * per-call values plus the doorbell/burst counters — run once with
+ * batching off and once with it on, and the values must not differ.
+ */
+struct StormResult
+{
+    std::vector<std::uint64_t> values;
+    std::uint64_t doorbells = 0;
+    std::uint64_t bursts = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t maxBurst = 0;
+};
+
+StormResult
+runStorm(const Params &p, bool batching)
+{
+    FlickSystem sys(SystemConfig{}
+                        .withDevices(p.devices)
+                        .withPlacement(PlacementKind::staticPlacement)
+                        .withBatching(batching));
+    Program prog;
+    workloads::addPlacementMix(prog, p.devices);
+    Process &proc = sys.load(prog);
+
+    std::vector<Task *> tasks;
+    for (unsigned i = 0; i < p.threads; ++i)
+        tasks.push_back(&sys.spawnThread(proc));
+    sys.submit(proc, CallSpec("mix_hot").withArgs({1, 10})
+                         .onThread(*tasks[0]))
+        .wait();
+
+    StormResult r;
+    unsigned waves = std::max(2u, p.batches / 2);
+    for (unsigned w = 0; w < waves; ++w) {
+        std::vector<CallFuture> futs;
+        for (unsigned i = 0; i < p.threads; ++i) {
+            std::uint64_t slot = w * p.threads + i + 1;
+            futs.push_back(sys.submit(
+                proc, CallSpec("mix_hot").withArgs({slot, p.hotRounds / 4})
+                          .onThread(*tasks[i])));
+        }
+        for (auto &f : futs)
+            f.wait();
+        for (auto &f : futs)
+            r.values.push_back(f.value());
+    }
+    const StatGroup &st = sys.debug().engine().stats();
+    r.doorbells = st.get("doorbell_writes");
+    r.bursts = st.get("batch.bursts");
+    r.coalesced = st.get("batch.coalesced");
+    r.maxBurst = st.get("batch.descs_per_burst_max");
     return r;
 }
 
@@ -175,9 +316,9 @@ main(int argc, char **argv)
     p.batches = (unsigned)flagValue(argc, argv, "batches", p.batches);
     p.hotRounds = flagValue(argc, argv, "hot-rounds", p.hotRounds);
     p.devices = (unsigned)flagValue(argc, argv, "devices", p.devices);
-    if (p.devices > 2) {
-        std::printf("note: platform models at most 2 NxPs; clamping\n");
-        p.devices = 2;
+    if (p.devices == 0) {
+        std::fprintf(stderr, "FAIL: --devices must be >= 1\n");
+        return 1;
     }
     std::string json = flagString(argc, argv, "json", "");
 
@@ -194,8 +335,7 @@ main(int argc, char **argv)
         rows.push_back(
             {placementKindName(kinds[k]),
              strfmt("%.0f", r.callsPerSec), fmtUs(r.p99Us),
-             strfmt("%llu/%llu", (unsigned long long)r.devCalls[0],
-                    (unsigned long long)r.devCalls[1]),
+             joinCounts(r.devCalls),
              strfmt("%llu", (unsigned long long)r.hostSteered),
              strfmt("%llu", (unsigned long long)r.rebalanced)});
     }
@@ -203,7 +343,7 @@ main(int argc, char **argv)
         strfmt("Placement policies: mixed workload, %u threads x %u "
                "batches, %u device(s)",
                p.threads, p.batches, p.devices),
-        {"Policy", "Calls/s", "p99", "dev0/dev1 calls", "host-steered",
+        {"Policy", "Calls/s", "p99", "per-device calls", "host-steered",
          "rebalanced"},
         rows);
     std::printf("\nSpeedup over static: least-loaded %s, "
@@ -212,6 +352,50 @@ main(int argc, char **argv)
                     .c_str(),
                 fmtX(results[2].callsPerSec / results[0].callsPerSec)
                     .c_str());
+
+    // Phase 2: least-loaded scaling curve across the fabric.
+    std::vector<unsigned> scaleDevs;
+    std::vector<PolicyResult> scale;
+    if (p.devices >= 4) {
+        // The curve needs enough concurrency to expose the widest
+        // fabric (fewer threads than devices would flatline the tail)
+        // and calls long enough that submission isn't the bottleneck.
+        unsigned sthreads = std::max(16u, 2 * p.devices);
+        std::uint64_t srounds = std::max<std::uint64_t>(p.hotRounds, 2000);
+        for (unsigned n = 2; n <= p.devices; n *= 2)
+            scaleDevs.push_back(n);
+        if (scaleDevs.back() != p.devices)
+            scaleDevs.push_back(p.devices);
+        std::vector<std::vector<std::string>> srows;
+        for (unsigned n : scaleDevs) {
+            scale.push_back(
+                runScalePoint(n, sthreads, p.batches, srounds));
+            srows.push_back({strfmt("%u", n),
+                             strfmt("%.0f", scale.back().callsPerSec),
+                             joinCounts(scale.back().devCalls)});
+        }
+        printTable(
+            strfmt("Least-loaded scaling: %u threads x %u batches of "
+                   "mix_hot(%llu)",
+                   sthreads, p.batches, (unsigned long long)srounds),
+            {"Devices", "Calls/s", "per-device calls"}, srows);
+    }
+
+    // Phase 3: descriptor batching vs the unbatched protocol.
+    StormResult unbatched = runStorm(p, false);
+    StormResult batched = runStorm(p, true);
+    printTable(
+        strfmt("Descriptor batching: storm of %u threads, static "
+               "placement",
+               p.threads),
+        {"Mode", "doorbell writes", "bursts", "coalesced", "max burst"},
+        {{"unbatched", strfmt("%llu", (unsigned long long)unbatched.doorbells),
+          strfmt("%llu", (unsigned long long)unbatched.bursts),
+          strfmt("%llu", (unsigned long long)unbatched.coalesced), "-"},
+         {"batched", strfmt("%llu", (unsigned long long)batched.doorbells),
+          strfmt("%llu", (unsigned long long)batched.bursts),
+          strfmt("%llu", (unsigned long long)batched.coalesced),
+          strfmt("%llu", (unsigned long long)batched.maxBurst)}});
 
     if (!json.empty()) {
         std::ofstream os(json);
@@ -229,13 +413,22 @@ main(int argc, char **argv)
             os << (k ? "," : "") << "\n    {\"name\": \""
                << placementKindName(kinds[k])
                << "\", \"calls_per_sec\": " << r.callsPerSec
-               << ", \"p99_us\": " << r.p99Us
-               << ", \"dev0_calls\": " << r.devCalls[0]
-               << ", \"dev1_calls\": " << r.devCalls[1]
-               << ", \"host_steered\": " << r.hostSteered
+               << ", \"p99_us\": " << r.p99Us << ", \"dev_calls\": [";
+            for (std::size_t d = 0; d < r.devCalls.size(); ++d)
+                os << (d ? ", " : "") << r.devCalls[d];
+            os << "], \"host_steered\": " << r.hostSteered
                << ", \"rebalanced\": " << r.rebalanced << "}";
         }
-        os << "\n  ]\n}\n";
+        os << "\n  ],\n  \"scaling\": [";
+        for (std::size_t i = 0; i < scale.size(); ++i)
+            os << (i ? "," : "") << "\n    {\"devices\": " << scaleDevs[i]
+               << ", \"calls_per_sec\": " << scale[i].callsPerSec << "}";
+        os << "\n  ],\n  \"batching\": {\"doorbells_unbatched\": "
+           << unbatched.doorbells
+           << ", \"doorbells_batched\": " << batched.doorbells
+           << ", \"bursts\": " << batched.bursts
+           << ", \"coalesced\": " << batched.coalesced
+           << ", \"max_burst\": " << batched.maxBurst << "}\n}\n";
         std::printf("wrote %s\n", json.c_str());
     }
 
@@ -250,6 +443,39 @@ main(int argc, char **argv)
     if (results[2].hostSteered == 0) {
         std::fprintf(stderr, "FAIL: profile-guided never steered a "
                              "call to a host twin\n");
+        ok = false;
+    }
+    for (std::size_t i = 1; i < scale.size(); ++i) {
+        if (scale[i].callsPerSec < scale[i - 1].callsPerSec * 0.999) {
+            std::fprintf(stderr,
+                         "FAIL: least-loaded calls/s fell from %u to "
+                         "%u devices (%.0f -> %.0f)\n",
+                         scaleDevs[i - 1], scaleDevs[i],
+                         scale[i - 1].callsPerSec,
+                         scale[i].callsPerSec);
+            ok = false;
+        }
+    }
+    if (unbatched.values != batched.values) {
+        std::fprintf(stderr, "FAIL: batching changed call results\n");
+        ok = false;
+    }
+    if (unbatched.bursts != 0 || unbatched.coalesced != 0) {
+        std::fprintf(stderr, "FAIL: batch counters nonzero with "
+                             "batching disabled\n");
+        ok = false;
+    }
+    if (batched.coalesced == 0 || batched.bursts == 0) {
+        std::fprintf(stderr, "FAIL: batching never coalesced "
+                             "descriptors under the storm\n");
+        ok = false;
+    }
+    if (batched.doorbells >= unbatched.doorbells) {
+        std::fprintf(stderr,
+                     "FAIL: batching did not reduce doorbell writes "
+                     "(%llu vs %llu)\n",
+                     (unsigned long long)batched.doorbells,
+                     (unsigned long long)unbatched.doorbells);
         ok = false;
     }
     return ok ? 0 : 1;

@@ -26,11 +26,11 @@ measureWithExtra(Tick extra, int calls)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
     sys.setExtraRoundTripLatency(extra);
     Tick t0 = sys.now();
     for (int i = 0; i < calls; ++i)
-        sys.submit(proc, "nxp_noop").wait();
+        sys.submit(proc, CallSpec("nxp_noop")).wait();
     return ticksToUs(sys.now() - t0) / calls;
 }
 

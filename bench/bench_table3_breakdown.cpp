@@ -62,13 +62,13 @@ main(int argc, char **argv)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
 
-    sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
+    sys.submit(proc, CallSpec("nxp_noop")).wait(); // one-time NxP stack
     Tracer &trace = sys.debug().trace();
     trace.reset(); // exclude the warm-up call from the attribution
 
     Tick t0 = sys.now();
     for (int i = 0; i < calls; ++i)
-        sys.submit(proc, "nxp_noop").wait();
+        sys.submit(proc, CallSpec("nxp_noop")).wait();
     double wall_us = ticksToUs(sys.now() - t0) / calls;
 
     // Exactness check 1: every finished call decomposes exactly.

@@ -32,10 +32,10 @@ BM_HostNxpHost(benchmark::State &state)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
     for (auto _ : state) {
         Tick t0 = sys.now();
-        sys.submit(proc, "nxp_noop").wait();
+        sys.submit(proc, CallSpec("nxp_noop")).wait();
         state.SetIterationTime(ticksToSec(sys.now() - t0));
     }
 }
@@ -50,17 +50,17 @@ BM_NxpHostNxp(benchmark::State &state)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
     // Warm the NxP I-cache lines of the loop before calibrating the
     // outer-trip cost that gets subtracted per iteration.
-    sys.submit(proc, "nxp_calls_host", {1}).wait();
-    sys.submit(proc, "nxp_calls_host", {0}).wait();
+    sys.submit(proc, CallSpec("nxp_calls_host").withArgs({1})).wait();
+    sys.submit(proc, CallSpec("nxp_calls_host").withArgs({0})).wait();
     Tick t0 = sys.now();
-    sys.submit(proc, "nxp_calls_host", {0}).wait();
+    sys.submit(proc, CallSpec("nxp_calls_host").withArgs({0})).wait();
     Tick outer = sys.now() - t0;
     for (auto _ : state) {
         t0 = sys.now();
-        sys.submit(proc, "nxp_calls_host", {1}).wait();
+        sys.submit(proc, CallSpec("nxp_calls_host").withArgs({1})).wait();
         state.SetIterationTime(ticksToSec(sys.now() - t0 - outer));
     }
 }

@@ -53,7 +53,7 @@ main(int argc, char **argv)
         DeviceGraph dev = uploadGraph(sys, proc, graph);
         VAddr dummy = proc.image.symbol("bfs_dummy");
         std::uint64_t expect = graph.reachableFrom(0);
-        sys.submit(proc, "nxp_noop").wait(); // one-time NxP stack allocation
+        sys.submit(proc, CallSpec("nxp_noop")).wait(); // one-time NxP stack
 
         // Baseline: host traverses the graph over PCIe, dummy called
         // locally per vertex.
@@ -61,9 +61,9 @@ main(int argc, char **argv)
         for (int i = 0; i < iters; ++i) {
             resetVisited(sys, proc, dev);
             std::uint64_t got =
-                sys.submit(proc, "bfs_host",
-                           {dev.rowOff, dev.col, dev.visited, dev.queue,
-                            0, dummy})
+                sys.submit(proc, CallSpec("bfs_host").withArgs(
+                                     {dev.rowOff, dev.col, dev.visited,
+                                      dev.queue, 0, dummy}))
                     .wait();
             if (got != expect)
                 fatal("baseline BFS mismatch: %llu != %llu",
@@ -78,9 +78,9 @@ main(int argc, char **argv)
         for (int i = 0; i < iters; ++i) {
             resetVisited(sys, proc, dev);
             std::uint64_t got =
-                sys.submit(proc, "bfs_nxp",
-                           {dev.rowOff, dev.col, dev.visited, dev.queue,
-                            0, dummy})
+                sys.submit(proc, CallSpec("bfs_nxp").withArgs(
+                                     {dev.rowOff, dev.col, dev.visited,
+                                      dev.queue, 0, dummy}))
                     .wait();
             if (got != expect)
                 fatal("flick BFS mismatch: %llu != %llu",

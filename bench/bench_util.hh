@@ -85,10 +85,11 @@ fmtX(double x)
 inline double
 measureHostNxpHostUs(FlickSystem &sys, Process &proc, int calls)
 {
-    sys.submit(proc, "nxp_noop").wait(); // warm-up: one-time NxP stack allocation
+    // Warm-up: one-time NxP stack allocation.
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
     Tick t0 = sys.now();
     for (int i = 0; i < calls; ++i)
-        sys.submit(proc, "nxp_noop").wait();
+        sys.submit(proc, CallSpec("nxp_noop")).wait();
     return ticksToUs(sys.now() - t0) / calls;
 }
 
@@ -100,14 +101,14 @@ measureHostNxpHostUs(FlickSystem &sys, Process &proc, int calls)
 inline double
 measureNxpHostNxpUs(FlickSystem &sys, Process &proc, int calls)
 {
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
     Tick t0 = sys.now();
-    sys.submit(proc, "nxp_calls_host",
-               {static_cast<std::uint64_t>(calls)})
+    sys.submit(proc, CallSpec("nxp_calls_host")
+                         .withArgs({static_cast<std::uint64_t>(calls)}))
         .wait();
     Tick total = sys.now() - t0;
     Tick t1 = sys.now();
-    sys.submit(proc, "nxp_calls_host", {0}).wait();
+    sys.submit(proc, CallSpec("nxp_calls_host").withArgs({0})).wait();
     Tick outer = sys.now() - t1;
     return ticksToUs(total - outer) / calls;
 }

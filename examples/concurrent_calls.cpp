@@ -30,7 +30,7 @@ main()
     constexpr std::uint64_t trips = 16;
 
     // Warm the main thread's NxP stack so runs are comparable.
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     std::printf("each thread: host_calls_nxp(%llu) — %llu host->NxP "
                 "round trips on one device\n\n",
@@ -47,10 +47,12 @@ main()
 
         Tick t0 = sys.now();
         std::vector<CallFuture> futures;
-        futures.push_back(sys.submit(proc, "host_calls_nxp", {trips}));
+        futures.push_back(
+            sys.submit(proc, CallSpec("host_calls_nxp").withArgs({trips})));
         for (Task *t : spawned)
             futures.push_back(
-                sys.submit(proc, *t, "host_calls_nxp", {trips}));
+                sys.submit(proc, CallSpec("host_calls_nxp")
+                                     .withArgs({trips}).onThread(*t)));
         for (CallFuture &f : futures)
             f.wait();
         double batch_us = ticksToUs(sys.now() - t0);

@@ -112,7 +112,7 @@ main(int argc, char **argv)
         sys.debug().engine().enableJournal();
 
     Tick t0 = sys.now();
-    std::uint64_t result = sys.submit(proc, call_symbol, args).wait();
+    std::uint64_t result = sys.submit(proc, CallSpec(call_symbol).withArgs(args)).wait();
     Tick elapsed = sys.now() - t0;
 
     if (print_journal) {

@@ -62,7 +62,7 @@ main(int argc, char **argv)
     DeviceGraph dev = uploadGraph(sys, proc, graph);
 
     VAddr task = proc.image.symbol("host_vertex_task");
-    sys.submit(proc, "nxp_noop").wait(); // first-migration stack setup
+    sys.submit(proc, CallSpec("nxp_noop")).wait(); // first-migration stack setup
 
     // Baseline: host traverses the NxP-resident graph over PCIe.
     resetVisited(sys, proc, dev);
@@ -70,8 +70,9 @@ main(int argc, char **argv)
     std::uint64_t check_base;
     Tick t0 = sys.now();
     std::uint64_t found =
-        sys.submit(proc, "bfs_host",
-                   {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task})
+        sys.submit(proc, CallSpec("bfs_host").withArgs(
+                             {dev.rowOff, dev.col, dev.visited,
+                              dev.queue, 0, task}))
             .wait();
     Tick baseline = sys.now() - t0;
     check_base = checksum;
@@ -86,8 +87,9 @@ main(int argc, char **argv)
     checksum = 0;
     t0 = sys.now();
     std::uint64_t found2 =
-        sys.submit(proc, "bfs_nxp",
-                   {dev.rowOff, dev.col, dev.visited, dev.queue, 0, task})
+        sys.submit(proc, CallSpec("bfs_nxp").withArgs(
+                             {dev.rowOff, dev.col, dev.visited,
+                              dev.queue, 0, task}))
             .wait();
     Tick flick = sys.now() - t0;
     std::printf("flick (traversal on NxP):  %llu vertices in %.2f ms "

@@ -28,7 +28,7 @@ main()
     Process &proc = sys.load(prog);
 
     PointerChaseList list(sys, proc, 16 * 1024, 1ull << 28, 1234);
-    sys.submit(proc, "nxp_noop").wait();
+    sys.submit(proc, CallSpec("nxp_noop")).wait();
 
     std::printf("linked list: %llu nodes scattered over 256 MB of NxP "
                 "storage\n\n",
@@ -40,13 +40,17 @@ main()
         VAddr cursor = list.head();
         Tick t0 = sys.now();
         for (int i = 0; i < 10; ++i)
-            cursor = sys.submit(proc, "chase_host", {cursor, hops}).wait();
+            cursor = sys.submit(proc, CallSpec("chase_host")
+                                          .withArgs({cursor, hops}))
+                         .wait();
         double host_us = ticksToUs(sys.now() - t0) / 10;
 
         cursor = list.head();
         t0 = sys.now();
         for (int i = 0; i < 10; ++i)
-            cursor = sys.submit(proc, "chase_nxp", {cursor, hops}).wait();
+            cursor = sys.submit(proc, CallSpec("chase_nxp")
+                                          .withArgs({cursor, hops}))
+                         .wait();
         double flick_us = ticksToUs(sys.now() - t0) / 10;
 
         std::printf("%10llu  %14.1f  %14.1f  %8s\n",

@@ -32,7 +32,7 @@ main()
 
     // A plain host call: submit() starts the thread and returns a
     // future; wait() runs the simulation until the call finishes.
-    std::uint64_t r = sys.submit(proc, "host_add", {2, 3}).wait();
+    std::uint64_t r = sys.submit(proc, CallSpec("host_add").withArgs({2, 3})).wait();
     std::printf("host_add(2, 3)        = %llu (ran on the host)\n",
                 (unsigned long long)r);
 
@@ -40,7 +40,7 @@ main()
     // the NX bit, the thread migrates, runs at 200 MHz next to the data,
     // and migrates back with the return value.
     Tick t0 = sys.now();
-    CallFuture f = sys.submit(proc, "nxp_add", {40, 2});
+    CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({40, 2}));
     // Nothing has happened yet: submit() is instantaneous in simulated
     // time. wait() pumps events until the future resolves.
     r = f.wait();
@@ -50,16 +50,20 @@ main()
                 (unsigned long long)r, ticksToUs(rtt));
 
     // Six arguments cross the descriptor.
-    r = sys.submit(proc, "nxp_sum6", {1, 2, 3, 4, 5, 6}).wait();
+    r = sys.submit(proc,
+                   CallSpec("nxp_sum6").withArgs({1, 2, 3, 4, 5, 6}))
+            .wait();
     std::printf("nxp_sum6(1..6)        = %llu\n", (unsigned long long)r);
 
     // A host function that calls an NxP function (one nesting level).
-    r = sys.submit(proc, "host_mul_via_nxp", {10, 11}).wait();
+    r = sys.submit(proc,
+                   CallSpec("host_mul_via_nxp").withArgs({10, 11}))
+            .wait();
     std::printf("host_mul_via_nxp      = %llu (= (10+11)*2)\n",
                 (unsigned long long)r);
 
     // Mutual cross-ISA recursion: factorial alternating cores per level.
-    r = sys.submit(proc, "host_fact_nxp", {10}).wait();
+    r = sys.submit(proc, CallSpec("host_fact_nxp").withArgs({10})).wait();
     std::printf("host_fact_nxp(10)     = %llu (10! across 10 migrations)"
                 "\n",
                 (unsigned long long)r);

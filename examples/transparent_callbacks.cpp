@@ -89,8 +89,8 @@ main()
 
     // 1a. Function pointer at an NxP function: stays on the NxP.
     std::uint64_t m0 = proc.task->migrations;
-    sys.submit(proc, "map_nxp",
-               {array, n, proc.image.symbol("nxp_triple")})
+    sys.submit(proc, CallSpec("map_nxp").withArgs(
+                         {array, n, proc.image.symbol("nxp_triple")}))
         .wait();
     std::printf("map with NxP fn pointer:  [");
     for (int i = 0; i < n; ++i)
@@ -102,8 +102,8 @@ main()
 
     // 1b. Same kernel, pointer at a host function: migrates per element.
     m0 = proc.task->migrations;
-    sys.submit(proc, "map_nxp",
-               {array, n, proc.image.symbol("host_square")})
+    sys.submit(proc, CallSpec("map_nxp").withArgs(
+                         {array, n, proc.image.symbol("host_square")}))
         .wait();
     std::printf("map with host fn pointer: [");
     for (int i = 0; i < n; ++i)
@@ -114,12 +114,14 @@ main()
                 (unsigned long long)(proc.task->migrations - m0));
 
     // 2. Mutual cross-ISA recursion.
-    std::uint64_t fact = sys.submit(proc, "host_fact_nxp", {15}).wait();
+    std::uint64_t fact = sys.submit(proc, CallSpec("host_fact_nxp").withArgs({15})).wait();
     std::printf("15! across 15 alternating-ISA frames = %llu\n",
                 (unsigned long long)fact);
 
     // 3. Host -> NxP -> host nesting.
-    std::uint64_t v = sys.submit(proc, "host_mul_via_nxp", {6, 7}).wait();
+    std::uint64_t v = sys.submit(proc,
+                   CallSpec("host_mul_via_nxp").withArgs({6, 7}))
+            .wait();
     std::printf("host->nxp->host nested call: (6+7)*2 = %llu\n",
                 (unsigned long long)v);
 

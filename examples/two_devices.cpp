@@ -196,7 +196,7 @@ runPlacementStorm(PlacementKind kind)
                 placementKindName(kind));
 
     FlickSystem sys(
-        SystemConfig{}.withNxpDevices(2).withPlacement(kind));
+        SystemConfig{}.withDevices(2).withPlacement(kind));
     Program prog;
     workloads::addPlacementMix(prog, 2);
     Process &proc = sys.load(prog);
@@ -206,13 +206,17 @@ runPlacementStorm(PlacementKind kind)
     std::vector<Task *> tasks;
     for (unsigned i = 0; i < threads; ++i)
         tasks.push_back(&sys.spawnThread(proc));
-    sys.submit(proc, *tasks[0], "mix_hot", {1, 10}).wait(); // warm-up
+    sys.submit(proc, CallSpec("mix_hot").withArgs({1, 10})
+                         .onThread(*tasks[0]))
+        .wait(); // warm-up
 
     Tick t0 = sys.now();
     std::vector<CallFuture> futs;
     for (unsigned i = 0; i < threads; ++i)
         futs.push_back(
-            sys.submit(proc, *tasks[i], "mix_hot", {i + 1, rounds}));
+            sys.submit(proc, CallSpec("mix_hot")
+                                 .withArgs({i + 1, rounds})
+                                 .onThread(*tasks[i])));
     for (unsigned i = 0; i < threads; ++i) {
         if (futs[i].wait() != workloads::mixHotRef(i + 1, rounds)) {
             std::printf("MISMATCH on thread %u!\n", i);
@@ -259,7 +263,7 @@ main(int argc, char **argv)
         }
     }
 
-    FlickSystem sys(SystemConfig{}.withNxpDevices(2));
+    FlickSystem sys(SystemConfig{}.withDevices(2));
 
     static std::vector<std::uint64_t> hits;
     Program prog;
@@ -316,9 +320,9 @@ main(int argc, char **argv)
     hits.clear();
     Tick t0 = sys.now();
     std::uint64_t base_hits =
-        sys.submit(proc, "scan_host",
-                   {packets, packet_count, blocklist, blocklist_count,
-                    lookup, report})
+        sys.submit(proc, CallSpec("scan_host").withArgs(
+                             {packets, packet_count, blocklist,
+                              blocklist_count, lookup, report}))
             .wait();
     Tick baseline = sys.now() - t0;
     std::printf("host baseline:      %llu hits in %8.2f ms (all data "
@@ -331,9 +335,9 @@ main(int argc, char **argv)
     hits.clear();
     t0 = sys.now();
     std::uint64_t flick_hits =
-        sys.submit(proc, "scan_packets",
-                   {packets, packet_count, blocklist, blocklist_count,
-                    lookup, report})
+        sys.submit(proc, CallSpec("scan_packets").withArgs(
+                             {packets, packet_count, blocklist,
+                              blocklist_count, lookup, report}))
             .wait();
     Tick flick = sys.now() - t0;
     std::printf("flick (NIC+storage): %llu hits in %8.2f ms "

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
 # plus a Debug + ThreadSanitizer build running the concurrency-,
-# chaos-, device_fault-, trace- and policy-labeled tests (the event-driven
-# migration engine's interleaved continuation chains, the fault-recovery
-# and failover paths, and the trace instrumentation riding along them
-# are where lifetime bugs would hide), and a docs-drift guard keeping
-# DESIGN.md's configuration table in sync with SystemConfig.
+# chaos-, device_fault-, trace-, policy- and fabric-labeled tests (the
+# event-driven migration engine's interleaved continuation chains, the
+# fault-recovery and failover paths, the N-device batching/admission
+# machinery and the trace instrumentation riding along them are where
+# lifetime bugs would hide), and a docs-drift guard keeping DESIGN.md's
+# configuration table in sync with SystemConfig and CallSpec.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,21 +47,30 @@ echo "== release build, policy label =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L policy
 
 echo
+echo "== release build, fabric label =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L fabric
+
+echo
 echo "== placement bench, smoke mode =="
 ./build/bench/bench_placement --smoke
 
 echo
-echo "== debug + tsan build, concurrency + chaos + trace + policy tests =="
+echo "== placement bench, 8-device fabric smoke =="
+./build/bench/bench_placement --devices=8 --smoke
+
+echo
+echo "== debug + tsan build, concurrency/chaos/trace/policy/fabric tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
-             device_fault_test trace_test policy_test
+             device_fault_test trace_test policy_test fabric_scale_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L trace
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L policy
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L fabric
 
 echo
 echo "all checks passed"

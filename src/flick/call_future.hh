@@ -45,6 +45,7 @@ enum class CallStatus
     deadlineExceeded, //!< SystemConfig::callDeadline expired first.
     deviceLost,       //!< An NxP it depended on was quarantined.
     cancelled,        //!< CallFuture::cancel() tore it down.
+    shedLoad,         //!< Admission control refused it at submit time.
 };
 
 /** Printable status name. */

@@ -37,16 +37,14 @@ NxpPlatform::mmioWrite(Addr offset, std::uint64_t value, unsigned len)
         consumeInbox();
         break;
       case regBarRemap: {
-        // The host driver computed bar0Base - nxpDramLocalBase and wrote
-        // it here; program the remap window into the NxP TLBs
-        // (Section IV-A's worked example).
+        // The host driver computed barBase(device) - nxpDramLocalBase and
+        // wrote it here; program the remap window into this device's NxP
+        // TLBs (Section IV-A's worked example).
         if (!_nxpMmu)
             panic("BAR remap written before the NxP MMU was attached");
         const PlatformConfig &p = _mem.platform();
-        if (_device == 0)
-            _nxpMmu->setBarRemap(p.bar0Base, p.nxpDramBytes, value);
-        else
-            _nxpMmu->setBarRemap(p.bar2Base, p.nxp2DramBytes, value);
+        _nxpMmu->setBarRemap(p.barBase(_device), p.deviceDramBytes(_device),
+                             value);
         _stats.inc("bar_remap_writes");
         break;
       }

@@ -63,6 +63,7 @@ struct EnginePlacementView final : PlacementView
                   (s.busy ? 1 : 0);
         l.busy = s.busy;
         l.quarantined = s.health == DeviceHealth::quarantined;
+        l.saturated = e._admissionCap && l.depth >= e._admissionCap;
         return l;
     }
 
@@ -99,6 +100,7 @@ callStatusName(CallStatus status)
       case CallStatus::deadlineExceeded: return "deadlineExceeded";
       case CallStatus::deviceLost: return "deviceLost";
       case CallStatus::cancelled: return "cancelled";
+      case CallStatus::shedLoad: return "shedLoad";
     }
     return "?";
 }
@@ -173,10 +175,9 @@ void
 MigrationEngine::addNxpDevice(Core &core, NxpPlatform &platform,
                               DmaEngine &dma, RegionHeap &stack_heap,
                               Addr host_staging_pa, Addr host_inbox_pa,
-                              unsigned irq_vector, unsigned ring_slots)
+                              unsigned irq_vector, unsigned ring_slots,
+                              std::uint64_t freq_hz)
 {
-    if (_nxp.size() >= Task::maxNxpDevices)
-        fatal("too many NxP devices");
     if (ring_slots == 0 || ring_slots > NxpPlatform::maxRingSlots)
         fatal("descriptor rings must have 1..%u slots",
               NxpPlatform::maxRingSlots);
@@ -188,6 +189,7 @@ MigrationEngine::addNxpDevice(Core &core, NxpPlatform &platform,
     s.hostStagingPa = host_staging_pa;
     s.hostInboxPa = host_inbox_pa;
     s.irqVector = irq_vector;
+    s.clock = ClockDomain(freq_hz ? freq_hz : _timing.nxpFreqHz);
     s.h2d = DescriptorRing(host_staging_pa, platform.inboxLocalPa(),
                            ring_slots);
     s.d2h = DescriptorRing(platform.outboxLocalPa(), host_inbox_pa,
@@ -232,8 +234,12 @@ MigrationEngine::hostCycles(std::uint64_t n) const
 Tick
 MigrationEngine::nxpCycles(unsigned device, std::uint64_t n) const
 {
-    (void)device; // both devices run the same core configuration
-    return _timing.nxpClock().cycles(n);
+    // Each device has its own clock domain (addNxpDevice's freq_hz);
+    // homogeneous fabrics inherit the TimingConfig-wide nxpFreqHz and
+    // every domain is identical.
+    if (device >= _nxp.size())
+        panic("no NxP device %u", device);
+    return _nxp[device].clock.cycles(n);
 }
 
 // --- Descriptor-ring memory helpers -------------------------------------
@@ -313,7 +319,7 @@ MigrationEngine::releaseNxpStacks(Task &task)
 {
     if (!task.nxpSavedCtx.empty())
         panic("releasing NxP stacks of task %d mid-migration", task.pid);
-    for (unsigned d = 0; d < _nxp.size() && d < Task::maxNxpDevices; ++d) {
+    for (unsigned d = 0; d < _nxp.size(); ++d) {
         if (task.nxpStackTop[d] == 0)
             continue;
         side(d).stackHeap->free(task.nxpStackTop[d] - task.nxpStackBytes);
@@ -327,7 +333,7 @@ MigrationEngine::releaseNxpStacks(Task &task)
 CallFuture
 MigrationEngine::submit(Task &task, VAddr entry,
                         const std::vector<std::uint64_t> &args,
-                        VAddr stack_top)
+                        VAddr stack_top, const SubmitOptions &opts)
 {
     if (task.state != TaskState::created &&
         task.state != TaskState::running) {
@@ -336,6 +342,20 @@ MigrationEngine::submit(Task &task, VAddr entry,
     }
     if (_exec.count(task.pid))
         panic("task %d already has a call in flight", task.pid);
+
+    if (_admissionCap && fabricSaturated()) {
+        // Admission control: every live device is at its in-flight cap,
+        // so the call is refused at the front door. The future completes
+        // right here — nothing is queued, no event is scheduled, and the
+        // caller can retry or degrade immediately.
+        auto shed = std::make_shared<CallFutureState>();
+        shed->pid = task.pid;
+        shed->value = 0;
+        shed->status = CallStatus::shedLoad;
+        shed->done = true;
+        _stats.inc("admission.shed");
+        return CallFuture(std::move(shed), this);
+    }
 
     auto state = std::make_shared<CallFutureState>();
     state->pid = task.pid;
@@ -346,19 +366,44 @@ MigrationEngine::submit(Task &task, VAddr entry,
     x.entry = entry;
     x.args = args;
     x.stackTop = stack_top;
-    if (_callDeadline)
+    x.placementHint = opts.placementHint;
+    if (opts.deadline)
+        x.deadline = _events.now() + opts.deadline;
+    else if (_callDeadline)
         x.deadline = _events.now() + _callDeadline;
+    bool deadlined = x.deadline != 0;
     _exec.emplace(task.pid, std::move(x));
     _stats.inc("calls_submitted");
     traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
     // The watchdog only exists when something can actually go wrong
     // (endpoint fault injection or a configured deadline); otherwise the
     // fault-free event stream stays untouched.
-    if (_callDeadline || (_chaos && _chaos->endpointFaultsEnabled()))
+    if (deadlined || (_chaos && _chaos->endpointFaultsEnabled()))
         armHeartbeat();
     _kernel.enqueueRunnable(task);
     kickHost();
     return CallFuture(std::move(state), this);
+}
+
+bool
+MigrationEngine::fabricSaturated() const
+{
+    // Shed only when at least one device is alive and all alive devices
+    // are at the cap; a host-only system never sheds (nothing to cap)
+    // and an all-quarantined fabric fails calls through the existing
+    // deviceLost/failover machinery, not admission.
+    bool any = false;
+    for (const NxpSide &s : _nxp) {
+        if (s.health == DeviceHealth::quarantined)
+            continue;
+        any = true;
+        unsigned depth = s.h2d.inUse() +
+                         static_cast<unsigned>(s.h2dDeferred.size()) +
+                         (s.busy ? 1 : 0);
+        if (depth < _admissionCap)
+            return false;
+    }
+    return any;
 }
 
 std::uint64_t
@@ -793,6 +838,39 @@ MigrationEngine::decidePlacement(Task &task, VAddr target, unsigned home,
     p.va = target;
     auto c_it = _twinCanonical.find({task.cr3, target});
     p.canonical = c_it == _twinCanonical.end() ? target : c_it->second;
+
+    // A submit-time placement hint is consumed by the call's first
+    // dispatch decision, before (and instead of) the policy.
+    int hint = -1;
+    auto e_it = _exec.find(task.pid);
+    if (e_it != _exec.end() && e_it->second.placementHint >= 0) {
+        hint = e_it->second.placementHint;
+        e_it->second.placementHint = -1;
+    }
+    if (hint >= 0 && static_cast<unsigned>(hint) < _nxp.size() &&
+        _nxp[hint].health != DeviceHealth::quarantined &&
+        !(caller_device != hostSide &&
+          static_cast<unsigned>(hint) == caller_device)) {
+        VAddr hinted_va = 0;
+        if (static_cast<unsigned>(hint) == home) {
+            hinted_va = target;
+        } else {
+            auto h_it = _deviceTwins.find({task.cr3, p.canonical});
+            if (h_it != _deviceTwins.end() &&
+                static_cast<unsigned>(hint) < h_it->second.size()) {
+                hinted_va = h_it->second[hint];
+            }
+        }
+        if (hinted_va) {
+            protoStat("placement.hinted", static_cast<unsigned>(hint));
+            p.device = static_cast<unsigned>(hint);
+            p.va = hinted_va;
+            return p;
+        }
+        // No text for the hinted device: the hint is unusable and
+        // dispatch proceeds as if none were given.
+    }
+
     if (!_policy)
         return p;
 
@@ -1072,7 +1150,7 @@ MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                 if (s.h2d.full())
                     s.h2dDeferred.push_back(d);
                 else
-                    fireHostToNxp(d, device);
+                    stageHostToNxp(d, device);
                 releaseHost();
             };
             if (is_call && _extraRoundTrip)
@@ -1081,6 +1159,89 @@ MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                 fire();
         });
     });
+}
+
+void
+MigrationEngine::stageHostToNxp(MigrationDescriptor d, unsigned device)
+{
+    if (!_batching) {
+        fireHostToNxp(d, device);
+        return;
+    }
+    NxpSide &s = side(device);
+    // Batched: the kernel stages the descriptor into the ring now but
+    // holds the DMA doorbell until the coalescing window closes, so
+    // back-to-back sends to the same device ship as one chained burst.
+    d.seq = ++s.h2dSendSeq;
+    unsigned slot = s.h2d.push();
+    writeHostStaging(d, device, slot);
+    traceGauge(TraceGauge::h2dRing, device, s.h2d.inUse());
+    s.h2dBatch.push_back({slot, static_cast<int>(d.pid), d.callId, d.kind});
+    if (!s.batchFlushScheduled) {
+        s.batchFlushScheduled = true;
+        std::uint64_t epoch = s.batchEpoch;
+        _events.scheduleIn(_timing.dmaBatchWindow, "h2d-batch-window",
+                           [this, device, epoch] {
+            NxpSide &t = side(device);
+            if (t.batchEpoch != epoch)
+                return; // quarantine tore the batch down under us
+            t.batchFlushScheduled = false;
+            flushH2dBatch(device);
+        });
+    }
+}
+
+void
+MigrationEngine::flushH2dBatch(unsigned device)
+{
+    NxpSide &s = side(device);
+    while (!s.h2dBatch.empty()) {
+        // One burst per maximal run of contiguous ring slots: the DMA
+        // chain walks a flat region of the staging array, so a run
+        // breaks where the ring wraps back to slot 0.
+        std::size_t n = 1;
+        while (n < s.h2dBatch.size() &&
+               s.h2dBatch[n].slot == s.h2dBatch[n - 1].slot + 1)
+            ++n;
+        std::vector<NxpSide::PendingBurst> run(s.h2dBatch.begin(),
+                                               s.h2dBatch.begin() + n);
+        s.h2dBatch.erase(s.h2dBatch.begin(), s.h2dBatch.begin() + n);
+
+        protoStat("doorbell_writes", device);
+        protoStat("batch.bursts", device);
+        if (n > 1) {
+            _stats.inc("batch.coalesced", n - 1);
+            _stats.inc(strfmt("batch.coalesced_dev%u", device), n - 1);
+        }
+        if (n > _batchMaxDescs) {
+            _batchMaxDescs = static_cast<unsigned>(n);
+            _stats.set("batch.descs_per_burst_max", _batchMaxDescs);
+        }
+        for (const auto &e : run) {
+            tracePoint(TracePoint::dmaToNxpStart, e.pid, e.callId, device);
+            if (e.kind == DescriptorKind::hostToNxpCall)
+                journal(ProtocolStep::dmaToNxp, e.pid);
+        }
+        NxpPlatform *platform = s.platform;
+        // Resolve the burst's staging/mailbox region before the call:
+        // the completion lambda's capture moves `run` out from under
+        // any argument expression still referring to it.
+        Addr staging_pa = s.h2d.stagingPa(run.front().slot);
+        Addr mailbox_pa = s.h2d.mailboxPa(run.front().slot);
+        s.dma->copyHostToNxp(staging_pa, mailbox_pa,
+                             n * MigrationDescriptor::wireBytes,
+                             [this, platform, device,
+                              run = std::move(run)] {
+                                 for (const auto &e : run) {
+                                     ++side(device).progress;
+                                     tracePoint(TracePoint::dmaToNxpDone,
+                                                e.pid, e.callId, device);
+                                     platform->inboxArrived();
+                                 }
+                                 kickNxp(device);
+                             },
+                             static_cast<unsigned>(n));
+    }
 }
 
 void
@@ -1096,6 +1257,7 @@ MigrationEngine::fireHostToNxp(MigrationDescriptor d, unsigned device)
     tracePoint(TracePoint::dmaToNxpStart, static_cast<int>(d.pid),
                d.callId, device);
     traceGauge(TraceGauge::h2dRing, device, s.h2d.inUse());
+    protoStat("doorbell_writes", device);
     NxpPlatform *platform = s.platform;
     int dpid = static_cast<int>(d.pid);
     std::uint64_t cid = d.callId;
@@ -1181,7 +1343,7 @@ MigrationEngine::dispatchNxp(unsigned device)
             if (!t.h2dDeferred.empty() && !t.h2d.full()) {
                 MigrationDescriptor dd = t.h2dDeferred.front();
                 t.h2dDeferred.pop_front();
-                fireHostToNxp(dd, device);
+                stageHostToNxp(dd, device);
             }
             // ACK through the control register.
             after(_timing.nxpToLocalMmio, [this, device, d] {
@@ -1635,6 +1797,7 @@ MigrationEngine::nakH2d(unsigned device)
     s.platform->consumeInbox();
     unsigned slot = s.h2d.front();
     NxpPlatform *platform = s.platform;
+    protoStat("doorbell_writes", device);
     s.dma->copyHostToNxp(s.h2d.stagingPa(slot), s.h2d.mailboxPa(slot),
                          MigrationDescriptor::wireBytes,
                          [this, platform, device] {
@@ -1818,6 +1981,11 @@ MigrationEngine::quarantineDevice(unsigned device)
     s.h2dDeferred.clear();
     s.d2hDeferred.clear();
     s.d2hLanded = 0;
+    // An open batch window dies with the rings; the epoch bump makes a
+    // pending window-close event a no-op.
+    s.h2dBatch.clear();
+    s.batchFlushScheduled = false;
+    ++s.batchEpoch;
 
     // failCall erases from _exec, so sweep over a PID snapshot.
     std::vector<int> pids;

@@ -136,6 +136,8 @@ class MigrationEngine
 
     /**
      * Register one NxP device (in device-id order, starting at 0).
+     * Any number of devices may be registered; every ring, health
+     * record and counter the engine keeps is sized per registration.
      *
      * @param host_staging_pa Host DRAM base of the kernel's outbound
      *        descriptor-staging ring (ring_slots slots of 128 bytes);
@@ -144,11 +146,35 @@ class MigrationEngine
      *        device's outbox slots DMA into.
      * @param irq_vector Host interrupt vector the device raises.
      * @param ring_slots Slots per direction (in-flight descriptor bound).
+     * @param freq_hz Device core frequency; 0 inherits TimingConfig's
+     *        nxpFreqHz (the homogeneous-fabric default).
      */
     void addNxpDevice(Core &core, NxpPlatform &platform, DmaEngine &dma,
                       RegionHeap &stack_heap, Addr host_staging_pa,
                       Addr host_inbox_pa, unsigned irq_vector,
-                      unsigned ring_slots);
+                      unsigned ring_slots, std::uint64_t freq_hz = 0);
+
+    /**
+     * Per-call knobs a submission may carry. Defaults leave the event
+     * stream exactly as a plain submit() would.
+     */
+    struct SubmitOptions
+    {
+        /**
+         * Relative completion deadline for this call; 0 inherits the
+         * engine-wide setCallDeadline() value. A nonzero deadline arms
+         * the heartbeat watchdog (like setCallDeadline does).
+         */
+        Tick deadline = 0;
+        /**
+         * Preferred NxP device for the call's first placement decision,
+         * consumed one-shot at the next NX-fault dispatch; -1 = none.
+         * An impossible hint (no such device, no text there, or the
+         * device is quarantined) is ignored and dispatch proceeds as if
+         * no hint were given.
+         */
+        int placementHint = -1;
+    };
 
     /**
      * Start @p task at @p entry on the host core and return a future
@@ -156,11 +182,24 @@ class MigrationEngine
      * the current simulated time but makes progress only as the event
      * queue runs (CallFuture::wait() pumps it); submitting never blocks.
      *
+     * With admission control enabled (setAdmissionCap) and every
+     * non-quarantined device at its in-flight cap, the call is shed:
+     * the returned future is already done with status
+     * CallStatus::shedLoad and nothing enters the system.
+     *
      * @param stack_top Initial host stack pointer.
      */
     CallFuture submit(Task &task, VAddr entry,
                       const std::vector<std::uint64_t> &args,
-                      VAddr stack_top);
+                      VAddr stack_top, const SubmitOptions &opts);
+
+    /** submit() with default options. */
+    CallFuture
+    submit(Task &task, VAddr entry,
+           const std::vector<std::uint64_t> &args, VAddr stack_top)
+    {
+        return submit(task, entry, args, stack_top, SubmitOptions());
+    }
 
     /**
      * Blocking convenience: submit() and wait. Kept for callers that
@@ -209,6 +248,37 @@ class MigrationEngine
      * simulation dies with an unrecoverable-corruption diagnostic.
      */
     void setRetryBudget(unsigned budget) { _retryBudget = budget; }
+
+    // --- Descriptor batching and admission control ----------------------
+
+    /**
+     * Enable h2d descriptor batching: a staged descriptor opens a
+     * per-device coalescing window (TimingConfig::dmaBatchWindow);
+     * descriptors staged for the same device inside the window ship as
+     * one chained DMA burst with one doorbell write, charged
+     * TimingConfig::dmaBurstTransfer(). Off (the default) every
+     * descriptor fires its own burst immediately and the event stream
+     * is tick-for-tick identical to the pre-batching engine. Batching
+     * trades up to one window of added crossing latency for fewer
+     * doorbells under storm load; results are value-identical either
+     * way (tests/fabric_scale_test.cpp asserts both properties).
+     */
+    void setBatching(bool on) { _batching = on; }
+
+    /**
+     * Per-device in-flight cap (admission control). While every
+     * non-quarantined device's depth (staged + deferred descriptors +
+     * running segment) is at or above @p cap, submit() sheds new calls
+     * with CallStatus::shedLoad instead of queueing them. Load-aware
+     * placement policies also avoid saturated devices (they see
+     * DeviceLoad::saturated). 0 (the default) disables the cap and
+     * leaves every run tick-for-tick identical to the pre-admission
+     * engine.
+     */
+    void setAdmissionCap(unsigned cap) { _admissionCap = cap; }
+
+    /** The configured admission cap (0 = off). */
+    unsigned admissionCap() const { return _admissionCap; }
 
     // --- Device health, deadlines and failover -------------------------
 
@@ -365,6 +435,9 @@ class MigrationEngine
         MigrationDescriptor wakeDesc;
         //! Set while a host-fallback re-dispatch waits for the core.
         bool pendingFallback = false;
+        //! One-shot device preference (SubmitOptions::placementHint),
+        //! consumed by the call's first placement decision; -1 = none.
+        int placementHint = -1;
     };
 
     /** Everything belonging to one NxP device. */
@@ -377,11 +450,30 @@ class MigrationEngine
         Addr hostStagingPa;
         Addr hostInboxPa;
         unsigned irqVector;
+        //! This device's core clock (addNxpDevice's freq_hz, defaulting
+        //! to the TimingConfig-wide nxpFreqHz).
+        ClockDomain clock{1'000'000'000ull};
         DescriptorRing h2d; //!< Host staging ring -> device inbox ring.
         DescriptorRing d2h; //!< Device outbox ring -> host inbox ring.
         //! Descriptors waiting for a free slot (ring backpressure).
         std::deque<MigrationDescriptor> h2dDeferred;
         std::deque<MigrationDescriptor> d2hDeferred;
+
+        // --- h2d batching state (setBatching) --------------------------
+        //! One staged-but-unfired descriptor in the open batch window.
+        struct PendingBurst
+        {
+            unsigned slot;        //!< Staging/inbox ring slot it sits in.
+            int pid;
+            std::uint64_t callId;
+            DescriptorKind kind;  //!< For per-descriptor journal records.
+        };
+        //! Descriptors staged during the current window, in ring order.
+        std::vector<PendingBurst> h2dBatch;
+        bool batchFlushScheduled = false; //!< Window-close event pending.
+        //! Bumped by quarantine so a pending window-close event finds
+        //! its batch gone and does nothing.
+        std::uint64_t batchEpoch = 0;
         bool busy = false;          //!< Core owned by a thread/handler.
         bool kickScheduled = false; //!< Scheduler poll event pending.
         Addr loadedCr3 = 0;         //!< CR3 the device MMU currently holds.
@@ -487,8 +579,20 @@ class MigrationEngine
      */
     void hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                             unsigned device);
+    /**
+     * Ring-stage @p d for @p device: immediately fired (one burst, one
+     * doorbell) when batching is off, or parked in the device's open
+     * coalescing window when batching is on.
+     */
+    void stageHostToNxp(MigrationDescriptor d, unsigned device);
     /** Stage @p d in the next h2d ring slot and start its DMA burst. */
     void fireHostToNxp(MigrationDescriptor d, unsigned device);
+    /**
+     * Close @p device's batch window: ship every parked descriptor as
+     * chained DMA bursts (one per maximal run of contiguous ring slots,
+     * split where the ring wraps), each with a single doorbell write.
+     */
+    void flushH2dBatch(unsigned device);
 
     // --- NxP-side scheduling ------------------------------------------
 
@@ -562,6 +666,12 @@ class MigrationEngine
 
     /** Does @p x's call state reference @p device anywhere? */
     bool execTouches(const TaskExec &x, unsigned device) const;
+
+    /**
+     * Admission control's trigger: true when at least one device is
+     * alive and every alive device is at the in-flight cap.
+     */
+    bool fabricSaturated() const;
 
     /**
      * Complete @p x's call with a non-ok @p status and unwind its
@@ -696,6 +806,9 @@ class MigrationEngine
 
     Tick _extraRoundTrip = 0;
     std::uint64_t _nxpStackBytes = 64 * 1024;
+    bool _batching = false;      //!< h2d descriptor coalescing on/off.
+    unsigned _admissionCap = 0;  //!< Per-device in-flight cap; 0 = off.
+    unsigned _batchMaxDescs = 0; //!< Largest burst shipped so far.
     ChaosController *_chaos = nullptr;
     Tracer *_tracer = nullptr;
     unsigned _retryBudget = 16;

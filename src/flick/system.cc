@@ -28,12 +28,13 @@ hostCoreParams(const TimingConfig &t)
 }
 
 CoreParams
-nxpCoreParams(const TimingConfig &t, unsigned device = 0)
+nxpCoreParams(const TimingConfig &t, unsigned device = 0,
+              std::uint64_t freq_hz = 0)
 {
     CoreParams p;
-    p.name = device == 0 ? "nxp" : "nxp2";
-    p.requester = device == 0 ? Requester::nxpCore : Requester::nxp2Core;
-    p.freqHz = t.nxpFreqHz;
+    p.name = device == 0 ? "nxp" : "nxp" + std::to_string(device + 1);
+    p.requester = nxpCoreRequester(device);
+    p.freqHz = freq_hz ? freq_hz : t.nxpFreqHz;
     p.itlbEntries = t.nxpItlbEntries;
     p.dtlbEntries = t.nxpDtlbEntries;
     p.walkOverhead = t.nxpMmuWalkOverhead;
@@ -62,7 +63,8 @@ FlickSystem::FlickSystem(SystemConfig config)
                     _platformCtrl.reservedLocalEnd()),
       _ptm(_mem, _hostAlloc),
       _hostCore(hostCoreParams(_config.timing), _mem),
-      _nxpCore(nxpCoreParams(_config.timing), _mem),
+      _nxpCore(nxpCoreParams(_config.timing, 0, _config.deviceFrequency(0)),
+               _mem),
       _loader(_mem, _ptm, _hostAlloc, _nxpAlloc),
       _nxpWindowHeap(
           "nxp_window",
@@ -72,8 +74,8 @@ FlickSystem::FlickSystem(SystemConfig config)
               (_platformCtrl.reservedLocalEnd() -
                _config.platform.nxpDramLocalBase))
 {
-    if (_config.platform.nxpDeviceCount > 2)
-        fatal("too many NxP devices");
+    if (_config.platform.nxpDeviceCount == 0)
+        fatal("a Flick platform needs at least one NxP device");
 
     _platformCtrl.setNxpMmu(&_nxpCore.mmu());
 
@@ -98,6 +100,8 @@ FlickSystem::FlickSystem(SystemConfig config)
     _engine->setCallDeadline(_config.callDeadline);
     _engine->setHostFallback(_config.hostFallback);
     _engine->setHealthStrikeLimit(_config.healthStrikeLimit);
+    _engine->setBatching(_config.batching);
+    _engine->setAdmissionCap(_config.admissionCap);
 
     // Placement policy (DESIGN.md §11). The policy object always exists
     // (debug().policy() is total), but the engine is only pointed at it
@@ -125,26 +129,35 @@ FlickSystem::FlickSystem(SystemConfig config)
     Addr staging0 = _hostAlloc.allocate(ring_bytes);
     Addr inbox0 = _hostAlloc.allocate(ring_bytes);
     _engine->addNxpDevice(_nxpCore, _platformCtrl, _dma, _nxpWindowHeap,
-                          staging0, inbox0, 0, slots);
+                          staging0, inbox0, 0, slots,
+                          _config.deviceFrequency(0));
 
-    if (_config.platform.nxpDeviceCount > 1) {
-        _nxp2Core = std::make_unique<Rv64Core>(
-            nxpCoreParams(_config.timing, 1), _mem);
-        _platformCtrl2 = std::make_unique<NxpPlatform>(_mem, 1);
-        _platformCtrl2->setNxpMmu(&_nxp2Core->mmu());
-        _dma2 = std::make_unique<DmaEngine>(_events, _mem, &_irq, 1);
-        _dma2->setChaos(&_chaos);
-        _dma2->setTracer(&_tracer);
-        std::uint64_t reserved = _platformCtrl.reservedLocalEnd() -
-                                 _config.platform.nxpDramLocalBase;
-        _nxpWindowHeap2 = std::make_unique<RegionHeap>(
-            "nxp2_window", layout::nxpWindowBase2 + reserved,
-            _config.platform.nxp2DramBytes - reserved);
-        Addr staging1 = _hostAlloc.allocate(ring_bytes);
-        Addr inbox1 = _hostAlloc.allocate(ring_bytes);
-        _engine->addNxpDevice(*_nxp2Core, *_platformCtrl2, *_dma2,
-                              *_nxpWindowHeap2, staging1, inbox1, 1,
-                              slots);
+    // Devices 1..N-1: each gets its own core, platform controller, DMA
+    // engine, window heap and descriptor rings, registered with the
+    // engine in device-id order.
+    std::uint64_t reserved = _platformCtrl.reservedLocalEnd() -
+                             _config.platform.nxpDramLocalBase;
+    for (unsigned k = 1; k < _config.platform.nxpDeviceCount; ++k) {
+        auto core = std::make_unique<Rv64Core>(
+            nxpCoreParams(_config.timing, k, _config.deviceFrequency(k)),
+            _mem);
+        auto ctrl = std::make_unique<NxpPlatform>(_mem, k);
+        ctrl->setNxpMmu(&core->mmu());
+        auto dma = std::make_unique<DmaEngine>(_events, _mem, &_irq, k);
+        dma->setChaos(&_chaos);
+        dma->setTracer(&_tracer);
+        auto heap = std::make_unique<RegionHeap>(
+            "nxp" + std::to_string(k + 1) + "_window",
+            layout::nxpWindowBaseFor(k) + reserved,
+            _config.platform.deviceDramBytes(k) - reserved);
+        Addr staging = _hostAlloc.allocate(ring_bytes);
+        Addr inbox = _hostAlloc.allocate(ring_bytes);
+        _engine->addNxpDevice(*core, *ctrl, *dma, *heap, staging, inbox, k,
+                              slots, _config.deviceFrequency(k));
+        _extraNxpCores.push_back(std::move(core));
+        _extraPlatformCtrls.push_back(std::move(ctrl));
+        _extraDmas.push_back(std::move(dma));
+        _extraWindowHeaps.push_back(std::move(heap));
     }
     _engine->setNxpStackBytes(_config.nxpStackBytes);
 
@@ -155,18 +168,20 @@ FlickSystem::FlickSystem(SystemConfig config)
     _nxpCore.setNativeRange(layout::nativeGateNxp,
                             layout::nativeGateNxp + 4096,
                             _natives.makeHook(IsaKind::rv64));
+    for (auto &core : _extraNxpCores) {
+        core->setNativeRange(layout::nativeGateNxp,
+                             layout::nativeGateNxp + 4096,
+                             _natives.makeHook(IsaKind::rv64));
+    }
 
-    // Driver bring-up: compute the BAR remap offset and write it into the
-    // NxP TLB control register through BAR1, as the host driver does at
-    // boot (Section IV-A).
-    _mem.writeInt(Requester::hostCore,
-                  _config.platform.bar1Base() + NxpPlatform::regBarRemap,
-                  _config.platform.barRemapOffset(), 8);
-    if (_config.platform.nxpDeviceCount > 1) {
+    // Driver bring-up: compute each device's BAR remap offset and write
+    // it into that device's TLB control register through its control
+    // BAR, as the host driver does at boot (Section IV-A).
+    for (unsigned k = 0; k < _config.platform.nxpDeviceCount; ++k) {
         _mem.writeInt(Requester::hostCore,
-                      _config.platform.bar3Base() +
+                      _config.platform.ctrlBase(k) +
                           NxpPlatform::regBarRemap,
-                      _config.platform.barRemapOffset2(), 8);
+                      _config.platform.barRemapOffsetFor(k), 8);
     }
 }
 
@@ -175,8 +190,8 @@ FlickSystem::Debug::nxpCore(unsigned device) const
 {
     if (device == 0)
         return sys->_nxpCore;
-    if (device == 1 && sys->_nxp2Core)
-        return *sys->_nxp2Core;
+    if (device - 1 < sys->_extraNxpCores.size())
+        return *sys->_extraNxpCores[device - 1];
     fatal("no NxP device %u", device);
 }
 
@@ -185,8 +200,8 @@ FlickSystem::Debug::nxpPlatform(unsigned device) const
 {
     if (device == 0)
         return sys->_platformCtrl;
-    if (device == 1 && sys->_platformCtrl2)
-        return *sys->_platformCtrl2;
+    if (device - 1 < sys->_extraPlatformCtrls.size())
+        return *sys->_extraPlatformCtrls[device - 1];
     fatal("no NxP device %u", device);
 }
 
@@ -195,8 +210,8 @@ FlickSystem::Debug::dma(unsigned device) const
 {
     if (device == 0)
         return sys->_dma;
-    if (device == 1 && sys->_dma2)
-        return *sys->_dma2;
+    if (device - 1 < sys->_extraDmas.size())
+        return *sys->_extraDmas[device - 1];
     fatal("no NxP device %u", device);
 }
 
@@ -205,8 +220,8 @@ FlickSystem::Debug::nxpHeap(unsigned device) const
 {
     if (device == 0)
         return sys->_nxpWindowHeap;
-    if (device == 1 && sys->_nxpWindowHeap2)
-        return *sys->_nxpWindowHeap2;
+    if (device - 1 < sys->_extraWindowHeaps.size())
+        return *sys->_extraWindowHeaps[device - 1];
     fatal("no NxP device %u", device);
 }
 
@@ -317,11 +332,25 @@ FlickSystem::exitThread(Task &thread)
 }
 
 CallFuture
+FlickSystem::submit(Process &process, CallSpec spec)
+{
+    Task &thread = spec.task ? *spec.task : *process.task;
+    VAddr va = spec.symbol.empty() ? spec.address
+                                   : process.image.symbol(spec.symbol);
+    if (!va)
+        fatal("CallSpec names neither a symbol nor an address");
+    MigrationEngine::SubmitOptions opts;
+    opts.deadline = spec.deadline;
+    opts.placementHint = spec.placementHint;
+    return _engine->submit(thread, va, spec.args,
+                           thread.hostStackTop - 64, opts);
+}
+
+CallFuture
 FlickSystem::submit(Process &process, const std::string &symbol,
                     std::vector<std::uint64_t> args)
 {
-    return submitVa(process, *process.task,
-                    process.image.symbol(symbol), std::move(args));
+    return submit(process, CallSpec(symbol).withArgs(std::move(args)));
 }
 
 CallFuture
@@ -329,16 +358,18 @@ FlickSystem::submit(Process &process, Task &thread,
                     const std::string &symbol,
                     std::vector<std::uint64_t> args)
 {
-    return submitVa(process, thread, process.image.symbol(symbol),
-                    std::move(args));
+    return submit(process, CallSpec(symbol)
+                               .withArgs(std::move(args))
+                               .onThread(thread));
 }
 
 CallFuture
 FlickSystem::submitVa(Process &process, Task &thread, VAddr va,
                       std::vector<std::uint64_t> args)
 {
-    (void)process;
-    return _engine->submit(thread, va, args, thread.hostStackTop - 64);
+    return submit(process, CallSpec::addr(va)
+                               .withArgs(std::move(args))
+                               .onThread(thread));
 }
 
 std::uint64_t
@@ -367,11 +398,7 @@ VAddr
 FlickSystem::nxpMalloc(std::uint64_t bytes, std::uint64_t align,
                        unsigned device)
 {
-    if (device == 0)
-        return _nxpWindowHeap.allocate(bytes, align);
-    if (device == 1 && _nxpWindowHeap2)
-        return _nxpWindowHeap2->allocate(bytes, align);
-    fatal("no NxP device %u", device);
+    return debug().nxpHeap(device).allocate(bytes, align);
 }
 
 VAddr
@@ -503,11 +530,11 @@ FlickSystem::dumpStats(std::ostream &os)
     _nxpCore.mmu().walker().stats().dump(os);
     if (_nxpCore.icache())
         _nxpCore.icache()->stats().dump(os);
-    if (_nxp2Core) {
-        _nxp2Core->stats().dump(os);
-        _platformCtrl2->stats().dump(os);
-        _dma2->stats().dump(os);
-        _nxp2Core->mmu().walker().stats().dump(os);
+    for (std::size_t k = 0; k < _extraNxpCores.size(); ++k) {
+        _extraNxpCores[k]->stats().dump(os);
+        _extraPlatformCtrls[k]->stats().dump(os);
+        _extraDmas[k]->stats().dump(os);
+        _extraNxpCores[k]->mmu().walker().stats().dump(os);
     }
     if (_tracer.on())
         _tracer.dumpBreakdown(os);

@@ -7,7 +7,7 @@
  * the workflow a user of the paper's system would have:
  *
  *     flick::FlickSystem sys(
- *         flick::SystemConfig{}.withNxpDevices(2));   // boot the platform
+ *         flick::SystemConfig{}.withDevices(2));      // boot the platform
  *     flick::Program prog;                            // multi-ISA code
  *     prog.addHostAsm(...); prog.addNxpAsm(...);
  *     auto &proc = sys.load(prog);                    // link + load + NX
@@ -18,8 +18,9 @@
  *     // Concurrent: each submit() starts a thread's call and returns a
  *     // future; the calls overlap across the host core and the NxPs.
  *     flick::Task &t2 = sys.spawnThread(proc);
- *     auto f1 = sys.submit(proc, "work", {0});
- *     auto f2 = sys.submit(proc, t2, "work", {1});
+ *     auto f1 = sys.submit(proc, flick::CallSpec("work").withArgs({0}));
+ *     auto f2 = sys.submit(proc, flick::CallSpec("work")
+ *                                    .withArgs({1}).onThread(t2));
  *     std::uint64_t a = f1.wait(), b = f2.wait();
  *     sys.exitThread(t2);
  *
@@ -63,7 +64,7 @@ namespace flick
  * the constructor call:
  *
  *     FlickSystem sys(SystemConfig{}
- *                         .withNxpDevices(2)
+ *                         .withDevices(2)
  *                         .withNxpStackBytes(128 * 1024));
  */
 struct SystemConfig
@@ -112,13 +113,90 @@ struct SystemConfig
     PlacementConfig placementConfig;
     /** A caller-supplied policy instance; overrides `placement`. */
     std::shared_ptr<PlacementPolicy> placementPolicy;
+    /**
+     * Per-device core frequency overrides in Hz, indexed by device
+     * (0 / absent = timing.nxpFreqHz). A heterogeneous fabric — a fast
+     * near-NIC NxP next to slower near-storage ones — is configured by
+     * overriding individual devices.
+     */
+    std::vector<std::uint64_t> deviceFreqHz;
+    /**
+     * Coalesce same-device migration descriptors staged within
+     * timing.dmaBatchWindow into one chained DMA burst and one doorbell
+     * write (DESIGN.md §12). Opt-in: with batching off (the default) the
+     * event stream is tick-for-tick identical to pre-batching builds;
+     * with it on, storm loads trade up to one batch window of added
+     * latency per crossing for far fewer doorbells and DMA setups.
+     */
+    bool batching = false;
+    /**
+     * Admission control: maximum in-flight calls per device (staged +
+     * deferred descriptors + running segment) before new submissions are
+     * shed (0 = unbounded, the default). When every live device is at
+     * the cap, submit() completes the call immediately with
+     * CallStatus::shedLoad instead of queueing unbounded work, and the
+     * load-aware placement policies route around saturated devices.
+     */
+    unsigned admissionCap = 0;
 
-    /** Number of NxP devices in the platform (1 or 2). */
+    /** Number of NxP devices in the platform (any N >= 1). */
     SystemConfig &
-    withNxpDevices(unsigned count)
+    withDevices(unsigned count)
     {
         platform.nxpDeviceCount = count;
         return *this;
+    }
+
+    /** @deprecated Alias of withDevices(), kept for source compat. */
+    SystemConfig &
+    withNxpDevices(unsigned count)
+    {
+        return withDevices(count);
+    }
+
+    /** Override device @p device's core frequency (Hz). */
+    SystemConfig &
+    withDeviceFrequency(unsigned device, std::uint64_t hz)
+    {
+        if (deviceFreqHz.size() <= device)
+            deviceFreqHz.resize(device + 1, 0);
+        deviceFreqHz[device] = hz;
+        return *this;
+    }
+
+    /** Override device @p device's local DRAM size. */
+    SystemConfig &
+    withDeviceDramBytes(unsigned device, std::uint64_t bytes)
+    {
+        if (platform.deviceDramOverride.size() <= device)
+            platform.deviceDramOverride.resize(device + 1, 0);
+        platform.deviceDramOverride[device] = bytes;
+        return *this;
+    }
+
+    /** Enable descriptor batching (see `batching`). */
+    SystemConfig &
+    withBatching(bool on = true)
+    {
+        batching = on;
+        return *this;
+    }
+
+    /** Cap in-flight calls per device; 0 disables (see `admissionCap`). */
+    SystemConfig &
+    withAdmissionControl(unsigned cap)
+    {
+        admissionCap = cap;
+        return *this;
+    }
+
+    /** Effective core frequency of device @p device. */
+    std::uint64_t
+    deviceFrequency(unsigned device) const
+    {
+        if (device < deviceFreqHz.size() && deviceFreqHz[device])
+            return deviceFreqHz[device];
+        return timing.nxpFreqHz;
     }
 
     SystemConfig &
@@ -235,6 +313,87 @@ struct Process
 };
 
 /**
+ * Everything describing one cross-ISA call, built fluently:
+ *
+ *     sys.submit(proc, CallSpec("work").withArgs({seed, rounds}));
+ *     sys.submit(proc, CallSpec("work")
+ *                          .withArgs({1})
+ *                          .onThread(t2)
+ *                          .withDeadline(us(250))
+ *                          .withPlacementHint(3));
+ *
+ * A CallSpec names its target by symbol or — via CallSpec::addr() — by
+ * virtual address, runs on the process main thread unless onThread()
+ * picks another, may carry a per-call deadline overriding
+ * SystemConfig::callDeadline, and may hint the device its first dispatch
+ * should land on (honored when that device holds the text and is not
+ * quarantined; placement policies take over from the second dispatch).
+ */
+struct CallSpec
+{
+    CallSpec() = default;
+    /*implicit*/ CallSpec(std::string sym) : symbol(std::move(sym)) {}
+
+    /** Target a raw virtual address instead of a symbol. */
+    static CallSpec
+    addr(VAddr va)
+    {
+        CallSpec spec;
+        spec.address = va;
+        return spec;
+    }
+
+    /** Arguments, passed in the architectural argument registers. */
+    CallSpec &
+    withArgs(std::vector<std::uint64_t> a)
+    {
+        args = std::move(a);
+        return *this;
+    }
+
+    /** Run on @p thread instead of the process main thread. */
+    CallSpec &
+    onThread(Task &thread)
+    {
+        task = &thread;
+        return *this;
+    }
+
+    /**
+     * Per-call completion deadline, overriding SystemConfig::callDeadline
+     * for this call only. Like the config-wide deadline, a nonzero value
+     * arms the device health heartbeat.
+     */
+    CallSpec &
+    withDeadline(Tick ticks)
+    {
+        deadline = ticks;
+        return *this;
+    }
+
+    /** Prefer @p device for the call's first NX-fault dispatch. */
+    CallSpec &
+    withPlacementHint(unsigned device)
+    {
+        placementHint = static_cast<int>(device);
+        return *this;
+    }
+
+    /** Symbol to call; empty when targeting an address. */
+    std::string symbol;
+    /** Virtual address to call when `symbol` is empty. */
+    VAddr address = 0;
+    /** Argument registers. */
+    std::vector<std::uint64_t> args;
+    /** Thread to run on; nullptr = the process main thread. */
+    Task *task = nullptr;
+    /** Per-call deadline (0 = inherit SystemConfig::callDeadline). */
+    Tick deadline = 0;
+    /** First-dispatch device hint (-1 = none). */
+    int placementHint = -1;
+};
+
+/**
  * The simulated heterogeneous-ISA machine.
  */
 class FlickSystem
@@ -251,20 +410,24 @@ class FlickSystem
     // --- Calls ----------------------------------------------------------
 
     /**
-     * Start @p symbol on @p process's main thread and return a future.
-     * The call makes progress as simulated time advances (wait() on any
-     * future, or advanceTime()); concurrent submissions from different
-     * threads of the process overlap across the cores.
+     * Start the call described by @p spec and return a future. The call
+     * makes progress as simulated time advances (wait() on any future,
+     * or advanceTime()); concurrent submissions from different threads
+     * of the process overlap across the cores. Under admission control
+     * the future may already be done() with CallStatus::shedLoad.
      */
+    CallFuture submit(Process &process, CallSpec spec);
+
+    /** @deprecated Use submit(process, CallSpec(symbol).withArgs(...)). */
     CallFuture submit(Process &process, const std::string &symbol,
                       std::vector<std::uint64_t> args = {});
 
-    /** submit() for a spawned thread of @p process. */
+    /** @deprecated Use submit() with CallSpec::onThread(). */
     CallFuture submit(Process &process, Task &thread,
                       const std::string &symbol,
                       std::vector<std::uint64_t> args = {});
 
-    /** submit() by address. */
+    /** @deprecated Use submit() with CallSpec::addr(). */
     CallFuture submitVa(Process &process, Task &thread, VAddr va,
                         std::vector<std::uint64_t> args = {});
 
@@ -443,11 +606,12 @@ class FlickSystem
     ProgramLoader _loader;
     NativeRegistry _natives;
     RegionHeap _nxpWindowHeap;
-    // Second NxP device (present when platform.nxpDeviceCount > 1).
-    std::unique_ptr<Rv64Core> _nxp2Core;
-    std::unique_ptr<NxpPlatform> _platformCtrl2;
-    std::unique_ptr<DmaEngine> _dma2;
-    std::unique_ptr<RegionHeap> _nxpWindowHeap2;
+    // Devices 1..N-1 of the fabric (device 0 lives in the members above);
+    // index [k-1] is device k.
+    std::vector<std::unique_ptr<Rv64Core>> _extraNxpCores;
+    std::vector<std::unique_ptr<NxpPlatform>> _extraPlatformCtrls;
+    std::vector<std::unique_ptr<DmaEngine>> _extraDmas;
+    std::vector<std::unique_ptr<RegionHeap>> _extraWindowHeaps;
     std::unique_ptr<MigrationEngine> _engine;
     std::shared_ptr<PlacementPolicy> _placement;
     std::vector<std::unique_ptr<Process>> _processes;

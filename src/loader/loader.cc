@@ -104,29 +104,33 @@ ProgramLoader::load(const LinkedImage &image, const LoadOptions &options)
     mapHostRegion(prog.cr3, prog.hostHeapBase, prog.hostHeapBytes,
                   pte::user | pte::writable | pte::noExecute);
 
-    // The NxP DRAM window: the unified view of the device's local memory.
-    // Host PTEs carry BAR0 physical addresses; the prototype maps the
-    // whole 4 GB with 1 GB pages so four NxP TLB entries cover it
+    // The NxP DRAM windows: the unified view of each device's local
+    // memory. Host PTEs carry BAR physical addresses; the prototype maps
+    // the whole 4 GB with 1 GB pages so four NxP TLB entries cover it
     // (Section V).
     if (options.mapNxpWindow) {
         std::uint64_t granule = pageBytes(options.nxpWindowPageSize);
-        if (platform.bar0Base % granule != 0)
-            fatal("BAR0 base %#llx not aligned to %#llx window pages",
-                  (unsigned long long)platform.bar0Base,
-                  (unsigned long long)granule);
-        prog.nxpWindowBase = layout::nxpWindowBase;
-        prog.nxpWindowBytes = platform.nxpDramBytes;
-        _ptm.map(prog.cr3, prog.nxpWindowBase, platform.bar0Base,
-                 prog.nxpWindowBytes, options.nxpWindowPageSize,
-                 pte::user | pte::writable | pte::noExecute);
-        if (platform.nxpDeviceCount > 1) {
-            if (platform.bar2Base % granule != 0)
-                fatal("BAR2 base not aligned to window pages");
-            prog.nxpWindowBase2 = layout::nxpWindowBase2;
-            prog.nxpWindowBytes2 = platform.nxp2DramBytes;
-            _ptm.map(prog.cr3, prog.nxpWindowBase2, platform.bar2Base,
-                     prog.nxpWindowBytes2, options.nxpWindowPageSize,
+        prog.nxpWindows.resize(platform.nxpDeviceCount, 0);
+        prog.nxpWindowSizes.resize(platform.nxpDeviceCount, 0);
+        for (unsigned k = 0; k < platform.nxpDeviceCount; ++k) {
+            if (platform.barBase(k) % granule != 0)
+                fatal("device %u BAR base %#llx not aligned to %#llx "
+                      "window pages",
+                      k, (unsigned long long)platform.barBase(k),
+                      (unsigned long long)granule);
+            VAddr window = layout::nxpWindowBaseFor(k);
+            std::uint64_t bytes = platform.deviceDramBytes(k);
+            prog.nxpWindows[k] = window;
+            prog.nxpWindowSizes[k] = bytes;
+            _ptm.map(prog.cr3, window, platform.barBase(k), bytes,
+                     options.nxpWindowPageSize,
                      pte::user | pte::writable | pte::noExecute);
+        }
+        prog.nxpWindowBase = prog.nxpWindows[0];
+        prog.nxpWindowBytes = prog.nxpWindowSizes[0];
+        if (platform.nxpDeviceCount > 1) {
+            prog.nxpWindowBase2 = prog.nxpWindows[1];
+            prog.nxpWindowBytes2 = prog.nxpWindowSizes[1];
         }
     }
 

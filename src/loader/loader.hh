@@ -16,6 +16,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "loader/linker.hh"
 #include "mem/mem_system.hh"
@@ -36,8 +37,16 @@ constexpr VAddr nativeGateHost = 0x30000000ull;
 constexpr VAddr nativeGateNxp = 0x30001000ull;
 /** Where the NxP local DRAM window starts in every address space. */
 constexpr VAddr nxpWindowBase = 0x4000000000ull;
+/** Spacing between consecutive devices' DRAM windows. */
+constexpr VAddr nxpWindowStride = 0x2000000000ull;
+/** Window of NxP device @p device's local DRAM. */
+constexpr VAddr
+nxpWindowBaseFor(unsigned device)
+{
+    return nxpWindowBase + device * nxpWindowStride;
+}
 /** Window of the second NxP device's local DRAM (if present). */
-constexpr VAddr nxpWindowBase2 = 0x6000000000ull;
+constexpr VAddr nxpWindowBase2 = nxpWindowBaseFor(1);
 /** Top of the host stack (grows down). */
 constexpr VAddr hostStackTop = 0x7ffffff00000ull;
 } // namespace layout
@@ -76,6 +85,9 @@ struct LoadedProgram
     std::uint64_t nxpWindowBytes = 0;
     VAddr nxpWindowBase2 = 0;
     std::uint64_t nxpWindowBytes2 = 0;
+    /** Per-device DRAM window bases/sizes (index = device). */
+    std::vector<VAddr> nxpWindows;
+    std::vector<std::uint64_t> nxpWindowSizes;
 
     /** Address of @p name; fatal() if absent. */
     VAddr symbol(const std::string &name) const;

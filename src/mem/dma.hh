@@ -44,7 +44,8 @@ class DmaEngine
     DmaEngine(EventQueue &events, MemSystem &mem, IrqController *irq,
               unsigned nxp_device = 0)
         : _events(events), _mem(mem), _irq(irq), _device(nxp_device),
-          _stats(nxp_device == 0 ? "dma" : "dma2")
+          _stats(nxp_device == 0 ? "dma"
+                                 : "dma" + std::to_string(nxp_device + 1))
     {}
 
     /**
@@ -53,9 +54,14 @@ class DmaEngine
      * @param host_pa Source, host physical address space.
      * @param nxp_local_pa Destination, NxP-local physical address space.
      * @param done Runs at completion (after data is visible).
+     * @param chained Number of chained descriptor-table elements this
+     *        transfer coalesces: with > 1 the burst is charged
+     *        dmaBurstTransfer() (one setup amortized over the chain)
+     *        instead of one dmaTransfer() per element. 1 is a plain
+     *        transfer, cost-identical to the unbatched engine.
      */
     void copyHostToNxp(Addr host_pa, Addr nxp_local_pa, std::uint64_t len,
-                       Callback done = nullptr);
+                       Callback done = nullptr, unsigned chained = 1);
 
     /**
      * Copy @p len bytes from NxP local DRAM to host DRAM.
@@ -99,6 +105,7 @@ class DmaEngine
         std::uint64_t len;
         int irq_vector;
         Callback done;
+        unsigned chained = 1; //!< Chained elements in this burst.
     };
 
     void enqueue(Transfer t);

@@ -5,6 +5,21 @@
 namespace flick
 {
 
+namespace
+{
+
+/**
+ * Stats name of an NxP device: device 0 is "nxp" and device k is
+ * "nxp<k+1>", matching the historical two-device keys ("nxp", "nxp2").
+ */
+std::string
+devStatName(unsigned device)
+{
+    return device == 0 ? "nxp" : "nxp" + std::to_string(device + 1);
+}
+
+} // namespace
+
 const char *
 requesterName(Requester r)
 {
@@ -16,7 +31,10 @@ requesterName(Requester r)
       case Requester::nxp2Mmu: return "nxp2Mmu";
       case Requester::dma: return "dma";
       case Requester::debug: return "debug";
+      default: break;
     }
+    if (isNxpRequester(r))
+        return static_cast<unsigned>(r) % 2 == 0 ? "nxpCore" : "nxpMmu";
     return "?";
 }
 
@@ -25,23 +43,41 @@ MemSystem::MemSystem(const TimingConfig &timing,
     : _timing(timing),
       _platform(platform),
       _hostDram(platform.hostDramBytes),
-      _nxpDram(platform.nxpDramBytes),
       _stats("mem")
 {
-    if (platform.nxpDeviceCount > 2)
-        fatal("at most two NxP devices are supported");
-    if (platform.nxpDeviceCount > 1)
-        _nxp2Dram = std::make_unique<SparseMemory>(platform.nxp2DramBytes);
+    if (platform.nxpDeviceCount < 1)
+        fatal("platform needs at least one NxP device");
+    for (unsigned k = 0; k < platform.nxpDeviceCount; ++k) {
+        std::uint64_t window = platform.deviceDramBytes(k) +
+                               platform.nxpCtrlBytes;
+        Addr end = platform.barBase(k) + window;
+        Addr next = k + 1 < platform.nxpDeviceCount ? platform.barBase(k + 1)
+                                                    : ~Addr(0);
+        if (end > next)
+            fatal("NxP device %u BAR window [%#llx, %#llx) overlaps device "
+                  "%u at %#llx; raise barStride or shrink the device DRAM",
+                  k, (unsigned long long)platform.barBase(k),
+                  (unsigned long long)end, k + 1, (unsigned long long)next);
+        _nxpDrams.push_back(
+            std::make_unique<SparseMemory>(platform.deviceDramBytes(k)));
+    }
+    _ctrl.resize(platform.nxpDeviceCount, nullptr);
+}
+
+void
+MemSystem::mapControlDevice(MmioDevice *dev, unsigned nxp_device)
+{
+    if (nxp_device >= _ctrl.size())
+        panic("no NxP device %u", nxp_device);
+    _ctrl[nxp_device] = dev;
 }
 
 SparseMemory &
 MemSystem::nxpDram(unsigned device)
 {
-    if (device == 0)
-        return _nxpDram;
-    if (device == 1 && _nxp2Dram)
-        return *_nxp2Dram;
-    panic("no NxP device %u", device);
+    if (device >= _nxpDrams.size())
+        panic("no NxP device %u", device);
+    return *_nxpDrams[device];
 }
 
 MemSystem::Route
@@ -50,39 +86,26 @@ MemSystem::resolve(Requester r, Addr pa, std::uint64_t len) const
     const PlatformConfig &p = _platform;
     bool host_space = (r == Requester::hostCore || r == Requester::dma ||
                        r == Requester::debug);
-    bool second_device = (r == Requester::nxp2Core ||
-                          r == Requester::nxp2Mmu);
 
     if (host_space) {
+        unsigned dev;
         if (p.inHostDram(pa)) {
-            return {Route::Kind::hostDram, pa,
+            return {Route::Kind::hostDram, 0, pa,
                     r == Requester::hostCore ? _timing.hostToHostDram
                                              : Tick(0),
                     "host_to_host_dram"};
         }
-        if (p.inBar0(pa)) {
-            return {Route::Kind::nxpDram, pa - p.bar0Base,
+        if (p.inBarDram(pa, dev)) {
+            return {Route::Kind::nxpDram, dev, pa - p.barBase(dev),
                     r == Requester::hostCore ? _timing.hostToNxpDram
                                              : Tick(0),
-                    "host_to_nxp_dram"};
+                    "host_to_" + devStatName(dev) + "_dram"};
         }
-        if (p.inBar1(pa)) {
-            return {Route::Kind::ctrlDev, pa - p.bar1Base(),
+        if (p.inBarCtrl(pa, dev)) {
+            return {Route::Kind::ctrlDev, dev, pa - p.ctrlBase(dev),
                     r == Requester::hostCore ? _timing.hostToNxpMmio
                                              : Tick(0),
-                    "host_to_nxp_mmio"};
-        }
-        if (p.inBar2(pa)) {
-            return {Route::Kind::nxp2Dram, pa - p.bar2Base,
-                    r == Requester::hostCore ? _timing.hostToNxpDram
-                                             : Tick(0),
-                    "host_to_nxp2_dram"};
-        }
-        if (p.inBar3(pa)) {
-            return {Route::Kind::ctrl2Dev, pa - p.bar3Base(),
-                    r == Requester::hostCore ? _timing.hostToNxpMmio
-                                             : Tick(0),
-                    "host_to_nxp2_mmio"};
+                    "host_to_" + devStatName(dev) + "_mmio"};
         }
         panic("%s access to unmapped host PA %#llx (len %llu)",
               requesterName(r), (unsigned long long)pa,
@@ -91,39 +114,41 @@ MemSystem::resolve(Requester r, Addr pa, std::uint64_t len) const
 
     // NxP-local address space (each device sees its own local DRAM and
     // control window at the same device-local addresses).
-    if (p.inNxpLocalDram(pa)) {
-        if (second_device) {
-            return {Route::Kind::nxp2Dram, pa - p.nxpDramLocalBase,
-                    _timing.nxpToNxpDram, "nxp2_to_nxp2_dram"};
-        }
-        return {Route::Kind::nxpDram, pa - p.nxpDramLocalBase,
-                _timing.nxpToNxpDram, "nxp_to_nxp_dram"};
+    unsigned from = nxpRequesterDevice(r);
+    if (from >= _nxpDrams.size())
+        panic("%s access from nonexistent NxP device %u", requesterName(r),
+              from);
+    if (pa >= p.nxpDramLocalBase &&
+        pa < p.nxpDramLocalBase + p.deviceDramBytes(from)) {
+        return {Route::Kind::nxpDram, from, pa - p.nxpDramLocalBase,
+                _timing.nxpToNxpDram,
+                devStatName(from) + "_to_" + devStatName(from) + "_dram"};
     }
     if (p.inNxpCtrl(pa)) {
-        if (second_device) {
-            return {Route::Kind::ctrl2Dev, pa - p.nxpCtrlLocalBase,
-                    _timing.nxpToLocalMmio, "nxp2_to_local_mmio"};
-        }
-        return {Route::Kind::ctrlDev, pa - p.nxpCtrlLocalBase,
-                _timing.nxpToLocalMmio, "nxp_to_local_mmio"};
+        return {Route::Kind::ctrlDev, from, pa - p.nxpCtrlLocalBase,
+                _timing.nxpToLocalMmio,
+                devStatName(from) + "_to_local_mmio"};
     }
     if (p.inHostDram(pa)) {
-        return {Route::Kind::hostDram, pa, _timing.nxpToHostDram,
+        return {Route::Kind::hostDram, 0, pa, _timing.nxpToHostDram,
                 "nxp_to_host_dram"};
     }
-    if (p.inBar2(pa) && !second_device) {
-        // Peer-to-peer: device 1 reaching device 2's BAR through the
-        // PCIe switch (two link crossings).
-        return {Route::Kind::nxp2Dram, pa - p.bar2Base,
-                _timing.nxpToHostDram + _timing.hostToNxpDram,
-                "nxp_peer_to_nxp2_dram"};
+    unsigned peer;
+    if (p.inBarDram(pa, peer)) {
+        if (peer != from) {
+            // Peer-to-peer: one device reaching another device's BAR
+            // through the PCIe switch (two link crossings).
+            return {Route::Kind::nxpDram, peer, pa - p.barBase(peer),
+                    _timing.nxpToHostDram + _timing.hostToNxpDram,
+                    devStatName(from) + "_peer_to_" + devStatName(peer) +
+                        "_dram"};
+        }
+        panic("%s issued un-remapped BAR address %#llx: the NxP TLB must "
+              "remap BAR-range physical addresses to local addresses "
+              "before the request leaves the core",
+              requesterName(r), (unsigned long long)pa);
     }
-    if (p.inBar0(pa) && second_device) {
-        return {Route::Kind::nxpDram, pa - p.bar0Base,
-                _timing.nxpToHostDram + _timing.hostToNxpDram,
-                "nxp2_peer_to_nxp_dram"};
-    }
-    if (p.inBar0(pa) || p.inBar1(pa)) {
+    if (p.inBarCtrl(pa, peer)) {
         panic("%s issued un-remapped BAR address %#llx: the NxP TLB must "
               "remap BAR-range physical addresses to local addresses "
               "before the request leaves the core",
@@ -139,21 +164,16 @@ MemSystem::read(Requester r, Addr pa, void *buf, std::uint64_t len)
 {
     Route route = resolve(r, pa, len);
     if (r != Requester::debug)
-        _stats.inc(std::string(route.stat) + "_reads");
+        _stats.inc(route.stat + "_reads");
     switch (route.kind) {
       case Route::Kind::hostDram:
         _hostDram.read(route.offset, buf, len);
         break;
       case Route::Kind::nxpDram:
-        _nxpDram.read(route.offset, buf, len);
+        nxpDram(route.device).read(route.offset, buf, len);
         break;
-      case Route::Kind::nxp2Dram:
-        nxpDram(1).read(route.offset, buf, len);
-        break;
-      case Route::Kind::ctrlDev:
-      case Route::Kind::ctrl2Dev: {
-        MmioDevice *dev = route.kind == Route::Kind::ctrlDev ? _ctrlDev
-                                                             : _ctrl2Dev;
+      case Route::Kind::ctrlDev: {
+        MmioDevice *dev = _ctrl[route.device];
         if (!dev)
             panic("control window read with no device mapped");
         if (len > 8)
@@ -175,21 +195,16 @@ MemSystem::write(Requester r, Addr pa, const void *buf, std::uint64_t len)
 {
     Route route = resolve(r, pa, len);
     if (r != Requester::debug)
-        _stats.inc(std::string(route.stat) + "_writes");
+        _stats.inc(route.stat + "_writes");
     switch (route.kind) {
       case Route::Kind::hostDram:
         _hostDram.write(route.offset, buf, len);
         break;
       case Route::Kind::nxpDram:
-        _nxpDram.write(route.offset, buf, len);
+        nxpDram(route.device).write(route.offset, buf, len);
         break;
-      case Route::Kind::nxp2Dram:
-        nxpDram(1).write(route.offset, buf, len);
-        break;
-      case Route::Kind::ctrlDev:
-      case Route::Kind::ctrl2Dev: {
-        MmioDevice *dev = route.kind == Route::Kind::ctrlDev ? _ctrlDev
-                                                             : _ctrl2Dev;
+      case Route::Kind::ctrlDev: {
+        MmioDevice *dev = _ctrl[route.device];
         if (!dev)
             panic("control window write with no device mapped");
         if (len > 8)

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mem/device.hh"
 #include "mem/platform.hh"
@@ -32,17 +33,56 @@
 namespace flick
 {
 
-/** Who is issuing a memory access; selects address space and latency. */
-enum class Requester
+/**
+ * Who is issuing a memory access; selects address space and latency.
+ *
+ * NxP-side requesters are device-indexed: device k's core is encoded as
+ * nxpCore + 2k and its programmable MMU as nxpMmu + 2k, so an N-device
+ * fabric needs no new enumerators. Use nxpCoreRequester()/
+ * nxpMmuRequester() to build them and nxpRequesterDevice() to decode.
+ */
+enum class Requester : unsigned
 {
-    hostCore, //!< Host CPU (user or kernel), host PA space.
-    nxpCore,  //!< NxP core data/instruction access, NxP-local PA space.
-    nxpMmu,   //!< NxP programmable MMU page-table walks, NxP-local space.
-    nxp2Core, //!< Second NxP device's core, its own local PA space.
-    nxp2Mmu,  //!< Second NxP device's programmable MMU.
-    dma,      //!< DMA engine; latency accounted by the engine itself.
-    debug,    //!< Harness/loader back door; zero latency, host PA space.
+    hostCore = 0,    //!< Host CPU (user or kernel), host PA space.
+    dma = 1,         //!< DMA engine; latency accounted by the engine itself.
+    debug = 2,       //!< Harness/loader back door; zero latency, host PAs.
+    nxpCore = 0x10,  //!< NxP device 0 core, NxP-local PA space.
+    nxpMmu = 0x11,   //!< NxP device 0 programmable MMU walks, local space.
+    nxp2Core = 0x12, //!< NxP device 1 core (= nxpCoreRequester(1)).
+    nxp2Mmu = 0x13,  //!< NxP device 1 programmable MMU.
 };
+
+/** Requester for NxP device @p device's core. */
+inline Requester
+nxpCoreRequester(unsigned device)
+{
+    return static_cast<Requester>(
+        static_cast<unsigned>(Requester::nxpCore) + 2 * device);
+}
+
+/** Requester for NxP device @p device's programmable MMU. */
+inline Requester
+nxpMmuRequester(unsigned device)
+{
+    return static_cast<Requester>(
+        static_cast<unsigned>(Requester::nxpMmu) + 2 * device);
+}
+
+/** True if @p r is an NxP-side requester (any device, core or MMU). */
+inline bool
+isNxpRequester(Requester r)
+{
+    return static_cast<unsigned>(r) >=
+           static_cast<unsigned>(Requester::nxpCore);
+}
+
+/** Device index of an NxP-side requester. */
+inline unsigned
+nxpRequesterDevice(Requester r)
+{
+    return (static_cast<unsigned>(r) -
+            static_cast<unsigned>(Requester::nxpCore)) / 2;
+}
 
 /** Name of a requester, for diagnostics. */
 const char *requesterName(Requester r);
@@ -65,11 +105,7 @@ class MemSystem
      * that device's core and at BAR1/BAR3 from the host. The pointer is
      * not owned.
      */
-    void
-    mapControlDevice(MmioDevice *dev, unsigned nxp_device = 0)
-    {
-        (nxp_device == 0 ? _ctrlDev : _ctrl2Dev) = dev;
-    }
+    void mapControlDevice(MmioDevice *dev, unsigned nxp_device = 0);
 
     /**
      * Perform a timed read.
@@ -98,11 +134,11 @@ class MemSystem
     /** Resolution of one physical access. */
     struct Route
     {
-        enum class Kind { hostDram, nxpDram, nxp2Dram, ctrlDev,
-                          ctrl2Dev } kind;
-        Addr offset;  //!< Offset within the target store/window.
-        Tick latency; //!< Charge for this access.
-        const char *stat; //!< Stats key.
+        enum class Kind { hostDram, nxpDram, ctrlDev } kind;
+        unsigned device; //!< NxP device index for nxpDram/ctrlDev kinds.
+        Addr offset;     //!< Offset within the target store/window.
+        Tick latency;    //!< Charge for this access.
+        std::string stat; //!< Stats key.
     };
 
     Route resolve(Requester r, Addr pa, std::uint64_t len) const;
@@ -110,10 +146,8 @@ class MemSystem
     const TimingConfig &_timing;
     PlatformConfig _platform;
     SparseMemory _hostDram;
-    SparseMemory _nxpDram;
-    std::unique_ptr<SparseMemory> _nxp2Dram;
-    MmioDevice *_ctrlDev = nullptr;
-    MmioDevice *_ctrl2Dev = nullptr;
+    std::vector<std::unique_ptr<SparseMemory>> _nxpDrams;
+    std::vector<MmioDevice *> _ctrl;
     StatGroup _stats;
 };
 

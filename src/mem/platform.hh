@@ -13,6 +13,7 @@
 #define FLICK_MEM_PLATFORM_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "mem/sparse_memory.hh"
 
@@ -45,31 +46,100 @@ struct PlatformConfig
     std::uint64_t nxpCtrlBytes = 4096;
 
     /**
-     * Number of NxP devices in the system (1 or 2). The second device —
-     * think near-NIC processor next to the near-storage one — has the
-     * same device-local layout and is exposed to the host at bar2Base.
+     * Number of NxP devices in the system. Every device — think a fabric
+     * of near-NIC and near-storage processors — has the same device-local
+     * layout; device 0 is exposed to the host at bar0Base and device k >= 1
+     * at bar2Base + (k-1) * barStride.
      */
     unsigned nxpDeviceCount = 1;
-    /** Second device's local DRAM size. */
+    /** Local DRAM size of devices beyond the first. */
     std::uint64_t nxp2DramBytes = 4ull << 30;
     /** Host-side physical base of the second device's DRAM window. */
     Addr bar2Base = 0x200000000ull;
+    /** Host-side BAR spacing between consecutive devices beyond the first. */
+    std::uint64_t barStride = 0x200000000ull;
+    /**
+     * Per-device local DRAM size overrides (0 / absent = default). Indexed
+     * by device; device 0 defaults to nxpDramBytes, later ones to
+     * nxp2DramBytes.
+     */
+    std::vector<std::uint64_t> deviceDramOverride;
 
-    /** Host-side physical base of BAR1 (the control window). */
-    Addr bar1Base() const { return bar0Base + nxpDramBytes; }
+    /** Local DRAM size of device @p device. */
+    std::uint64_t
+    deviceDramBytes(unsigned device) const
+    {
+        if (device < deviceDramOverride.size() && deviceDramOverride[device])
+            return deviceDramOverride[device];
+        return device == 0 ? nxpDramBytes : nxp2DramBytes;
+    }
 
-    /** Host-side physical base of the second device's control window. */
-    Addr bar3Base() const { return bar2Base + nxp2DramBytes; }
+    /** Host-side physical base of device @p device's DRAM window. */
+    Addr
+    barBase(unsigned device) const
+    {
+        return device == 0 ? bar0Base : bar2Base + (device - 1) * barStride;
+    }
 
-    /** Remap offset for the second device's TLBs. */
-    Addr barRemapOffset2() const { return bar2Base - nxpDramLocalBase; }
+    /** Host-side physical base of device @p device's control window. */
+    Addr ctrlBase(unsigned device) const
+    {
+        return barBase(device) + deviceDramBytes(device);
+    }
 
     /**
-     * Offset the NxP TLB subtracts from BAR0-range physical addresses to
-     * form local addresses (written into the TLB control register by the
-     * host driver, per Section IV-A).
+     * Offset device @p device's TLB subtracts from its BAR-range physical
+     * addresses to form local addresses (written into the TLB control
+     * register by the host driver, per Section IV-A).
      */
-    Addr barRemapOffset() const { return bar0Base - nxpDramLocalBase; }
+    Addr barRemapOffsetFor(unsigned device) const
+    {
+        return barBase(device) - nxpDramLocalBase;
+    }
+
+    /** Host-side physical base of BAR1 (device 0's control window). */
+    Addr bar1Base() const { return ctrlBase(0); }
+
+    /** Host-side physical base of the second device's control window. */
+    Addr bar3Base() const { return ctrlBase(1); }
+
+    /** Remap offset for the second device's TLBs. */
+    Addr barRemapOffset2() const { return barRemapOffsetFor(1); }
+
+    /** Remap offset for device 0's TLBs (Section IV-A's worked example). */
+    Addr barRemapOffset() const { return barRemapOffsetFor(0); }
+
+    /**
+     * Find the device whose host-side DRAM window contains @p pa.
+     * @return true and sets @p device on a hit.
+     */
+    bool
+    inBarDram(Addr pa, unsigned &device) const
+    {
+        for (unsigned k = 0; k < nxpDeviceCount; ++k) {
+            if (pa >= barBase(k) && pa < barBase(k) + deviceDramBytes(k)) {
+                device = k;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Find the device whose host-side control window contains @p pa.
+     * @return true and sets @p device on a hit.
+     */
+    bool
+    inBarCtrl(Addr pa, unsigned &device) const
+    {
+        for (unsigned k = 0; k < nxpDeviceCount; ++k) {
+            if (pa >= ctrlBase(k) && pa < ctrlBase(k) + nxpCtrlBytes) {
+                device = k;
+                return true;
+            }
+        }
+        return false;
+    }
 
     /** True if @p pa lies in host DRAM. */
     bool
@@ -82,7 +152,7 @@ struct PlatformConfig
     bool
     inBar0(Addr pa) const
     {
-        return pa >= bar0Base && pa < bar0Base + nxpDramBytes;
+        return pa >= barBase(0) && pa < barBase(0) + deviceDramBytes(0);
     }
 
     /** True if @p pa lies in the host-side BAR1 window. */
@@ -96,8 +166,8 @@ struct PlatformConfig
     bool
     inBar2(Addr pa) const
     {
-        return nxpDeviceCount > 1 && pa >= bar2Base &&
-               pa < bar2Base + nxp2DramBytes;
+        return nxpDeviceCount > 1 && pa >= barBase(1) &&
+               pa < barBase(1) + deviceDramBytes(1);
     }
 
     /** True if @p pa lies in the second device's control window. */

@@ -13,7 +13,6 @@
 #ifndef FLICK_OS_TASK_HH
 #define FLICK_OS_TASK_HH
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +20,37 @@
 
 namespace flick
 {
+
+/**
+ * Per-device NxP stack tops of one thread, growing on demand: indexing a
+ * device the thread never migrated to reads as 0 (the "no stack yet"
+ * sentinel of Listing 1) without pre-sizing for a device count.
+ */
+class NxpStackTops
+{
+  public:
+    /** Writable slot for @p device; grows the table as needed. */
+    VAddr &
+    operator[](unsigned device)
+    {
+        if (device >= _tops.size())
+            _tops.resize(device + 1, 0);
+        return _tops[device];
+    }
+
+    /** Read @p device's stack top; 0 if never allocated. */
+    VAddr
+    operator[](unsigned device) const
+    {
+        return device < _tops.size() ? _tops[device] : 0;
+    }
+
+    /** Number of device slots ever touched. */
+    unsigned size() const { return static_cast<unsigned>(_tops.size()); }
+
+  private:
+    std::vector<VAddr> _tops;
+};
 
 /** Scheduling state of a task. */
 enum class TaskState
@@ -51,14 +81,11 @@ struct Task
     Addr cr3 = 0;
     TaskState state = TaskState::created;
 
-    /** Maximum NxP devices a thread can hold stacks on. */
-    static constexpr unsigned maxNxpDevices = 2;
-
     /**
      * Top of this thread's NxP-local stack on each device; 0 until the
      * first migration there allocates it (Listing 1 lines 3-4).
      */
-    std::array<VAddr, maxNxpDevices> nxpStackTop{};
+    NxpStackTops nxpStackTop;
     std::uint64_t nxpStackBytes = 0;
 
     /** Faulting address saved by the modified page fault handler. */

@@ -1,5 +1,7 @@
 #include "workloads/placement_mix.hh"
 
+#include <string>
+
 namespace flick::workloads
 {
 
@@ -69,47 +71,45 @@ mn_done:
     ret
 )";
 
-const char *nxpMixDev1 = R"(
-# --- device-1 twins (identical RV64 text, assembled for NxP 1) -------
+// The xorshift64 loop body shared by mix_hot/mix_cold and every twin.
+// @p sym is the function symbol, @p lbl the per-twin label prefix
+// (labels are global across assembly units).
+std::string
+xorshiftFn(const std::string &sym, const std::string &lbl)
+{
+    return sym + ":\n"
+           "    mv t0, a0\n"
+           "    mv t1, a1\n" +
+           lbl + "_loop:\n"
+           "    beqz t1, " + lbl + "_done\n"
+           "    slli t2, t0, 13\n"
+           "    xor t0, t0, t2\n"
+           "    srli t2, t0, 7\n"
+           "    xor t0, t0, t2\n"
+           "    slli t2, t0, 17\n"
+           "    xor t0, t0, t2\n"
+           "    addi t1, t1, -1\n"
+           "    j " + lbl + "_loop\n" +
+           lbl + "_done:\n"
+           "    mv a0, t0\n"
+           "    ret\n";
+}
 
-mix_hot__dev1:
-    mv t0, a0
-    mv t1, a1
-mh1_loop:
-    beqz t1, mh1_done
-    slli t2, t0, 13
-    xor t0, t0, t2
-    srli t2, t0, 7
-    xor t0, t0, t2
-    slli t2, t0, 17
-    xor t0, t0, t2
-    addi t1, t1, -1
-    j mh1_loop
-mh1_done:
-    mv a0, t0
-    ret
-
-mix_cold__dev1:
-    mv t0, a0
-    mv t1, a1
-mc1_loop:
-    beqz t1, mc1_done
-    slli t2, t0, 13
-    xor t0, t0, t2
-    srli t2, t0, 7
-    xor t0, t0, t2
-    slli t2, t0, 17
-    xor t0, t0, t2
-    addi t1, t1, -1
-    j mc1_loop
-mc1_done:
-    mv a0, t0
-    ret
-
-mix_tiny__dev1:
-    add a0, a0, a1
-    ret
-)";
+// Device-k twins of mix_hot/mix_cold/mix_tiny (identical RV64 text,
+// assembled for NxP k). mix_near has no twin: its data is device-0
+// local by construction.
+std::string
+nxpMixTwin(unsigned k)
+{
+    std::string n = std::to_string(k);
+    return "\n# --- device-" + n + " twins (identical RV64 text, "
+           "assembled for NxP " + n + ") -------\n\n" +
+           xorshiftFn("mix_hot__dev" + n, "mh" + n) + "\n" +
+           xorshiftFn("mix_cold__dev" + n, "mc" + n) + "\n"
+           "mix_tiny__dev" + n + ":\n"
+           "    add a0, a0, a1\n"
+           "    ret\n";
+}
 
 const char *hostMixTwins = R"(
 # --- host-ISA twins (identical values, HX64) -------------------------
@@ -181,8 +181,8 @@ void
 addPlacementMix(Program &program, unsigned devices)
 {
     program.addNxpAsm(nxpMixDev0, 0);
-    if (devices >= 2)
-        program.addNxpAsm(nxpMixDev1, 1);
+    for (unsigned k = 1; k < devices; ++k)
+        program.addNxpAsm(nxpMixTwin(k), k);
     program.addHostAsm(hostMixTwins);
 }
 

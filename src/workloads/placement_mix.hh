@@ -7,7 +7,8 @@
  * tests and the two_devices example:
  *
  *   - mix_hot(seed, rounds)  — register-only xorshift64 loop, homed on
- *     device 0 with a "__dev1" twin: the balancing target.
+ *     device 0 with a "__dev<k>" twin per extra device: the balancing
+ *     target.
  *   - mix_cold(seed, rounds) — same kernel, separate symbol, called
  *     rarely with a large rounds count: the long-occupancy call that
  *     makes static single-device placement queue up.
@@ -15,8 +16,8 @@
  *     profile-guided host-steering target.
  *   - mix_near(ptr, words)   — sums a device-0-local buffer: memory
  *     bound near its data, so crossing *does* pay and the cost model
- *     must learn to keep it on the device (no "__dev1" twin — the data
- *     is device-local).
+ *     must learn to keep it on the device (no twins — the data is
+ *     device-local).
  *
  * Every function also has a "__host" twin computing the identical
  * value, so results stay correct wherever a call lands.
@@ -34,8 +35,8 @@ namespace flick::workloads
 
 /**
  * Add the mixed workload to @p program. @p devices is the platform's
- * NxP count: with >= 2 the "__dev1" twins are emitted so placement can
- * spread calls across both devices.
+ * NxP count: a "__dev<k>" twin set is emitted for every device k >= 1
+ * so placement can spread calls across the whole fabric.
  */
 void addPlacementMix(Program &program, unsigned devices = 2);
 

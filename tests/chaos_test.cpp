@@ -152,10 +152,13 @@ runWorkload(Workload w, SystemConfig config)
         Task &t1 = sys.spawnThread(proc);
         Task &t2 = sys.spawnThread(proc);
         std::vector<CallFuture> futures;
-        futures.push_back(sys.submit(proc, "host_calls_nxp", {4}));
-        futures.push_back(sys.submit(proc, t1, "host_fact_nxp", {5}));
-        futures.push_back(sys.submit(proc, t2, "nxp_sum6",
-                                     {6, 5, 4, 3, 2, 1}));
+        futures.push_back(
+            sys.submit(proc, CallSpec("host_calls_nxp").withArgs({4})));
+        futures.push_back(sys.submit(
+            proc, CallSpec("host_fact_nxp").withArgs({5}).onThread(t1)));
+        futures.push_back(sys.submit(
+            proc, CallSpec("nxp_sum6").withArgs({6, 5, 4, 3, 2, 1})
+                      .onThread(t2)));
         for (CallFuture &f : futures)
             r.values.push_back(f.wait());
         sys.exitThread(t1);

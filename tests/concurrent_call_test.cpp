@@ -44,7 +44,7 @@ class ConcurrentCallTest : public ::testing::Test
     boot(unsigned devices = 1)
     {
         sys = std::make_unique<FlickSystem>(
-            SystemConfig{}.withNxpDevices(devices));
+            SystemConfig{}.withDevices(devices));
         Program prog;
         workloads::addMicrobench(prog);
         if (devices > 1)

@@ -56,7 +56,7 @@ TEST(CallFutureLifecycle, DestroyingUnwaitedFutureIsHarmless)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
     {
-        CallFuture f = sys.submit(proc, "nxp_add", {1, 2});
+        CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
         (void)f;
         // f destructs here with the call still in flight.
     }
@@ -73,7 +73,8 @@ TEST(CallFutureLifecycle, DoubleWaitReturnsTheSameValue)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    CallFuture f = sys.submit(proc, "nxp_add", {7, 35});
+    CallFuture f =
+        sys.submit(proc, CallSpec("nxp_add").withArgs({7, 35}));
     EXPECT_EQ(f.wait(), 42u);
     EXPECT_EQ(f.status(), CallStatus::ok);
     EXPECT_EQ(f.wait(), 42u); // second wait returns immediately
@@ -90,7 +91,7 @@ TEST(CallFutureLifecycleDeath, WaitOnMovedFromFuturePanics)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    CallFuture f = sys.submit(proc, "nxp_add", {1, 1});
+    CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 1}));
     CallFuture g = std::move(f);
     EXPECT_FALSE(f.valid());
     EXPECT_DEATH(f.wait(), "invalid CallFuture");
@@ -104,7 +105,8 @@ TEST(CallFutureLifecycle, WaitForGivesUpAndCanResume)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
     // A long pure-NxP loop: not done within 1us of simulated time.
-    CallFuture f = sys.submit(proc, "nxp_noop_loop", {200000});
+    CallFuture f =
+        sys.submit(proc, CallSpec("nxp_noop_loop").withArgs({200000}));
     EXPECT_FALSE(f.waitFor(us(1)));
     EXPECT_FALSE(f.done());
     EXPECT_EQ(f.status(), CallStatus::pending);
@@ -120,7 +122,8 @@ TEST(Cancellation, CancelMidFlightCompletesWithCancelled)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    CallFuture f = sys.submit(proc, "nxp_noop_loop", {200000});
+    CallFuture f =
+        sys.submit(proc, CallSpec("nxp_noop_loop").withArgs({200000}));
     ASSERT_FALSE(f.waitFor(us(1))); // genuinely in flight on the NxP
     EXPECT_TRUE(f.cancel());
     EXPECT_TRUE(f.done());
@@ -141,7 +144,7 @@ TEST(Cancellation, CancelBeforeFirstDispatch)
     Program prog;
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
-    CallFuture f = sys.submit(proc, "nxp_add", {1, 2});
+    CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
     EXPECT_TRUE(f.cancel()); // still queued for the host core
     EXPECT_EQ(f.status(), CallStatus::cancelled);
     sys.advanceTime(us(100));
@@ -158,7 +161,8 @@ TEST(Deadline, LongCallFailsWithDeadlineExceeded)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
     // ~3ms of simulated NxP time: far past the 20us deadline.
-    CallFuture f = sys.submit(proc, "nxp_noop_loop", {200000});
+    CallFuture f =
+        sys.submit(proc, CallSpec("nxp_noop_loop").withArgs({200000}));
     f.wait();
     EXPECT_EQ(f.status(), CallStatus::deadlineExceeded);
     const StatGroup &stats = sys.debug().engine().stats();
@@ -168,7 +172,7 @@ TEST(Deadline, LongCallFailsWithDeadlineExceeded)
     EXPECT_NE(sys.debug().engine().deviceHealth(0),
               DeviceHealth::quarantined);
     sys.advanceTime(us(5000));
-    CallFuture g = sys.submit(proc, "nxp_add", {1, 2});
+    CallFuture g = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
     EXPECT_EQ(g.wait(), 3u);
     EXPECT_EQ(g.status(), CallStatus::ok);
 }
@@ -193,7 +197,7 @@ TEST(DeviceFault, DeadDeviceIsQuarantinedAndCallFails)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
     sys.debug().engine().killDevice(0);
-    CallFuture f = sys.submit(proc, "nxp_add", {1, 2});
+    CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
     f.wait();
     EXPECT_EQ(f.status(), CallStatus::deviceLost);
     EXPECT_EQ(f.value(), 0u);
@@ -213,7 +217,8 @@ TEST(DeviceFault, SubmissionsToQuarantinedDeviceFailFast)
     workloads::addMicrobench(prog);
     Process &proc = sys.load(prog);
     sys.debug().engine().killDevice(0);
-    CallFuture first = sys.submit(proc, "nxp_add", {1, 2});
+    CallFuture first =
+        sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
     first.wait();
     ASSERT_EQ(first.status(), CallStatus::deviceLost);
     ASSERT_EQ(sys.debug().engine().deviceHealth(0),
@@ -221,7 +226,7 @@ TEST(DeviceFault, SubmissionsToQuarantinedDeviceFailFast)
     // A new call is rejected at the NX fault, without a single
     // heartbeat of waiting.
     Tick before = sys.now();
-    CallFuture f = sys.submit(proc, "nxp_add", {3, 4});
+    CallFuture f = sys.submit(proc, CallSpec("nxp_add").withArgs({3, 4}));
     f.wait();
     EXPECT_EQ(f.status(), CallStatus::deviceLost);
     EXPECT_LT(sys.now() - before, us(60)); // under one heartbeat period
@@ -244,10 +249,13 @@ TEST(DeviceFault, FullRingOnDeadDeviceFailsFastNotForever)
     Task &t1 = sys.spawnThread(proc);
     Task &t2 = sys.spawnThread(proc);
     std::vector<CallFuture> futures;
-    futures.push_back(sys.submit(proc, "nxp_add", {1, 2}));
-    futures.push_back(sys.submit(proc, t1, "nxp_add", {3, 4}));
-    futures.push_back(sys.submit(proc, t2, "nxp_sum6",
-                                 {1, 2, 3, 4, 5, 6}));
+    futures.push_back(
+        sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2})));
+    futures.push_back(sys.submit(
+        proc, CallSpec("nxp_add").withArgs({3, 4}).onThread(t1)));
+    futures.push_back(sys.submit(
+        proc,
+        CallSpec("nxp_sum6").withArgs({1, 2, 3, 4, 5, 6}).onThread(t2)));
     for (CallFuture &f : futures) {
         ASSERT_TRUE(f.waitFor(us(2000))) << "call stuck behind the ring";
         EXPECT_EQ(f.status(), CallStatus::deviceLost);

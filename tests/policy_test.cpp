@@ -35,7 +35,7 @@ namespace
 std::pair<FlickSystem *, Process *>
 makeMixSystem(SystemConfig config)
 {
-    config.withNxpDevices(2);
+    config.withDevices(2);
     auto *sys = new FlickSystem(std::move(config));
     Program prog;
     workloads::addPlacementMix(prog, 2);
@@ -57,8 +57,9 @@ runHotStorm(FlickSystem &sys, Process &proc, unsigned threads,
     for (unsigned i = 0; i < threads; ++i)
         tasks.push_back(&sys.spawnThread(proc));
     for (unsigned i = 0; i < threads; ++i) {
-        futs.push_back(sys.submit(proc, *tasks[i], "mix_hot",
-                                  {i + 1, rounds}));
+        futs.push_back(sys.submit(proc, CallSpec("mix_hot")
+                                            .withArgs({i + 1, rounds})
+                                            .onThread(*tasks[i])));
     }
     for (unsigned i = 0; i < threads; ++i) {
         EXPECT_EQ(futs[i].wait(), workloads::mixHotRef(i + 1, rounds))
@@ -334,7 +335,7 @@ TEST(PlacementNested, CrossIsaRecursionStaysCorrectUnderEveryPolicy)
          {PlacementKind::staticPlacement, PlacementKind::leastLoaded,
           PlacementKind::profileGuided}) {
         FlickSystem sys(
-            SystemConfig{}.withNxpDevices(2).withPlacement(kind));
+            SystemConfig{}.withDevices(2).withPlacement(kind));
         Program prog;
         workloads::addMicrobench(prog);
         Process &proc = sys.load(prog);

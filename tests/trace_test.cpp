@@ -48,8 +48,9 @@ runWorkload(const SystemConfig &config)
     r.values.push_back(sys.call(proc, "nxp_noop"));
     r.values.push_back(sys.call(proc, "nxp_add", {40, 2}));
     r.values.push_back(sys.call(proc, "nxp_calls_host", {2}));
-    auto f1 = sys.submit(proc, "nxp_add", {1, 2});
-    auto f2 = sys.submit(proc, t1, "nxp_add", {3, 4});
+    auto f1 = sys.submit(proc, CallSpec("nxp_add").withArgs({1, 2}));
+    auto f2 = sys.submit(
+        proc, CallSpec("nxp_add").withArgs({3, 4}).onThread(t1));
     r.values.push_back(f1.wait());
     r.values.push_back(f2.wait());
     r.finalTick = sys.now();
