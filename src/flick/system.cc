@@ -13,7 +13,7 @@ namespace
 {
 
 CoreParams
-hostCoreParams(const TimingConfig &t)
+hostCoreParams(const TimingConfig &t, bool decode_cache)
 {
     CoreParams p;
     p.name = "host";
@@ -24,12 +24,13 @@ hostCoreParams(const TimingConfig &t)
     p.walkOverhead = t.hostMmuWalkOverhead;
     p.mmuPolicy.faultOnNxFetch = true;
     p.modelIcache = false;
+    p.decodeCache = decode_cache;
     return p;
 }
 
 CoreParams
 nxpCoreParams(const TimingConfig &t, unsigned device = 0,
-              std::uint64_t freq_hz = 0)
+              std::uint64_t freq_hz = 0, bool decode_cache = true)
 {
     CoreParams p;
     p.name = device == 0 ? "nxp" : "nxp" + std::to_string(device + 1);
@@ -43,6 +44,7 @@ nxpCoreParams(const TimingConfig &t, unsigned device = 0,
     p.modelIcache = true;
     p.icacheLines = t.nxpIcacheLines;
     p.icacheLineBytes = t.nxpIcacheLineBytes;
+    p.decodeCache = decode_cache;
     return p;
 }
 
@@ -62,8 +64,9 @@ FlickSystem::FlickSystem(SystemConfig config)
                     _config.platform.nxpDramBytes -
                     _platformCtrl.reservedLocalEnd()),
       _ptm(_mem, _hostAlloc),
-      _hostCore(hostCoreParams(_config.timing), _mem),
-      _nxpCore(nxpCoreParams(_config.timing, 0, _config.deviceFrequency(0)),
+      _hostCore(hostCoreParams(_config.timing, _config.decodeCache), _mem),
+      _nxpCore(nxpCoreParams(_config.timing, 0, _config.deviceFrequency(0),
+                             _config.decodeCache),
                _mem),
       _loader(_mem, _ptm, _hostAlloc, _nxpAlloc),
       _nxpWindowHeap(
@@ -139,7 +142,8 @@ FlickSystem::FlickSystem(SystemConfig config)
                              _config.platform.nxpDramLocalBase;
     for (unsigned k = 1; k < _config.platform.nxpDeviceCount; ++k) {
         auto core = std::make_unique<Rv64Core>(
-            nxpCoreParams(_config.timing, k, _config.deviceFrequency(k)),
+            nxpCoreParams(_config.timing, k, _config.deviceFrequency(k),
+                          _config.decodeCache),
             _mem);
         auto ctrl = std::make_unique<NxpPlatform>(_mem, k);
         ctrl->setNxpMmu(&core->mmu());
@@ -534,7 +538,11 @@ FlickSystem::dumpStats(std::ostream &os)
         _extraNxpCores[k]->stats().dump(os);
         _extraPlatformCtrls[k]->stats().dump(os);
         _extraDmas[k]->stats().dump(os);
+        _extraNxpCores[k]->mmu().itlb().stats().dump(os);
+        _extraNxpCores[k]->mmu().dtlb().stats().dump(os);
         _extraNxpCores[k]->mmu().walker().stats().dump(os);
+        if (_extraNxpCores[k]->icache())
+            _extraNxpCores[k]->icache()->stats().dump(os);
     }
     if (_tracer.on())
         _tracer.dumpBreakdown(os);

@@ -103,6 +103,15 @@ struct SystemConfig
      */
     bool trace = false;
     /**
+     * Dispatch both interpreters through their per-text-page
+     * decoded-instruction caches (DESIGN.md §13). On by default: the
+     * cache is a simulator speed optimization with no timing model —
+     * a cached run is tick-for-tick identical to a reference run
+     * (asserted by tests/interp_diff_test.cpp). Turn it off to run the
+     * byte-at-a-time reference decode path.
+     */
+    bool decodeCache = true;
+    /**
      * Placement policy consulted at every NX-fault dispatch (DESIGN.md
      * §11). The default, staticPlacement, is the paper's link-time
      * pinning and keeps every run tick-for-tick identical to a
@@ -267,6 +276,17 @@ struct SystemConfig
     withTrace(bool on = true)
     {
         trace = on;
+        return *this;
+    }
+
+    /**
+     * Toggle the decoded-instruction cache (DESIGN.md §13). Off selects
+     * the reference decode path; timing is identical either way.
+     */
+    SystemConfig &
+    withDecodeCache(bool on = true)
+    {
+        decodeCache = on;
         return *this;
     }
 

@@ -1,5 +1,6 @@
 #include "isa/core.hh"
 
+#include "isa/decode_cache.hh"
 #include "sim/logging.hh"
 
 namespace flick
@@ -15,68 +16,40 @@ Core::Core(const CoreParams &params, MemSystem &mem)
       _stats(params.name)
 {
     if (params.modelIcache) {
+        unsigned device = isNxpRequester(params.requester)
+                              ? nxpRequesterDevice(params.requester)
+                              : 0;
         _icache = std::make_unique<ICache>(params.name + ".icache",
                                            params.icacheLines,
-                                           params.icacheLineBytes);
+                                           params.icacheLineBytes, device);
     }
 }
 
-RunResult
-Core::run(std::uint64_t max_instructions)
+void
+Core::syncDecodeStats()
 {
-    RunResult result;
-    _slice = 0;
-
-    while (result.instructions < max_instructions) {
-        if (_pc == runtimeTrampoline) {
-            result.stop = Fault::trampoline;
-            break;
-        }
-        if (_nativeHook && _pc >= _nativeLo && _pc < _nativeHi) {
-            // Native-bridge function: executed on the simulator side; the
-            // hook consumes the call and emulates its return.
-            chargeTicks(_nativeHook(*this));
-            ++result.instructions;
-            continue;
-        }
-        if (_traceHook)
-            _traceHook(_pc);
-        Fault f = step();
-        if (f != Fault::none) {
-            result.stop = f;
-            result.faultVa = _faultVa;
-            break;
-        }
-        ++result.instructions;
-    }
-
-    _totalInstructions += result.instructions;
-    _stats.inc("instructions", result.instructions);
-    result.elapsed = _slice;
-    return result;
+    if (!_decodeCacheStats)
+        return;
+    // The step loop bumps raw fields (a StatGroup inc per step would
+    // hash a key string per instruction); publish them here.
+    _stats.set("decode_cache_hits", _decodeCacheStats->hits);
+    _stats.set("decode_cache_fills", _decodeCacheStats->fills);
+    _stats.set("decode_cache_fallbacks", _decodeCacheStats->fallbacks);
+    _stats.set("decode_cache_invalidated_pages",
+               _decodeCacheStats->invalidatedPages);
 }
 
-Fault
-Core::fetchTranslate(VAddr va, Addr &pa)
+void
+Core::fetchLineFill(Addr pa)
 {
-    TranslationResult tr = _mmu.translate(va, AccessType::fetch);
-    chargeTicks(tr.latency);
-    if (tr.fault != Fault::none) {
-        _faultVa = va;
-        return tr.fault;
-    }
-    pa = tr.pa;
-    if (_icache && !_icache->access(pa)) {
-        // Line fill from wherever the text lives (host memory for NxP
-        // sections placed per Section III-D); one burst at route latency.
-        std::uint8_t line[256];
-        unsigned lb = _icache->lineBytes();
-        if (lb > sizeof(line))
-            panic("icache line too large");
-        Addr line_pa = pa & ~Addr(lb - 1);
-        chargeTicks(_mem.read(_requester, line_pa, line, lb));
-    }
-    return Fault::none;
+    // Line fill from wherever the text lives (host memory for NxP
+    // sections placed per Section III-D); one burst at route latency.
+    std::uint8_t line[256];
+    unsigned lb = _icache->lineBytes();
+    if (lb > sizeof(line))
+        panic("icache line too large");
+    Addr line_pa = pa & ~Addr(lb - 1);
+    chargeTicks(_mem.read(_requester, line_pa, line, lb));
 }
 
 void

@@ -29,6 +29,8 @@
 namespace flick
 {
 
+class DecodeCacheBase;
+
 /** Why and where a run() slice stopped. */
 struct RunResult
 {
@@ -52,6 +54,12 @@ struct CoreParams
     bool modelIcache = false;
     std::uint32_t icacheLines = 256;
     std::uint32_t icacheLineBytes = 64;
+    /**
+     * Dispatch through the per-page decoded-instruction cache
+     * (DESIGN.md §13). Off selects the byte-at-a-time reference decode
+     * path; timing and semantics are identical either way.
+     */
+    bool decodeCache = true;
 };
 
 /**
@@ -81,8 +89,11 @@ class Core
      * registers are intact — in particular the argument registers of a
      * just-initiated call, which is what lets the migration handler pick
      * up the callee's arguments (Section IV-B1).
+     *
+     * Each ISA core implements this as `return runLoop(*this, n)` so the
+     * shared loop dispatches its step() statically.
      */
-    RunResult run(std::uint64_t max_instructions = ~0ull);
+    virtual RunResult run(std::uint64_t max_instructions = ~0ull) = 0;
 
     // --- ABI-neutral accessors used by the migration runtimes ---------
 
@@ -169,6 +180,71 @@ class Core
      */
     virtual Fault step() = 0;
 
+    /**
+     * The run() loop, shared by both cores as a template so that each
+     * ISA's run() override calls its own step() statically — a virtual
+     * dispatch per simulated instruction costs measurable simulated
+     * MIPS (bench_interp). Derived classes befriend Core so the
+     * qualified CoreT::step() call reaches their protected override.
+     */
+    template <typename CoreT>
+    RunResult
+    runLoop(CoreT &self, std::uint64_t max_instructions)
+    {
+        RunResult result;
+        _slice = 0;
+
+        // Hook presence is sampled once per slice: the runtime and trace
+        // subsystems install hooks between run() slices, never from
+        // inside a handler, so the hookless loop — the simulation fast
+        // path — pays one trampoline compare per instruction.
+        if (_nativeHook || _traceHook) {
+            while (result.instructions < max_instructions) {
+                if (_pc == runtimeTrampoline) {
+                    result.stop = Fault::trampoline;
+                    break;
+                }
+                if (_nativeHook && _pc >= _nativeLo && _pc < _nativeHi) {
+                    // Native-bridge function: executed on the simulator
+                    // side; the hook consumes the call and emulates its
+                    // return.
+                    chargeTicks(_nativeHook(*this));
+                    ++result.instructions;
+                    continue;
+                }
+                if (_traceHook)
+                    _traceHook(_pc);
+                Fault f = self.CoreT::step();
+                if (f != Fault::none) {
+                    result.stop = f;
+                    result.faultVa = _faultVa;
+                    break;
+                }
+                ++result.instructions;
+            }
+        } else {
+            while (result.instructions < max_instructions) {
+                if (_pc == runtimeTrampoline) {
+                    result.stop = Fault::trampoline;
+                    break;
+                }
+                Fault f = self.CoreT::step();
+                if (f != Fault::none) {
+                    result.stop = f;
+                    result.faultVa = _faultVa;
+                    break;
+                }
+                ++result.instructions;
+            }
+        }
+
+        _totalInstructions += result.instructions;
+        _stats.inc("instructions", result.instructions);
+        syncDecodeStats();
+        result.elapsed = _slice;
+        return result;
+    }
+
     /** Charge @p n core cycles to the current slice. */
     void chargeCycles(std::uint64_t n) { _slice += _clock.cycles(n); }
 
@@ -178,8 +254,45 @@ class Core
     /**
      * Translate a fetch address and charge I-cache / walk costs.
      * On success the physical address is returned through @p pa.
+     * Inline: this runs once per step, and in steady state collapses to
+     * the Mmu's last-hit fast path plus an I-cache hit.
      */
-    Fault fetchTranslate(VAddr va, Addr &pa);
+    Fault
+    fetchTranslate(VAddr va, Addr &pa)
+    {
+        TranslationResult tr = _mmu.translate(va, AccessType::fetch);
+        chargeTicks(tr.latency);
+        if (tr.fault != Fault::none) {
+            _faultVa = va;
+            return tr.fault;
+        }
+        pa = tr.pa;
+        if (_icache && !_icache->access(pa))
+            fetchLineFill(pa);
+        return Fault::none;
+    }
+
+    /**
+     * Decode-cache slot for the instruction at physical @p pa, or
+     * nullptr when the covering page is uncacheable. The canonical page
+     * key is a pure function of (requester, page) and the static
+     * platform layout, and @p cache's entry arrays never move, so the
+     * page's entry base is memoized per physical text page: steady-state
+     * fetches cost one compare and one indexed load. Invalidations clear
+     * entries in place, so a memoized base simply reads back empty.
+     */
+    template <typename CacheT>
+    auto
+    slotFor(CacheT &cache, Addr pa) -> decltype(cache.pageBase(0))
+    {
+        Addr page = pa & ~Addr(4095);
+        if (page != _slotPage) {
+            _slotPage = page;
+            _slotBase = cache.pageBase(_mem.canonicalPageKey(_requester, pa));
+        }
+        auto *base = static_cast<decltype(cache.pageBase(0))>(_slotBase);
+        return base ? base + ((pa & 4095) >> CacheT::shift) : nullptr;
+    }
 
     /** Read instruction bytes at physical @p pa (no extra charge). */
     void fetchBytes(Addr pa, void *buf, unsigned len);
@@ -193,17 +306,36 @@ class Core
 
     void setFaultVa(VAddr va) { _faultVa = va; }
 
+    /** Requester identity, for canonical decode-cache page keys. */
+    Requester requester() const { return _requester; }
+
+    /**
+     * Register the subclass's decode cache so run() can sync its raw
+     * hit/fill counters into this core's StatGroup once per slice
+     * (per-step StatGroup updates would defeat the fast path).
+     */
+    void setDecodeCacheStats(DecodeCacheBase *c) { _decodeCacheStats = c; }
+
     VAddr _pc = 0;
 
   private:
+    /** Cold half of fetchTranslate: charge an I-cache line fill. */
+    void fetchLineFill(Addr pa);
+
+    /** Publish the decode cache's raw counters into the StatGroup. */
+    void syncDecodeStats();
+
     std::string _name;
     MemSystem &_mem;
     Requester _requester;
     ClockDomain _clock;
     Mmu _mmu;
     std::unique_ptr<ICache> _icache;
+    DecodeCacheBase *_decodeCacheStats = nullptr;
     Tick _slice = 0;
     VAddr _faultVa = 0;
+    Addr _slotPage = ~Addr(0); //!< ~0 is never page-aligned: cold.
+    void *_slotBase = nullptr; //!< Entry base for _slotPage (typed by ISA).
     std::uint64_t _totalInstructions = 0;
     VAddr _nativeLo = 0;
     VAddr _nativeHi = 0;

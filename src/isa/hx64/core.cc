@@ -1,5 +1,7 @@
 #include "isa/hx64/core.hh"
 
+#include <algorithm>
+
 #include "isa/hx64/insn.hh"
 #include "sim/logging.hh"
 
@@ -12,6 +14,386 @@ namespace
 {
 constexpr unsigned argRegs[6] = {rdi, rsi, rdx, rcx, r8, r9};
 } // namespace
+
+/**
+ * Execute handlers, one per opcode family. Each receives the predecoded
+ * instruction and the fetch PC; fall-through forms advance the PC
+ * themselves via done(). The same handlers run with the decode cache on
+ * or off, so the two paths cannot diverge semantically.
+ *
+ * Invariant: handlers read every decoded field they need BEFORE issuing
+ * any guest memory write (see store/call/push). Cached dispatch passes
+ * `d` by reference into the decode cache's entry array, and a store to
+ * the executing page zeroes that array in place mid-handler.
+ */
+struct Hx64Handlers
+{
+    using D = Hx64Decoded;
+
+    static Fault
+    done(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c.setPc(pc_va + d.len);
+        return Fault::none;
+    }
+
+    static Fault
+    illegal(Hx64Core &c, const D &, VAddr pc_va)
+    {
+        c.setFaultVa(pc_va);
+        return Fault::illegalInstr;
+    }
+
+    static Fault
+    halt(Hx64Core &c, const D &, VAddr pc_va)
+    {
+        c.setFaultVa(pc_va);
+        return Fault::halt;
+    }
+
+    static Fault
+    nop(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    movRR(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] = c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    /** MovI64 and MovI32 (the immediate is fully formed at decode). */
+    static Fault
+    movI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] = d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    add(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] += c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    sub(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] -= c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    and_(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] &= c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    or_(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] |= c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    xor_(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] ^= c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    shl(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] <<= (c._regs[d.src] & 63);
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    shr(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] >>= (c._regs[d.src] & 63);
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    sar(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(c._regs[d.dst]) >>
+            (c._regs[d.src] & 63));
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    mul(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] *= c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    udiv(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        std::uint64_t v = c._regs[d.src];
+        c._regs[d.dst] = v == 0 ? ~0ull : c._regs[d.dst] / v;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    urem(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        std::uint64_t v = c._regs[d.src];
+        c._regs[d.dst] = v == 0 ? c._regs[d.dst] : c._regs[d.dst] % v;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    addI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] += d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    subI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] -= d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    andI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] &= d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    orI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] |= d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    xorI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] ^= d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    shlI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] <<= (d.imm & 63);
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    shrI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] >>= (d.imm & 63);
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    sarI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.src] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(c._regs[d.src]) >> (d.imm & 63));
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    load(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        static const unsigned sizes[] = {1, 2, 4, 8, 1, 2, 4, 0};
+        bool sign = d.opcode >= opLds8;
+        unsigned size = sizes[(d.opcode - opLd8) & 7];
+        VAddr va = c._regs[d.src] + d.imm;
+        std::uint64_t v = 0;
+        if (Fault f = c.dataRead(va, size, sign, v); f != Fault::none)
+            return f;
+        c._regs[d.dst] = v;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    store(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        unsigned size = 1u << (d.opcode - opSt8);
+        VAddr va = c._regs[d.dst] + d.imm;
+        // Every decoded field is read before the write: cached dispatch
+        // passes `d` by reference into the cache line, and the write may
+        // invalidate (zero) this instruction's own page.
+        VAddr next_pc = pc_va + d.len;
+        if (Fault f = c.dataWrite(va, size, c._regs[d.src]);
+            f != Fault::none) {
+            return f;
+        }
+        c.setPc(next_pc);
+        return Fault::none;
+    }
+
+    static Fault
+    cmpRR(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._cmpA = c._regs[d.dst];
+        c._cmpB = c._regs[d.src];
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    cmpI(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._cmpA = c._regs[d.src];
+        c._cmpB = d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    jmp(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c.setPc(pc_va + d.len + d.imm);
+        return Fault::none;
+    }
+
+    static Fault
+    jcc(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        VAddr next_pc = pc_va + d.len;
+        c.setPc(c.evalCond(d.aux) ? next_pc + d.imm : next_pc);
+        return Fault::none;
+    }
+
+    static Fault
+    call(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        VAddr next_pc = pc_va + d.len;
+        // d.imm read before the push: a call whose push lands on its own
+        // text page invalidates the cache line `d` may live on.
+        VAddr target = next_pc + d.imm;
+        c._regs[rsp] -= 8;
+        if (Fault f = c.dataWrite(c._regs[rsp], 8, next_pc);
+            f != Fault::none) {
+            c._regs[rsp] += 8;
+            return f;
+        }
+        c.setPc(target);
+        return Fault::none;
+    }
+
+    static Fault
+    callR(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        // Target read before the push so `callr rsp` sees the pre-push
+        // stack pointer.
+        VAddr target = c._regs[d.src];
+        VAddr next_pc = pc_va + d.len;
+        c._regs[rsp] -= 8;
+        if (Fault f = c.dataWrite(c._regs[rsp], 8, next_pc);
+            f != Fault::none) {
+            c._regs[rsp] += 8;
+            return f;
+        }
+        c.setPc(target);
+        return Fault::none;
+    }
+
+    static Fault
+    ret(Hx64Core &c, const D &, VAddr)
+    {
+        std::uint64_t ret_addr = 0;
+        if (Fault f = c.dataRead(c._regs[rsp], 8, false, ret_addr);
+            f != Fault::none) {
+            return f;
+        }
+        c._regs[rsp] += 8;
+        c.setPc(ret_addr);
+        return Fault::none;
+    }
+
+    static Fault
+    push(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        VAddr next_pc = pc_va + d.len; // Read before the write (see store).
+        c._regs[rsp] -= 8;
+        if (Fault f = c.dataWrite(c._regs[rsp], 8, c._regs[d.src]);
+            f != Fault::none) {
+            c._regs[rsp] += 8;
+            return f;
+        }
+        c.setPc(next_pc);
+        return Fault::none;
+    }
+
+    static Fault
+    pop(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        std::uint64_t v = 0;
+        if (Fault f = c.dataRead(c._regs[rsp], 8, false, v);
+            f != Fault::none) {
+            return f;
+        }
+        c._regs[rsp] += 8;
+        c._regs[d.src] = v;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    jmpR(Hx64Core &c, const D &d, VAddr)
+    {
+        c.setPc(c._regs[d.src]);
+        return Fault::none;
+    }
+
+    static Fault
+    lea(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        c._regs[d.dst] = c._regs[d.src] + d.imm;
+        return done(c, d, pc_va);
+    }
+
+    static Fault
+    syscall(Hx64Core &c, const D &d, VAddr pc_va)
+    {
+        switch (d.aux) {
+          case 0:
+            c.setFaultVa(pc_va);
+            return Fault::halt;
+          case 1:
+            inform("hx64 syscall print: %llu",
+                   (unsigned long long)c._regs[rdi]);
+            return done(c, d, pc_va);
+          default:
+            c.setFaultVa(pc_va);
+            return Fault::illegalInstr;
+        }
+    }
+};
+
+Hx64Core::Hx64Core(const CoreParams &params, MemSystem &mem)
+    : Core(params, mem)
+{
+    _regs.fill(0);
+    if (params.decodeCache) {
+        _dcache = std::make_unique<DecodeCache<Hx64Decoded, 0>>();
+        mem.addDecodeSink(_dcache.get());
+        setDecodeCacheStats(_dcache.get());
+    }
+}
+
+Hx64Core::~Hx64Core()
+{
+    if (_dcache)
+        mem().removeDecodeSink(_dcache.get());
+}
 
 std::uint64_t
 Hx64Core::arg(unsigned i) const
@@ -117,30 +499,82 @@ Hx64Core::evalCond(std::uint8_t cc) const
     panic("hx64 bad condition code %u", cc);
 }
 
-Fault
-Hx64Core::step()
+Hx64Handler
+Hx64Core::handlerFor(std::uint8_t opcode)
 {
-    VAddr pc_va = pc();
-    Addr pa = 0;
-    if (Fault f = fetchTranslate(pc_va, pa); f != Fault::none)
-        return f;
+    switch (opcode) {
+      case opHalt: return &Hx64Handlers::halt;
+      case opNop: return &Hx64Handlers::nop;
+      case opMovRR: return &Hx64Handlers::movRR;
+      case opMovI64:
+      case opMovI32: return &Hx64Handlers::movI;
+      case opAdd: return &Hx64Handlers::add;
+      case opSub: return &Hx64Handlers::sub;
+      case opAnd: return &Hx64Handlers::and_;
+      case opOr: return &Hx64Handlers::or_;
+      case opXor: return &Hx64Handlers::xor_;
+      case opShl: return &Hx64Handlers::shl;
+      case opShr: return &Hx64Handlers::shr;
+      case opSar: return &Hx64Handlers::sar;
+      case opMul: return &Hx64Handlers::mul;
+      case opUdiv: return &Hx64Handlers::udiv;
+      case opUrem: return &Hx64Handlers::urem;
+      case opAddI: return &Hx64Handlers::addI;
+      case opSubI: return &Hx64Handlers::subI;
+      case opAndI: return &Hx64Handlers::andI;
+      case opOrI: return &Hx64Handlers::orI;
+      case opXorI: return &Hx64Handlers::xorI;
+      case opShlI: return &Hx64Handlers::shlI;
+      case opShrI: return &Hx64Handlers::shrI;
+      case opSarI: return &Hx64Handlers::sarI;
+      case opLd8: case opLd16: case opLd32: case opLd64:
+      case opLds8: case opLds16: case opLds32:
+        return &Hx64Handlers::load;
+      case opSt8: case opSt16: case opSt32: case opSt64:
+        return &Hx64Handlers::store;
+      case opCmpRR: return &Hx64Handlers::cmpRR;
+      case opCmpI: return &Hx64Handlers::cmpI;
+      case opJmp: return &Hx64Handlers::jmp;
+      case opJcc: return &Hx64Handlers::jcc;
+      case opCall: return &Hx64Handlers::call;
+      case opCallR: return &Hx64Handlers::callR;
+      case opRet: return &Hx64Handlers::ret;
+      case opPush: return &Hx64Handlers::push;
+      case opPop: return &Hx64Handlers::pop;
+      case opJmpR: return &Hx64Handlers::jmpR;
+      case opLea: return &Hx64Handlers::lea;
+      case opSyscall: return &Hx64Handlers::syscall;
+      default: return &Hx64Handlers::illegal;
+    }
+}
 
-    std::uint8_t opcode = 0;
-    fetchBytes(pa, &opcode, 1);
-    unsigned len = insnLength(opcode);
+Fault
+Hx64Core::decodeAt(VAddr pc_va, Addr pa, Hx64Decoded &out, bool &cacheable)
+{
+    std::uint8_t buf[10];
+    fetchBytes(pa, buf, 1);
+    unsigned len = insnLength(buf[0]);
+    cacheable = true;
     if (len == 0) {
-        setFaultVa(pc_va);
-        return Fault::illegalInstr;
+        // Invalid opcodes decode to an entry whose handler raises the
+        // fault; no operand bytes are consumed and no cycle is charged
+        // (out.len == 0), matching the historical decode path.
+        hx64Decode(buf, out);
+        out.fn = &Hx64Handlers::illegal;
+        return Fault::none;
     }
 
     // Variable-length instructions may cross a page boundary; the second
     // page needs its own translation (and NX check).
-    std::uint8_t buf[10] = {opcode};
     unsigned first_page_bytes = static_cast<unsigned>(
         std::min<std::uint64_t>(len, 4096 - (pc_va & 4095)));
     if (first_page_bytes > 1)
         fetchBytes(pa + 1, buf + 1, first_page_bytes - 1);
     if (first_page_bytes < len) {
+        // Never cached: the second page's translation charge, TLB
+        // effects, and possible fault must recur on every execution,
+        // exactly as the reference path behaves.
+        cacheable = false;
         Addr pa2 = 0;
         if (Fault f = fetchTranslate(pc_va + first_page_bytes, pa2);
             f != Fault::none) {
@@ -149,198 +583,59 @@ Hx64Core::step()
         fetchBytes(pa2, buf + first_page_bytes, len - first_page_bytes);
     }
 
-    chargeCycles(1);
+    hx64Decode(buf, out);
+    out.fn = handlerFor(out.opcode);
+    return Fault::none;
+}
 
-    auto imm8 = [&](unsigned at) { return buf[at]; };
-    auto imm32 = [&](unsigned at) {
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= std::uint32_t(buf[at + i]) << (8 * i);
-        return static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
-    };
-    auto imm64 = [&](unsigned at) {
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= std::uint64_t(buf[at + i]) << (8 * i);
-        return v;
-    };
-    auto dstOf = [&] { return buf[1] >> 4; };
-    auto srcOf = [&] { return buf[1] & 0xf; };
+RunResult
+Hx64Core::run(std::uint64_t max_instructions)
+{
+    return runLoop(*this, max_instructions);
+}
 
-    VAddr next_pc = pc_va + len;
+Fault
+Hx64Core::step()
+{
+    VAddr pc_va = pc();
+    Addr pa = 0;
+    if (Fault f = fetchTranslate(pc_va, pa); f != Fault::none)
+        return f;
 
-    switch (opcode) {
-      case opHalt:
-        setFaultVa(pc_va);
-        return Fault::halt;
-      case opNop:
-        break;
-
-      case opMovRR:
-        _regs[dstOf()] = _regs[srcOf()];
-        break;
-      case opMovI64:
-        _regs[buf[1] & 0xf] = imm64(2);
-        break;
-      case opMovI32:
-        _regs[buf[1] & 0xf] = imm32(2);
-        break;
-
-      case opAdd: _regs[dstOf()] += _regs[srcOf()]; break;
-      case opSub: _regs[dstOf()] -= _regs[srcOf()]; break;
-      case opAnd: _regs[dstOf()] &= _regs[srcOf()]; break;
-      case opOr: _regs[dstOf()] |= _regs[srcOf()]; break;
-      case opXor: _regs[dstOf()] ^= _regs[srcOf()]; break;
-      case opShl: _regs[dstOf()] <<= (_regs[srcOf()] & 63); break;
-      case opShr: _regs[dstOf()] >>= (_regs[srcOf()] & 63); break;
-      case opSar:
-        _regs[dstOf()] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(_regs[dstOf()]) >>
-            (_regs[srcOf()] & 63));
-        break;
-      case opMul: _regs[dstOf()] *= _regs[srcOf()]; break;
-      case opUdiv: {
-        std::uint64_t d = _regs[srcOf()];
-        _regs[dstOf()] = d == 0 ? ~0ull : _regs[dstOf()] / d;
-        break;
-      }
-      case opUrem: {
-        std::uint64_t d = _regs[srcOf()];
-        _regs[dstOf()] = d == 0 ? _regs[dstOf()] : _regs[dstOf()] % d;
-        break;
-      }
-
-      case opAddI: _regs[buf[1] & 0xf] += imm32(2); break;
-      case opSubI: _regs[buf[1] & 0xf] -= imm32(2); break;
-      case opAndI: _regs[buf[1] & 0xf] &= imm32(2); break;
-      case opOrI: _regs[buf[1] & 0xf] |= imm32(2); break;
-      case opXorI: _regs[buf[1] & 0xf] ^= imm32(2); break;
-      case opShlI: _regs[buf[1] & 0xf] <<= (imm8(2) & 63); break;
-      case opShrI: _regs[buf[1] & 0xf] >>= (imm8(2) & 63); break;
-      case opSarI:
-        _regs[buf[1] & 0xf] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(_regs[buf[1] & 0xf]) >>
-            (imm8(2) & 63));
-        break;
-
-      case opLd8: case opLd16: case opLd32: case opLd64:
-      case opLds8: case opLds16: case opLds32: {
-        static const unsigned sizes[] = {1, 2, 4, 8, 1, 2, 4, 0};
-        bool sign = opcode >= opLds8;
-        unsigned size = sizes[(opcode - opLd8) & 7];
-        VAddr va = _regs[srcOf()] + imm32(2);
-        std::uint64_t v = 0;
-        if (Fault f = dataRead(va, size, sign, v); f != Fault::none)
-            return f;
-        _regs[dstOf()] = v;
-        break;
-      }
-
-      case opSt8: case opSt16: case opSt32: case opSt64: {
-        unsigned size = 1u << (opcode - opSt8);
-        VAddr va = _regs[dstOf()] + imm32(2);
-        if (Fault f = dataWrite(va, size, _regs[srcOf()]);
-            f != Fault::none) {
-            return f;
+    Hx64Decoded *slot = nullptr;
+    if (_dcache) {
+        slot = slotFor(*_dcache, pa);
+        if (slot && slot->fn) {
+            // Dispatch straight off the cache line — no defensive copy.
+            // Handlers read every decoded field before any memory write
+            // (see Hx64Handlers), so a store that invalidates its own
+            // page cannot clobber fields the dispatch still needs.
+            ++_dcache->hits;
+            const Hx64Decoded &hit = *slot;
+            if (hit.len != 0)
+                chargeCycles(1);
+            return hit.fn(*this, hit, pc_va);
         }
-        break;
-      }
-
-      case opCmpRR:
-        _cmpA = _regs[dstOf()];
-        _cmpB = _regs[srcOf()];
-        break;
-      case opCmpI:
-        _cmpA = _regs[buf[1] & 0xf];
-        _cmpB = imm32(2);
-        break;
-
-      case opJmp:
-        setPc(next_pc + imm32(1));
-        return Fault::none;
-      case opJcc:
-        setPc(evalCond(buf[1]) ? next_pc + imm32(2) : next_pc);
-        return Fault::none;
-
-      case opCall: {
-        _regs[rsp] -= 8;
-        if (Fault f = dataWrite(_regs[rsp], 8, next_pc);
-            f != Fault::none) {
-            _regs[rsp] += 8;
-            return f;
-        }
-        setPc(next_pc + imm32(1));
-        return Fault::none;
-      }
-      case opCallR: {
-        VAddr target = _regs[buf[1] & 0xf];
-        _regs[rsp] -= 8;
-        if (Fault f = dataWrite(_regs[rsp], 8, next_pc);
-            f != Fault::none) {
-            _regs[rsp] += 8;
-            return f;
-        }
-        setPc(target);
-        return Fault::none;
-      }
-      case opRet: {
-        std::uint64_t ret_addr = 0;
-        if (Fault f = dataRead(_regs[rsp], 8, false, ret_addr);
-            f != Fault::none) {
-            return f;
-        }
-        _regs[rsp] += 8;
-        setPc(ret_addr);
-        return Fault::none;
-      }
-      case opPush: {
-        _regs[rsp] -= 8;
-        if (Fault f = dataWrite(_regs[rsp], 8, _regs[buf[1] & 0xf]);
-            f != Fault::none) {
-            _regs[rsp] += 8;
-            return f;
-        }
-        break;
-      }
-      case opPop: {
-        std::uint64_t v = 0;
-        if (Fault f = dataRead(_regs[rsp], 8, false, v); f != Fault::none)
-            return f;
-        _regs[rsp] += 8;
-        _regs[buf[1] & 0xf] = v;
-        break;
-      }
-      case opJmpR:
-        setPc(_regs[buf[1] & 0xf]);
-        return Fault::none;
-
-      case opLea:
-        _regs[dstOf()] = _regs[srcOf()] + imm32(2);
-        break;
-
-      case opSyscall:
-        switch (imm8(1)) {
-          case 0:
-            setFaultVa(pc_va);
-            return Fault::halt;
-          case 1:
-            inform("hx64 syscall print: %llu",
-                   (unsigned long long)_regs[rdi]);
-            break;
-          default:
-            setFaultVa(pc_va);
-            return Fault::illegalInstr;
-        }
-        break;
-
-      default:
-        setFaultVa(pc_va);
-        return Fault::illegalInstr;
     }
 
-    setPc(next_pc);
-    return Fault::none;
+    Hx64Decoded d;
+    bool cacheable = true;
+    if (Fault f = decodeAt(pc_va, pa, d, cacheable); f != Fault::none)
+        return f;
+    if (_dcache) {
+        if (slot && cacheable) {
+            *slot = d;
+            ++_dcache->fills;
+        } else {
+            ++_dcache->fallbacks;
+        }
+    }
+
+    // The reference path charges the execute cycle only after a valid
+    // length is established (invalid opcodes fault uncharged).
+    if (d.len != 0)
+        chargeCycles(1);
+    return d.fn(*this, d, pc_va);
 }
 
 } // namespace flick

@@ -5,14 +5,23 @@
  * Models one Xeon-class host core at 2.4 GHz: IPC=1, a large TLB backed by
  * the hardware walker, instruction fetch considered cache-resident (no
  * I-cache charge), data accesses charged by route (host DRAM vs PCIe BAR).
+ *
+ * The step loop dispatches through a per-text-page decoded-instruction
+ * cache when CoreParams::decodeCache is set (DESIGN.md §13); with it off,
+ * every step decodes the raw bytes afresh. Both paths run the same
+ * handlers and charge the same costs — the cache is purely a simulator
+ * speed optimization.
  */
 
 #ifndef FLICK_ISA_HX64_CORE_HH
 #define FLICK_ISA_HX64_CORE_HH
 
 #include <array>
+#include <memory>
 
 #include "isa/core.hh"
+#include "isa/decode_cache.hh"
+#include "isa/hx64/decode.hh"
 
 namespace flick
 {
@@ -23,12 +32,12 @@ namespace flick
 class Hx64Core : public Core
 {
   public:
-    Hx64Core(const CoreParams &params, MemSystem &mem) : Core(params, mem)
-    {
-        _regs.fill(0);
-    }
+    Hx64Core(const CoreParams &params, MemSystem &mem);
+    ~Hx64Core() override;
 
     IsaKind isa() const override { return IsaKind::hx64; }
+
+    RunResult run(std::uint64_t max_instructions = ~0ull) override;
 
     std::uint64_t reg(unsigned r) const { return _regs[r]; }
     void setReg(unsigned r, std::uint64_t v) { _regs[r] = v; }
@@ -53,6 +62,22 @@ class Hx64Core : public Core
     Fault step() override;
 
   private:
+    friend class Core; // runLoop() calls step() statically.
+    friend struct Hx64Handlers;
+
+    /**
+     * Decode the instruction at @p pc_va (physical @p pa) into @p out,
+     * resolving its handler. Returns a fault only when a page-crossing
+     * instruction's second page fails to translate. @p cacheable is
+     * cleared for page-crossing forms, which must re-translate their
+     * second page on every execution.
+     */
+    Fault decodeAt(VAddr pc_va, Addr pa, Hx64Decoded &out,
+                   bool &cacheable);
+
+    /** Handler implementing @p opcode (the illegal handler if invalid). */
+    static Hx64Handler handlerFor(std::uint8_t opcode);
+
     /** Untimed stack access through the MMU (runtime bookkeeping). */
     std::uint64_t debugReadVa(VAddr va);
     void debugWriteVa(VAddr va, std::uint64_t v);
@@ -63,6 +88,8 @@ class Hx64Core : public Core
     /** Lazy flags: the last compare's operands. */
     std::uint64_t _cmpA = 0;
     std::uint64_t _cmpB = 0;
+    /** Null when CoreParams::decodeCache is off (reference decode). */
+    std::unique_ptr<DecodeCache<Hx64Decoded, 0>> _dcache;
 };
 
 } // namespace flick

@@ -1,0 +1,78 @@
+#include "isa/hx64/decode.hh"
+
+#include "isa/hx64/insn.hh"
+
+namespace flick
+{
+
+using namespace hx64;
+
+namespace
+{
+
+std::uint64_t
+imm32At(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+}
+
+std::uint64_t
+imm64At(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+unsigned
+hx64Decode(const std::uint8_t *bytes, Hx64Decoded &out)
+{
+    std::uint8_t opcode = bytes[0];
+    unsigned len = insnLength(opcode);
+    out = Hx64Decoded{};
+    out.opcode = opcode;
+    out.len = static_cast<std::uint8_t>(len);
+    if (len == 0)
+        return 0;
+    if (len >= 2) {
+        out.aux = bytes[1];
+        out.dst = bytes[1] >> 4;
+        out.src = bytes[1] & 0xf;
+    }
+
+    switch (opcode) {
+      case opMovI64:
+        out.imm = imm64At(bytes + 2);
+        break;
+      case opMovI32:
+      case opAddI: case opSubI: case opAndI: case opOrI: case opXorI:
+      case opCmpI:
+      case opLd8: case opLd16: case opLd32: case opLd64:
+      case opLds8: case opLds16: case opLds32:
+      case opSt8: case opSt16: case opSt32: case opSt64:
+      case opLea:
+        out.imm = imm32At(bytes + 2);
+        break;
+      case opShlI: case opShrI: case opSarI:
+        out.imm = bytes[2];
+        break;
+      case opJmp: case opCall:
+        out.imm = imm32At(bytes + 1);
+        break;
+      case opJcc:
+        out.imm = imm32At(bytes + 2);
+        break;
+      default:
+        break;
+    }
+    return len;
+}
+
+} // namespace flick

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * HX64 predecoded instruction representation (DESIGN.md §13).
+ *
+ * hx64Decode() pre-extracts every field the execute handlers need —
+ * register indices, the sign-extended immediate, the raw second byte for
+ * condition codes and syscall selectors — so dispatch needs no byte
+ * re-parsing. The handler pointer itself is resolved by the core at cache
+ * fill time (the handlers are private to Hx64Core).
+ */
+
+#ifndef FLICK_ISA_HX64_DECODE_HH
+#define FLICK_ISA_HX64_DECODE_HH
+
+#include <cstdint>
+
+#include "vm/fault.hh"
+#include "vm/pte.hh"
+
+namespace flick
+{
+
+class Hx64Core;
+struct Hx64Decoded;
+
+/** Execute handler: runs one predecoded instruction at @p pc_va. */
+using Hx64Handler = Fault (*)(Hx64Core &, const Hx64Decoded &, VAddr pc_va);
+
+/** One predecoded HX64 instruction. */
+struct Hx64Decoded
+{
+    Hx64Handler fn = nullptr; //!< Null marks an empty cache slot.
+    std::uint64_t imm = 0;    //!< imm64 / sign-extended imm32 / raw imm8.
+    std::uint8_t opcode = 0;
+    std::uint8_t len = 0;     //!< Encoded length; 0 for invalid opcodes.
+    std::uint8_t dst = 0;     //!< regbyte >> 4.
+    std::uint8_t src = 0;     //!< regbyte & 0xf.
+    std::uint8_t aux = 0;     //!< Raw byte 1 (Jcc cc, syscall selector).
+};
+
+/**
+ * Decode the instruction at @p bytes into @p out (everything but fn).
+ *
+ * @param bytes At least insnLength(bytes[0]) valid bytes.
+ * @return The instruction length, or 0 for an invalid opcode (out.len is
+ *         set to 0; callers fault without consuming operand bytes).
+ */
+unsigned hx64Decode(const std::uint8_t *bytes, Hx64Decoded &out);
+
+} // namespace flick
+
+#endif // FLICK_ISA_HX64_DECODE_HH

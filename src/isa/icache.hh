@@ -13,9 +13,11 @@
 #define FLICK_ISA_ICACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/sparse_memory.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 
 namespace flick
@@ -23,51 +25,100 @@ namespace flick
 
 /**
  * Direct-mapped tag array indexed by physical address.
+ *
+ * Counters are raw fields bumped on the fetch path (a StatGroup inc
+ * would hash a key string per fetch) and published lazily by stats(),
+ * both under the base keys ("hits", ...) and under the fleet-wide
+ * `_dev#` split convention ("hits_dev0", ...) used by the runtime
+ * counters.
  */
 class ICache
 {
   public:
-    ICache(std::string name, std::uint32_t lines, std::uint32_t line_bytes)
-        : _lines(lines), _lineBytes(line_bytes), _tags(lines, invalidTag),
+    ICache(std::string name, std::uint32_t lines, std::uint32_t line_bytes,
+           unsigned device = 0, bool enabled = true)
+        : _lines(lines), _lineBytes(line_bytes), _device(device),
+          _enabled(enabled), _tags(lines, invalidTag),
           _stats(std::move(name))
-    {}
+    {
+        // access() runs once per fetch; power-of-two geometry lets it
+        // use shift/mask instead of two 64-bit divisions.
+        if (lines == 0 || line_bytes == 0 || (lines & (lines - 1)) ||
+            (line_bytes & (line_bytes - 1))) {
+            panic("icache geometry must be power-of-two (lines=%u "
+                  "line_bytes=%u)",
+                  lines, line_bytes);
+        }
+        while ((1u << _lineShift) < line_bytes)
+            ++_lineShift;
+    }
 
     /**
      * Access the line holding @p pa.
      * @return true on hit; on miss the line is filled (tag installed).
+     * A disabled cache reports every access as a hit and counts nothing.
      */
     bool
     access(Addr pa)
     {
-        Addr line_addr = pa / _lineBytes;
-        std::uint32_t index = static_cast<std::uint32_t>(line_addr % _lines);
+        if (!_enabled)
+            return true;
+        Addr line_addr = pa >> _lineShift;
+        std::uint32_t index =
+            static_cast<std::uint32_t>(line_addr & (_lines - 1));
         if (_tags[index] == line_addr) {
-            _stats.inc("hits");
+            ++_hits;
             return true;
         }
         _tags[index] = line_addr;
-        _stats.inc("misses");
+        ++_misses;
         return false;
     }
 
-    /** Invalidate all lines. */
+    /** Invalidate all lines (counts nothing when disabled). */
     void
     flush()
     {
+        if (!_enabled)
+            return;
         _tags.assign(_lines, invalidTag);
-        _stats.inc("flushes");
+        ++_flushes;
     }
 
     std::uint32_t lineBytes() const { return _lineBytes; }
+    bool enabled() const { return _enabled; }
 
-    StatGroup &stats() { return _stats; }
+    /** Publish the raw counters and return the stat group. */
+    StatGroup &
+    stats()
+    {
+        if (!_enabled && (_hits | _misses | _flushes))
+            panic("disabled icache counted accesses (hits=%llu misses=%llu "
+                  "flushes=%llu)",
+                  (unsigned long long)_hits, (unsigned long long)_misses,
+                  (unsigned long long)_flushes);
+        std::string dev = "_dev" + std::to_string(_device);
+        _stats.set("hits", _hits);
+        _stats.set("misses", _misses);
+        _stats.set("flushes", _flushes);
+        _stats.set("hits" + dev, _hits);
+        _stats.set("misses" + dev, _misses);
+        _stats.set("flushes" + dev, _flushes);
+        return _stats;
+    }
 
   private:
     static constexpr Addr invalidTag = ~Addr(0);
 
     std::uint32_t _lines;
     std::uint32_t _lineBytes;
+    unsigned _lineShift = 0;
+    unsigned _device;
+    bool _enabled;
     std::vector<Addr> _tags;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _flushes = 0;
     StatGroup _stats;
 };
 

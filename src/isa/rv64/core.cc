@@ -8,6 +8,515 @@ namespace flick
 
 using namespace rv64;
 
+/**
+ * Execute handlers, one per Rv64Op. Each reads the un-advanced PC from
+ * the core and either advances it (done()) or redirects it. The same
+ * handlers run with the decode cache on or off, so the two paths cannot
+ * diverge semantically.
+ *
+ * Invariant: handlers read every decoded field they need BEFORE issuing
+ * any guest memory write. Cached dispatch passes `d` by reference into
+ * the decode cache's entry array, and a store to the executing page
+ * zeroes that array in place mid-handler.
+ */
+struct Rv64Handlers
+{
+    using D = Rv64Decoded;
+
+    static Fault
+    done(Rv64Core &c)
+    {
+        c.setPc(c.pc() + 4);
+        return Fault::none;
+    }
+
+    /** Sign-extend a 32-bit result into the 64-bit register file. */
+    static std::uint64_t
+    sx32(std::uint32_t r)
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(r)));
+    }
+
+    static Fault
+    illegal(Rv64Core &c, const D &)
+    {
+        c.setFaultVa(c.pc());
+        return Fault::illegalInstr;
+    }
+
+    static Fault
+    lui(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, d.imm);
+        return done(c);
+    }
+
+    static Fault
+    auipc(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.pc() + d.imm);
+        return done(c);
+    }
+
+    static Fault
+    jal(Rv64Core &c, const D &d)
+    {
+        VAddr target = c.pc() + d.imm;
+        c.setReg(d.rd, c.pc() + 4);
+        c.setPc(target);
+        return Fault::none;
+    }
+
+    static Fault
+    jalr(Rv64Core &c, const D &d)
+    {
+        VAddr target = (c.reg(d.rs1) + d.imm) & ~VAddr(1);
+        c.setReg(d.rd, c.pc() + 4);
+        c.setPc(target);
+        return Fault::none;
+    }
+
+    static Fault
+    branch(Rv64Core &c, const D &d, bool taken)
+    {
+        c.setPc(taken ? c.pc() + d.imm : c.pc() + 4);
+        return Fault::none;
+    }
+
+    static Fault
+    beq(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, c.reg(d.rs1) == c.reg(d.rs2));
+    }
+
+    static Fault
+    bne(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, c.reg(d.rs1) != c.reg(d.rs2));
+    }
+
+    static Fault
+    blt(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, std::int64_t(c.reg(d.rs1)) <
+                                std::int64_t(c.reg(d.rs2)));
+    }
+
+    static Fault
+    bge(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, std::int64_t(c.reg(d.rs1)) >=
+                                std::int64_t(c.reg(d.rs2)));
+    }
+
+    static Fault
+    bltu(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, c.reg(d.rs1) < c.reg(d.rs2));
+    }
+
+    static Fault
+    bgeu(Rv64Core &c, const D &d)
+    {
+        return branch(c, d, c.reg(d.rs1) >= c.reg(d.rs2));
+    }
+
+    static Fault
+    loadCommon(Rv64Core &c, const D &d, unsigned len, bool sign)
+    {
+        VAddr va = c.reg(d.rs1) + d.imm;
+        std::uint64_t v = 0;
+        if (Fault f = c.dataRead(va, len, sign, v); f != Fault::none)
+            return f;
+        c.setReg(d.rd, v);
+        return done(c);
+    }
+
+    static Fault
+    lb(Rv64Core &c, const D &d) { return loadCommon(c, d, 1, true); }
+    static Fault
+    lh(Rv64Core &c, const D &d) { return loadCommon(c, d, 2, true); }
+    static Fault
+    lw(Rv64Core &c, const D &d) { return loadCommon(c, d, 4, true); }
+    static Fault
+    ld(Rv64Core &c, const D &d) { return loadCommon(c, d, 8, true); }
+    static Fault
+    lbu(Rv64Core &c, const D &d) { return loadCommon(c, d, 1, false); }
+    static Fault
+    lhu(Rv64Core &c, const D &d) { return loadCommon(c, d, 2, false); }
+    static Fault
+    lwu(Rv64Core &c, const D &d) { return loadCommon(c, d, 4, false); }
+
+    static Fault
+    storeCommon(Rv64Core &c, const D &d, unsigned len)
+    {
+        VAddr va = c.reg(d.rs1) + d.imm;
+        if (Fault f = c.dataWrite(va, len, c.reg(d.rs2));
+            f != Fault::none) {
+            return f;
+        }
+        return done(c);
+    }
+
+    static Fault
+    sb(Rv64Core &c, const D &d) { return storeCommon(c, d, 1); }
+    static Fault
+    sh(Rv64Core &c, const D &d) { return storeCommon(c, d, 2); }
+    static Fault
+    sw(Rv64Core &c, const D &d) { return storeCommon(c, d, 4); }
+    static Fault
+    sd(Rv64Core &c, const D &d) { return storeCommon(c, d, 8); }
+
+    static Fault
+    addi(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) + d.imm);
+        return done(c);
+    }
+
+    static Fault
+    slli(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) << d.imm);
+        return done(c);
+    }
+
+    static Fault
+    slti(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd,
+                 std::int64_t(c.reg(d.rs1)) < std::int64_t(d.imm));
+        return done(c);
+    }
+
+    static Fault
+    sltiu(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) < d.imm);
+        return done(c);
+    }
+
+    static Fault
+    xori(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) ^ d.imm);
+        return done(c);
+    }
+
+    static Fault
+    srli(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) >> d.imm);
+        return done(c);
+    }
+
+    static Fault
+    srai(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, static_cast<std::uint64_t>(
+                           std::int64_t(c.reg(d.rs1)) >> d.imm));
+        return done(c);
+    }
+
+    static Fault
+    ori(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) | d.imm);
+        return done(c);
+    }
+
+    static Fault
+    andi(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) & d.imm);
+        return done(c);
+    }
+
+    static Fault
+    addiw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1)) +
+                            std::uint32_t(d.imm)));
+        return done(c);
+    }
+
+    static Fault
+    slliw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1))
+                            << unsigned(d.imm)));
+        return done(c);
+    }
+
+    static Fault
+    srliw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd,
+                 sx32(std::uint32_t(c.reg(d.rs1)) >> unsigned(d.imm)));
+        return done(c);
+    }
+
+    static Fault
+    sraiw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(static_cast<std::uint32_t>(
+                           std::int32_t(std::uint32_t(c.reg(d.rs1))) >>
+                           unsigned(d.imm))));
+        return done(c);
+    }
+
+    static Fault
+    add(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) + c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    sub(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) - c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    sll(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) << (c.reg(d.rs2) & 0x3f));
+        return done(c);
+    }
+
+    static Fault
+    slt(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, std::int64_t(c.reg(d.rs1)) <
+                           std::int64_t(c.reg(d.rs2)));
+        return done(c);
+    }
+
+    static Fault
+    sltu(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) < c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    xorr(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) ^ c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    srl(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) >> (c.reg(d.rs2) & 0x3f));
+        return done(c);
+    }
+
+    static Fault
+    sra(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, static_cast<std::uint64_t>(
+                           std::int64_t(c.reg(d.rs1)) >>
+                           (c.reg(d.rs2) & 0x3f)));
+        return done(c);
+    }
+
+    static Fault
+    orr(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) | c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    andr(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) & c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    mul(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, c.reg(d.rs1) * c.reg(d.rs2));
+        return done(c);
+    }
+
+    static Fault
+    divs(Rv64Core &c, const D &d)
+    {
+        std::uint64_t a = c.reg(d.rs1), b = c.reg(d.rs2);
+        c.setReg(d.rd, b == 0 ? ~0ull
+                              : static_cast<std::uint64_t>(
+                                    std::int64_t(a) / std::int64_t(b)));
+        return done(c);
+    }
+
+    static Fault
+    divu(Rv64Core &c, const D &d)
+    {
+        std::uint64_t a = c.reg(d.rs1), b = c.reg(d.rs2);
+        c.setReg(d.rd, b == 0 ? ~0ull : a / b);
+        return done(c);
+    }
+
+    static Fault
+    rems(Rv64Core &c, const D &d)
+    {
+        std::uint64_t a = c.reg(d.rs1), b = c.reg(d.rs2);
+        c.setReg(d.rd, b == 0 ? a
+                              : static_cast<std::uint64_t>(
+                                    std::int64_t(a) % std::int64_t(b)));
+        return done(c);
+    }
+
+    static Fault
+    remu(Rv64Core &c, const D &d)
+    {
+        std::uint64_t a = c.reg(d.rs1), b = c.reg(d.rs2);
+        c.setReg(d.rd, b == 0 ? a : a % b);
+        return done(c);
+    }
+
+    static Fault
+    addw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1)) +
+                            std::uint32_t(c.reg(d.rs2))));
+        return done(c);
+    }
+
+    static Fault
+    subw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1)) -
+                            std::uint32_t(c.reg(d.rs2))));
+        return done(c);
+    }
+
+    static Fault
+    sllw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1))
+                            << (c.reg(d.rs2) & 0x1f)));
+        return done(c);
+    }
+
+    static Fault
+    srlw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1)) >>
+                            (c.reg(d.rs2) & 0x1f)));
+        return done(c);
+    }
+
+    static Fault
+    sraw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(static_cast<std::uint32_t>(
+                           std::int32_t(std::uint32_t(c.reg(d.rs1))) >>
+                           (c.reg(d.rs2) & 0x1f))));
+        return done(c);
+    }
+
+    static Fault
+    mulw(Rv64Core &c, const D &d)
+    {
+        c.setReg(d.rd, sx32(std::uint32_t(c.reg(d.rs1)) *
+                            std::uint32_t(c.reg(d.rs2))));
+        return done(c);
+    }
+
+    static Fault
+    divw(Rv64Core &c, const D &d)
+    {
+        std::uint32_t a = std::uint32_t(c.reg(d.rs1));
+        std::uint32_t b = std::uint32_t(c.reg(d.rs2));
+        c.setReg(d.rd, sx32(b == 0 ? ~0u
+                                   : static_cast<std::uint32_t>(
+                                         std::int32_t(a) /
+                                         std::int32_t(b))));
+        return done(c);
+    }
+
+    static Fault
+    divuw(Rv64Core &c, const D &d)
+    {
+        std::uint32_t a = std::uint32_t(c.reg(d.rs1));
+        std::uint32_t b = std::uint32_t(c.reg(d.rs2));
+        c.setReg(d.rd, sx32(b == 0 ? ~0u : a / b));
+        return done(c);
+    }
+
+    static Fault
+    remw(Rv64Core &c, const D &d)
+    {
+        std::uint32_t a = std::uint32_t(c.reg(d.rs1));
+        std::uint32_t b = std::uint32_t(c.reg(d.rs2));
+        c.setReg(d.rd, sx32(b == 0 ? a
+                                   : static_cast<std::uint32_t>(
+                                         std::int32_t(a) %
+                                         std::int32_t(b))));
+        return done(c);
+    }
+
+    static Fault
+    remuw(Rv64Core &c, const D &d)
+    {
+        std::uint32_t a = std::uint32_t(c.reg(d.rs1));
+        std::uint32_t b = std::uint32_t(c.reg(d.rs2));
+        c.setReg(d.rd, sx32(b == 0 ? a : a % b));
+        return done(c);
+    }
+
+    static Fault
+    ecall(Rv64Core &c, const D &)
+    {
+        // a7 selects the debug service; decided at execute time so the
+        // cached entry stays valid whatever a7 holds.
+        std::uint64_t nr = c.reg(regA7);
+        if (nr == 93) { // exit
+            c.setFaultVa(c.pc());
+            return Fault::halt;
+        }
+        if (nr == 1) { // debug: print integer in a0
+            inform("rv64 ecall print: %llu",
+                   (unsigned long long)c.reg(regA0));
+            return done(c);
+        }
+        c.setFaultVa(c.pc());
+        return Fault::illegalInstr;
+    }
+
+    static Fault
+    ebreak(Rv64Core &c, const D &)
+    {
+        c.setFaultVa(c.pc());
+        return Fault::halt;
+    }
+};
+
+Rv64Core::Rv64Core(const CoreParams &params, MemSystem &mem)
+    : Core(params, mem)
+{
+    _regs.fill(0);
+    if (params.decodeCache) {
+        _dcache = std::make_unique<DecodeCache<Rv64Decoded, 2>>();
+        mem.addDecodeSink(_dcache.get());
+        setDecodeCacheStats(_dcache.get());
+    }
+}
+
+Rv64Core::~Rv64Core()
+{
+    if (_dcache)
+        mem().removeDecodeSink(_dcache.get());
+}
+
 void
 Rv64Core::setupCall(VAddr target, const std::vector<std::uint64_t> &args)
 {
@@ -47,6 +556,81 @@ Rv64Core::restoreContext(const std::vector<std::uint64_t> &ctx)
     setPc(ctx[32]);
 }
 
+Rv64Handler
+Rv64Core::handlerFor(Rv64Op op)
+{
+    switch (op) {
+      case Rv64Op::lui: return &Rv64Handlers::lui;
+      case Rv64Op::auipc: return &Rv64Handlers::auipc;
+      case Rv64Op::jal: return &Rv64Handlers::jal;
+      case Rv64Op::jalr: return &Rv64Handlers::jalr;
+      case Rv64Op::beq: return &Rv64Handlers::beq;
+      case Rv64Op::bne: return &Rv64Handlers::bne;
+      case Rv64Op::blt: return &Rv64Handlers::blt;
+      case Rv64Op::bge: return &Rv64Handlers::bge;
+      case Rv64Op::bltu: return &Rv64Handlers::bltu;
+      case Rv64Op::bgeu: return &Rv64Handlers::bgeu;
+      case Rv64Op::lb: return &Rv64Handlers::lb;
+      case Rv64Op::lh: return &Rv64Handlers::lh;
+      case Rv64Op::lw: return &Rv64Handlers::lw;
+      case Rv64Op::ld: return &Rv64Handlers::ld;
+      case Rv64Op::lbu: return &Rv64Handlers::lbu;
+      case Rv64Op::lhu: return &Rv64Handlers::lhu;
+      case Rv64Op::lwu: return &Rv64Handlers::lwu;
+      case Rv64Op::sb: return &Rv64Handlers::sb;
+      case Rv64Op::sh: return &Rv64Handlers::sh;
+      case Rv64Op::sw: return &Rv64Handlers::sw;
+      case Rv64Op::sd: return &Rv64Handlers::sd;
+      case Rv64Op::addi: return &Rv64Handlers::addi;
+      case Rv64Op::slli: return &Rv64Handlers::slli;
+      case Rv64Op::slti: return &Rv64Handlers::slti;
+      case Rv64Op::sltiu: return &Rv64Handlers::sltiu;
+      case Rv64Op::xori: return &Rv64Handlers::xori;
+      case Rv64Op::srli: return &Rv64Handlers::srli;
+      case Rv64Op::srai: return &Rv64Handlers::srai;
+      case Rv64Op::ori: return &Rv64Handlers::ori;
+      case Rv64Op::andi: return &Rv64Handlers::andi;
+      case Rv64Op::addiw: return &Rv64Handlers::addiw;
+      case Rv64Op::slliw: return &Rv64Handlers::slliw;
+      case Rv64Op::srliw: return &Rv64Handlers::srliw;
+      case Rv64Op::sraiw: return &Rv64Handlers::sraiw;
+      case Rv64Op::add: return &Rv64Handlers::add;
+      case Rv64Op::sub: return &Rv64Handlers::sub;
+      case Rv64Op::sll: return &Rv64Handlers::sll;
+      case Rv64Op::slt: return &Rv64Handlers::slt;
+      case Rv64Op::sltu: return &Rv64Handlers::sltu;
+      case Rv64Op::xorr: return &Rv64Handlers::xorr;
+      case Rv64Op::srl: return &Rv64Handlers::srl;
+      case Rv64Op::sra: return &Rv64Handlers::sra;
+      case Rv64Op::orr: return &Rv64Handlers::orr;
+      case Rv64Op::andr: return &Rv64Handlers::andr;
+      case Rv64Op::mul: return &Rv64Handlers::mul;
+      case Rv64Op::divs: return &Rv64Handlers::divs;
+      case Rv64Op::divu: return &Rv64Handlers::divu;
+      case Rv64Op::rems: return &Rv64Handlers::rems;
+      case Rv64Op::remu: return &Rv64Handlers::remu;
+      case Rv64Op::addw: return &Rv64Handlers::addw;
+      case Rv64Op::subw: return &Rv64Handlers::subw;
+      case Rv64Op::sllw: return &Rv64Handlers::sllw;
+      case Rv64Op::srlw: return &Rv64Handlers::srlw;
+      case Rv64Op::sraw: return &Rv64Handlers::sraw;
+      case Rv64Op::mulw: return &Rv64Handlers::mulw;
+      case Rv64Op::divw: return &Rv64Handlers::divw;
+      case Rv64Op::divuw: return &Rv64Handlers::divuw;
+      case Rv64Op::remw: return &Rv64Handlers::remw;
+      case Rv64Op::remuw: return &Rv64Handlers::remuw;
+      case Rv64Op::ecall: return &Rv64Handlers::ecall;
+      case Rv64Op::ebreak: return &Rv64Handlers::ebreak;
+      default: return &Rv64Handlers::illegal;
+    }
+}
+
+RunResult
+Rv64Core::run(std::uint64_t max_instructions)
+{
+    return runLoop(*this, max_instructions);
+}
+
 Fault
 Rv64Core::step()
 {
@@ -62,267 +646,38 @@ Rv64Core::step()
     if (Fault f = fetchTranslate(pc_va, pa); f != Fault::none)
         return f;
 
-    std::uint32_t insn = 0;
-    fetchBytes(pa, &insn, 4);
-    chargeCycles(1);
-    return execute(insn);
-}
-
-Fault
-Rv64Core::execute(std::uint32_t insn)
-{
-    const VAddr next_pc = pc() + 4;
-    const std::uint32_t opcode = insn & 0x7f;
-
-    switch (opcode) {
-      case opLui:
-        setReg(rd(insn), static_cast<std::uint64_t>(immU(insn)));
-        break;
-
-      case opAuipc:
-        setReg(rd(insn), pc() + static_cast<std::uint64_t>(immU(insn)));
-        break;
-
-      case opJal: {
-        VAddr target = pc() + static_cast<std::uint64_t>(immJ(insn));
-        setReg(rd(insn), next_pc);
-        setPc(target);
-        return Fault::none;
-      }
-
-      case opJalr: {
-        VAddr target = (reg(rs1(insn)) +
-                        static_cast<std::uint64_t>(immI(insn))) & ~VAddr(1);
-        setReg(rd(insn), next_pc);
-        setPc(target);
-        return Fault::none;
-      }
-
-      case opBranch: {
-        std::uint64_t a = reg(rs1(insn));
-        std::uint64_t b = reg(rs2(insn));
-        bool taken = false;
-        switch (funct3(insn)) {
-          case 0: taken = a == b; break;                     // beq
-          case 1: taken = a != b; break;                     // bne
-          case 4: taken = std::int64_t(a) < std::int64_t(b); break;  // blt
-          case 5: taken = std::int64_t(a) >= std::int64_t(b); break; // bge
-          case 6: taken = a < b; break;                      // bltu
-          case 7: taken = a >= b; break;                     // bgeu
-          default:
-            setFaultVa(pc());
-            return Fault::illegalInstr;
+    Rv64Decoded *slot = nullptr;
+    if (_dcache) {
+        slot = slotFor(*_dcache, pa);
+        if (slot && slot->fn) {
+            // Dispatch straight off the cache line — no defensive copy.
+            // Handlers read every decoded field before any memory write
+            // (see Rv64Handlers), so a store that invalidates its own
+            // page cannot clobber fields the dispatch still needs.
+            ++_dcache->hits;
+            chargeCycles(1);
+            return slot->fn(*this, *slot);
         }
-        setPc(taken ? pc() + static_cast<std::uint64_t>(immB(insn))
-                    : next_pc);
-        return Fault::none;
-      }
-
-      case opLoad: {
-        VAddr va = reg(rs1(insn)) + static_cast<std::uint64_t>(immI(insn));
-        std::uint64_t v = 0;
-        unsigned f3 = funct3(insn);
-        static const unsigned sizes[] = {1, 2, 4, 8, 1, 2, 4, 0};
-        unsigned len = sizes[f3];
-        if (len == 0) {
-            setFaultVa(pc());
-            return Fault::illegalInstr;
-        }
-        bool sign = f3 <= 3;
-        if (Fault f = dataRead(va, len, sign, v); f != Fault::none)
-            return f;
-        setReg(rd(insn), v);
-        break;
-      }
-
-      case opStore: {
-        VAddr va = reg(rs1(insn)) + static_cast<std::uint64_t>(immS(insn));
-        unsigned f3 = funct3(insn);
-        if (f3 > 3) {
-            setFaultVa(pc());
-            return Fault::illegalInstr;
-        }
-        unsigned len = 1u << f3;
-        if (Fault f = dataWrite(va, len, reg(rs2(insn))); f != Fault::none)
-            return f;
-        break;
-      }
-
-      case opImm: {
-        std::uint64_t a = reg(rs1(insn));
-        std::uint64_t imm = static_cast<std::uint64_t>(immI(insn));
-        std::uint64_t r = 0;
-        switch (funct3(insn)) {
-          case 0: r = a + imm; break;                             // addi
-          case 1: r = a << (insn >> 20 & 0x3f); break;            // slli
-          case 2: r = std::int64_t(a) < std::int64_t(imm); break; // slti
-          case 3: r = a < imm; break;                             // sltiu
-          case 4: r = a ^ imm; break;                             // xori
-          case 5:                                                 // srli/srai
-            if (funct7(insn) & 0x20)
-                r = static_cast<std::uint64_t>(std::int64_t(a) >>
-                                               (insn >> 20 & 0x3f));
-            else
-                r = a >> (insn >> 20 & 0x3f);
-            break;
-          case 6: r = a | imm; break;                             // ori
-          case 7: r = a & imm; break;                             // andi
-        }
-        setReg(rd(insn), r);
-        break;
-      }
-
-      case opImm32: {
-        std::uint32_t a = static_cast<std::uint32_t>(reg(rs1(insn)));
-        std::uint32_t imm = static_cast<std::uint32_t>(immI(insn));
-        std::uint32_t r = 0;
-        switch (funct3(insn)) {
-          case 0: r = a + imm; break;                             // addiw
-          case 1: r = a << (insn >> 20 & 0x1f); break;            // slliw
-          case 5:                                                 // srliw/sraiw
-            if (funct7(insn) & 0x20)
-                r = static_cast<std::uint32_t>(std::int32_t(a) >>
-                                               (insn >> 20 & 0x1f));
-            else
-                r = a >> (insn >> 20 & 0x1f);
-            break;
-          default:
-            setFaultVa(pc());
-            return Fault::illegalInstr;
-        }
-        setReg(rd(insn), static_cast<std::uint64_t>(
-                             static_cast<std::int64_t>(
-                                 static_cast<std::int32_t>(r))));
-        break;
-      }
-
-      case opReg: {
-        std::uint64_t a = reg(rs1(insn));
-        std::uint64_t b = reg(rs2(insn));
-        std::uint64_t r = 0;
-        unsigned f3 = funct3(insn);
-        unsigned f7 = funct7(insn);
-        if (f7 == 0x01) {
-            // M extension.
-            switch (f3) {
-              case 0: r = a * b; break;                           // mul
-              case 4:                                             // div
-                r = b == 0 ? ~0ull
-                           : static_cast<std::uint64_t>(
-                                 std::int64_t(a) / std::int64_t(b));
-                break;
-              case 5: r = b == 0 ? ~0ull : a / b; break;          // divu
-              case 6:                                             // rem
-                r = b == 0 ? a
-                           : static_cast<std::uint64_t>(
-                                 std::int64_t(a) % std::int64_t(b));
-                break;
-              case 7: r = b == 0 ? a : a % b; break;              // remu
-              default:
-                setFaultVa(pc());
-                return Fault::illegalInstr;
-            }
-        } else {
-            switch (f3) {
-              case 0: r = (f7 & 0x20) ? a - b : a + b; break;     // add/sub
-              case 1: r = a << (b & 0x3f); break;                 // sll
-              case 2: r = std::int64_t(a) < std::int64_t(b); break; // slt
-              case 3: r = a < b; break;                           // sltu
-              case 4: r = a ^ b; break;                           // xor
-              case 5:                                             // srl/sra
-                if (f7 & 0x20)
-                    r = static_cast<std::uint64_t>(std::int64_t(a) >>
-                                                   (b & 0x3f));
-                else
-                    r = a >> (b & 0x3f);
-                break;
-              case 6: r = a | b; break;                           // or
-              case 7: r = a & b; break;                           // and
-            }
-        }
-        setReg(rd(insn), r);
-        break;
-      }
-
-      case opReg32: {
-        std::uint32_t a = static_cast<std::uint32_t>(reg(rs1(insn)));
-        std::uint32_t b = static_cast<std::uint32_t>(reg(rs2(insn)));
-        std::uint32_t r = 0;
-        unsigned f3 = funct3(insn);
-        unsigned f7 = funct7(insn);
-        if (f7 == 0x01) {
-            switch (f3) {
-              case 0: r = a * b; break;                           // mulw
-              case 4:                                             // divw
-                r = b == 0 ? ~0u
-                           : static_cast<std::uint32_t>(
-                                 std::int32_t(a) / std::int32_t(b));
-                break;
-              case 5: r = b == 0 ? ~0u : a / b; break;            // divuw
-              case 6:                                             // remw
-                r = b == 0 ? a
-                           : static_cast<std::uint32_t>(
-                                 std::int32_t(a) % std::int32_t(b));
-                break;
-              case 7: r = b == 0 ? a : a % b; break;              // remuw
-              default:
-                setFaultVa(pc());
-                return Fault::illegalInstr;
-            }
-        } else {
-            switch (f3) {
-              case 0: r = (f7 & 0x20) ? a - b : a + b; break;     // addw/subw
-              case 1: r = a << (b & 0x1f); break;                 // sllw
-              case 5:                                             // srlw/sraw
-                if (f7 & 0x20)
-                    r = static_cast<std::uint32_t>(std::int32_t(a) >>
-                                                   (b & 0x1f));
-                else
-                    r = a >> (b & 0x1f);
-                break;
-              default:
-                setFaultVa(pc());
-                return Fault::illegalInstr;
-            }
-        }
-        setReg(rd(insn), static_cast<std::uint64_t>(
-                             static_cast<std::int64_t>(
-                                 static_cast<std::int32_t>(r))));
-        break;
-      }
-
-      case opSystem: {
-        std::uint32_t f12 = insn >> 20;
-        if (f12 == 0 && funct3(insn) == 0) {
-            // ECALL: a7 selects the debug service.
-            std::uint64_t nr = reg(regA7);
-            if (nr == 93) { // exit
-                setFaultVa(pc());
-                return Fault::halt;
-            }
-            if (nr == 1) { // debug: print integer in a0
-                inform("rv64 ecall print: %llu",
-                       (unsigned long long)reg(regA0));
-                break;
-            }
-            setFaultVa(pc());
-            return Fault::illegalInstr;
-        }
-        if (f12 == 1 && funct3(insn) == 0) { // EBREAK
-            setFaultVa(pc());
-            return Fault::halt;
-        }
-        setFaultVa(pc());
-        return Fault::illegalInstr;
-      }
-
-      default:
-        setFaultVa(pc());
-        return Fault::illegalInstr;
     }
 
-    setPc(next_pc);
-    return Fault::none;
+    Rv64Decoded d;
+    std::uint32_t insn = 0;
+    fetchBytes(pa, &insn, 4);
+    rv64Decode(insn, d);
+    d.fn = handlerFor(d.op);
+    if (_dcache) {
+        if (slot) {
+            *slot = d;
+            ++_dcache->fills;
+        } else {
+            ++_dcache->fallbacks;
+        }
+    }
+
+    // One cycle per instruction, illegal encodings included — exactly
+    // the reference path's charge order.
+    chargeCycles(1);
+    return d.fn(*this, d);
 }
 
 } // namespace flick

@@ -6,14 +6,23 @@
  * 16-entry one-cycle L1 TLBs backed by the programmable MMU walker, an
  * I-cache (text lives in host memory, Section III-D) and an uncached data
  * path (PCIe forbids coherent D-caching of host memory, Section IV-A).
+ *
+ * The step loop dispatches through a per-text-page decoded-instruction
+ * cache when CoreParams::decodeCache is set (DESIGN.md §13); with it off,
+ * every step decodes the raw encoding afresh. Both paths run the same
+ * handlers and charge the same costs — the cache is purely a simulator
+ * speed optimization.
  */
 
 #ifndef FLICK_ISA_RV64_CORE_HH
 #define FLICK_ISA_RV64_CORE_HH
 
 #include <array>
+#include <memory>
 
 #include "isa/core.hh"
+#include "isa/decode_cache.hh"
+#include "isa/rv64/decode.hh"
 
 namespace flick
 {
@@ -24,12 +33,12 @@ namespace flick
 class Rv64Core : public Core
 {
   public:
-    Rv64Core(const CoreParams &params, MemSystem &mem) : Core(params, mem)
-    {
-        _regs.fill(0);
-    }
+    Rv64Core(const CoreParams &params, MemSystem &mem);
+    ~Rv64Core() override;
 
     IsaKind isa() const override { return IsaKind::rv64; }
+
+    RunResult run(std::uint64_t max_instructions = ~0ull) override;
 
     /** Read integer register @p r (x0 reads as zero). */
     std::uint64_t reg(unsigned r) const { return r == 0 ? 0 : _regs[r]; }
@@ -62,9 +71,15 @@ class Rv64Core : public Core
     Fault step() override;
 
   private:
-    Fault execute(std::uint32_t insn);
+    friend class Core; // runLoop() calls step() statically.
+    friend struct Rv64Handlers;
+
+    /** Handler implementing @p op. */
+    static Rv64Handler handlerFor(Rv64Op op);
 
     std::array<std::uint64_t, 32> _regs;
+    /** Null when CoreParams::decodeCache is off (reference decode). */
+    std::unique_ptr<DecodeCache<Rv64Decoded, 2>> _dcache;
 };
 
 } // namespace flick

@@ -1,0 +1,200 @@
+#include "isa/rv64/decode.hh"
+
+#include "isa/rv64/encoding.hh"
+
+namespace flick
+{
+
+using namespace rv64;
+
+namespace
+{
+
+/** Branch comparison selected by funct3, or illegal for 2 and 3. */
+Rv64Op
+branchOp(unsigned f3)
+{
+    switch (f3) {
+      case 0: return Rv64Op::beq;
+      case 1: return Rv64Op::bne;
+      case 4: return Rv64Op::blt;
+      case 5: return Rv64Op::bge;
+      case 6: return Rv64Op::bltu;
+      case 7: return Rv64Op::bgeu;
+      default: return Rv64Op::illegal;
+    }
+}
+
+} // namespace
+
+void
+rv64Decode(std::uint32_t insn, Rv64Decoded &out)
+{
+    out = Rv64Decoded{};
+    out.insn = insn;
+    out.rd = static_cast<std::uint8_t>(rd(insn));
+    out.rs1 = static_cast<std::uint8_t>(rs1(insn));
+    out.rs2 = static_cast<std::uint8_t>(rs2(insn));
+    unsigned f3 = funct3(insn);
+    unsigned f7 = funct7(insn);
+
+    switch (insn & 0x7f) {
+      case opLui:
+        out.op = Rv64Op::lui;
+        out.imm = static_cast<std::uint64_t>(immU(insn));
+        break;
+
+      case opAuipc:
+        out.op = Rv64Op::auipc;
+        out.imm = static_cast<std::uint64_t>(immU(insn));
+        break;
+
+      case opJal:
+        out.op = Rv64Op::jal;
+        out.imm = static_cast<std::uint64_t>(immJ(insn));
+        break;
+
+      case opJalr:
+        out.op = Rv64Op::jalr;
+        out.imm = static_cast<std::uint64_t>(immI(insn));
+        break;
+
+      case opBranch:
+        out.op = branchOp(f3);
+        out.imm = static_cast<std::uint64_t>(immB(insn));
+        break;
+
+      case opLoad: {
+        static const Rv64Op ops[] = {
+            Rv64Op::lb, Rv64Op::lh, Rv64Op::lw, Rv64Op::ld,
+            Rv64Op::lbu, Rv64Op::lhu, Rv64Op::lwu, Rv64Op::illegal,
+        };
+        out.op = ops[f3];
+        out.imm = static_cast<std::uint64_t>(immI(insn));
+        break;
+      }
+
+      case opStore: {
+        static const Rv64Op ops[] = {
+            Rv64Op::sb, Rv64Op::sh, Rv64Op::sw, Rv64Op::sd,
+        };
+        out.op = f3 > 3 ? Rv64Op::illegal : ops[f3];
+        out.imm = static_cast<std::uint64_t>(immS(insn));
+        break;
+      }
+
+      case opImm:
+        switch (f3) {
+          case 0: out.op = Rv64Op::addi; break;
+          case 2: out.op = Rv64Op::slti; break;
+          case 3: out.op = Rv64Op::sltiu; break;
+          case 4: out.op = Rv64Op::xori; break;
+          case 6: out.op = Rv64Op::ori; break;
+          case 7: out.op = Rv64Op::andi; break;
+          case 1:
+            // No funct7 validation, matching the reference: any high
+            // bits other than insn[25:20] are ignored for slli.
+            out.op = Rv64Op::slli;
+            out.imm = insn >> 20 & 0x3f;
+            return;
+          case 5:
+            out.op = (f7 & 0x20) ? Rv64Op::srai : Rv64Op::srli;
+            out.imm = insn >> 20 & 0x3f;
+            return;
+        }
+        out.imm = static_cast<std::uint64_t>(immI(insn));
+        break;
+
+      case opImm32:
+        switch (f3) {
+          case 0:
+            out.op = Rv64Op::addiw;
+            out.imm = static_cast<std::uint64_t>(immI(insn));
+            break;
+          case 1:
+            out.op = Rv64Op::slliw;
+            out.imm = insn >> 20 & 0x1f;
+            break;
+          case 5:
+            out.op = (f7 & 0x20) ? Rv64Op::sraiw : Rv64Op::srliw;
+            out.imm = insn >> 20 & 0x1f;
+            break;
+          default:
+            out.op = Rv64Op::illegal;
+            break;
+        }
+        break;
+
+      case opReg:
+        if (f7 == 0x01) {
+            switch (f3) {
+              case 0: out.op = Rv64Op::mul; break;
+              case 4: out.op = Rv64Op::divs; break;
+              case 5: out.op = Rv64Op::divu; break;
+              case 6: out.op = Rv64Op::rems; break;
+              case 7: out.op = Rv64Op::remu; break;
+              default: out.op = Rv64Op::illegal; break;
+            }
+        } else {
+            // Only funct7 bit 0x20 is consulted (reference behavior).
+            switch (f3) {
+              case 0:
+                out.op = (f7 & 0x20) ? Rv64Op::sub : Rv64Op::add;
+                break;
+              case 1: out.op = Rv64Op::sll; break;
+              case 2: out.op = Rv64Op::slt; break;
+              case 3: out.op = Rv64Op::sltu; break;
+              case 4: out.op = Rv64Op::xorr; break;
+              case 5:
+                out.op = (f7 & 0x20) ? Rv64Op::sra : Rv64Op::srl;
+                break;
+              case 6: out.op = Rv64Op::orr; break;
+              case 7: out.op = Rv64Op::andr; break;
+            }
+        }
+        break;
+
+      case opReg32:
+        if (f7 == 0x01) {
+            switch (f3) {
+              case 0: out.op = Rv64Op::mulw; break;
+              case 4: out.op = Rv64Op::divw; break;
+              case 5: out.op = Rv64Op::divuw; break;
+              case 6: out.op = Rv64Op::remw; break;
+              case 7: out.op = Rv64Op::remuw; break;
+              default: out.op = Rv64Op::illegal; break;
+            }
+        } else {
+            switch (f3) {
+              case 0:
+                out.op = (f7 & 0x20) ? Rv64Op::subw : Rv64Op::addw;
+                break;
+              case 1: out.op = Rv64Op::sllw; break;
+              case 5:
+                out.op = (f7 & 0x20) ? Rv64Op::sraw : Rv64Op::srlw;
+                break;
+              default: out.op = Rv64Op::illegal; break;
+            }
+        }
+        break;
+
+      case opSystem: {
+        // Only funct12/funct3 are consulted (reference behavior); the
+        // a7 service-number dispatch happens at execute time.
+        std::uint32_t f12 = insn >> 20;
+        if (f12 == 0 && f3 == 0)
+            out.op = Rv64Op::ecall;
+        else if (f12 == 1 && f3 == 0)
+            out.op = Rv64Op::ebreak;
+        else
+            out.op = Rv64Op::illegal;
+        break;
+      }
+
+      default:
+        out.op = Rv64Op::illegal;
+        break;
+    }
+}
+
+} // namespace flick

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * RV64 predecoded instruction representation (DESIGN.md §13).
+ *
+ * rv64Decode() resolves each 32-bit encoding to a fine-grained operation
+ * (one enumerator per executed semantic, so the per-op handlers contain
+ * no funct3/funct7 re-dispatch) and pre-extracts register indices and the
+ * fully formed immediate. The handler pointer is resolved by the core at
+ * cache fill time (the handlers are private to Rv64Core).
+ *
+ * Decode validity mirrors Rv64Core's historical execute() switch exactly
+ * — including its quirks (64-bit shift amounts taken as insn[25:20] with
+ * no funct7 validation on slli, SYSTEM consulting only funct12/funct3) —
+ * so cached and reference paths fault on identical encodings.
+ */
+
+#ifndef FLICK_ISA_RV64_DECODE_HH
+#define FLICK_ISA_RV64_DECODE_HH
+
+#include <cstdint>
+
+#include "vm/fault.hh"
+
+namespace flick
+{
+
+class Rv64Core;
+struct Rv64Decoded;
+
+/** Execute handler: runs one predecoded instruction. */
+using Rv64Handler = Fault (*)(Rv64Core &, const Rv64Decoded &);
+
+/** Fine-grained RV64IM operations (one per handler). */
+enum class Rv64Op : std::uint8_t
+{
+    lui, auipc, jal, jalr,
+    beq, bne, blt, bge, bltu, bgeu,
+    lb, lh, lw, ld, lbu, lhu, lwu,
+    sb, sh, sw, sd,
+    addi, slli, slti, sltiu, xori, srli, srai, ori, andi,
+    addiw, slliw, srliw, sraiw,
+    add, sub, sll, slt, sltu, xorr, srl, sra, orr, andr,
+    mul, divs, divu, rems, remu,
+    addw, subw, sllw, srlw, sraw,
+    mulw, divw, divuw, remw, remuw,
+    ecall, ebreak,
+    illegal,
+    count,
+};
+
+/** One predecoded RV64 instruction. */
+struct Rv64Decoded
+{
+    Rv64Handler fn = nullptr; //!< Null marks an empty cache slot.
+    std::uint64_t imm = 0;    //!< Sign-extended immediate / shift amount.
+    std::uint32_t insn = 0;   //!< Raw encoding (diagnostics only).
+    Rv64Op op = Rv64Op::illegal;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+};
+
+/** Decode @p insn into @p out (everything but fn). */
+void rv64Decode(std::uint32_t insn, Rv64Decoded &out);
+
+} // namespace flick
+
+#endif // FLICK_ISA_RV64_DECODE_HH

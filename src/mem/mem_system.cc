@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace flick
@@ -62,6 +64,83 @@ MemSystem::MemSystem(const TimingConfig &timing,
             std::make_unique<SparseMemory>(platform.deviceDramBytes(k)));
     }
     _ctrl.resize(platform.nxpDeviceCount, nullptr);
+
+    // Every mutation of a backing store — routed or back-door — reaches
+    // the registered decode sinks so stale predecoded text cannot
+    // survive a write (DESIGN.md §13).
+    _hostDram.setWriteListener([this](Addr off, std::uint64_t len) {
+        notifyStoreWrite(0, off, len);
+    });
+    for (unsigned k = 0; k < platform.nxpDeviceCount; ++k) {
+        _nxpDrams[k]->setWriteListener(
+            [this, k](Addr off, std::uint64_t len) {
+                notifyStoreWrite(1 + k, off, len);
+            });
+    }
+}
+
+std::uint64_t
+MemSystem::canonicalPageKey(Requester r, Addr pa) const
+{
+    const PlatformConfig &p = _platform;
+    bool host_space = (r == Requester::hostCore || r == Requester::dma ||
+                       r == Requester::debug);
+    unsigned dev;
+    if (host_space) {
+        if (p.inHostDram(pa))
+            return pageKey(0, pa);
+        if (p.inBarDram(pa, dev))
+            return pageKey(1 + dev, pa - p.barBase(dev));
+        return noPageKey;
+    }
+    unsigned from = nxpRequesterDevice(r);
+    if (from >= _nxpDrams.size())
+        return noPageKey;
+    if (pa >= p.nxpDramLocalBase &&
+        pa < p.nxpDramLocalBase + p.deviceDramBytes(from))
+        return pageKey(1 + from, pa - p.nxpDramLocalBase);
+    if (p.inNxpCtrl(pa))
+        return noPageKey;
+    if (p.inHostDram(pa))
+        return pageKey(0, pa);
+    if (p.inBarDram(pa, dev) && dev != from)
+        return pageKey(1 + dev, pa - p.barBase(dev));
+    return noPageKey;
+}
+
+void
+MemSystem::addDecodeSink(DecodeSink *sink)
+{
+    _decodeSinks.push_back(sink);
+}
+
+void
+MemSystem::removeDecodeSink(DecodeSink *sink)
+{
+    _decodeSinks.erase(
+        std::remove(_decodeSinks.begin(), _decodeSinks.end(), sink),
+        _decodeSinks.end());
+}
+
+void
+MemSystem::notifyMappingChange()
+{
+    for (DecodeSink *sink : _decodeSinks)
+        sink->invalidateAll();
+}
+
+void
+MemSystem::notifyStoreWrite(unsigned store, Addr offset, std::uint64_t len)
+{
+    if (_decodeSinks.empty())
+        return;
+    std::uint64_t first = offset >> 12;
+    std::uint64_t last = (offset + len - 1) >> 12;
+    for (std::uint64_t page = first; page <= last; ++page) {
+        std::uint64_t key = (std::uint64_t(store) << 52) | page;
+        for (DecodeSink *sink : _decodeSinks)
+            sink->invalidatePage(key);
+    }
 }
 
 void

@@ -88,6 +88,27 @@ nxpRequesterDevice(Requester r)
 const char *requesterName(Requester r);
 
 /**
+ * A consumer of physical-page write notifications — in practice the
+ * per-core decoded-instruction caches (DESIGN.md §13).
+ *
+ * Pages are identified by canonical keys (MemSystem::canonicalPageKey)
+ * that name the backing store page, not a requester-relative address, so
+ * one notification reaches every core that cached that text no matter
+ * through which window (host DRAM, BAR, NxP-local, bridge) it fetched.
+ */
+class DecodeSink
+{
+  public:
+    virtual ~DecodeSink() = default;
+
+    /** A write touched the physical page named by @p key. */
+    virtual void invalidatePage(std::uint64_t key) = 0;
+
+    /** Mappings or protections changed; drop every decoded entry. */
+    virtual void invalidateAll() = 0;
+};
+
+/**
  * The platform's physical memory fabric.
  */
 class MemSystem
@@ -130,7 +151,45 @@ class MemSystem
     /** Per-route access counters. */
     StatGroup &stats() { return _stats; }
 
+    // --- Decode-cache invalidation plumbing (DESIGN.md §13) -------------
+
+    /** Key meaning "no cacheable backing page" (MMIO/unmapped). */
+    static constexpr std::uint64_t noPageKey = ~0ull;
+
+    /** Canonical key of the page at @p offset in backing store @p store
+     *  (0 = host DRAM, 1 + k = NxP device k's DRAM). */
+    static std::uint64_t
+    pageKey(unsigned store, Addr offset)
+    {
+        return (std::uint64_t(store) << 52) | (offset >> 12);
+    }
+
+    /**
+     * Canonical page key for requester @p r's physical address @p pa.
+     *
+     * Physical addresses are per-requester-space, so the same backing
+     * page has several names (host DRAM directly and through the NxP
+     * bridge; NxP DRAM through its BAR and its local window); the key
+     * collapses them to (store, store-relative page). Returns noPageKey
+     * for control windows and unmapped addresses — callers must treat
+     * those as uncacheable, not as errors (the access itself will panic
+     * through resolve() exactly as it always did).
+     */
+    std::uint64_t canonicalPageKey(Requester r, Addr pa) const;
+
+    /** Register a decode sink to be notified of page writes. */
+    void addDecodeSink(DecodeSink *sink);
+
+    /** Remove a previously registered decode sink. */
+    void removeDecodeSink(DecodeSink *sink);
+
+    /** Broadcast a mapping/protection change (mprotect, unmap). */
+    void notifyMappingChange();
+
   private:
+    /** Fan a store write out to every sink, one call per touched page. */
+    void notifyStoreWrite(unsigned store, Addr offset, std::uint64_t len);
+
     /** Resolution of one physical access. */
     struct Route
     {
@@ -148,6 +207,7 @@ class MemSystem
     SparseMemory _hostDram;
     std::vector<std::unique_ptr<SparseMemory>> _nxpDrams;
     std::vector<MmioDevice *> _ctrl;
+    std::vector<DecodeSink *> _decodeSinks;
     StatGroup _stats;
 };
 

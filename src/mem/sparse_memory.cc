@@ -59,6 +59,8 @@ void
 SparseMemory::write(Addr offset, const void *buf, std::uint64_t len)
 {
     boundsCheck(offset, len);
+    if (_listener && len > 0)
+        _listener(offset, len);
     const auto *src = static_cast<const std::uint8_t *>(buf);
     while (len > 0) {
         Addr in_chunk = offset % chunkBytes;
@@ -76,6 +78,10 @@ void
 SparseMemory::fill(Addr offset, std::uint8_t value, std::uint64_t len)
 {
     boundsCheck(offset, len);
+    // The zero-fill fast path below may touch no chunk at all, but the
+    // range is still logically overwritten — listeners must see it.
+    if (_listener && len > 0)
+        _listener(offset, len);
     while (len > 0) {
         Addr in_chunk = offset % chunkBytes;
         std::uint64_t take = std::min<std::uint64_t>(len,

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -61,6 +62,18 @@ class SparseMemory
     /** Write a little-endian unsigned integer of @p len (1/2/4/8) bytes. */
     void writeInt(Addr offset, std::uint64_t value, unsigned len);
 
+    /**
+     * Callback fired after every mutation with the written (offset, len)
+     * range. Covers every path into the store — routed core/DMA writes
+     * and harness/loader back-door writes alike — which is what lets the
+     * decoded-instruction caches observe all text mutations regardless
+     * of who performs them.
+     */
+    using WriteListener = std::function<void(Addr, std::uint64_t)>;
+
+    /** Install (or clear, with nullptr) the write listener. */
+    void setWriteListener(WriteListener l) { _listener = std::move(l); }
+
     /** Convenience typed accessors. */
     std::uint64_t read64(Addr o) const { return readInt(o, 8); }
     std::uint32_t
@@ -84,6 +97,7 @@ class SparseMemory
 
     std::uint64_t _size;
     std::unordered_map<std::uint64_t, std::unique_ptr<Chunk>> _chunks;
+    WriteListener _listener;
 };
 
 } // namespace flick

@@ -3,28 +3,8 @@
 namespace flick
 {
 
-Fault
-Mmu::permissionCheck(std::uint64_t entry, AccessType type) const
-{
-    if (type == AccessType::write && !(entry & pte::writable))
-        return Fault::protection;
-    if (type == AccessType::fetch) {
-        bool nx = (entry & pte::noExecute) != 0;
-        if (nx && _policy.faultOnNxFetch)
-            return Fault::nxFetch;
-        if (!nx && _policy.faultOnNonNxFetch)
-            return Fault::nonNxFetch;
-        if (nx && _policy.requiredIsaTag != 0 &&
-            pte::isaTag(entry) != _policy.requiredIsaTag) {
-            // Another NxP's code: migrate (the handler routes by tag).
-            return Fault::nonNxFetch;
-        }
-    }
-    return Fault::none;
-}
-
 TranslationResult
-Mmu::translate(VAddr va, AccessType type)
+Mmu::translateSlow(VAddr va, AccessType type)
 {
     TranslationResult result;
 

@@ -119,7 +119,30 @@ class Mmu
      * straight from the TLB instead of re-walking. New permissions after
      * an mprotect() require a flushTlbs() shootdown.
      */
-    TranslationResult translate(VAddr va, AccessType type);
+    TranslationResult
+    translate(VAddr va, AccessType type)
+    {
+        // Inline fast path for the interpreter step loop: with no holes
+        // configured, a last-hit TLB entry resolves the access without
+        // the out-of-line call. lookupLastHit() applies exactly the
+        // LRU/stat effects the full lookup() would, a covering entry
+        // implies the VA is canonical, and walk latency on a hit is
+        // zero — so this branch is behaviourally identical to
+        // translateSlow(), just cheaper.
+        if (_holes.empty()) {
+            Tlb &tlb = (type == AccessType::fetch) ? _itlb : _dtlb;
+            if (const TlbEntry *e = tlb.lookupLastHit(va)) {
+                TranslationResult result;
+                result.fault = permissionCheck(e->flags, type);
+                if (result.fault == Fault::none) {
+                    result.entry = e->flags;
+                    result.pa = tlb.applyRemap(e->pbase + (va - e->vbase));
+                }
+                return result;
+            }
+        }
+        return translateSlow(va, type);
+    }
 
     Tlb &itlb() { return _itlb; }
     Tlb &dtlb() { return _dtlb; }
@@ -134,7 +157,28 @@ class Mmu
     };
 
     /** Check leaf flags against the access; Fault::none if allowed. */
-    Fault permissionCheck(std::uint64_t entry, AccessType type) const;
+    Fault
+    permissionCheck(std::uint64_t entry, AccessType type) const
+    {
+        if (type == AccessType::write && !(entry & pte::writable))
+            return Fault::protection;
+        if (type == AccessType::fetch) {
+            bool nx = (entry & pte::noExecute) != 0;
+            if (nx && _policy.faultOnNxFetch)
+                return Fault::nxFetch;
+            if (!nx && _policy.faultOnNonNxFetch)
+                return Fault::nonNxFetch;
+            if (nx && _policy.requiredIsaTag != 0 &&
+                pte::isaTag(entry) != _policy.requiredIsaTag) {
+                // Another NxP's code: migrate (the handler routes by tag).
+                return Fault::nonNxFetch;
+            }
+        }
+        return Fault::none;
+    }
+
+    /** Full translation: canonical check, holes, TLB, walker. */
+    TranslationResult translateSlow(VAddr va, AccessType type);
 
     PageTableWalker _walker;
     Tlb _itlb;

@@ -139,6 +139,10 @@ PageTableManager::protect(Addr cr3, VAddr va, std::uint64_t bytes,
         writeEntry(leaf->table, leaf->index, entry);
         va += granule;
     }
+    // Permission flips can change which PA a fetch resolves to (or
+    // whether it faults); decoded-instruction caches key on PAs with the
+    // old mapping and must drop everything (DESIGN.md §13).
+    _mem.notifyMappingChange();
 }
 
 void
@@ -164,6 +168,9 @@ PageTableManager::unmap(Addr cr3, VAddr va, std::uint64_t bytes)
         writeEntry(leaf->table, leaf->index, 0);
         va += granule;
     }
+    // The physical page may be reallocated and refilled with different
+    // text under a new mapping; drop all predecoded entries.
+    _mem.notifyMappingChange();
 }
 
 std::optional<DebugTranslation>

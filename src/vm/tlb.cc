@@ -19,12 +19,8 @@ Tlb::granuleIdx(std::uint64_t granule)
 const TlbEntry *
 Tlb::lookup(VAddr va)
 {
-    if (_last && _last->valid && va >= _last->vbase &&
-        va < _last->vbase + _last->granule) {
-        _last->lastUse = ++_useClock;
-        _stats.inc("hits");
-        return _last;
-    }
+    if (const TlbEntry *e = lookupLastHit(va))
+        return e;
     for (unsigned g = 0; g < 3; ++g) {
         if (_granCount[g] == 0)
             continue;
@@ -34,11 +30,11 @@ Tlb::lookup(VAddr va)
             TlbEntry &e = _slots[it->second];
             e.lastUse = ++_useClock;
             _last = &e;
-            _stats.inc("hits");
+            ++_hits;
             return &e;
         }
     }
-    _stats.inc("misses");
+    ++_misses;
     return nullptr;
 }
 
@@ -97,7 +93,7 @@ Tlb::insert(VAddr vbase, Addr pbase, std::uint64_t granule,
                 victim = i;
         }
         invalidateSlot(victim);
-        _stats.inc("evictions");
+        ++_evictions;
         slot = _freeSlots.back();
         _freeSlots.pop_back();
         _index[key(vbase, g)] = slot;
@@ -111,7 +107,7 @@ Tlb::insert(VAddr vbase, Addr pbase, std::uint64_t granule,
     e.granule = granule;
     e.flags = flags;
     e.lastUse = ++_useClock;
-    _stats.inc("fills");
+    ++_fills;
 }
 
 void
@@ -121,7 +117,7 @@ Tlb::flushAll()
         if (_slots[i].valid)
             invalidateSlot(i);
     }
-    _stats.inc("flushes");
+    ++_flushes;
 }
 
 void

@@ -64,6 +64,24 @@ class Tlb
     const TlbEntry *lookup(VAddr va);
 
     /**
+     * The last-hit fast path of lookup(), inline for the interpreter
+     * step loop: returns the entry (with identical LRU/stat effects to
+     * lookup()) only when the most recently hit entry covers @p va,
+     * nullptr otherwise — callers fall back to the full lookup().
+     */
+    const TlbEntry *
+    lookupLastHit(VAddr va)
+    {
+        if (_last && _last->valid && va >= _last->vbase &&
+            va < _last->vbase + _last->granule) {
+            _last->lastUse = ++_useClock;
+            ++_hits;
+            return _last;
+        }
+        return nullptr;
+    }
+
+    /**
      * Inspect the entry covering @p va without touching LRU state or
      * statistics (used by kernel code reading cached PTE bits, e.g. the
      * ISA tag in the fault path).
@@ -104,7 +122,22 @@ class Tlb
         return pa;
     }
 
-    StatGroup &stats() { return _stats; }
+    /**
+     * Counters, synced on demand. The hot path (one lookup per fetch and
+     * per data access) bumps raw integers; string-keyed stats are only
+     * materialised when someone asks, so reporting stays off the
+     * interpreter's critical path.
+     */
+    StatGroup &
+    stats()
+    {
+        _stats.set("hits", _hits);
+        _stats.set("misses", _misses);
+        _stats.set("fills", _fills);
+        _stats.set("evictions", _evictions);
+        _stats.set("flushes", _flushes);
+        return _stats;
+    }
 
   private:
     /** 4K/2M/1G -> 0/1/2, for composing index keys. */
@@ -129,6 +162,11 @@ class Tlb
     Addr _remapBase = 0;
     std::uint64_t _remapSize = 0;
     Addr _remapOffset = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _fills = 0;
+    std::uint64_t _evictions = 0;
+    std::uint64_t _flushes = 0;
     StatGroup _stats;
 };
 

@@ -70,5 +70,54 @@ TEST(ICache, LoopWorkingSetFits)
     }
 }
 
+TEST(ICache, PerDeviceStatSplitMirrorsBaseKeys)
+{
+    // The `_dev#` split keys follow the fleet-wide flick.* counter
+    // convention; with one cache per device each split key must equal
+    // its base key exactly.
+    ICache c("nxp2.icache", 16, 64, 2);
+    c.access(0x1000);
+    c.access(0x1000);
+    c.access(0x2000);
+    c.flush();
+    StatGroup &s = c.stats();
+    EXPECT_EQ(s.get("misses"), 2u);
+    EXPECT_EQ(s.get("hits"), 1u);
+    EXPECT_EQ(s.get("flushes"), 1u);
+    EXPECT_EQ(s.get("misses_dev2"), s.get("misses"));
+    EXPECT_EQ(s.get("hits_dev2"), s.get("hits"));
+    EXPECT_EQ(s.get("flushes_dev2"), s.get("flushes"));
+    // No leakage into other devices' keys.
+    EXPECT_EQ(s.get("misses_dev0"), 0u);
+    EXPECT_EQ(s.get("hits_dev0"), 0u);
+}
+
+TEST(ICache, DeviceZeroSplitMatchesDefaultCtor)
+{
+    ICache c("host.icache", 16, 64); // device defaults to 0
+    c.access(0x1000);
+    c.access(0x1000);
+    StatGroup &s = c.stats();
+    EXPECT_EQ(s.get("hits_dev0"), 1u);
+    EXPECT_EQ(s.get("misses_dev0"), 1u);
+}
+
+TEST(ICache, DisabledCacheCountsNothing)
+{
+    ICache c("ic", 16, 64, 0, /*enabled=*/false);
+    EXPECT_FALSE(c.enabled());
+    // Every access reports a hit (no fill charge), nothing is counted,
+    // and flush is a no-op.
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x2000));
+    c.flush();
+    EXPECT_TRUE(c.access(0x1000));
+    StatGroup &s = c.stats(); // asserts counters are all zero
+    EXPECT_EQ(s.get("hits"), 0u);
+    EXPECT_EQ(s.get("misses"), 0u);
+    EXPECT_EQ(s.get("flushes"), 0u);
+    EXPECT_EQ(s.get("hits_dev0"), 0u);
+}
+
 } // namespace
 } // namespace flick

@@ -300,5 +300,342 @@ TEST_P(Hx64Fuzz, CmpAndConditionsMatchGoldenModel)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Hx64Fuzz, ::testing::Range(0, 8));
 
+// --- Decode-cache coherence (DESIGN.md §13) -------------------------------
+//
+// Each scenario that can make predecoded text stale — a core storing to
+// its own text page, another core storing to a page someone else has
+// cached, an mprotect flip — runs on a cached core and a reference
+// (withDecodeCache-off) core in identical environments. The cached core
+// must observe new bytes or fault exactly as the reference does, at the
+// same tick.
+
+/**
+ * Text page (optionally guest-writable), a second text page, a
+ * writable alias of the first text page, and a stack page.
+ */
+class CoherenceEnv
+{
+  public:
+    explicit CoherenceEnv(bool writable_text)
+        : mem(timing, platform), alloc("t", 0x100000, 16 << 20),
+          ptm(mem, alloc)
+    {
+        cr3 = ptm.createRoot();
+        text_pa = alloc.allocate(4096);
+        text2_pa = alloc.allocate(4096);
+        stack_pa = alloc.allocate(4096);
+        ptm.map(cr3, codeVa, text_pa, 4096, PageSize::size4K,
+                pte::user | (writable_text ? pte::writable : 0));
+        ptm.map(cr3, code2Va, text2_pa, 4096, PageSize::size4K, pte::user);
+        ptm.map(cr3, aliasVa, text_pa, 4096, PageSize::size4K,
+                pte::user | pte::writable);
+        ptm.map(cr3, stackVa, stack_pa, 4096, PageSize::size4K,
+                pte::user | pte::writable);
+    }
+
+    static constexpr VAddr codeVa = 0x400000;
+    static constexpr VAddr code2Va = 0x410000;
+    static constexpr VAddr aliasVa = 0x500000;
+    static constexpr VAddr stackVa = 0x600000;
+
+    void
+    setCode(Addr pa, const void *bytes, std::size_t len)
+    {
+        mem.hostDram().write(pa, bytes, len);
+    }
+
+    TimingConfig timing;
+    PlatformConfig platform;
+    MemSystem mem;
+    PhysAllocator alloc;
+    PageTableManager ptm;
+    Addr cr3 = 0;
+    Addr text_pa = 0;
+    Addr text2_pa = 0;
+    Addr stack_pa = 0;
+};
+
+CoreParams
+coherenceParams(const char *name, Requester requester, std::uint64_t freq,
+                bool decode_cache)
+{
+    CoreParams p;
+    p.name = name;
+    p.requester = requester;
+    p.freqHz = freq;
+    p.decodeCache = decode_cache;
+    return p;
+}
+
+/**
+ * HX64 program that patches the immediate of a function it has already
+ * executed (and therefore cached), then calls it again:
+ *
+ *     start:  cmp rdx, 1
+ *             je second          # second pass skips the patching
+ *             call target        # rcx := 111, fills the decode cache
+ *             mov rax, 222
+ *             st32 [r13+48], rax # overwrite target's imm32 in text
+ *             mov rdx, 1
+ *             jmp start
+ *     second: call target        # must now produce rcx == 222
+ *             halt
+ *     target: mov rcx, 111       # imm32 lives at offset 48
+ *             ret
+ */
+std::vector<std::uint8_t>
+hx64SmcProgram()
+{
+    using namespace hx64;
+    auto le32 = [](std::vector<std::uint8_t> &v, std::uint32_t x) {
+        for (int i = 0; i < 4; ++i)
+            v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+    };
+    std::vector<std::uint8_t> v;
+    v.insert(v.end(), {opCmpI, 0x02});          // 0: cmp rdx, 1
+    le32(v, 1);
+    v.insert(v.end(), {opJcc, ccEq});           // 6: je +28 (-> 40)
+    le32(v, 28);
+    v.push_back(opCall);                        // 12: call +29 (-> 46)
+    le32(v, 29);
+    v.insert(v.end(), {opMovI32, 0x00});        // 17: mov rax, 222
+    le32(v, 222);
+    v.insert(v.end(), {opSt32, 0xd0});          // 23: st32 [r13+48], rax
+    le32(v, 48);
+    v.insert(v.end(), {opMovI32, 0x02});        // 29: mov rdx, 1
+    le32(v, 1);
+    v.push_back(opJmp);                         // 35: jmp -40 (-> 0)
+    le32(v, static_cast<std::uint32_t>(-40));
+    v.push_back(opCall);                        // 40: call +1 (-> 46)
+    le32(v, 1);
+    v.push_back(opHalt);                        // 45
+    v.insert(v.end(), {opMovI32, 0x01});        // 46: mov rcx, 111
+    le32(v, 111);
+    v.push_back(opRet);                         // 52
+    return v;
+}
+
+TEST(DecodeCacheCoherence, Hx64SelfModifyingCodeObservedByCachedCore)
+{
+    std::vector<std::uint8_t> program = hx64SmcProgram();
+
+    auto runOne = [&](bool cached, std::uint64_t &rcx, Tick &ticks,
+                      std::uint64_t &instructions) {
+        CoherenceEnv env(true);
+        env.setCode(env.text_pa, program.data(), program.size());
+        Hx64Core core(coherenceParams("host", Requester::hostCore,
+                                      2'400'000'000ull, cached),
+                      env.mem);
+        core.mmu().setCr3(env.cr3);
+        core.setReg(hx64::rsp, CoherenceEnv::stackVa + 2048);
+        core.setReg(hx64::r13, CoherenceEnv::codeVa);
+        core.setPc(CoherenceEnv::codeVa);
+        RunResult r = core.run(200);
+        EXPECT_EQ(r.stop, Fault::halt);
+        rcx = core.reg(hx64::rcx);
+        ticks = r.elapsed;
+        instructions = r.instructions;
+        if (cached) {
+            // The cached core really did dispatch through the cache and
+            // really did drop the patched page.
+            EXPECT_GT(core.stats().get("decode_cache_fills"), 0u);
+            EXPECT_GE(core.stats().get("decode_cache_invalidated_pages"),
+                      1u);
+        }
+    };
+
+    std::uint64_t rcxC = 0, rcxR = 0, insC = 0, insR = 0;
+    Tick tickC = 0, tickR = 0;
+    runOne(true, rcxC, tickC, insC);
+    runOne(false, rcxR, tickR, insR);
+
+    EXPECT_EQ(rcxC, 222u) << "cached core executed stale text";
+    EXPECT_EQ(rcxR, 222u);
+    EXPECT_EQ(tickC, tickR);
+    EXPECT_EQ(insC, insR);
+}
+
+TEST(DecodeCacheCoherence, Rv64SelfModifyingCodeObservedByCachedCore)
+{
+    using namespace rv64;
+    // Same shape in RV64: patch the addi imm of an already-executed
+    // (cached) function through a store, then call it again.
+    std::uint32_t patched = encI(opImm, 7, 0, 0, 222); // addi t2, x0, 222
+    std::uint32_t hi = (patched + 0x800) >> 12;
+    std::int64_t lo = sext(patched & 0xfff, 12);
+    std::uint32_t program[] = {
+        encB(opBranch, 1, 5, 0, 28),       //  0: bne t0, x0, second
+        encJ(opJal, 1, 32),                //  4: jal ra, target
+        encU(opLui, 29, hi),               //  8: lui t4, %hi(patched)
+        encI(opImm, 29, 0, 29, lo),        // 12: addi t4, t4, %lo
+        encS(opStore, 2, 21, 29, 36),      // 16: sw t4, 36(s5)
+        encI(opImm, 5, 0, 0, 1),           // 20: addi t0, x0, 1
+        encJ(opJal, 0, -24),               // 24: j start
+        encJ(opJal, 1, 8),                 // 28: second: jal ra, target
+        0x00100073,                        // 32: ebreak
+        encI(opImm, 7, 0, 0, 111),         // 36: target: addi t2, x0, 111
+        encI(opJalr, 0, 0, 1, 0),          // 40: ret
+    };
+
+    auto runOne = [&](bool cached, std::uint64_t &t2, Tick &ticks,
+                      std::uint64_t &instructions) {
+        CoherenceEnv env(true);
+        env.setCode(env.text_pa, program, sizeof program);
+        Rv64Core core(coherenceParams("nxp", Requester::nxpCore,
+                                      200'000'000, cached),
+                      env.mem);
+        core.mmu().setCr3(env.cr3);
+        core.setReg(21, CoherenceEnv::codeVa); // s5 = text base
+        core.setPc(CoherenceEnv::codeVa);
+        RunResult r = core.run(200);
+        EXPECT_EQ(r.stop, Fault::halt);
+        t2 = core.reg(7);
+        ticks = r.elapsed;
+        instructions = r.instructions;
+        if (cached) {
+            EXPECT_GT(core.stats().get("decode_cache_fills"), 0u);
+            EXPECT_GE(core.stats().get("decode_cache_invalidated_pages"),
+                      1u);
+        }
+    };
+
+    std::uint64_t t2C = 0, t2R = 0, insC = 0, insR = 0;
+    Tick tickC = 0, tickR = 0;
+    runOne(true, t2C, tickC, insC);
+    runOne(false, t2R, tickR, insR);
+    EXPECT_EQ(t2C, 222u) << "cached core executed stale text";
+    EXPECT_EQ(t2R, 222u);
+    EXPECT_EQ(tickC, tickR);
+    EXPECT_EQ(insC, insR);
+}
+
+TEST(DecodeCacheCoherence, CrossCoreWriteInvalidatesOtherCoresCachedPage)
+{
+    using namespace hx64;
+    // Core A (RV64) executes codeVa and caches its decode; core B (HX64)
+    // stores a new first instruction through the writable alias of the
+    // same physical page; core A re-runs and must see the new bytes.
+    std::uint32_t insn111 = rv64::encI(rv64::opImm, 7, 0, 0, 111);
+    std::uint32_t insn222 = rv64::encI(rv64::opImm, 7, 0, 0, 222);
+    std::uint32_t aCode[] = {insn111, 0x00100073}; // addi t2; ebreak
+
+    std::vector<std::uint8_t> bCode;
+    bCode.insert(bCode.end(), {opMovI64, 0x00}); // mov rax, insn222
+    for (int i = 0; i < 8; ++i)
+        bCode.push_back(static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(insn222) >> (8 * i)));
+    bCode.insert(bCode.end(), {opSt32, 0xd0, 0, 0, 0, 0}); // st32 [r13+0]
+    bCode.push_back(opHalt);
+
+    auto runPair = [&](bool cached, std::uint64_t &first,
+                       std::uint64_t &second, Tick &total) {
+        CoherenceEnv env(false);
+        env.setCode(env.text_pa, aCode, sizeof aCode);
+        env.setCode(env.text2_pa, bCode.data(), bCode.size());
+        Rv64Core a(coherenceParams("nxp", Requester::nxpCore, 200'000'000,
+                                   cached),
+                   env.mem);
+        Hx64Core b(coherenceParams("host", Requester::hostCore,
+                                   2'400'000'000ull, cached),
+                   env.mem);
+        a.mmu().setCr3(env.cr3);
+        b.mmu().setCr3(env.cr3);
+
+        a.setPc(CoherenceEnv::codeVa);
+        RunResult ra = a.run(10);
+        EXPECT_EQ(ra.stop, Fault::halt);
+        first = a.reg(7);
+
+        b.setReg(r13, CoherenceEnv::aliasVa);
+        b.setPc(CoherenceEnv::code2Va);
+        RunResult rb = b.run(10);
+        EXPECT_EQ(rb.stop, Fault::halt);
+
+        a.setPc(CoherenceEnv::codeVa);
+        RunResult ra2 = a.run(10);
+        EXPECT_EQ(ra2.stop, Fault::halt);
+        second = a.reg(7);
+        total = ra.elapsed + rb.elapsed + ra2.elapsed;
+        if (cached) {
+            EXPECT_GE(a.stats().get("decode_cache_invalidated_pages"), 1u);
+        }
+    };
+
+    std::uint64_t firstC = 0, secondC = 0, firstR = 0, secondR = 0;
+    Tick totalC = 0, totalR = 0;
+    runPair(true, firstC, secondC, totalC);
+    runPair(false, firstR, secondR, totalR);
+    EXPECT_EQ(firstC, 111u);
+    EXPECT_EQ(secondC, 222u) << "cached core missed a cross-core write";
+    EXPECT_EQ(firstR, 111u);
+    EXPECT_EQ(secondR, 222u);
+    EXPECT_EQ(totalC, totalR);
+}
+
+TEST(DecodeCacheCoherence, MprotectFlipFaultsAndRecoversExactly)
+{
+    using namespace rv64;
+    std::uint32_t code[] = {
+        encI(opImm, 7, 0, 0, 111), // addi t2, x0, 111
+        0x00100073,                // ebreak
+    };
+
+    struct Stage
+    {
+        Fault stop;
+        VAddr faultVa;
+        Tick elapsed;
+        std::uint64_t t2;
+    };
+    auto runStages = [&](bool cached) {
+        CoherenceEnv env(false);
+        env.setCode(env.text_pa, code, sizeof code);
+        CoreParams params = coherenceParams("nxp", Requester::nxpCore,
+                                            200'000'000, cached);
+        params.mmuPolicy.faultOnNxFetch = true;
+        Rv64Core core(params, env.mem);
+        core.mmu().setCr3(env.cr3);
+
+        std::vector<Stage> stages;
+        auto runOnce = [&] {
+            core.setReg(7, 0);
+            core.setPc(CoherenceEnv::codeVa);
+            RunResult r = core.run(10);
+            stages.push_back({r.stop, r.faultVa, r.elapsed, core.reg(7)});
+        };
+        runOnce(); // executes, fills the cache
+        env.ptm.protect(env.cr3, CoherenceEnv::codeVa, 4096,
+                        pte::noExecute, 0);
+        core.mmu().flushTlbs();
+        runOnce(); // must fault on fetch
+        env.ptm.protect(env.cr3, CoherenceEnv::codeVa, 4096, 0,
+                        pte::noExecute);
+        core.mmu().flushTlbs();
+        runOnce(); // executable again
+        if (cached) {
+            EXPECT_GE(core.stats().get("decode_cache_invalidated_pages"),
+                      1u);
+        }
+        return stages;
+    };
+
+    std::vector<Stage> cached = runStages(true);
+    std::vector<Stage> reference = runStages(false);
+    ASSERT_EQ(cached.size(), reference.size());
+
+    EXPECT_EQ(cached[0].stop, Fault::halt);
+    EXPECT_EQ(cached[0].t2, 111u);
+    EXPECT_EQ(cached[1].stop, Fault::nxFetch);
+    EXPECT_EQ(cached[1].faultVa, CoherenceEnv::codeVa);
+    EXPECT_EQ(cached[2].stop, Fault::halt);
+    EXPECT_EQ(cached[2].t2, 111u);
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+        EXPECT_EQ(cached[i].stop, reference[i].stop) << "stage " << i;
+        EXPECT_EQ(cached[i].faultVa, reference[i].faultVa) << "stage " << i;
+        EXPECT_EQ(cached[i].elapsed, reference[i].elapsed) << "stage " << i;
+        EXPECT_EQ(cached[i].t2, reference[i].t2) << "stage " << i;
+    }
+}
+
 } // namespace
 } // namespace flick
