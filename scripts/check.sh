@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
 # plus a Debug + ThreadSanitizer build running the concurrency-,
-# chaos-, device_fault-, trace-, policy-, fabric- and interp-labeled
-# tests (the
+# chaos-, device_fault-, trace-, policy-, fabric-, qos- and
+# interp-labeled tests (the
 # event-driven migration engine's interleaved continuation chains, the
 # fault-recovery and failover paths, the N-device batching/admission
 # machinery and the trace instrumentation riding along them are where
@@ -52,6 +52,10 @@ echo "== release build, fabric label =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L fabric
 
 echo
+echo "== release build, qos label (multi-tenant QoS & load generator) =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L qos
+
+echo
 echo "== release build, interp label (differential interpreter suite) =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L interp
 
@@ -68,19 +72,24 @@ echo "== placement bench, 8-device fabric smoke =="
 ./build/bench/bench_placement --devices=8 --smoke
 
 echo
+echo "== SLO bench, smoke mode (overload-survival gates) =="
+./build/bench/bench_slo --smoke
+
+echo
 echo "== debug + tsan build, concurrency/chaos/trace/policy/fabric/interp tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
              device_fault_test trace_test policy_test fabric_scale_test \
-             interp_diff_test isa_fuzz_test roundtrip_test
+             qos_test interp_diff_test isa_fuzz_test roundtrip_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L trace
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L policy
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L fabric
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L qos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L interp
 
 echo

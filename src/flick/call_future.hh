@@ -51,6 +51,20 @@ enum class CallStatus
 /** Printable status name. */
 const char *callStatusName(CallStatus status);
 
+/**
+ * Why a call with status shedLoad was refused (DESIGN.md §14). The
+ * legacy per-device admission cap reports queueFull (the fabric's
+ * rings are the queue that is full); the QoS front door distinguishes
+ * all three.
+ */
+enum class ShedReason
+{
+    none,               //!< Not shed (status != shedLoad).
+    queueFull,          //!< Fabric at cap, or tenant queue full.
+    deadlineInfeasible, //!< Estimated completion misses the deadline.
+    tenantOverBudget,   //!< Tenant at its in-flight budget, no queueing.
+};
+
 /** Shared completion state between the engine and the future. */
 struct CallFutureState
 {
@@ -58,6 +72,7 @@ struct CallFutureState
     CallStatus status = CallStatus::pending;
     std::uint64_t value = 0;
     int pid = 0;
+    ShedReason shedReason = ShedReason::none;
 };
 
 /**
@@ -86,6 +101,13 @@ class CallFuture
 
     /** PID of the thread executing the call. */
     int pid() const { return _state ? _state->pid : 0; }
+
+    /** Why the call was shed; none unless status() is shedLoad. */
+    ShedReason
+    shedReason() const
+    {
+        return _state ? _state->shedReason : ShedReason::none;
+    }
 
     /**
      * Drive the simulation until this call completes; returns the

@@ -1,0 +1,32 @@
+#include "flick/qos.hh"
+
+namespace flick
+{
+
+const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+      case ShedReason::none: return "none";
+      case ShedReason::queueFull: return "queueFull";
+      case ShedReason::deadlineInfeasible: return "deadlineInfeasible";
+      case ShedReason::tenantOverBudget: return "tenantOverBudget";
+    }
+    return "?";
+}
+
+const char *
+qosOutcomeName(QosArrival::Outcome outcome)
+{
+    switch (outcome) {
+      case QosArrival::Outcome::admitted: return "admitted";
+      case QosArrival::Outcome::queued: return "queued";
+      case QosArrival::Outcome::shed: return "shed";
+      case QosArrival::Outcome::dequeued: return "dequeued";
+      case QosArrival::Outcome::shedAtDequeue: return "shedAtDequeue";
+      case QosArrival::Outcome::cancelledQueued: return "cancelledQueued";
+    }
+    return "?";
+}
+
+} // namespace flick

@@ -342,23 +342,129 @@ MigrationEngine::submit(Task &task, VAddr entry,
     }
     if (_exec.count(task.pid))
         panic("task %d already has a call in flight", task.pid);
+    if (_qos.enabled && _qosQueuedPid.count(task.pid))
+        panic("task %d already has a call queued", task.pid);
+
+    unsigned tenant = 0;
+    if (_qos.enabled) {
+        tenant = registerTenant(task.cr3);
+        tenantStat("qos.submitted", tenant);
+    }
 
     if (_admissionCap && fabricSaturated()) {
         // Admission control: every live device is at its in-flight cap,
         // so the call is refused at the front door. The future completes
         // right here — nothing is queued, no event is scheduled, and the
         // caller can retry or degrade immediately.
-        auto shed = std::make_shared<CallFutureState>();
-        shed->pid = task.pid;
-        shed->value = 0;
-        shed->status = CallStatus::shedLoad;
-        shed->done = true;
         _stats.inc("admission.shed");
-        return CallFuture(std::move(shed), this);
+        if (_qos.enabled) {
+            tenantStat("qos.shed", tenant);
+            tenantStat("qos.shed.queue_full", tenant);
+            recordArrival(tenant, task.pid, QosArrival::Outcome::shed,
+                          ShedReason::queueFull, 0);
+        }
+        return shedFuture(task, ShedReason::queueFull);
     }
 
-    auto state = std::make_shared<CallFutureState>();
-    state->pid = task.pid;
+    Tick abs_deadline = 0;
+    if (opts.deadline)
+        abs_deadline = _events.now() + opts.deadline;
+    else if (_callDeadline)
+        abs_deadline = _events.now() + _callDeadline;
+
+    if (!_qos.enabled) {
+        return admitCall(task, entry, args, stack_top, abs_deadline,
+                         opts.placementHint, nullptr);
+    }
+
+    // --- The QoS front door (DESIGN.md §14) ---------------------------
+
+    // Deadline-aware admission: estimate this call's completion time
+    // (shared cost model + the tenant's own backlog) and shed it now,
+    // before it occupies a ring slot, if the deadline cannot be met.
+    Tick estimate = admissionEstimate(task.cr3, entry, tenant);
+    if (abs_deadline && _qos.deadlineAdmission &&
+        _events.now() + estimate > abs_deadline) {
+        tenantStat("qos.shed", tenant);
+        tenantStat("qos.shed.deadline_infeasible", tenant);
+        recordArrival(tenant, task.pid, QosArrival::Outcome::shed,
+                      ShedReason::deadlineInfeasible, estimate);
+        return shedFuture(task, ShedReason::deadlineInfeasible);
+    }
+
+    if (_tenants.inFlight(tenant) >= effectiveTenantBudget()) {
+        if (_qos.tenantQueueCap == 0) {
+            // Queueing disabled: a strict budget, shed on the spot.
+            tenantStat("qos.shed", tenant);
+            tenantStat("qos.shed.tenant_over_budget", tenant);
+            recordArrival(tenant, task.pid, QosArrival::Outcome::shed,
+                          ShedReason::tenantOverBudget, estimate);
+            return shedFuture(task, ShedReason::tenantOverBudget);
+        }
+        if (_tenants.queued(tenant) >= _qos.tenantQueueCap) {
+            tenantStat("qos.shed", tenant);
+            tenantStat("qos.shed.queue_full", tenant);
+            recordArrival(tenant, task.pid, QosArrival::Outcome::shed,
+                          ShedReason::queueFull, estimate);
+            return shedFuture(task, ShedReason::queueFull);
+        }
+        // Over budget but the queue has room: park the call. Its future
+        // is pending; weighted fair dequeue admits it when the tenant's
+        // budget frees up (pumpQosQueues).
+        auto state = std::make_shared<CallFutureState>();
+        state->pid = task.pid;
+        QosPending p;
+        p.task = &task;
+        p.entry = entry;
+        p.args = args;
+        p.stackTop = stack_top;
+        p.placementHint = opts.placementHint;
+        p.absDeadline = abs_deadline;
+        p.enqueued = _events.now();
+        p.future = state;
+        _qosQueues[tenant].push_back(std::move(p));
+        _qosQueuedPid[task.pid] = tenant;
+        _tenants.onEnqueue(tenant);
+        tenantStat("qos.queued", tenant);
+        recordArrival(tenant, task.pid, QosArrival::Outcome::queued,
+                      ShedReason::none, estimate);
+        return CallFuture(std::move(state), this);
+    }
+
+    tenantStat("qos.admitted", tenant);
+    recordArrival(tenant, task.pid, QosArrival::Outcome::admitted,
+                  ShedReason::none, estimate);
+    return admitCall(task, entry, args, stack_top, abs_deadline,
+                     opts.placementHint, nullptr);
+}
+
+CallFuture
+MigrationEngine::shedFuture(Task &task, ShedReason reason)
+{
+    // A shed call completes without allocating a call frame, touching a
+    // ring staging slot or scheduling an event: the future is the only
+    // thing created, and the engine's clocks, rings and counters (bar
+    // the shed counters charged by the caller) are untouched.
+    auto shed = std::make_shared<CallFutureState>();
+    shed->pid = task.pid;
+    shed->value = 0;
+    shed->status = CallStatus::shedLoad;
+    shed->shedReason = reason;
+    shed->done = true;
+    return CallFuture(std::move(shed), this);
+}
+
+CallFuture
+MigrationEngine::admitCall(Task &task, VAddr entry,
+                           const std::vector<std::uint64_t> &args,
+                           VAddr stack_top, Tick abs_deadline,
+                           int placement_hint,
+                           std::shared_ptr<CallFutureState> state)
+{
+    if (!state) {
+        state = std::make_shared<CallFutureState>();
+        state->pid = task.pid;
+    }
     TaskExec x;
     x.task = &task;
     x.future = state;
@@ -366,11 +472,14 @@ MigrationEngine::submit(Task &task, VAddr entry,
     x.entry = entry;
     x.args = args;
     x.stackTop = stack_top;
-    x.placementHint = opts.placementHint;
-    if (opts.deadline)
-        x.deadline = _events.now() + opts.deadline;
-    else if (_callDeadline)
-        x.deadline = _events.now() + _callDeadline;
+    x.placementHint = placement_hint;
+    x.deadline = abs_deadline;
+    if (_qos.enabled) {
+        x.qosAdmitted = true;
+        x.tenant = registerTenant(task.cr3);
+        x.admitted = _events.now();
+        _tenants.onAdmit(x.tenant);
+    }
     bool deadlined = x.deadline != 0;
     _exec.emplace(task.pid, std::move(x));
     _stats.inc("calls_submitted");
@@ -383,6 +492,136 @@ MigrationEngine::submit(Task &task, VAddr entry,
     _kernel.enqueueRunnable(task);
     kickHost();
     return CallFuture(std::move(state), this);
+}
+
+unsigned
+MigrationEngine::registerTenant(Addr cr3)
+{
+    unsigned tenant = _tenants.tenantOf(cr3);
+    if (_qosQueues.size() <= tenant)
+        _qosQueues.resize(tenant + 1);
+    return tenant;
+}
+
+unsigned
+MigrationEngine::aliveDeviceCount() const
+{
+    unsigned n = 0;
+    for (const NxpSide &s : _nxp) {
+        if (s.health != DeviceHealth::quarantined)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+MigrationEngine::effectiveTenantBudget() const
+{
+    unsigned budget = _qos.tenantInFlight ? _qos.tenantInFlight : 1;
+    unsigned total = static_cast<unsigned>(_nxp.size());
+    if (!total)
+        return budget;
+    // Quarantined devices propagate their capacity loss into the
+    // admission budget: the per-tenant budget shrinks with the alive
+    // fraction of the fabric, but never below one so a degraded fabric
+    // still drains.
+    unsigned eff = budget * aliveDeviceCount() / total;
+    return eff ? eff : 1;
+}
+
+Tick
+MigrationEngine::admissionEstimate(Addr cr3, VAddr entry,
+                                   unsigned tenant) const
+{
+    // Per-call service estimate, most-informed source first: the
+    // placement policy's learned EWMAs (the same model that steers
+    // dispatch), the QoS layer's own end-to-end entry model, then the
+    // analytic single-crossing floor for never-seen callees.
+    Tick service = _policy ? _policy->estimateCall(cr3, entry) : 0;
+    if (!service)
+        service = _qosModel.estimate(cr3, entry);
+    if (!service)
+        service = crossingCostEstimate();
+    // Queueing delay: the tenant's own backlog (in-flight + queued
+    // calls) serialized over the alive share of the fabric. Another
+    // tenant's burst never inflates this estimate — its interference is
+    // bounded by that tenant's own budget instead.
+    unsigned alive = aliveDeviceCount();
+    if (!alive)
+        alive = 1;
+    std::uint64_t ahead =
+        _tenants.inFlight(tenant) + _tenants.queued(tenant);
+    return service + service * ahead / alive;
+}
+
+void
+MigrationEngine::pumpQosQueues()
+{
+    if (!_qos.enabled)
+        return;
+    for (;;) {
+        unsigned budget = effectiveTenantBudget();
+        int pick = _tenants.pick(
+            [budget](unsigned) { return budget; },
+            [this](unsigned t) { return _qos.weight(t); });
+        if (pick < 0)
+            break;
+        // Respect the legacy fabric cap too: pulling a queued call into
+        // a saturated fabric would only shed it deeper in.
+        if (_admissionCap && fabricSaturated())
+            break;
+        auto tenant = static_cast<unsigned>(pick);
+        QosPending p = std::move(_qosQueues[tenant].front());
+        _qosQueues[tenant].pop_front();
+        _qosQueuedPid.erase(p.task->pid);
+        _tenants.onDequeue(tenant);
+        // Deadline feasibility again, now that queueing burned part of
+        // the call's deadline budget.
+        Tick estimate = admissionEstimate(p.task->cr3, p.entry, tenant);
+        if (p.absDeadline && _qos.deadlineAdmission &&
+            _events.now() + estimate > p.absDeadline) {
+            tenantStat("qos.shed", tenant);
+            tenantStat("qos.shed.deadline_infeasible", tenant);
+            recordArrival(tenant, p.task->pid,
+                          QosArrival::Outcome::shedAtDequeue,
+                          ShedReason::deadlineInfeasible, estimate);
+            p.future->value = 0;
+            p.future->status = CallStatus::shedLoad;
+            p.future->shedReason = ShedReason::deadlineInfeasible;
+            p.future->done = true;
+            continue;
+        }
+        _tenants.charge(tenant);
+        tenantStat("qos.dequeued", tenant);
+        recordArrival(tenant, p.task->pid, QosArrival::Outcome::dequeued,
+                      ShedReason::none, estimate);
+        admitCall(*p.task, p.entry, p.args, p.stackTop, p.absDeadline,
+                  p.placementHint, std::move(p.future));
+    }
+}
+
+void
+MigrationEngine::cancelQueuedCall(int pid, unsigned tenant)
+{
+    auto &queue = _qosQueues[tenant];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (it->task->pid != pid)
+            continue;
+        it->future->value = 0;
+        it->future->status = CallStatus::cancelled;
+        it->future->done = true;
+        _qosQueuedPid.erase(pid);
+        _tenants.onDequeue(tenant);
+        _stats.inc("calls_failed");
+        _stats.inc("cancellations");
+        tenantStat("qos.cancelled_queued", tenant);
+        recordArrival(tenant, pid, QosArrival::Outcome::cancelledQueued,
+                      ShedReason::none, 0);
+        queue.erase(it);
+        return;
+    }
+    panic("queued call of pid %d missing from tenant %u's queue", pid,
+          tenant);
 }
 
 bool
@@ -1090,8 +1329,18 @@ MigrationEngine::completeCall(TaskExec &x, std::uint64_t value)
     x.future->done = true;
     _stats.inc("calls_completed");
     tracePoint(TracePoint::callComplete, x.task->pid, x.id, 0, value);
+    bool was_qos = x.qosAdmitted;
+    unsigned tenant = x.tenant;
+    if (was_qos) {
+        // Feed the admission estimator with the observed end-to-end
+        // latency and give the tenant's freed budget slot away.
+        _qosModel.record(x.task->cr3, x.entry, _events.now() - x.admitted);
+        _tenants.onRetire(tenant);
+    }
     _exec.erase(x.task->pid);
     traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
+    if (was_qos)
+        pumpQosQueues();
     releaseHost();
 }
 
@@ -1880,6 +2129,13 @@ MigrationEngine::killDevice(unsigned device)
 bool
 MigrationEngine::cancelCall(int pid)
 {
+    auto qit = _qosQueuedPid.find(pid);
+    if (qit != _qosQueuedPid.end()) {
+        // The call never entered the engine; lift it straight out of
+        // its tenant's submission queue.
+        cancelQueuedCall(pid, qit->second);
+        return true;
+    }
     auto it = _exec.find(pid);
     if (it == _exec.end() || it->second.future->done)
         return false;
@@ -1972,6 +2228,12 @@ MigrationEngine::quarantineDevice(unsigned device)
         return;
     s.health = DeviceHealth::quarantined;
     protoStat("quarantines", device);
+    if (_qos.enabled) {
+        // The capacity the fabric just lost propagates into admission:
+        // effectiveTenantBudget() shrinks with the alive-device count,
+        // and this counter's _dev# split records who took it away.
+        protoStat("qos.capacity_lost", device);
+    }
 
     // Nothing staged for or by the device will ever be serviced again:
     // drop the in-flight rings, the backpressure queues and any landed-
@@ -2049,11 +2311,20 @@ MigrationEngine::failCall(TaskExec &x, CallStatus status)
     // reusable (resubmit, teardown). In-flight continuations and
     // descriptors of this call die against the generation token.
     Task &task = *x.task;
+    bool was_qos = x.qosAdmitted;
+    unsigned tenant = x.tenant;
     _kernel.removeFromRunQueue(task);
     _kernel.abortMigration(task);
     task.nxpSavedCtx.clear();
     _exec.erase(task.pid);
     traceGauge(TraceGauge::inFlightCalls, 0, _exec.size());
+    if (was_qos) {
+        // Failed calls free the tenant's budget slot like completions,
+        // but deliberately don't feed the cost model — a deadline kill
+        // or device loss is not a service-time sample.
+        _tenants.onRetire(tenant);
+        pumpQosQueues();
+    }
 }
 
 bool

@@ -49,7 +49,9 @@
 #include "flick/descriptor.hh"
 #include "flick/heap.hh"
 #include "flick/nxp_platform.hh"
+#include "flick/qos.hh"
 #include "flick/ring.hh"
+#include "policy/cost_model.hh"
 #include "isa/core.hh"
 #include "mem/dma.hh"
 #include "mem/irq.hh"
@@ -280,6 +282,75 @@ class MigrationEngine
     /** The configured admission cap (0 = off). */
     unsigned admissionCap() const { return _admissionCap; }
 
+    // --- Multi-tenant QoS & overload protection (DESIGN.md §14) --------
+
+    /**
+     * Configure the per-tenant QoS front door (tenant submission
+     * queues, weighted fair dequeue, in-flight budgets and the
+     * deadline-aware admission test). With cfg.enabled false (the
+     * default) submit() takes exactly the pre-QoS path: no container
+     * is touched, no counter is bumped and every run is tick-for-tick
+     * identical to a build without the subsystem.
+     */
+    void setQos(const QosConfig &cfg) { _qos = cfg; }
+
+    /** The active QoS configuration. */
+    const QosConfig &qosConfig() const { return _qos; }
+
+    /**
+     * Record every QoS front-door decision (admitted / queued / shed /
+     * dequeued / cancelled) into arrivalTrace(). Passive debug
+     * instrumentation; off (the default) allocates nothing.
+     */
+    void setArrivalTrace(bool on) { _arrivalTraceOn = on; }
+
+    /** The recorded front-door decisions (setArrivalTrace). */
+    const std::vector<QosArrival> &arrivalTrace() const { return _arrivals; }
+
+    /**
+     * Register @p cr3 as a tenant (idempotent), assigning tenant ids in
+     * registration order — FlickSystem::load() calls this per process,
+     * so tenant k is the k-th loaded process and the per-tenant counter
+     * suffix "_cr3#k" is stable across runs.
+     */
+    unsigned registerTenant(Addr cr3);
+
+    /** Tenant id of @p cr3 (registering it on first sight). */
+    unsigned tenantIndex(Addr cr3) { return registerTenant(cr3); }
+
+    /** Calls of @p tenant admitted into the engine and not yet retired. */
+    unsigned qosInFlight(unsigned tenant) const
+    {
+        return _tenants.inFlight(tenant);
+    }
+
+    /** Calls of @p tenant waiting in its submission queue. */
+    unsigned qosQueued(unsigned tenant) const
+    {
+        return _tenants.queued(tenant);
+    }
+
+    /**
+     * The per-tenant in-flight budget after capacity-loss scaling:
+     * QosConfig::tenantInFlight times the alive fraction of the fabric
+     * (a quarantined device shrinks every tenant's budget), never below
+     * one.
+     */
+    unsigned effectiveTenantBudget() const;
+
+    /**
+     * The admission test's completion-time estimate for a call by
+     * @p cr3 to @p entry: the per-call service estimate (placement
+     * policy EWMAs, then the QoS layer's own end-to-end model, then the
+     * analytic crossingCostEstimate() floor) plus the tenant's own
+     * backlog serialized over the alive share of the fabric. Pure and
+     * side-effect free.
+     */
+    Tick admissionEstimate(Addr cr3, VAddr entry, unsigned tenant) const;
+
+    /** The QoS layer's learned end-to-end cost model. */
+    const CallCostModel &qosCostModel() const { return _qosModel; }
+
     // --- Device health, deadlines and failover -------------------------
 
     /**
@@ -438,6 +509,13 @@ class MigrationEngine
         //! One-shot device preference (SubmitOptions::placementHint),
         //! consumed by the call's first placement decision; -1 = none.
         int placementHint = -1;
+        //! The call passed the QoS front door (its retirement must give
+        //! the tenant's in-flight budget back and pump the queues).
+        bool qosAdmitted = false;
+        //! Tenant id (only meaningful when qosAdmitted).
+        unsigned tenant = 0;
+        //! Admission time; the QoS cost model's sample starts here.
+        Tick admitted = 0;
     };
 
     /** Everything belonging to one NxP device. */
@@ -517,6 +595,76 @@ class MigrationEngine
     void dispatchHost();
     /** Release the host core and look for more work. */
     void releaseHost();
+
+    // --- QoS front door (DESIGN.md §14) --------------------------------
+
+    /** One call parked in a tenant's submission queue. */
+    struct QosPending
+    {
+        Task *task = nullptr;
+        VAddr entry = 0;
+        std::vector<std::uint64_t> args;
+        VAddr stackTop = 0;
+        int placementHint = -1;
+        //! Absolute deadline fixed at submit time: queueing delay burns
+        //! deadline budget, which the dequeue-time re-check observes.
+        Tick absDeadline = 0;
+        Tick enqueued = 0;
+        std::shared_ptr<CallFutureState> future;
+    };
+
+    /**
+     * Complete a refused call on the spot: the returned future is done
+     * with CallStatus::shedLoad and @p reason. Never allocates a call
+     * frame, touches a ring staging slot or schedules an event — the
+     * future is the only thing created (asserted by tests/qos_test.cpp).
+     */
+    CallFuture shedFuture(Task &task, ShedReason reason);
+
+    /**
+     * The pre-QoS submit() body: create the TaskExec and hand the task
+     * to the host scheduler. @p state reuses a queued call's future
+     * (so copies handed out at submit time observe the completion);
+     * nullptr makes a fresh one.
+     */
+    CallFuture admitCall(Task &task, VAddr entry,
+                         const std::vector<std::uint64_t> &args,
+                         VAddr stack_top, Tick abs_deadline,
+                         int placement_hint,
+                         std::shared_ptr<CallFutureState> state);
+
+    /**
+     * Hand freed capacity to the tenant queues: weighted-fair dequeue
+     * while any tenant with queued work is under its effective budget
+     * (and the legacy fabric cap, when configured, is not saturated).
+     * Re-checks deadline feasibility with the time burned queueing.
+     */
+    void pumpQosQueues();
+
+    /** cancelCall() found @p pid parked in @p tenant's queue. */
+    void cancelQueuedCall(int pid, unsigned tenant);
+
+    /** Devices not written off by the health watchdog. */
+    unsigned aliveDeviceCount() const;
+
+    /** Bump the aggregate and the per-tenant (_cr3#k) counter. */
+    void
+    tenantStat(const char *key, unsigned tenant)
+    {
+        _stats.inc(key);
+        _stats.inc(strfmt("%s_cr3#%u", key, tenant));
+    }
+
+    /** Record a front-door decision when the arrival trace is on. */
+    void
+    recordArrival(unsigned tenant, int pid, QosArrival::Outcome outcome,
+                  ShedReason reason, Tick estimate)
+    {
+        if (!_arrivalTraceOn)
+            return;
+        _arrivals.push_back(
+            {_events.now(), tenant, pid, outcome, reason, estimate});
+    }
 
     /** First dispatch of a submitted call: set up and run the entry. */
     void startEntry(TaskExec &x);
@@ -828,6 +976,18 @@ class MigrationEngine
     bool _journalOn = false;
     std::vector<ProtocolEvent> _journal;
     StatGroup _stats;
+
+    // --- QoS state (all dormant while _qos.enabled is false) -----------
+    QosConfig _qos;
+    TenantScheduler _tenants;
+    //! Per-tenant submission queues, indexed by tenant id.
+    std::vector<std::deque<QosPending>> _qosQueues;
+    //! pid -> tenant of every queued call (submit guard, cancel path).
+    std::map<int, unsigned> _qosQueuedPid;
+    //! End-to-end entry-latency EWMAs (the admission fallback model).
+    CallCostModel _qosModel;
+    bool _arrivalTraceOn = false;
+    std::vector<QosArrival> _arrivals;
 };
 
 } // namespace flick

@@ -105,6 +105,8 @@ FlickSystem::FlickSystem(SystemConfig config)
     _engine->setHealthStrikeLimit(_config.healthStrikeLimit);
     _engine->setBatching(_config.batching);
     _engine->setAdmissionCap(_config.admissionCap);
+    _engine->setQos(_config.qos);
+    _engine->setArrivalTrace(_config.arrivalTrace);
 
     // Placement policy (DESIGN.md §11). The policy object always exists
     // (debug().policy() is total), but the engine is only pointed at it
@@ -236,6 +238,11 @@ FlickSystem::load(const Program &program)
     auto proc = std::make_unique<Process>();
     proc->image = _loader.load(image, _config.loadOptions);
     proc->task = &_kernel.createTask(proc->image.cr3);
+    // Tenants (DESIGN.md §14) are numbered in process load order, so the
+    // _cr3#<k> stat suffixes and withTenantWeight() indices are stable
+    // across runs regardless of submission interleaving.
+    if (_config.qos.enabled)
+        _engine->registerTenant(proc->image.cr3);
     proc->task->hostStackTop = proc->image.hostStackTop;
     proc->task->hostStackBytes = _config.loadOptions.hostStackBytes;
     proc->hostHeap = std::make_unique<RegionHeap>(

@@ -147,6 +147,22 @@ struct SystemConfig
      * load-aware placement policies route around saturated devices.
      */
     unsigned admissionCap = 0;
+    /**
+     * Multi-tenant QoS and deadline-aware admission (DESIGN.md §14).
+     * Each loaded process is a tenant keyed by its address space; with
+     * qos.enabled the engine runs per-tenant in-flight budgets, bounded
+     * submission queues with weighted fair dequeue, and deadline-aware
+     * admission shedding. Off by default: a QoS-disabled run is
+     * tick-for-tick identical to a pre-QoS build (tests/qos_test.cpp).
+     */
+    QosConfig qos;
+    /**
+     * Record every QoS front-door decision (admit / queue / shed with
+     * reason) in a per-run arrival trace readable via
+     * FlickSystem::arrivalTrace(). Passive like the tracer: recording
+     * perturbs nothing, but it allocates, so it is opt-in.
+     */
+    bool arrivalTrace = false;
 
     /** Number of NxP devices in the platform (any N >= 1). */
     SystemConfig &
@@ -196,6 +212,43 @@ struct SystemConfig
     withAdmissionControl(unsigned cap)
     {
         admissionCap = cap;
+        return *this;
+    }
+
+    /** Enable (or disable) multi-tenant QoS with default tunables. */
+    SystemConfig &
+    withQos(bool on = true)
+    {
+        qos.enabled = on;
+        return *this;
+    }
+
+    /** Enable multi-tenant QoS with explicit tunables (see `qos`). */
+    SystemConfig &
+    withQos(const QosConfig &cfg)
+    {
+        qos = cfg;
+        qos.enabled = true;
+        return *this;
+    }
+
+    /**
+     * Weighted-fair-dequeue weight of @p tenant (tenants are numbered
+     * in process load order; absent tenants weigh 1). Setting a weight
+     * does not enable QoS by itself — combine with withQos().
+     */
+    SystemConfig &
+    withTenantWeight(unsigned tenant, unsigned weight)
+    {
+        qos.setWeight(tenant, weight);
+        return *this;
+    }
+
+    /** Record QoS front-door decisions (see `arrivalTrace`). */
+    SystemConfig &
+    withArrivalTrace(bool on = true)
+    {
+        arrivalTrace = on;
         return *this;
     }
 
@@ -532,6 +585,27 @@ class FlickSystem
     void dumpStats(std::ostream &os);
 
     const SystemConfig &config() const { return _config; }
+
+    /**
+     * The recorded QoS front-door decisions (empty unless
+     * withArrivalTrace() was set). Grows for the run's lifetime.
+     */
+    const std::vector<QosArrival> &
+    arrivalTrace() const
+    {
+        return _engine->arrivalTrace();
+    }
+
+    /**
+     * QoS tenant id of @p process (its index in load order). Meaningful
+     * with QoS enabled; this is the <k> in the per-tenant _cr3#<k> stat
+     * suffixes and the index withTenantWeight() takes.
+     */
+    unsigned
+    tenantIndex(const Process &process)
+    {
+        return _engine->tenantIndex(process.image.cr3);
+    }
 
     /**
      * Raw access to the simulated components, for tests, tools and

@@ -180,6 +180,21 @@ class PlacementPolicy
     {
         (void)cr3, (void)canonical, (void)latency;
     }
+
+    /**
+     * Learned end-to-end latency estimate for a call to (cr3,
+     * canonical); 0 = the policy has no model for it. The QoS admission
+     * test (DESIGN.md §14) consults this so shedding decisions are made
+     * with the same cost model that steers placement; the default says
+     * "unknown" and admission falls back to its own end-to-end EWMAs
+     * and the analytic crossing floor.
+     */
+    virtual Tick
+    estimateCall(Addr cr3, VAddr canonical) const
+    {
+        (void)cr3, (void)canonical;
+        return 0;
+    }
 };
 
 /**

@@ -5,14 +5,6 @@
 namespace flick
 {
 
-Tick
-ProfileGuidedPlacement::blend(Tick avg, Tick sample, unsigned shift)
-{
-    auto a = static_cast<std::int64_t>(avg);
-    auto s = static_cast<std::int64_t>(sample);
-    return static_cast<Tick>(a + ((s - a) >> shift));
-}
-
 PlacementDecision
 ProfileGuidedPlacement::place(const PlacementQuery &query,
                               const PlacementCandidates &cands,
@@ -80,7 +72,8 @@ ProfileGuidedPlacement::recordDeviceCall(Addr cr3, VAddr canonical,
     FnProfile &m = _model[{cr3, canonical}];
     m.deviceEwma = m.deviceSamples == 0
                        ? latency
-                       : blend(m.deviceEwma, latency, _cfg.ewmaShift);
+                       : CallCostModel::blend(m.deviceEwma, latency,
+                                              _cfg.ewmaShift);
     ++m.deviceSamples;
 }
 
@@ -91,8 +84,26 @@ ProfileGuidedPlacement::recordHostCall(Addr cr3, VAddr canonical,
     FnProfile &m = _model[{cr3, canonical}];
     m.hostEwma = m.hostSamples == 0
                      ? latency
-                     : blend(m.hostEwma, latency, _cfg.ewmaShift);
+                     : CallCostModel::blend(m.hostEwma, latency,
+                                            _cfg.ewmaShift);
     ++m.hostSamples;
+}
+
+Tick
+ProfileGuidedPlacement::estimateCall(Addr cr3, VAddr canonical) const
+{
+    // The admission layer asks what this call is expected to cost; the
+    // honest answer is the cheaper of the two measured paths, because
+    // place() will pick whichever side the model favors.
+    auto it = _model.find({cr3, canonical});
+    if (it == _model.end())
+        return 0;
+    const FnProfile &m = it->second;
+    Tick device = m.deviceSamples ? m.deviceEwma : 0;
+    Tick host = m.hostSamples ? m.hostEwma : 0;
+    if (device && host)
+        return device < host ? device : host;
+    return device ? device : host;
 }
 
 const ProfileGuidedPlacement::FnProfile *

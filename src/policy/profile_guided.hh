@@ -19,6 +19,7 @@
 #include <map>
 #include <utility>
 
+#include "policy/cost_model.hh"
 #include "policy/policy.hh"
 
 namespace flick
@@ -56,6 +57,13 @@ class ProfileGuidedPlacement final : public PlacementPolicy
     void recordHostCall(Addr cr3, VAddr canonical,
                         Tick latency) override;
 
+    /**
+     * Admission feedback (DESIGN.md §14): the cheaper of the measured
+     * device/host EWMAs — the cost place() would actually choose — so
+     * the QoS shedding predicate and placement share one model.
+     */
+    Tick estimateCall(Addr cr3, VAddr canonical) const override;
+
     /** The model for (cr3, canonical), or nullptr if never seen. */
     const FnProfile *profile(Addr cr3, VAddr canonical) const;
 
@@ -63,9 +71,6 @@ class ProfileGuidedPlacement final : public PlacementPolicy
     std::size_t modelSize() const { return _model.size(); }
 
   private:
-    /** EWMA update: avg += (sample - avg) / 2^shift (integer, signed). */
-    static Tick blend(Tick avg, Tick sample, unsigned shift);
-
     PlacementConfig _cfg;
     //! Keyed (cr3, canonical VA); std::map for deterministic iteration.
     std::map<std::pair<Addr, VAddr>, FnProfile> _model;

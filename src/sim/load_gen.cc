@@ -1,0 +1,160 @@
+#include "sim/load_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace flick
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::poisson: return "poisson";
+      case ArrivalKind::bursty: return "bursty";
+      case ArrivalKind::diurnal: return "diurnal";
+    }
+    return "?";
+}
+
+double
+LoadGenerator::perTick(double rate_per_sec)
+{
+    // One tick is one picosecond (sim/ticks.hh).
+    return rate_per_sec / 1e12;
+}
+
+namespace
+{
+
+/**
+ * One exponentially distributed gap at @p rate_per_tick. real() is in
+ * [0, 1); guard the log away from -inf and round to at least one tick
+ * so the schedule always advances.
+ */
+Tick
+expGap(Rng &rng, double rate_per_tick)
+{
+    double u = rng.real();
+    if (u >= 1.0)
+        u = 0.999999999;
+    double gap = -std::log(1.0 - u) / rate_per_tick;
+    if (gap < 1.0)
+        gap = 1.0;
+    if (gap >= 9e18)
+        return maxTick;
+    return static_cast<Tick>(gap);
+}
+
+void
+fanOut(std::vector<Arrival> &out, const LoadGenConfig &cfg,
+       const Arrival &parent)
+{
+    if (parent.depth >= cfg.fanoutDepth || !cfg.fanout)
+        return;
+    for (unsigned c = 0; c < cfg.fanout; ++c) {
+        Arrival child;
+        child.when = parent.when + cfg.fanoutGap * (c + 1);
+        child.seq = parent.seq;
+        child.depth = parent.depth + 1;
+        child.sibling = c;
+        if (child.when < cfg.horizon) {
+            out.push_back(child);
+            fanOut(out, cfg, child);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Arrival>
+LoadGenerator::generate() const
+{
+    const LoadGenConfig &cfg = _config;
+    if (cfg.ratePerSec <= 0.0 || !cfg.horizon)
+        return {};
+    double base = perTick(cfg.ratePerSec);
+    Rng rng(cfg.seed);
+    std::vector<Arrival> out;
+    std::uint64_t seq = 0;
+
+    switch (cfg.kind) {
+      case ArrivalKind::poisson: {
+        Tick t = 0;
+        for (;;) {
+            Tick gap = expGap(rng, base);
+            if (gap == maxTick || cfg.horizon - t <= gap)
+                break;
+            t += gap;
+            out.push_back(Arrival{t, seq++, 0, 0});
+        }
+        break;
+      }
+      case ArrivalKind::bursty: {
+        // Markov-modulated Poisson: alternate calm (base rate) and
+        // burst (base * burstFactor) states with exponential dwell
+        // times. Dwells default to a tenth of the horizon.
+        Tick calm_dwell = cfg.calmDwell ? cfg.calmDwell : cfg.horizon / 10;
+        Tick burst_dwell =
+            cfg.burstDwell ? cfg.burstDwell : cfg.horizon / 10;
+        double dwell_calm = 1.0 / static_cast<double>(calm_dwell);
+        double dwell_burst = 1.0 / static_cast<double>(burst_dwell);
+        bool bursting = false;
+        Tick t = 0;
+        Tick flip = expGap(rng, dwell_calm);
+        for (;;) {
+            double rate = bursting ? base * cfg.burstFactor : base;
+            Tick gap = expGap(rng, rate);
+            if (gap == maxTick || cfg.horizon - t <= gap)
+                break;
+            t += gap;
+            while (t >= flip) {
+                bursting = !bursting;
+                flip += expGap(rng, bursting ? dwell_burst : dwell_calm);
+            }
+            out.push_back(Arrival{t, seq++, 0, 0});
+        }
+        break;
+      }
+      case ArrivalKind::diurnal: {
+        // Thinning: draw a Poisson stream at the peak rate and keep
+        // each arrival with probability rate(t)/peak, where rate(t)
+        // traces one sinusoidal period with its peak mid-horizon.
+        double peak = base * 2.0;
+        Tick t = 0;
+        for (;;) {
+            Tick gap = expGap(rng, peak);
+            if (gap == maxTick || cfg.horizon - t <= gap)
+                break;
+            t += gap;
+            double phase = static_cast<double>(t) /
+                           static_cast<double>(cfg.horizon);
+            // 0 at both ends, 1 mid-horizon; mean over the period is
+            // 1/2, so the stream's mean rate is `base`.
+            double keep = 0.5 - 0.5 * std::cos(2.0 * M_PI * phase);
+            if (rng.real() < keep)
+                out.push_back(Arrival{t, seq++, 0, 0});
+        }
+        break;
+      }
+    }
+
+    if (cfg.fanout && cfg.fanoutDepth) {
+        std::size_t roots = out.size();
+        for (std::size_t i = 0; i < roots; ++i) {
+            // Copy the root: fanOut grows `out`, which would leave a
+            // reference into it dangling across the reallocation.
+            Arrival root = out[i];
+            fanOut(out, cfg, root);
+        }
+        std::stable_sort(out.begin(), out.end(),
+                         [](const Arrival &a, const Arrival &b) {
+                             return a.when < b.when;
+                         });
+    }
+    return out;
+}
+
+} // namespace flick

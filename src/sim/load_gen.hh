@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Open-loop traffic generation (DESIGN.md §14).
+ *
+ * Closed-loop drivers (a fixed thread pool that submits, waits,
+ * resubmits) self-throttle under overload: when the system slows down,
+ * so does the offered load, and the collapse the QoS layer exists to
+ * survive never shows up. The LoadGenerator models an *open-loop*
+ * client population instead: arrivals happen at simulated-clock times
+ * drawn from a seeded stochastic process, independent of whether the
+ * system kept up with the previous ones.
+ *
+ * The generator is pure: it turns (config, seed) into a deterministic
+ * arrival schedule and knows nothing about the engine. Callers walk the
+ * schedule and submit calls when the simulated clock reaches each
+ * arrival (bench/bench_slo.cpp is the canonical driver). Determinism
+ * matters — the SLO gates compare QoS-on and QoS-off runs under the
+ * byte-identical arrival sequence.
+ *
+ * Three arrival processes:
+ *  - poisson: exponential inter-arrival gaps at a fixed mean rate; the
+ *    memoryless baseline of every open-loop benchmark.
+ *  - bursty:  a two-state Markov-modulated Poisson process; the rate
+ *    alternates between the base rate and burstFactor times it, with
+ *    exponentially distributed state dwell times. This is the "noisy
+ *    neighbor" shape.
+ *  - diurnal: the rate follows one sinusoidal period over the horizon
+ *    (trough at both ends, peak in the middle), thinned from a Poisson
+ *    stream at the peak rate.
+ *
+ * Each arrival can fan out into a small call tree (fanout children per
+ * node, fanoutDepth levels), modelling a front-end request that spawns
+ * dependent sub-calls; children carry their root's sequence number.
+ */
+
+#ifndef FLICK_SIM_LOAD_GEN_HH
+#define FLICK_SIM_LOAD_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace flick
+{
+
+/** Arrival-process shapes understood by the LoadGenerator. */
+enum class ArrivalKind
+{
+    poisson, //!< Fixed-rate exponential gaps.
+    bursty,  //!< Two-state Markov-modulated Poisson (on/off bursts).
+    diurnal, //!< Sinusoidal rate over the horizon, peak in the middle.
+};
+
+/** Printable arrival-kind name. */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Tunables of one generated arrival schedule. */
+struct LoadGenConfig
+{
+    ArrivalKind kind = ArrivalKind::poisson;
+    /** Mean arrival rate, in calls per simulated second. */
+    double ratePerSec = 1000.0;
+    /** Schedule horizon: arrivals are generated in [0, horizon). */
+    Tick horizon = 0;
+    /** PRNG seed; equal (config, seed) pairs give equal schedules. */
+    std::uint64_t seed = 1;
+    /** bursty: burst-state rate multiplier (rate * burstFactor). */
+    double burstFactor = 4.0;
+    /** bursty: mean dwell time in the calm state. */
+    Tick calmDwell = 0;
+    /** bursty: mean dwell time in the burst state. */
+    Tick burstDwell = 0;
+    /** Children spawned per tree node (0 = flat arrivals, no trees). */
+    unsigned fanout = 0;
+    /** Tree depth below the root (0 = flat; 1 = root + children; ...). */
+    unsigned fanoutDepth = 0;
+    /** Gap between a parent arrival and each child it fans out into. */
+    Tick fanoutGap = 0;
+};
+
+/** One scheduled call arrival. */
+struct Arrival
+{
+    Tick when = 0;     //!< Simulated time the call arrives.
+    std::uint64_t seq = 0; //!< Root-request sequence number.
+    unsigned depth = 0;    //!< 0 for roots, >0 for fanned-out children.
+    unsigned sibling = 0;  //!< Index among the parent's children.
+};
+
+/**
+ * Deterministic open-loop arrival-schedule generator. generate() is a
+ * pure function of the config; the returned schedule is sorted by time.
+ */
+class LoadGenerator
+{
+  public:
+    explicit LoadGenerator(LoadGenConfig config) : _config(config) {}
+
+    /** The full arrival schedule over [0, config.horizon). */
+    std::vector<Arrival> generate() const;
+
+    /** The configured mean rate converted to arrivals per tick. */
+    static double perTick(double rate_per_sec);
+
+  private:
+    LoadGenConfig _config;
+};
+
+} // namespace flick
+
+#endif // FLICK_SIM_LOAD_GEN_HH
