@@ -26,10 +26,17 @@
  * descriptor batching off, then on — and reports the doorbell-write
  * reduction. Per-call values must be identical in both runs.
  *
+ * --workload=sharded (DESIGN.md §15, EXPERIMENTS.md) switches to the
+ * NUMA-sharded data-residency study instead: per-device data shards
+ * plus host-resident gather regions, swept over words-per-call under
+ * queue-depth-only, residency-aware, and residency-aware + page
+ * migration placement — the Fig. 5-style accesses-per-migration
+ * crossover, at page rather than thread granularity.
+ *
  * Flags: --threads=N (default 8), --batches=N (default 6),
  * --hot-rounds=N (default 2000), --devices=N (default 2, any count),
- * --smoke (reduced sizes for CI), --json=FILE (machine-readable dump).
- * Exits 1 if any phase's gate fails.
+ * --workload=mix|sharded, --smoke (reduced sizes for CI), --json=FILE
+ * (machine-readable dump). Exits 1 if any phase's gate fails.
  */
 
 #include <algorithm>
@@ -39,6 +46,7 @@
 
 #include "bench/bench_util.hh"
 #include "workloads/placement_mix.hh"
+#include "workloads/sharded.hh"
 
 using namespace flick;
 using namespace flick::bench;
@@ -297,6 +305,253 @@ runStorm(const Params &p, bool batching)
     return r;
 }
 
+// --- The NUMA-sharded data-residency study (--workload=sharded) ------
+
+enum class ShardedMode
+{
+    queueDepth,  //!< least-loaded: blind to where the data lives.
+    residency,   //!< residency-aware placement, counters on.
+    migration,   //!< residency-aware + hot-page migration.
+};
+
+const char *
+shardedModeName(ShardedMode m)
+{
+    switch (m) {
+      case ShardedMode::queueDepth: return "queue-depth-only";
+      case ShardedMode::residency: return "residency-aware";
+      case ShardedMode::migration: return "residency+migration";
+    }
+    return "?";
+}
+
+struct ShardedResult
+{
+    double callsPerSec = 0;
+    std::vector<std::uint64_t> devCalls;
+    std::uint64_t migrations = 0;
+    std::uint64_t trackedAccesses = 0;
+};
+
+/**
+ * One sharded run: a sum shard per device, resident in that device's
+ * DRAM, hit by hint-free shard_sum calls the policy must place; plus a
+ * host-resident gather region per thread, hit by shard_gather calls
+ * pinned (hinted) to thread%devices — identical traffic in every mode,
+ * so the only way to speed gathers up is to move their pages. @p words
+ * is the working set each call reads: the accesses-per-migration knob.
+ */
+ShardedResult
+runSharded(ShardedMode mode, const Params &p, std::uint64_t words)
+{
+    SystemConfig cfg = SystemConfig{}.withDevices(p.devices);
+    if (mode == ShardedMode::queueDepth)
+        cfg.withPlacement(PlacementKind::leastLoaded);
+    else
+        cfg.withPlacement(PlacementKind::residencyAware)
+            .withResidencyTracking();
+    if (mode == ShardedMode::migration)
+        cfg.withPageMigration();
+    FlickSystem sys(cfg);
+    Program prog;
+    workloads::addShardedKernels(prog, p.devices);
+    Process &proc = sys.load(prog);
+
+    // Sum shards: one per device 1..N-1. Device 0's window is excluded
+    // on purpose: under the default address map its BAR sits inside
+    // every peer's local-DRAM shadow (DESIGN.md §15), so data there is
+    // host/device-0-private and a data-blind policy dereferencing it
+    // from another NxP would read the wrong DRAM. Devices >= 1 are
+    // peer-addressable from the whole fabric.
+    unsigned nshards = p.devices - 1;
+    std::vector<VAddr> shard(nshards);
+    std::vector<std::uint64_t> ssum(nshards);
+    for (unsigned s = 0; s < nshards; ++s) {
+        shard[s] = sys.migratableMalloc(proc, words * 8, (int)(s + 1));
+        for (std::uint64_t i = 0; i < words; ++i)
+            sys.writeVa(proc, shard[s] + i * 8, workloads::shardWord(s, i));
+        ssum[s] = workloads::shardSumRef(s, 0, words);
+    }
+
+    // Gather regions: one per thread, starting host-resident. The
+    // kernel has no host twin, so every call pays bridge reads until
+    // (mode == migration) the pages follow their accessor.
+    std::vector<Task *> tasks;
+    std::vector<VAddr> gat(p.threads);
+    std::vector<std::uint64_t> gsum(p.threads);
+    for (unsigned i = 0; i < p.threads; ++i) {
+        tasks.push_back(&sys.spawnThread(proc));
+        gat[i] = sys.migratableMalloc(proc, words * 8, -1);
+        for (std::uint64_t j = 0; j < words; ++j)
+            sys.writeVa(proc, gat[i] + j * 8,
+                        workloads::shardWord(100 + i, j));
+        gsum[i] = workloads::shardSumRef(100 + i, 0, words);
+    }
+
+    // Warm-up: NxP stack setup on the calling thread.
+    sys.submit(proc, CallSpec("shard_sum").withArgs({shard[0], words})
+                         .onThread(*tasks[0]))
+        .wait();
+
+    Tick start = sys.now();
+    for (unsigned b = 0; b < p.batches; ++b) {
+        std::vector<CallFuture> futs;
+        std::vector<std::uint64_t> expect;
+        for (unsigned i = 0; i < p.threads; ++i) {
+            // The shard a sum call reads rotates per batch, so a policy
+            // that ignores data placement keeps landing calls on the
+            // wrong device; gather pinning stays fixed per thread so
+            // its pages have a stable dominant accessor.
+            unsigned s = (i + b) % nshards;
+            if ((b + i) % 2 == 0) {
+                futs.push_back(sys.submit(
+                    proc, CallSpec("shard_sum").withArgs({shard[s], words})
+                              .onThread(*tasks[i])));
+                expect.push_back(ssum[s]);
+            } else {
+                futs.push_back(sys.submit(
+                    proc,
+                    CallSpec("shard_gather").withArgs({gat[i], words})
+                        .withPlacementHint(i % p.devices)
+                        .onThread(*tasks[i])));
+                expect.push_back(gsum[i]);
+            }
+        }
+        for (std::size_t i = 0; i < futs.size(); ++i) {
+            futs[i].wait();
+            if (futs[i].status() != CallStatus::ok ||
+                futs[i].value() != expect[i]) {
+                std::fprintf(stderr,
+                             "FAIL: sharded %s W=%llu batch %u call %zu: "
+                             "status %s value %llu (want %llu)\n",
+                             shardedModeName(mode),
+                             (unsigned long long)words, b, i,
+                             callStatusName(futs[i].status()),
+                             (unsigned long long)futs[i].value(),
+                             (unsigned long long)expect[i]);
+                std::exit(1);
+            }
+        }
+    }
+    Tick makespan = sys.now() - start;
+
+    ShardedResult r;
+    double secs = ticksToUs(makespan) * 1e-6;
+    r.callsPerSec = (double)(p.batches * p.threads) / secs;
+    const StatGroup &st = sys.debug().engine().stats();
+    for (unsigned d = 0; d < p.devices; ++d)
+        r.devCalls.push_back(
+            st.get(strfmt("host_to_nxp_calls_dev%u", d)));
+    if (auto *m = sys.debug().migrator())
+        r.migrations = m->stats().get("migrations");
+    if (auto *t = sys.debug().residency()) {
+        t->syncStats();
+        r.trackedAccesses = t->stats().get("accesses");
+    }
+    return r;
+}
+
+/** The sharded study: sweep words/call across the three modes. */
+int
+runShardedStudy(const Params &p, bool smoke, const std::string &json)
+{
+    std::vector<std::uint64_t> sweep;
+    if (smoke)
+        sweep = {64};
+    else
+        sweep = {4, 16, 32, 64, 128};
+
+    const ShardedMode modes[] = {ShardedMode::queueDepth,
+                                 ShardedMode::residency,
+                                 ShardedMode::migration};
+    std::vector<std::vector<ShardedResult>> res; // [sweep][mode]
+    std::vector<std::vector<std::string>> rows;
+    for (std::uint64_t w : sweep) {
+        res.emplace_back();
+        for (ShardedMode m : modes)
+            res.back().push_back(runSharded(m, p, w));
+        const auto &r = res.back();
+        rows.push_back(
+            {strfmt("%llu", (unsigned long long)w),
+             strfmt("%.0f", r[0].callsPerSec),
+             strfmt("%.0f", r[1].callsPerSec),
+             strfmt("%.0f", r[2].callsPerSec),
+             fmtX(r[1].callsPerSec / r[0].callsPerSec),
+             fmtX(r[2].callsPerSec / r[1].callsPerSec),
+             strfmt("%llu", (unsigned long long)r[2].migrations)});
+    }
+    printTable(
+        strfmt("Sharded residency study: %u threads x %u batches, %u "
+               "device(s)",
+               p.threads, p.batches, p.devices),
+        {"Words/call", "queue-depth c/s", "residency c/s",
+         "+migration c/s", "res/qd", "mig/res", "migrations"},
+        rows);
+
+    if (!json.empty()) {
+        std::ofstream os(json);
+        if (!os) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n", json.c_str());
+            return 1;
+        }
+        os << "{\n  \"workload\": \"sharded\", \"threads\": " << p.threads
+           << ", \"batches\": " << p.batches
+           << ", \"devices\": " << p.devices << ",\n  \"points\": [";
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            os << (i ? "," : "") << "\n    {\"words\": " << sweep[i];
+            for (int m = 0; m < 3; ++m)
+                os << ", \"" << shardedModeName(modes[m])
+                   << "\": " << res[i][m].callsPerSec;
+            os << ", \"migrations\": " << res[i][2].migrations << "}";
+        }
+        os << "\n  ]\n}\n";
+        std::printf("wrote %s\n", json.c_str());
+    }
+
+    // Gates (on the largest point, where localization matters most):
+    // residency-aware placement must beat queue-depth-only, migration
+    // must improve on that, and the passive modes must never migrate.
+    bool ok = true;
+    const auto &last = res.back();
+    if (last[1].callsPerSec <= last[0].callsPerSec) {
+        std::fprintf(stderr,
+                     "FAIL: residency-aware (%.0f c/s) did not beat "
+                     "queue-depth-only (%.0f c/s)\n",
+                     last[1].callsPerSec, last[0].callsPerSec);
+        ok = false;
+    }
+    if (last[2].callsPerSec <= last[1].callsPerSec) {
+        std::fprintf(stderr,
+                     "FAIL: migration (%.0f c/s) did not improve on "
+                     "residency-aware placement (%.0f c/s)\n",
+                     last[2].callsPerSec, last[1].callsPerSec);
+        ok = false;
+    }
+    if (!last[2].migrations) {
+        std::fprintf(stderr, "FAIL: migration mode never migrated "
+                             "a page\n");
+        ok = false;
+    }
+    for (const auto &point : res) {
+        if (point[0].migrations || point[1].migrations) {
+            std::fprintf(stderr, "FAIL: migrations counted in a "
+                                 "migration-less mode\n");
+            ok = false;
+        }
+        if (point[0].trackedAccesses) {
+            std::fprintf(stderr, "FAIL: residency counters nonzero "
+                                 "with tracking off\n");
+            ok = false;
+        }
+        if (!point[1].trackedAccesses) {
+            std::fprintf(stderr, "FAIL: residency counters empty with "
+                                 "tracking on\n");
+            ok = false;
+        }
+    }
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -321,6 +576,22 @@ main(int argc, char **argv)
         return 1;
     }
     std::string json = flagString(argc, argv, "json", "");
+
+    std::string workload = flagString(argc, argv, "workload", "mix");
+    if (workload == "sharded") {
+        Params sp = p;
+        // Shards live on devices 1..N-1 (the peer-addressable windows),
+        // so the study needs at least three devices to actually split
+        // data across multiple NxP DRAMs.
+        if (sp.devices < 3)
+            sp.devices = 3;
+        return runShardedStudy(sp, smoke, json);
+    }
+    if (workload != "mix") {
+        std::fprintf(stderr, "FAIL: unknown --workload=%s\n",
+                     workload.c_str());
+        return 1;
+    }
 
     const PlacementKind kinds[] = {PlacementKind::staticPlacement,
                                    PlacementKind::leastLoaded,

@@ -30,6 +30,39 @@ fi
 echo "all SystemConfig::with* options documented"
 
 echo
+echo "== docs drift guard: flick.* stat families in DESIGN.md =="
+# Every counter family the engine, residency tracker and migrator emit
+# must appear (as flick.<family> / flick.residency.<family>) in the
+# §15 counter reference. Literal key prefixes are extracted from the
+# stat-emission sites; dynamic suffixes (_dev%u, _cr3#<k>, ...) reduce
+# to their literal stem, which the reference spells as e.g.
+# flick.host_to_nxp_calls_dev<k>.
+missing=0
+engine_keys=$(grep -hE '_stats\.(inc|set|add)\(|tenantStat\(|protoStat\(|^[[:space:]]*: "' \
+                  src/flick/runtime.cc |
+              grep -oE '"[a-z][a-z_0-9.]*' | tr -d '"' | sort -u)
+residency_keys=$(grep -hE '_stats\.(inc|set)\(' src/flick/migrator.cc \
+                     src/mem/residency.hh |
+                 grep -oE '"[a-z][a-z_0-9.]*' | tr -d '"' | sort -u)
+for key in $engine_keys; do
+    if ! grep -qF "flick.$key" DESIGN.md; then
+        echo "DESIGN.md does not mention stat family flick.$key" >&2
+        missing=1
+    fi
+done
+for key in $residency_keys; do
+    if ! grep -qF "flick.residency.$key" DESIGN.md; then
+        echo "DESIGN.md does not mention stat family flick.residency.$key" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "docs drift: add the families above to DESIGN.md §15" >&2
+    exit 1
+fi
+echo "all flick.* stat families documented"
+
+echo
 echo "== release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
@@ -60,6 +93,10 @@ echo "== release build, interp label (differential interpreter suite) =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L interp
 
 echo
+echo "== release build, residency label (tracking & page migration) =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L residency
+
+echo
 echo "== interp bench, smoke mode (cached vs reference identity) =="
 ./build/bench/bench_interp --smoke
 
@@ -72,6 +109,10 @@ echo "== placement bench, 8-device fabric smoke =="
 ./build/bench/bench_placement --devices=8 --smoke
 
 echo
+echo "== placement bench, sharded residency study smoke =="
+./build/bench/bench_placement --workload=sharded --smoke
+
+echo
 echo "== SLO bench, smoke mode (overload-survival gates) =="
 ./build/bench/bench_slo --smoke
 
@@ -82,7 +123,8 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
              device_fault_test trace_test policy_test fabric_scale_test \
-             qos_test interp_diff_test isa_fuzz_test roundtrip_test
+             qos_test interp_diff_test isa_fuzz_test roundtrip_test \
+             residency_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
@@ -91,6 +133,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L policy
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L fabric
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L qos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L interp
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L residency
 
 echo
 echo "all checks passed"

@@ -1,6 +1,7 @@
 #include "flick/runtime.hh"
 
 #include "loader/loader.hh"
+#include "mem/residency.hh"
 #include "policy/policy.hh"
 #include "sim/chaos.hh"
 
@@ -86,6 +87,54 @@ struct EnginePlacementView final : PlacementView
             return 1;
         auto r = e._timing.hostFreqHz / e._timing.nxpFreqHz;
         return r ? static_cast<unsigned>(r) : 1;
+    }
+
+    PageResidency
+    pageResidency(Addr cr3, VAddr va) const override
+    {
+        PageResidency pr;
+        if (!e._residency)
+            return pr;
+        // Untimed debug walk (same shape as the NX-fault tag read):
+        // residency queries are modeled as kernel metadata lookups and
+        // must not perturb timing or stats.
+        Addr table = cr3;
+        std::uint64_t raw = 0;
+        int level = 3;
+        bool leaf = false;
+        for (; level >= 0; --level) {
+            e._mem.readInt(Requester::debug,
+                           table + 8ull * tableIndex(va, level), 8,
+                           raw);
+            if (!(raw & pte::present))
+                return pr;
+            leaf = (level == 0) || (raw & pte::pageSize);
+            if (leaf)
+                break;
+            table = pte::entryAddr(raw);
+        }
+        if (!leaf)
+            return pr;
+        std::uint64_t granule = 4096ull << (9 * level);
+        Addr pa = (pte::entryAddr(raw) & ~(granule - 1)) +
+                  (va & (granule - 1));
+        const PlatformConfig &p = e._mem.platform();
+        unsigned dev;
+        if (p.inHostDram(pa))
+            pr.holder = -1;
+        else if (p.inBarDram(pa, dev))
+            pr.holder = static_cast<int>(dev);
+        else
+            return pr; // control window / unmapped: no residency.
+        pr.mapped = true;
+        std::uint64_t key =
+            e._mem.canonicalPageKey(Requester::debug, pa);
+        const std::vector<std::uint64_t> *row = e._residency->counts(key);
+        if (!row)
+            return pr;
+        pr.hostAccesses = (*row)[ResidencyTracker::hostAccessor];
+        pr.deviceAccesses.assign(row->begin() + 1, row->end());
+        return pr;
     }
 
     const MigrationEngine &e;
@@ -1119,6 +1168,15 @@ MigrationEngine::decidePlacement(Task &task, VAddr target, unsigned home,
     q.home = home;
     q.fromDevice = caller_device != hostSide;
     q.callerDevice = q.fromDevice ? caller_device : 0;
+    // The argument registers are live on the faulting core at decision
+    // time (the descriptor is built from the same registers just after);
+    // residency-aware placement reads the pages they point at.
+    const Core &argsrc = q.fromDevice
+                             ? *_nxp[caller_device].core
+                             : static_cast<const Core &>(_hostCore);
+    q.args.reserve(MigrationDescriptor::maxArgs);
+    for (unsigned i = 0; i < MigrationDescriptor::maxArgs; ++i)
+        q.args.push_back(argsrc.arg(i));
 
     PlacementCandidates c;
     c.deviceVa.assign(_nxp.size(), 0);

@@ -404,6 +404,17 @@ class MigrationEngine
     void setPlacementPolicy(PlacementPolicy *policy) { _policy = policy; }
 
     /**
+     * Attach the residency tracker (DESIGN.md §15). The policy view's
+     * pageResidency() then answers from its per-page counters; without
+     * a tracker the view reports every page unmapped and residency-
+     * aware placement degrades to queue-depth balancing. Not owned.
+     */
+    void setResidencyTracker(ResidencyTracker *tracker)
+    {
+        _residency = tracker;
+    }
+
+    /**
      * Register @p twin_va as @p canonical's text for @p device (the
      * "__dev<k>" twins load() discovers, plus the home symbol itself).
      * A placement policy may re-point a faulted call at any registered
@@ -969,6 +980,8 @@ class MigrationEngine
     std::map<std::pair<Addr, VAddr>, VAddr> _fallback;
     //! Placement policy; nullptr = the paper's link-time pinning.
     PlacementPolicy *_policy = nullptr;
+    //! Residency counters for the policy view; nullptr = tracking off.
+    ResidencyTracker *_residency = nullptr;
     //! (cr3, canonical va) -> per-device dispatch VA (0 = no copy).
     std::map<std::pair<Addr, VAddr>, std::vector<VAddr>> _deviceTwins;
     //! (cr3, twin va) -> canonical va, the reverse of _deviceTwins.

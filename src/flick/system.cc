@@ -189,6 +189,35 @@ FlickSystem::FlickSystem(SystemConfig config)
                           NxpPlatform::regBarRemap,
                       _config.platform.barRemapOffsetFor(k), 8);
     }
+
+    // Data residency layer (DESIGN.md §15). The tracker is passive —
+    // with it absent the MemSystem counting branch never runs and no
+    // flick.residency.* counters exist; the migrator additionally
+    // schedules scan events, so it is gated separately.
+    if (_config.residencyTracking || _config.migration.enabled) {
+        _residencyTracker = std::make_unique<ResidencyTracker>(
+            _config.platform.nxpDeviceCount);
+        _mem.setResidencyTracker(_residencyTracker.get());
+        _engine->setResidencyTracker(_residencyTracker.get());
+    }
+    if (_config.migration.enabled) {
+        MigrationConfig mcfg = _config.migration;
+        mcfg.enabled = true;
+        _migrator = std::make_unique<PageMigrator>(
+            _events, _mem, _ptm, *_residencyTracker, _hostAlloc, mcfg);
+        _migrator->addDevice(&_dma, &_nxpWindowHeap);
+        for (std::size_t k = 0; k < _extraDmas.size(); ++k)
+            _migrator->addDevice(_extraDmas[k].get(),
+                                 _extraWindowHeaps[k].get());
+        _migrator->addMmu(&_hostCore.mmu());
+        _migrator->addMmu(&_nxpCore.mmu());
+        for (auto &core : _extraNxpCores)
+            _migrator->addMmu(&core->mmu());
+        // The write-listener fan-out doubles as the migrator's dirty
+        // detector while a page copy is in flight (DESIGN.md §13/§15).
+        _mem.addDecodeSink(_migrator.get());
+        _migrator->start();
+    }
 }
 
 Rv64Core &
@@ -419,6 +448,44 @@ FlickSystem::hostMalloc(Process &process, std::uint64_t bytes,
     return process.hostHeap->allocate(bytes, align);
 }
 
+VAddr
+FlickSystem::migratableMalloc(Process &process, std::uint64_t bytes,
+                              int device)
+{
+    if (device >= static_cast<int>(_config.platform.nxpDeviceCount))
+        fatal("migratableMalloc: no NxP device %d", device);
+    if (!process.migratableHeap) {
+        static_assert(layout::hostHeapBase < layout::migratableBase,
+                      "migratable region must sit above the host heap");
+        if (process.image.hostHeapBase + process.image.hostHeapBytes >
+            layout::migratableBase)
+            fatal("host heap overlaps the migratable region");
+        process.migratableHeap = std::make_unique<RegionHeap>(
+            "migratable", layout::migratableBase, layout::migratableBytes);
+    }
+    // Whole pages: the PageMigrator remaps at 4K granularity, so a block
+    // never shares a frame with an unrelated allocation.
+    bytes = (bytes + 4095) & ~std::uint64_t(4095);
+    VAddr va = process.migratableHeap->allocate(bytes, 4096);
+    for (VAddr page = va; page < va + bytes; page += 4096) {
+        Addr pa;
+        if (device < 0) {
+            pa = _hostAlloc.allocate(4096);
+        } else {
+            // Frames come from the device's window heap (BAR-visible
+            // local DRAM), like the engine's NxP stacks.
+            VAddr win = debug().nxpHeap(device).allocate(4096, 4096);
+            pa = _config.platform.barBase(device) +
+                 (win - layout::nxpWindowBaseFor(device));
+        }
+        _ptm.map(process.image.cr3, page, pa, 4096, PageSize::size4K,
+                 pte::user | pte::writable | pte::noExecute);
+    }
+    if (_migrator)
+        _migrator->manage(process.image.cr3, va, bytes);
+    return va;
+}
+
 Addr
 FlickSystem::translateDebug(const Process &process, VAddr va) const
 {
@@ -551,6 +618,12 @@ FlickSystem::dumpStats(std::ostream &os)
         if (_extraNxpCores[k]->icache())
             _extraNxpCores[k]->icache()->stats().dump(os);
     }
+    if (_residencyTracker) {
+        _residencyTracker->syncStats();
+        _residencyTracker->stats().dump(os);
+    }
+    if (_migrator)
+        _migrator->stats().dump(os);
     if (_tracer.on())
         _tracer.dumpBreakdown(os);
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "flick/heap.hh"
+#include "flick/migrator.hh"
 #include "flick/native.hh"
 #include "flick/nxp_platform.hh"
 #include "flick/program.hh"
@@ -163,6 +164,23 @@ struct SystemConfig
      * perturbs nothing, but it allocates, so it is opt-in.
      */
     bool arrivalTrace = false;
+    /**
+     * Per-page access residency counters split by accessor (DESIGN.md
+     * §15), read through debug().residency() and the policy view's
+     * pageResidency(). Passive and opt-in: counting charges no latency
+     * and schedules nothing, so a tracked run is tick-for-tick
+     * identical to an untracked one; off, the counting branch never
+     * runs and zero flick.residency.* counters are emitted
+     * (tests/residency_test.cpp asserts both).
+     */
+    bool residencyTracking = false;
+    /**
+     * Hot-page migration between host and NxP DRAM (DESIGN.md §15).
+     * Implies residencyTracking. Unlike the passive counters, an
+     * enabled migrator schedules scan events, so enabling it
+     * legitimately perturbs the event stream.
+     */
+    MigrationConfig migration;
 
     /** Number of NxP devices in the platform (any N >= 1). */
     SystemConfig &
@@ -249,6 +267,34 @@ struct SystemConfig
     withArrivalTrace(bool on = true)
     {
         arrivalTrace = on;
+        return *this;
+    }
+
+    /** Enable per-page residency counters (see `residencyTracking`). */
+    SystemConfig &
+    withResidencyTracking(bool on = true)
+    {
+        residencyTracking = on;
+        return *this;
+    }
+
+    /** Enable hot-page migration with default tunables. */
+    SystemConfig &
+    withPageMigration(bool on = true)
+    {
+        migration.enabled = on;
+        if (on)
+            residencyTracking = true;
+        return *this;
+    }
+
+    /** Enable hot-page migration with explicit tunables. */
+    SystemConfig &
+    withPageMigration(const MigrationConfig &cfg)
+    {
+        migration = cfg;
+        migration.enabled = true;
+        residencyTracking = true;
         return *this;
     }
 
@@ -381,6 +427,9 @@ struct Process
     LoadedProgram image;
     Task *task = nullptr;
     std::unique_ptr<RegionHeap> hostHeap;
+    /** 4K-mapped migration-eligible region; lazily created by
+     *  FlickSystem::migratableMalloc (DESIGN.md §15). */
+    std::unique_ptr<RegionHeap> migratableHeap;
     /** Where the next spawned thread's host stack will be carved. */
     VAddr nextThreadStackTop = 0;
 };
@@ -548,6 +597,17 @@ class FlickSystem
     VAddr hostMalloc(Process &process, std::uint64_t bytes,
                      std::uint64_t align = 16);
 
+    /**
+     * Allocate migration-eligible memory (DESIGN.md §15): a 4K-mapped
+     * region whose frames start in host DRAM (@p device = -1) or NxP
+     * device @p device's DRAM, and which the PageMigrator — when
+     * enabled — may move between DRAMs as residency shifts. Unlike the
+     * 1G-mapped NxP windows, every page here can be remapped
+     * individually.
+     */
+    VAddr migratableMalloc(Process &process, std::uint64_t bytes,
+                           int device = -1);
+
     // --- Untimed harness access to process memory ----------------------
 
     /** Read @p len (1..8) bytes at @p va in @p process (untimed). */
@@ -632,6 +692,18 @@ class FlickSystem
         DmaEngine &dma(unsigned device = 0) const;
         IrqController &irq() const { return sys->_irq; }
         RegionHeap &nxpHeap(unsigned device = 0) const;
+        /** The residency tracker; nullptr unless residencyTracking. */
+        ResidencyTracker *
+        residency() const
+        {
+            return sys->_residencyTracker.get();
+        }
+        /** The page migrator; nullptr unless migration.enabled. */
+        PageMigrator *
+        migrator() const
+        {
+            return sys->_migrator.get();
+        }
         unsigned
         nxpDeviceCount() const
         {
@@ -708,6 +780,8 @@ class FlickSystem
     std::vector<std::unique_ptr<RegionHeap>> _extraWindowHeaps;
     std::unique_ptr<MigrationEngine> _engine;
     std::shared_ptr<PlacementPolicy> _placement;
+    std::unique_ptr<ResidencyTracker> _residencyTracker;
+    std::unique_ptr<PageMigrator> _migrator;
     std::vector<std::unique_ptr<Process>> _processes;
 };
 

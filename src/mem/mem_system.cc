@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/residency.hh"
 #include "sim/logging.hh"
 
 namespace flick
@@ -238,12 +239,32 @@ MemSystem::resolve(Requester r, Addr pa, std::uint64_t len) const
           (unsigned long long)len);
 }
 
+void
+MemSystem::touchResidency(Requester r, const Route &route)
+{
+    // Residency is about where computation touches data: count host-core
+    // and NxP-core accesses to DRAM, skip DMA staging, MMU table walks
+    // and the untimed debug back door, and skip control windows (they
+    // have no residency — nothing can migrate them).
+    if (route.kind == Route::Kind::ctrlDev)
+        return;
+    unsigned store =
+        route.kind == Route::Kind::hostDram ? 0 : 1 + route.device;
+    std::uint64_t key = pageKey(store, route.offset);
+    if (r == Requester::hostCore)
+        _residency->touch(key, ResidencyTracker::hostAccessor);
+    else if (isNxpRequester(r) && static_cast<unsigned>(r) % 2 == 0)
+        _residency->touch(key, 1 + nxpRequesterDevice(r));
+}
+
 Tick
 MemSystem::read(Requester r, Addr pa, void *buf, std::uint64_t len)
 {
     Route route = resolve(r, pa, len);
     if (r != Requester::debug)
         _stats.inc(route.stat + "_reads");
+    if (_residency)
+        touchResidency(r, route);
     switch (route.kind) {
       case Route::Kind::hostDram:
         _hostDram.read(route.offset, buf, len);
@@ -275,6 +296,8 @@ MemSystem::write(Requester r, Addr pa, const void *buf, std::uint64_t len)
     Route route = resolve(r, pa, len);
     if (r != Requester::debug)
         _stats.inc(route.stat + "_writes");
+    if (_residency)
+        touchResidency(r, route);
     switch (route.kind) {
       case Route::Kind::hostDram:
         _hostDram.write(route.offset, buf, len);

@@ -33,6 +33,8 @@
 namespace flick
 {
 
+class ResidencyTracker;
+
 /**
  * Who is issuing a memory access; selects address space and latency.
  *
@@ -186,6 +188,20 @@ class MemSystem
     /** Broadcast a mapping/protection change (mprotect, unmap). */
     void notifyMappingChange();
 
+    // --- Residency tracking (DESIGN.md §15) -----------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a residency tracker. While
+     * attached, every timed core access (host core or an NxP core; not
+     * DMA, not MMU walks, not the debug back door) bumps the tracker's
+     * per-page counter for the accessing core. Counting is passive:
+     * latencies and event order are unchanged.
+     */
+    void setResidencyTracker(ResidencyTracker *tracker)
+    {
+        _residency = tracker;
+    }
+
   private:
     /** Fan a store write out to every sink, one call per touched page. */
     void notifyStoreWrite(unsigned store, Addr offset, std::uint64_t len);
@@ -202,12 +218,16 @@ class MemSystem
 
     Route resolve(Requester r, Addr pa, std::uint64_t len) const;
 
+    /** Bump the residency counter for a resolved core access. */
+    void touchResidency(Requester r, const Route &route);
+
     const TimingConfig &_timing;
     PlatformConfig _platform;
     SparseMemory _hostDram;
     std::vector<std::unique_ptr<SparseMemory>> _nxpDrams;
     std::vector<MmioDevice *> _ctrl;
     std::vector<DecodeSink *> _decodeSinks;
+    ResidencyTracker *_residency = nullptr;
     StatGroup _stats;
 };
 

@@ -2,6 +2,7 @@
 
 #include "policy/least_loaded.hh"
 #include "policy/profile_guided.hh"
+#include "policy/residency_aware.hh"
 #include "sim/logging.hh"
 
 namespace flick
@@ -17,6 +18,8 @@ placementKindName(PlacementKind kind)
         return "least-loaded";
       case PlacementKind::profileGuided:
         return "profile-guided";
+      case PlacementKind::residencyAware:
+        return "residency-aware";
     }
     return "unknown";
 }
@@ -31,6 +34,8 @@ makePlacementPolicy(PlacementKind kind, const PlacementConfig &config)
         return std::make_shared<LeastLoadedPlacement>();
       case PlacementKind::profileGuided:
         return std::make_shared<ProfileGuidedPlacement>(config);
+      case PlacementKind::residencyAware:
+        return std::make_shared<ResidencyAwarePlacement>(config);
     }
     panic("unknown placement kind");
 }

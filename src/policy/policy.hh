@@ -37,6 +37,8 @@ enum class PlacementKind
     staticPlacement, //!< The paper's link-time pinning (the default).
     leastLoaded,     //!< Balance across NxPs by queue depth.
     profileGuided,   //!< EWMA cost model; steer host when crossing loses.
+    residencyAware,  //!< Follow the data: steer to the argument pages'
+                     //!< majority holder (DESIGN.md §15).
 };
 
 /** Printable policy-kind name. */
@@ -61,6 +63,14 @@ struct PlacementConfig
     unsigned reprobeInterval = 64;
     /** Device-latency samples required before host-steering is weighed. */
     unsigned minDeviceSamples = 1;
+    /**
+     * ResidencyAwarePlacement: minimum share (percent) of the access-
+     * weighted argument-page votes one holder must collect before the
+     * call is steered to it; below the threshold the policy falls back
+     * to queue-depth balancing. Acts as placement-side hysteresis — a
+     * near-tie never overrides load balancing (DESIGN.md §15).
+     */
+    unsigned residencyMajorityPct = 50;
 };
 
 /** Instantaneous load of one NxP device, as the dispatch path sees it. */
@@ -93,6 +103,29 @@ struct PlacementQuery
     bool fromDevice = false;
     /** Originating device when fromDevice (excluded from candidates). */
     unsigned callerDevice = 0;
+    /**
+     * The call's argument registers at fault time. Residency-aware
+     * placement treats page-aligned-ish values as potential pointers and
+     * consults the residency map for the pages they name; other policies
+     * ignore them. Empty when the installed policy needs no arguments.
+     */
+    std::vector<std::uint64_t> args;
+};
+
+/**
+ * Where one virtual page's data lives and who has been touching it
+ * (PlacementView::pageResidency). Weightless when residency tracking is
+ * off: mapped pages still report their holder, counters stay zero.
+ */
+struct PageResidency
+{
+    bool mapped = false; //!< False: VA unmapped; all else is meaningless.
+    /** Backing store: -1 = host DRAM, k >= 0 = NxP device k's DRAM. */
+    int holder = -1;
+    /** Timed host-core accesses to the page. */
+    std::uint64_t hostAccesses = 0;
+    /** Timed NxP-core accesses, indexed by device. */
+    std::vector<std::uint64_t> deviceAccesses;
 };
 
 /** Where the function's text exists. */
@@ -141,6 +174,19 @@ class PlacementView
     virtual Tick steerOverhead() const = 0;
     /** Host-to-NxP clock ratio (both cores retire one op per cycle). */
     virtual unsigned hostSpeedup() const = 0;
+    /**
+     * Residency of the page holding @p va in address space @p cr3: which
+     * DRAM backs it and who has been accessing it (DESIGN.md §15). The
+     * walk is untimed and side-effect free. The default (engines without
+     * a residency tracker, test doubles) reports "unmapped", which makes
+     * residency-aware placement degrade to queue-depth balancing.
+     */
+    virtual PageResidency
+    pageResidency(Addr cr3, VAddr va) const
+    {
+        (void)cr3, (void)va;
+        return {};
+    }
 };
 
 /**
