@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full verification sweep: the regular test suite in the default build,
 # plus a Debug + ThreadSanitizer build running the concurrency-,
-# chaos-, device_fault-, trace-, policy-, fabric-, qos- and
-# interp-labeled tests (the
+# chaos-, device_fault-, trace-, policy-, fabric-, qos-, interp-,
+# residency- and spec-labeled tests (the
 # event-driven migration engine's interleaved continuation chains, the
 # fault-recovery and failover paths, the N-device batching/admission
 # machinery and the trace instrumentation riding along them are where
@@ -39,7 +39,7 @@ echo "== docs drift guard: flick.* stat families in DESIGN.md =="
 # flick.host_to_nxp_calls_dev<k>.
 missing=0
 engine_keys=$(grep -hE '_stats\.(inc|set|add)\(|tenantStat\(|protoStat\(|^[[:space:]]*: "' \
-                  src/flick/runtime.cc |
+                  src/flick/runtime.cc src/spec/speculation.cc |
               grep -oE '"[a-z][a-z_0-9.]*' | tr -d '"' | sort -u)
 residency_keys=$(grep -hE '_stats\.(inc|set)\(' src/flick/migrator.cc \
                      src/mem/residency.hh |
@@ -97,6 +97,10 @@ echo "== release build, residency label (tracking & page migration) =="
 ctest --test-dir build --output-on-failure -j "$jobs" -L residency
 
 echo
+echo "== release build, spec label (speculative dual execution) =="
+ctest --test-dir build --output-on-failure -j "$jobs" -L spec
+
+echo
 echo "== interp bench, smoke mode (cached vs reference identity) =="
 ./build/bench/bench_interp --smoke
 
@@ -117,6 +121,10 @@ echo "== SLO bench, smoke mode (overload-survival gates) =="
 ./build/bench/bench_slo --smoke
 
 echo
+echo "== speculation bench, smoke mode (break-even storm gates) =="
+./build/bench/bench_speculation --smoke
+
+echo
 echo "== debug + tsan build, concurrency/chaos/trace/policy/fabric/interp tests =="
 cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=Debug -DFLICK_SANITIZE=thread >/dev/null
@@ -124,7 +132,7 @@ cmake --build build-tsan -j "$jobs" \
     --target concurrent_call_test chaos_test callgraph_fuzz_test \
              device_fault_test trace_test policy_test fabric_scale_test \
              qos_test interp_diff_test isa_fuzz_test roundtrip_test \
-             residency_test
+             residency_test spec_test
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L chaos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L device_fault
@@ -134,6 +142,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L fabric
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L qos
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L interp
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L residency
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L spec
 
 echo
 echo "all checks passed"

@@ -77,6 +77,15 @@ struct QosConfig
      * capacity per share a weight-1 tenant receives.
      */
     std::vector<unsigned> tenantWeights;
+    /**
+     * Starvation bound: an eligible tenant (queued work, under budget)
+     * passed over this many consecutive served dequeues is picked next
+     * regardless of its weighted-fair virtual time, so every queued
+     * tenant is served within a bounded number of dequeues even while
+     * fresh low-virtual-time tenants keep arriving. 0 disables aging
+     * (pure WFQ, unbounded worst-case wait).
+     */
+    unsigned agingDequeues = 64;
 
     /** Weight of @p tenant (defaulting absent/zero entries to 1). */
     unsigned
@@ -197,16 +206,32 @@ class TenantScheduler
      * in-flight count is under @p budget_of(tenant), the one with the
      * smallest served/weight virtual time (ties to the lower id);
      * -1 when no tenant is eligible.
+     *
+     * Aging (@p aging_dequeues > 0) bounds the worst-case wait: every
+     * successful pick increments the eligible tenants it passed over,
+     * and a tenant whose counter reaches the bound preempts the
+     * virtual-time order on the next pick (largest counter wins, ties
+     * to the lower id). Pure WFQ can starve a high-virtual-time tenant
+     * indefinitely while fresh tenants keep arriving with served == 0;
+     * with aging, an eligible tenant is served within aging_dequeues + 1
+     * dequeues of becoming eligible (tests/qos_test.cpp asserts it).
      */
     template <typename BudgetFn, typename WeightFn>
     int
-    pick(BudgetFn budget_of, WeightFn weight_of) const
+    pick(BudgetFn budget_of, WeightFn weight_of,
+         unsigned aging_dequeues = 0)
     {
         int best = -1;
+        int starved = -1;
+        _lastPickAged = false;
         for (unsigned t = 0; t < _tenants.size(); ++t) {
             const Tenant &c = _tenants[t];
             if (!c.queued || c.inFlight >= budget_of(t))
                 continue;
+            if (aging_dequeues && c.waiting >= aging_dequeues &&
+                (starved < 0 ||
+                 c.waiting > _tenants[static_cast<unsigned>(starved)].waiting))
+                starved = static_cast<int>(t);
             if (best < 0) {
                 best = static_cast<int>(t);
                 continue;
@@ -219,8 +244,30 @@ class TenantScheduler
             if (lhs < rhs)
                 best = static_cast<int>(t);
         }
+        if (starved >= 0 && starved != best) {
+            best = starved;
+            _lastPickAged = true;
+        } else if (starved >= 0) {
+            // The starved tenant won on virtual time anyway; its
+            // counter still resets below.
+            _lastPickAged = true;
+        }
+        if (best >= 0) {
+            for (unsigned t = 0; t < _tenants.size(); ++t) {
+                Tenant &c = _tenants[t];
+                if (static_cast<int>(t) == best) {
+                    c.waiting = 0;
+                    continue;
+                }
+                if (c.queued && c.inFlight < budget_of(t))
+                    ++c.waiting;
+            }
+        }
         return best;
     }
+
+    /** Did the last successful pick() come from aging preemption? */
+    bool lastPickAged() const { return _lastPickAged; }
 
   private:
     struct Tenant
@@ -229,10 +276,13 @@ class TenantScheduler
         unsigned inFlight = 0; //!< Admitted into the engine, not retired.
         unsigned queued = 0;   //!< Waiting in the submission queue.
         std::uint64_t served = 0; //!< Dequeues charged (WFQ virtual time).
+        //! Served picks this eligible tenant was passed over (aging).
+        unsigned waiting = 0;
     };
 
     std::vector<Tenant> _tenants;
     std::map<Addr, unsigned> _index;
+    bool _lastPickAged = false;
 };
 
 } // namespace flick

@@ -4,6 +4,7 @@
 #include "mem/residency.hh"
 #include "policy/policy.hh"
 #include "sim/chaos.hh"
+#include "spec/speculation.hh"
 
 namespace flick
 {
@@ -603,6 +604,58 @@ MigrationEngine::admissionEstimate(Addr cr3, VAddr entry,
     return service + service * ahead / alive;
 }
 
+int
+MigrationEngine::residencyMajorityDevice(
+    Task &task, const std::vector<std::uint64_t> &args)
+{
+    if (!_residency)
+        return -1;
+    // The same access-weighted page vote ResidencyAwarePlacement casts
+    // at fault time (DESIGN.md §15), reduced to the question the hint
+    // override needs: does one device hold a strict majority?
+    EnginePlacementView view(*this);
+    std::uint64_t host_votes = 0;
+    std::vector<std::uint64_t> dev_votes(_nxp.size(), 0);
+    std::uint64_t seen_pages[8];
+    unsigned seen = 0;
+    for (std::uint64_t arg : args) {
+        if (arg < 4096)
+            continue;
+        std::uint64_t page = arg & ~std::uint64_t(4095);
+        bool dup = false;
+        for (unsigned i = 0; i < seen; ++i)
+            dup = dup || seen_pages[i] == page;
+        if (dup || seen >= 8)
+            continue;
+        seen_pages[seen++] = page;
+        PageResidency pr = view.pageResidency(task.cr3, page);
+        if (!pr.mapped)
+            continue;
+        if (pr.holder < 0) {
+            host_votes += 1 + pr.hostAccesses;
+        } else if (static_cast<unsigned>(pr.holder) < dev_votes.size()) {
+            std::uint64_t touches =
+                static_cast<unsigned>(pr.holder) < pr.deviceAccesses.size()
+                    ? pr.deviceAccesses[pr.holder]
+                    : 0;
+            dev_votes[pr.holder] += 1 + touches;
+        }
+    }
+    std::uint64_t total = host_votes;
+    int best = -1;
+    for (unsigned d = 0; d < dev_votes.size(); ++d) {
+        total += dev_votes[d];
+        if (!dev_votes[d] ||
+            _nxp[d].health == DeviceHealth::quarantined)
+            continue;
+        if (best < 0 || dev_votes[d] > dev_votes[best])
+            best = static_cast<int>(d);
+    }
+    if (best >= 0 && dev_votes[best] * 2 > total)
+        return best;
+    return -1;
+}
+
 void
 MigrationEngine::pumpQosQueues()
 {
@@ -612,9 +665,12 @@ MigrationEngine::pumpQosQueues()
         unsigned budget = effectiveTenantBudget();
         int pick = _tenants.pick(
             [budget](unsigned) { return budget; },
-            [this](unsigned t) { return _qos.weight(t); });
+            [this](unsigned t) { return _qos.weight(t); },
+            _qos.agingDequeues);
         if (pick < 0)
             break;
+        if (_tenants.lastPickAged())
+            tenantStat("qos.aged_picks", static_cast<unsigned>(pick));
         // Respect the legacy fabric cap too: pulling a queued call into
         // a saturated fabric would only shed it deeper in.
         if (_admissionCap && fabricSaturated())
@@ -644,6 +700,18 @@ MigrationEngine::pumpQosQueues()
         tenantStat("qos.dequeued", tenant);
         recordArrival(tenant, p.task->pid, QosArrival::Outcome::dequeued,
                       ShedReason::none, estimate);
+        // A submit-time placement hint can go stale while the call sits
+        // in the queue (hot-page migration moved its data): re-vote the
+        // majority holder of the argument pages at dequeue time and
+        // re-point the hint when the data clearly lives elsewhere now.
+        if (_residency && p.placementHint >= 0) {
+            int holder = residencyMajorityDevice(*p.task, p.args);
+            if (holder >= 0 && holder != p.placementHint) {
+                protoStat("qos.hint_revotes",
+                          static_cast<unsigned>(holder));
+                p.placementHint = holder;
+            }
+        }
         admitCall(*p.task, p.entry, p.args, p.stackTop, p.absDeadline,
                   p.placementHint, std::move(p.future));
     }
@@ -1061,6 +1129,20 @@ MigrationEngine::handleHostStop(int pid, std::uint64_t id, RunResult r)
         }
         if (p.device != home)
             protoStat("placement.rebalanced", p.device);
+        // Speculative dual execution (DESIGN.md §16): when the policy's
+        // host-vs-device margin is thin, arm a race — the descriptor
+        // still goes out, but instead of yielding the core the thread's
+        // host twin runs speculatively. Leaf top-level calls only: a
+        // nested or saved-context call has device state the host twin
+        // cannot reproduce.
+        if (_spec && x.frames.empty() && task.nxpSavedCtx.empty() &&
+            _spec->shouldSpeculate(p.confidencePct)) {
+            VAddr twin = fallbackVa(task.cr3, p.canonical);
+            if (twin) {
+                x.specArmed = true;
+                x.specTwinVa = twin;
+            }
+        }
         startHostToNxpCall(x, p.va, p.device, p.canonical);
         return;
       }
@@ -1198,6 +1280,7 @@ MigrationEngine::decidePlacement(Task &task, VAddr target, unsigned home,
 
     EnginePlacementView view(*this);
     PlacementDecision d = _policy->place(q, c, view);
+    p.confidencePct = d.confidencePct;
 
     // Clamp: a decision for text that does not exist (or a quarantined
     // answer the policy should not have given) degrades to home.
@@ -1261,8 +1344,10 @@ MigrationEngine::recordPlacementOutcome(Task &task, const CallFrame &frame)
 {
     if (!_policy || !_policy->wantsFeedback() || frame.canonical == 0)
         return;
-    if (frame.caller != hostSide)
-        return; // only host-originated calls feed the model
+    // Both host-originated and device-originated (relayed) calls feed
+    // the model: a d2h or d2d round trip is as real a sample of its
+    // callee's cost as a host-side one, and relayed calls would
+    // otherwise never update the EWMAs at all.
     Tick latency = _events.now() - frame.t0;
     if (frame.callee == hostSide) {
         _policy->recordHostCall(task.cr3, frame.canonical, latency);
@@ -1272,6 +1357,211 @@ MigrationEngine::recordPlacementOutcome(Task &task, const CallFrame &frame)
                                   latency);
         protoStat("placement.model_updates", frame.callee);
     }
+}
+
+// --- Speculative dual execution (DESIGN.md §16) --------------------------
+
+void
+MigrationEngine::setSpeculation(SpeculationManager *spec)
+{
+    _spec = spec;
+    if (_spec)
+        _spec->setConflictCallback([this] { specConflictAbort(); });
+}
+
+void
+MigrationEngine::launchSpeculation(TaskExec &x, unsigned device)
+{
+    Task &task = *x.task;
+    int pid = task.pid;
+    x.specArmed = false;
+    VAddr twin = x.specTwinVa;
+    x.specTwinVa = 0;
+    if (_spec->active()) {
+        // Another call won the race to the launch point first (cannot
+        // happen with one host core, but stay safe if that changes).
+        releaseHost();
+        return;
+    }
+    CallFrame &top = x.frames.back();
+
+    std::uint64_t seq = _spec->begin(pid, x.id, device, _events.now());
+    protoStat("spec.launched", device);
+    tracePoint(TracePoint::specLaunch, pid, x.id, device, twin);
+
+    // The thread is suspended and its context saved; the otherwise-idle
+    // host core runs the twin. Everything below happens functionally at
+    // this instant — the charged time elapses in the continuation.
+    if (_hostLoadedCr3 != task.cr3) {
+        _hostCore.mmu().setCr3(task.cr3);
+        _hostLoadedCr3 = task.cr3;
+    }
+    // A native-bridge call performs simulator-side effects that cannot
+    // be buffered; the stub dooms the speculation and ends the slice.
+    Core::NativeHook native = _hostCore.swapNativeHook([this](Core &c) {
+        _spec->markDoomed("native-bridge call");
+        c.setPc(runtimeTrampoline);
+        return Tick(0);
+    });
+    _spec->beginSlice();
+    // setupCall inside the slice: its return-address push is a
+    // speculative store like any other.
+    std::vector<std::uint64_t> args(top.args.begin(),
+                                    top.args.begin() + top.nargs);
+    _hostCore.setupCall(twin, args);
+    RunResult r = _hostCore.run(_spec->config().maxInstructions);
+    _spec->endSlice();
+    _hostCore.swapNativeHook(std::move(native));
+
+    bool committable = r.stop == Fault::trampoline && !_spec->doomed();
+    if (!committable && !_spec->doomed()) {
+        if (r.stop == Fault::none)
+            _spec->markDoomed("instruction budget");
+        else
+            _spec->markDoomed("twin fault");
+    }
+    _specRun.seq = seq;
+    _specRun.retVal = committable ? _hostCore.retVal() : 0;
+    _specRun.elapsed = r.elapsed;
+    _specRun.committable = committable;
+    after(r.elapsed, [this, pid, seq] { hostSpecFinished(pid, seq); });
+}
+
+void
+MigrationEngine::hostSpecFinished(int pid, std::uint64_t seq)
+{
+    if (!_spec->active() || _spec->seq() != seq) {
+        // The race was already resolved (NxP win, conflict, call
+        // death); whoever squashed it released the host core.
+        return;
+    }
+    unsigned device = _spec->device();
+    TaskExec *xp = live(pid, _spec->callId());
+    if (!xp || !_specRun.committable || _spec->doomed()) {
+        // Doomed slice (fault, cap, native call) or the call died under
+        // the race: wasted work, the NxP side carries on alone.
+        tracePoint(TracePoint::specSquash, pid, _spec->callId(), device);
+        retireSpec(true);
+        return;
+    }
+    commitHostSpec(*xp);
+}
+
+void
+MigrationEngine::commitHostSpec(TaskExec &x)
+{
+    Task &task = *x.task;
+    int pid = task.pid;
+    unsigned device = _spec->device();
+    std::uint64_t rv = _specRun.retVal;
+
+    // Cut the losing NxP side before anything becomes guest-visible:
+    // bumping the generation token makes every in-flight continuation
+    // and descriptor of the old id stale — they release their cores and
+    // ring slots exactly like a failed call's stragglers. The loser's
+    // stores only land at slice starts, which check live(), so nothing
+    // of it can trickle in past this point.
+    std::uint64_t old_id = x.id;
+    x.id = ++_nextExecId;
+
+    // The straggler d2h return of old_id still carries a genuine
+    // device-side latency sample; remember how to credit it.
+    CallFrame done = x.frames.back();
+    x.frames.pop_back();
+    if (_policy && _policy->wantsFeedback() && done.canonical) {
+        if (_specHarvest.size() >= 64)
+            _specHarvest.erase(_specHarvest.begin());
+        _specHarvest[{pid, old_id}] =
+            {task.cr3, done.canonical, device, done.t0};
+        // The race measured the host side end to end for free.
+        _policy->recordHostCall(task.cr3, done.canonical,
+                                _events.now() - done.t0);
+        _stats.inc("placement.model_updates");
+    }
+
+    std::uint64_t replayed = _spec->commit();
+    protoStat("spec.committed_host", device);
+    _stats.inc("spec.replayed_bytes", replayed);
+    tracePoint(TracePoint::specCommit, pid, x.id, device, rv);
+
+    // Wake the thread exactly like a migration return would, but the
+    // host core is already ours: resume directly, bypassing the run
+    // queue (same latencies as dispatchWake).
+    _kernel.wake(task);
+    tracePoint(TracePoint::hostWake, pid, x.id, device);
+    std::uint64_t id = x.id;
+    after(_timing.wakeupToRun, [this, pid, id, rv] {
+        TaskExec *w = live(pid, id);
+        if (!w) {
+            releaseHost();
+            return;
+        }
+        Task &t = *w->task;
+        if (_hostLoadedCr3 != t.cr3) {
+            _hostCore.mmu().setCr3(t.cr3);
+            _hostLoadedCr3 = t.cr3;
+        }
+        _hostCore.restoreContext(_kernel.resume(t));
+        after(_timing.ioctlExit, [this, pid, id, rv] {
+            TaskExec *v = live(pid, id);
+            if (!v) {
+                releaseHost();
+                return;
+            }
+            tracePoint(TracePoint::hostResume, pid, id);
+            _hostCore.finishHijackedCall(rv);
+            runHostSegment(*v);
+        });
+    });
+}
+
+void
+MigrationEngine::retireSpec(bool aborted)
+{
+    unsigned device = _spec->device();
+    Tick waste = _events.now() - _spec->launchTick();
+    protoStat("spec.squashed", device);
+    if (aborted)
+        protoStat("spec.aborted", device);
+    _stats.inc("spec.wasted_ticks", waste);
+    _stats.inc(strfmt("spec.wasted_ticks_dev%u", device), waste);
+    _spec->squash();
+    releaseHost();
+}
+
+void
+MigrationEngine::specConflictAbort()
+{
+    // Fired from inside someone else's memory access: only flip state
+    // and counters here; the freed core is re-dispatched through
+    // kickHost's deferred event.
+    if (!_spec || !_spec->active())
+        return;
+    unsigned device = _spec->device();
+    protoStat("spec.conflicts", device);
+    tracePoint(TracePoint::specConflict, _spec->pid(), _spec->callId(),
+               device);
+    retireSpec(true);
+}
+
+void
+MigrationEngine::harvestSpecSample(int pid, std::uint64_t call_id)
+{
+    auto it = _specHarvest.find({pid, call_id});
+    if (it == _specHarvest.end())
+        return;
+    const SpecHarvest &h = it->second;
+    if (_policy && _policy->wantsFeedback()) {
+        // Slightly early versus the real wake path (the thread is gone,
+        // so there is no wakeupToRun/ioctlExit tail to wait out), but a
+        // genuine device-side round-trip sample — the second half of
+        // the race's free double-sample.
+        _policy->recordDeviceCall(h.cr3, h.canonical, h.device,
+                                  _events.now() - h.t0);
+        protoStat("placement.model_updates", h.device);
+        protoStat("spec.double_samples", h.device);
+    }
+    _specHarvest.erase(it);
 }
 
 void
@@ -1290,6 +1580,9 @@ MigrationEngine::startHostToNxpCall(TaskExec &x, VAddr target,
         // twin — the hijacked return address is already in place, so
         // the call completes exactly like a migration would have.
         protoStat("rejected_submissions", device);
+        // The rejection kills any armed race: the call never crosses.
+        x.specArmed = false;
+        x.specTwinVa = 0;
         VAddr twin = _hostFallback ? fallbackVa(task.cr3, canonical) : 0;
         if (!twin) {
             failCall(x, CallStatus::deviceLost);
@@ -1458,7 +1751,13 @@ MigrationEngine::hostSendDescriptor(TaskExec &x, MigrationDescriptor d,
                     s.h2dDeferred.push_back(d);
                 else
                     stageHostToNxp(d, device);
-                releaseHost();
+                // An armed race consumes the just-freed host core for
+                // the speculative twin instead of giving it back
+                // (DESIGN.md §16).
+                if (w->specArmed && d.kind == DescriptorKind::hostToNxpCall)
+                    launchSpeculation(*w, device);
+                else
+                    releaseHost();
             };
             if (is_call && _extraRoundTrip)
                 after(_extraRoundTrip, std::move(fire));
@@ -1746,6 +2045,10 @@ MigrationEngine::handleNxpDescriptor(unsigned device,
             } else {
                 _stats.inc("nxp_to_nxp_roundtrips");
             }
+            // Device-originated round trips feed the cost model too
+            // (the relayed-call feedback gap): the EWMAs would
+            // otherwise never learn from d2h or d2d calls.
+            recordPlacementOutcome(task, f);
             core.finishHijackedCall(d.retval);
             runNxpSegment(x, device);
         });
@@ -1769,7 +2072,13 @@ MigrationEngine::runNxpSegment(TaskExec &x, unsigned device)
         // accelerator pipeline): the architectural state stops
         // advancing and no stop event is ever scheduled. The core
         // stays busy forever; recovery is the health watchdog's job.
+        bool spec_window = _spec && _spec->matches(pid, id) &&
+                           _spec->device() == device;
+        if (spec_window)
+            _spec->beginDeviceWindow(device);
         RunResult r = s.core->run(_chaos->wedgeProgress());
+        if (spec_window)
+            _spec->endDeviceWindow();
         if (r.stop == Fault::none) {
             s.segmentEnd = _events.now();
             _stats.inc("chaos_core_wedges");
@@ -1784,7 +2093,16 @@ MigrationEngine::runNxpSegment(TaskExec &x, unsigned device)
               });
         return;
     }
+    // The racing twin of an active speculation is exempt from conflict
+    // detection for exactly this slice: its stores are byte-identical
+    // to the buffered host stores that would replay over them.
+    bool spec_window = _spec && _spec->matches(pid, id) &&
+                       _spec->device() == device;
+    if (spec_window)
+        _spec->beginDeviceWindow(device);
     RunResult r = s.core->run();
+    if (spec_window)
+        _spec->endDeviceWindow();
     // While the segment's time is being charged the busy core is
     // computing, not stalled; tell the watchdog when that excuse ends.
     s.segmentEnd = _events.now() + r.elapsed;
@@ -1801,6 +2119,13 @@ MigrationEngine::handleNxpStop(int pid, std::uint64_t id, unsigned device,
     ++side(device).progress; // a retired segment is forward progress
     TaskExec *xp = live(pid, id);
     if (!xp) {
+        // Usually a host-committed race cut this side before the
+        // function finished charging its time. The device-side cost is
+        // known regardless (the segment just retired): harvest it as
+        // the model's device sample, short only of the return leg the
+        // cut saved.
+        if (r.stop == Fault::trampoline)
+            harvestSpecSample(pid, id);
         releaseNxp(device);
         return;
     }
@@ -2067,8 +2392,12 @@ MigrationEngine::processHostInbox(unsigned device)
         TaskExec *x = live(pid, d.callId);
         if (!x) {
             // The call this return belongs to is gone (failed,
-            // cancelled or already failed over); dropping the wake is
-            // the IRQ handler finding no suspended thread to kick.
+            // cancelled, already failed over — or its host twin won a
+            // speculative race and the id moved on). A host-committed
+            // race's straggler return still carries a usable device-
+            // side latency sample; credit it before dropping the wake.
+            if (d.kind == DescriptorKind::nxpToHostReturn)
+                harvestSpecSample(pid, d.callId);
             protoStat("stale_descriptors", device);
             return;
         }
@@ -2078,6 +2407,34 @@ MigrationEngine::processHostInbox(unsigned device)
             // not wake it a second time.
             protoStat("stale_descriptors", device);
             return;
+        }
+        if (_spec && _spec->matches(pid, d.callId)) {
+            if (d.kind == DescriptorKind::nxpToHostReturn) {
+                // The NxP side finished first: it wins the race. The
+                // host twin's cost is still functionally known — feed
+                // it as the host-side sample (the other half of the
+                // free double-sample), then squash the speculation and
+                // let the wake proceed on the freed core.
+                protoStat("spec.committed_nxp", device);
+                tracePoint(TracePoint::specSquash, pid, d.callId, device);
+                if (_specRun.committable && _policy &&
+                    _policy->wantsFeedback() && !x->frames.empty() &&
+                    x->frames.back().canonical) {
+                    _policy->recordHostCall(
+                        x->task->cr3, x->frames.back().canonical,
+                        _spec->launchTick() + _specRun.elapsed -
+                            x->frames.back().t0);
+                    _stats.inc("placement.model_updates");
+                }
+                retireSpec(false);
+            } else {
+                // The racing twin made a nested cross-ISA call: the
+                // race is no longer a simple leaf race (the host twin
+                // cannot mirror device-side nesting). Abort it; the
+                // nested call then proceeds normally.
+                tracePoint(TracePoint::specSquash, pid, d.callId, device);
+                retireSpec(true);
+            }
         }
         _kernel.wake(*x->task);
         tracePoint(TracePoint::hostWake, pid, d.callId, device);
@@ -2339,6 +2696,14 @@ MigrationEngine::failCall(TaskExec &x, CallStatus status)
 {
     if (x.future->done)
         return;
+    if (_spec && _spec->matches(x.task->pid, x.id)) {
+        // The raced call is dying (cancel, deadline, device loss): the
+        // speculation dies with it and must give the host core back
+        // before any failover tries to claim it.
+        tracePoint(TracePoint::specSquash, x.task->pid, x.id,
+                   _spec->device());
+        retireSpec(true);
+    }
     unsigned dev = execDevice(x);
     if (status == CallStatus::deviceLost && canFailover(x)) {
         scheduleFallback(x);

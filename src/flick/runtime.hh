@@ -66,6 +66,7 @@ namespace flick
 
 class ChaosController;
 class PlacementPolicy;
+class SpeculationManager;
 struct EnginePlacementView;
 
 /**
@@ -415,6 +416,16 @@ class MigrationEngine
     }
 
     /**
+     * Attach the speculation manager (DESIGN.md §16). Low-confidence
+     * host-originated calls then race their host twin against the
+     * migration and commit whichever side finishes first. Registers the
+     * engine's conflict callback on @p spec. nullptr (the default)
+     * keeps every spec path unreachable: no flick.spec.* counters, no
+     * extra events, tick-for-tick identical runs. Not owned.
+     */
+    void setSpeculation(SpeculationManager *spec);
+
+    /**
      * Register @p twin_va as @p canonical's text for @p device (the
      * "__dev<k>" twins load() discovers, plus the home symbol itself).
      * A placement policy may re-point a faulted call at any registered
@@ -520,6 +531,11 @@ class MigrationEngine
         //! One-shot device preference (SubmitOptions::placementHint),
         //! consumed by the call's first placement decision; -1 = none.
         int placementHint = -1;
+        //! Low-confidence placement armed a speculative host-twin race;
+        //! consumed (and cleared) when the call descriptor fires.
+        bool specArmed = false;
+        //! Host twin VA the armed speculation will run.
+        VAddr specTwinVa = 0;
         //! The call passed the QoS front door (its retirement must give
         //! the tenant's in-flight budget back and pump the queues).
         bool qosAdmitted = false;
@@ -655,6 +671,15 @@ class MigrationEngine
     /** cancelCall() found @p pid parked in @p tenant's queue. */
     void cancelQueuedCall(int pid, unsigned tenant);
 
+    /**
+     * Dequeue-time residency re-vote for a queued call's stale
+     * placement hint: the device holding a strict access-weighted
+     * majority of the pages @p args point at, or -1 when no device
+     * does (unmapped args, host-resident data, tie).
+     */
+    int residencyMajorityDevice(Task &task,
+                                const std::vector<std::uint64_t> &args);
+
     /** Devices not written off by the health watchdog. */
     unsigned aliveDeviceCount() const;
 
@@ -705,6 +730,9 @@ class MigrationEngine
         unsigned device = 0; //!< Dispatch device when !toHost.
         VAddr va = 0;        //!< VA to dispatch (twin or original).
         VAddr canonical = 0; //!< Home-symbol VA (the model's key).
+        //! Policy's confidence margin (PlacementDecision::confidencePct);
+        //! below SpecConfig::confidenceThresholdPct arms a speculation.
+        unsigned confidencePct = 100;
     };
 
     /**
@@ -727,6 +755,39 @@ class MigrationEngine
 
     /** Feed a completed call's latency to the policy's cost model. */
     void recordPlacementOutcome(Task &task, const CallFrame &frame);
+
+    // --- Speculative dual execution (DESIGN.md §16) --------------------
+
+    /**
+     * The descriptor for @p x's armed low-confidence call just fired at
+     * @p device: keep the host core (instead of releasing it) and run
+     * the host twin speculatively, stores buffered by the manager.
+     * Schedules hostSpecFinished at the slice's charged end time.
+     */
+    void launchSpeculation(TaskExec &x, unsigned device);
+
+    /** The speculative host slice's charged time elapsed. A stale
+     *  @p seq means the race was already resolved the other way. */
+    void hostSpecFinished(int pid, std::uint64_t seq);
+
+    /** Host twin won: cut the NxP side, replay the buffer, wake. */
+    void commitHostSpec(TaskExec &x);
+
+    /**
+     * Common tail of every squash path: account the wasted host-core
+     * ticks, discard the buffer and give the host core back. @p aborted
+     * distinguishes a clean race loss from a conflict/doom/death abort.
+     */
+    void retireSpec(bool aborted);
+
+    /** Conflict callback target (fires from inside a memory access). */
+    void specConflictAbort();
+
+    /**
+     * A straggler d2h return of a host-committed race landed: its
+     * latency is a genuine device-side sample (the free double-sample).
+     */
+    void harvestSpecSample(int pid, std::uint64_t call_id);
 
     /** The entry function returned (or the program exited). */
     void completeCall(TaskExec &x, std::uint64_t value);
@@ -980,6 +1041,28 @@ class MigrationEngine
     std::map<std::pair<Addr, VAddr>, VAddr> _fallback;
     //! Placement policy; nullptr = the paper's link-time pinning.
     PlacementPolicy *_policy = nullptr;
+    //! Speculative dual execution; nullptr = feature off (DESIGN.md §16).
+    SpeculationManager *_spec = nullptr;
+    //! Outcome of the current speculative host slice, consumed by
+    //! hostSpecFinished (guarded by the manager's seq against staleness).
+    struct SpecRun
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t retVal = 0;
+        Tick elapsed = 0;
+        bool committable = false;
+    };
+    SpecRun _specRun;
+    //! How to credit the straggler d2h return of a host-committed race
+    //! to the cost model, keyed by (pid, pre-commit call id).
+    struct SpecHarvest
+    {
+        Addr cr3 = 0;
+        VAddr canonical = 0;
+        unsigned device = 0;
+        Tick t0 = 0;
+    };
+    std::map<std::pair<int, std::uint64_t>, SpecHarvest> _specHarvest;
     //! Residency counters for the policy view; nullptr = tracking off.
     ResidencyTracker *_residency = nullptr;
     //! (cr3, canonical va) -> per-device dispatch VA (0 = no copy).

@@ -218,6 +218,16 @@ FlickSystem::FlickSystem(SystemConfig config)
         _mem.addDecodeSink(_migrator.get());
         _migrator->start();
     }
+
+    // Speculative dual execution (DESIGN.md §16). Gated on construction
+    // like the residency layer: with it off no manager exists, the
+    // MemSystem hook pointer stays null and the engine's spec paths are
+    // unreachable — tick-for-tick identity with a pre-speculation build.
+    if (_config.speculation.enabled) {
+        _speculation = std::make_unique<SpeculationManager>(
+            _mem, _config.speculation);
+        _engine->setSpeculation(_speculation.get());
+    }
 }
 
 Rv64Core &

@@ -31,6 +31,10 @@ tracePointName(TracePoint p)
       case TracePoint::kernelSuspend: return "kernelSuspend";
       case TracePoint::kernelWake: return "kernelWake";
       case TracePoint::kernelResume: return "kernelResume";
+      case TracePoint::specLaunch: return "specLaunch";
+      case TracePoint::specCommit: return "specCommit";
+      case TracePoint::specSquash: return "specSquash";
+      case TracePoint::specConflict: return "specConflict";
     }
     return "?";
 }
@@ -89,6 +93,10 @@ tracePointPhase(TracePoint p)
       case TracePoint::kernelSuspend:
       case TracePoint::kernelWake:
       case TracePoint::kernelResume:
+      case TracePoint::specLaunch:
+      case TracePoint::specCommit:
+      case TracePoint::specSquash:
+      case TracePoint::specConflict:
         return TracePhase::none;
     }
     return TracePhase::none;
@@ -101,7 +109,9 @@ bool
 isInstant(TracePoint p)
 {
     return p == TracePoint::kernelSuspend || p == TracePoint::kernelWake ||
-           p == TracePoint::kernelResume;
+           p == TracePoint::kernelResume || p == TracePoint::specLaunch ||
+           p == TracePoint::specCommit || p == TracePoint::specSquash ||
+           p == TracePoint::specConflict;
 }
 
 bool
@@ -139,6 +149,10 @@ pointTrack(TracePoint p, unsigned device)
       case TracePoint::kernelSuspend:
       case TracePoint::kernelWake:
       case TracePoint::kernelResume:
+      case TracePoint::specLaunch:
+      case TracePoint::specCommit:
+      case TracePoint::specSquash:
+      case TracePoint::specConflict:
         return {1, 2};
       case TracePoint::dmaToNxpStart:
       case TracePoint::dmaToHostStart:

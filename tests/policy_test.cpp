@@ -349,5 +349,54 @@ TEST(PlacementNested, CrossIsaRecursionStaysCorrectUnderEveryPolicy)
     }
 }
 
+TEST(PlacementNested, DeviceOriginatedCallsFeedTheModel)
+{
+    // A device-to-device call relays through the host kernel; its
+    // round trip is as real a sample of the callee's device cost as a
+    // host-originated one and must update the EWMA model (relayed
+    // calls used to be dropped on the feedback path).
+    FlickSystem sys(SystemConfig{}
+                        .withDevices(2)
+                        .withPlacement(PlacementKind::profileGuided));
+    Program prog;
+    workloads::addMicrobench(prog);
+    prog.addNxpAsm(R"(
+relay_scale:
+    slli a0, a0, 2
+    ret
+)",
+                   1);
+    prog.addNxpAsm(R"(
+relay_chain:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    call relay_scale
+    addi a0, a0, 1
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)");
+    Process &proc = sys.load(prog);
+
+    EXPECT_EQ(sys.call(proc, "relay_chain", {10}), 41u);
+    EXPECT_EQ(sys.engine().stats().get("nxp_to_nxp_calls"), 1u);
+
+    auto &pg =
+        dynamic_cast<ProfileGuidedPlacement &>(sys.debug().policy());
+    // The relayed callee got a device-side sample of its own...
+    const auto *callee =
+        pg.profile(proc.image.cr3, proc.image.symbol("relay_scale"));
+    ASSERT_NE(callee, nullptr);
+    EXPECT_EQ(callee->deviceSamples, 1u);
+    EXPECT_GT(callee->deviceEwma, 0u);
+    EXPECT_EQ(callee->hostSamples, 0u);
+    // ...and the host-originated outer call fed the model as before.
+    const auto *outer =
+        pg.profile(proc.image.cr3, proc.image.symbol("relay_chain"));
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->deviceSamples, 1u);
+    EXPECT_GE(sys.engine().stats().get("placement.model_updates"), 2u);
+}
+
 } // namespace
 } // namespace flick

@@ -547,3 +547,60 @@ TEST(LoadGen, FanOutBuildsCallTrees)
     for (std::size_t i = 1; i < arrivals.size(); ++i)
         EXPECT_GE(arrivals[i].when, arrivals[i - 1].when);
 }
+
+TEST(QosWfq, AgingBoundsTheWaitOfAHighVirtualTimeTenant)
+{
+    // Tenant A has already consumed 100 dequeues; tenant B arrives with
+    // zero virtual time and a huge weight, so pure WFQ keeps picking B
+    // for the next ~100000 dequeues -- A is starved. Aging bounds the
+    // wait: A must be served within aging_dequeues + 1 picks.
+    EXPECT_EQ(QosConfig{}.agingDequeues, 64u);
+
+    auto build = [](TenantScheduler &sched) {
+        unsigned a = sched.tenantOf(0x1000);
+        unsigned b = sched.tenantOf(0x2000);
+        EXPECT_EQ(a, 0u);
+        EXPECT_EQ(b, 1u);
+        for (int i = 0; i < 200; ++i) {
+            sched.onEnqueue(a);
+            sched.onEnqueue(b);
+        }
+        for (int i = 0; i < 100; ++i)
+            sched.charge(a);
+    };
+    auto budget = [](unsigned) { return 1000u; };
+    auto weight = [](unsigned t) { return t == 0 ? 1u : 1000u; };
+
+    // Without aging A never gets a turn in any realistic horizon.
+    {
+        TenantScheduler sched;
+        build(sched);
+        for (int i = 0; i < 50; ++i) {
+            int pick = sched.pick(budget, weight);
+            ASSERT_EQ(pick, 1) << "pick " << i;
+            EXPECT_FALSE(sched.lastPickAged());
+            sched.charge(1);
+            sched.onDequeue(1);
+        }
+    }
+
+    // With aging_dequeues = 4 every fifth pick is the aged tenant A,
+    // flagged by lastPickAged(); the other four stay WFQ picks of B.
+    {
+        TenantScheduler sched;
+        build(sched);
+        for (int i = 0; i < 20; ++i) {
+            int pick = sched.pick(budget, weight, /*aging_dequeues=*/4);
+            ASSERT_GE(pick, 0);
+            if (i % 5 == 4) {
+                EXPECT_EQ(pick, 0) << "pick " << i;
+                EXPECT_TRUE(sched.lastPickAged()) << "pick " << i;
+            } else {
+                EXPECT_EQ(pick, 1) << "pick " << i;
+                EXPECT_FALSE(sched.lastPickAged()) << "pick " << i;
+            }
+            sched.charge(static_cast<unsigned>(pick));
+            sched.onDequeue(static_cast<unsigned>(pick));
+        }
+    }
+}

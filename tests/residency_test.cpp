@@ -473,4 +473,51 @@ TEST(Residency, HysteresisKeepsContestedPagesPut)
     delete sys;
 }
 
+TEST(Residency, DequeueRevotesAStaleQosPlacementHint)
+{
+    QosConfig qos;
+    qos.enabled = true;
+    qos.tenantInFlight = 1;
+    auto [sys, proc] = makeSharded(
+        SystemConfig{}.withPageMigration(manualOnly()).withQos(qos), 2);
+    PageMigrator *m = sys->debug().migrator();
+    Addr cr3 = proc->image.cr3;
+
+    VAddr big = sys->migratableMalloc(*proc, 16384, -1);
+    fillShard(*sys, *proc, big, 8, 2048);
+    VAddr buf = sys->migratableMalloc(*proc, 4096, -1);
+    fillShard(*sys, *proc, buf, 9, 64);
+
+    Task &t1 = sys->spawnThread(*proc);
+    Task &t2 = sys->spawnThread(*proc);
+    CallFuture a = sys->submit(
+        *proc, CallSpec("shard_sum").withArgs({big, 2048}).onThread(t1));
+    // The submitter pins b to device 1; with the tenant budget held by
+    // a, the hint sits in the QoS queue alongside the call.
+    CallFuture b = sys->submit(*proc, CallSpec("shard_sum")
+                                          .withArgs({buf, 64})
+                                          .withPlacementHint(1)
+                                          .onThread(t2));
+    sys->advanceTime(us(10));
+    ASSERT_FALSE(b.done());
+
+    // While b waits, its argument page migrates to device 0. The
+    // submit-time hint is now stale: device 0's DRAM is shadowed by
+    // device 1's window claim, so running b on device 1 would
+    // dereference the wrong memory (the §15 address-map hazard).
+    EXPECT_TRUE(m->migrateNow(cr3, buf, 0));
+    drainMigrator(*sys, us(3000));
+    EXPECT_EQ(m->stats().get("migrations"), 1u);
+
+    // Dequeue re-votes the majority holder and re-points the hint.
+    EXPECT_EQ(a.wait(), shardSumRef(8, 0, 2048));
+    EXPECT_EQ(b.wait(), shardSumRef(9, 0, 64));
+    EXPECT_EQ(sys->debug().engine().stats().get("qos.hint_revotes"), 1u);
+    unsigned dev = ~0u;
+    EXPECT_TRUE(
+        sys->config().platform.inBarDram(frameOf(*sys, *proc, buf), dev));
+    EXPECT_EQ(dev, 0u);
+    delete sys;
+}
+
 } // namespace
